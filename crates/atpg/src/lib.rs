@@ -1,0 +1,66 @@
+//! Automatic test pattern generation — the Laerte++ analog.
+//!
+//! Level 1 of the Symbad flow verifies the functional model with a
+//! SystemC-based ATPG (Laerte++, reference \[5\]) that combines
+//! "simulation-based techniques (e.g., genetic algorithms) and formal-based
+//! ones (e.g., SAT-solvers)" and measures coverage with "standard metrics
+//! (statement, condition and branch coverage) and … the more accurate
+//! bit-coverage metric exploiting high-level faults". This crate
+//! re-implements that stack over the `behav` IR:
+//!
+//! * [`metrics`] — testbench evaluation: statement/branch/condition
+//!   coverage plus the bit-coverage fault simulation, and the
+//!   memory-inspection report that exposed the case study's
+//!   memory-initialization bugs,
+//! * [`tpg`] — simulation-based engines: greedy random TPG and a genetic
+//!   algorithm over testbenches,
+//! * [`formal`] — SAT-based engines targeting individual uncovered
+//!   branches (reachability probes) and undetected bit faults (behavioural
+//!   fault-injection miters), via `hdl` synthesis and the `sat` solver.
+//!
+//! # Example
+//!
+//! ```
+//! use behav::{Expr, FunctionBuilder};
+//! use atpg::{metrics, tpg};
+//!
+//! let mut fb = FunctionBuilder::new("f", 8);
+//! let a = fb.param("a", 8);
+//! fb.if_else(
+//!     Expr::lt(Expr::var(a), Expr::constant(7, 8)),
+//!     |t| t.ret(Expr::constant(1, 8)),
+//!     |e| e.ret(Expr::constant(0, 8)),
+//! );
+//! let f = fb.build();
+//! let tb = tpg::random_tpg(&f, &tpg::RandomConfig { rounds: 50, seed: 1 });
+//! let report = metrics::evaluate(&f, &tb.vectors).report();
+//! assert_eq!(report.branch_pct(), 100.0);
+//! ```
+
+pub mod formal;
+pub mod metrics;
+pub mod tpg;
+
+/// A testbench: a list of input vectors for one behavioural function.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Testbench {
+    /// Input vectors, one `Vec<u64>` per run (one entry per parameter).
+    pub vectors: Vec<Vec<u64>>,
+}
+
+impl Testbench {
+    /// Creates an empty testbench.
+    pub fn new() -> Self {
+        Testbench::default()
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the testbench is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+}

@@ -1,0 +1,219 @@
+//! Testbench evaluation: coverage metrics and fault simulation.
+
+use crate::Testbench;
+use behav::interp::{enumerate_bit_faults, BitFault, CallEvent, Interpreter};
+use behav::{CoverageSet, Function, VarId};
+
+/// Merged coverage of a set of vectors over a function.
+///
+/// Returns the merged [`CoverageSet`]; call `.report()` on it for
+/// percentages. Vectors that fail to execute (step-limit) are skipped — a
+/// testbench must not be credited for runs that never finished.
+pub fn evaluate(func: &Function, vectors: &[Vec<u64>]) -> CoverageSet {
+    let mut merged = CoverageSet::new(func);
+    for v in vectors {
+        if let Ok(out) = Interpreter::new(func).run(v) {
+            merged.merge(&out.coverage);
+        }
+    }
+    merged
+}
+
+/// Output signature of one run, used to decide fault detection: a fault is
+/// detected when any part of the observable behaviour changes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Signature {
+    ret: Option<u64>,
+    calls: Vec<CallEvent>,
+}
+
+fn signature(func: &Function, vector: &[u64], fault: Option<BitFault>) -> Option<Signature> {
+    let mut interp = Interpreter::new(func);
+    if let Some(f) = fault {
+        interp = interp.with_fault(f);
+    }
+    interp.run(vector).ok().map(|o| Signature {
+        ret: o.return_value,
+        calls: o.call_trace,
+    })
+}
+
+/// Result of the bit-coverage fault simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitCoverage {
+    /// Total faults in the high-level fault list.
+    pub total: usize,
+    /// Faults detected by at least one vector.
+    pub detected: usize,
+    /// The faults no vector detected.
+    pub undetected: Vec<BitFault>,
+}
+
+impl BitCoverage {
+    /// Detection percentage.
+    pub fn pct(&self) -> f64 {
+        if self.total == 0 {
+            100.0
+        } else {
+            100.0 * self.detected as f64 / self.total as f64
+        }
+    }
+}
+
+/// Fault-simulates the whole bit-fault list of `func` against a testbench.
+///
+/// A fault is *detected* when some vector produces a different output
+/// signature (return value or resource-call trace) than the fault-free run.
+pub fn bit_coverage(func: &Function, tb: &Testbench) -> BitCoverage {
+    let faults = enumerate_bit_faults(func);
+    let golden: Vec<Option<Signature>> = tb
+        .vectors
+        .iter()
+        .map(|v| signature(func, v, None))
+        .collect();
+    let mut undetected = Vec::new();
+    let mut detected = 0usize;
+    for &fault in &faults {
+        let caught = tb.vectors.iter().zip(&golden).any(|(v, g)| {
+            let faulty = signature(func, v, Some(fault));
+            faulty != *g
+        });
+        if caught {
+            detected += 1;
+        } else {
+            undetected.push(fault);
+        }
+    }
+    BitCoverage {
+        total: faults.len(),
+        detected,
+        undetected,
+    }
+}
+
+/// Memory-inspection report over a testbench: every `(array, index)` read
+/// before initialization, with the vector that triggered it.
+pub fn memory_inspection(func: &Function, tb: &Testbench) -> Vec<(Vec<u64>, VarId, u64)> {
+    let mut findings = Vec::new();
+    for v in &tb.vectors {
+        if let Ok(out) = Interpreter::new(func).run(v) {
+            for (array, idx) in out.uninitialized_reads {
+                findings.push((v.clone(), array, idx));
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use behav::{Expr, FunctionBuilder};
+
+    /// max(a, b) — two branches, easy faults.
+    fn max_func() -> Function {
+        let mut fb = FunctionBuilder::new("max", 8);
+        let a = fb.param("a", 8);
+        let b = fb.param("b", 8);
+        let m = fb.local("m", 8);
+        fb.if_else(
+            Expr::ge(Expr::var(a), Expr::var(b)),
+            |t| t.assign(m, Expr::var(a)),
+            |e| e.assign(m, Expr::var(b)),
+        );
+        fb.ret(Expr::var(m));
+        fb.build()
+    }
+
+    #[test]
+    fn evaluate_merges_coverage_across_vectors() {
+        let f = max_func();
+        // One vector covers only one branch…
+        let half = evaluate(&f, &[vec![9, 3]]).report();
+        assert!(half.branch_pct() < 100.0);
+        // …two complementary vectors cover both.
+        let full = evaluate(&f, &[vec![9, 3], vec![3, 9]]).report();
+        assert_eq!(full.branch_pct(), 100.0);
+        assert_eq!(full.statement_pct(), 100.0);
+    }
+
+    #[test]
+    fn bit_coverage_improves_with_vectors() {
+        let f = max_func();
+        let weak = bit_coverage(
+            &f,
+            &Testbench {
+                vectors: vec![vec![0, 0]],
+            },
+        );
+        let strong = bit_coverage(
+            &f,
+            &Testbench {
+                vectors: vec![vec![0, 0], vec![255, 0], vec![0, 255], vec![170, 85]],
+            },
+        );
+        assert!(strong.detected > weak.detected);
+        assert_eq!(weak.total, strong.total);
+        assert_eq!(weak.total, 8 * 2); // m: 8 bits × 2 polarities
+        assert_eq!(strong.detected + strong.undetected.len(), strong.total);
+    }
+
+    #[test]
+    fn all_ones_and_zero_vectors_detect_all_faults_of_identity() {
+        // f(a) = a through a local: every stuck bit is observable with
+        // the 0x00 and 0xFF inputs.
+        let mut fb = FunctionBuilder::new("id", 8);
+        let a = fb.param("a", 8);
+        let x = fb.local("x", 8);
+        fb.assign(x, Expr::var(a));
+        fb.ret(Expr::var(x));
+        let f = fb.build();
+        let cov = bit_coverage(
+            &f,
+            &Testbench {
+                vectors: vec![vec![0x00], vec![0xFF]],
+            },
+        );
+        assert_eq!(cov.detected, cov.total);
+        assert!(cov.undetected.is_empty());
+        assert_eq!(cov.pct(), 100.0);
+    }
+
+    #[test]
+    fn memory_inspection_finds_seeded_init_bug() {
+        // Initialize only the first half of a buffer, then sum all of it.
+        let mut fb = FunctionBuilder::new("sumbuf", 16);
+        let n = fb.param("n", 8);
+        let buf = fb.array("buf", 16, 8);
+        let i = fb.local("i", 8);
+        fb.while_(Expr::lt(Expr::var(i), Expr::constant(4, 8)), |b| {
+            b.store(buf, Expr::var(i), Expr::constant(1, 16));
+            b.assign(i, Expr::add(Expr::var(i), Expr::constant(1, 8)));
+        });
+        let acc = fb.local("acc", 16);
+        fb.assign(i, Expr::constant(0, 8));
+        fb.while_(Expr::lt(Expr::var(i), Expr::var(n)), |b| {
+            b.assign(acc, Expr::add(Expr::var(acc), Expr::index(buf, Expr::var(i))));
+            b.assign(i, Expr::add(Expr::var(i), Expr::constant(1, 8)));
+        });
+        fb.ret(Expr::var(acc));
+        let f = fb.build();
+        // Reading 4 elements is clean; reading 6 hits uninitialized memory.
+        let clean = memory_inspection(
+            &f,
+            &Testbench {
+                vectors: vec![vec![4]],
+            },
+        );
+        assert!(clean.is_empty());
+        let dirty = memory_inspection(
+            &f,
+            &Testbench {
+                vectors: vec![vec![6]],
+            },
+        );
+        assert_eq!(dirty.len(), 2); // indices 4 and 5
+        assert_eq!(dirty[0].2, 4);
+        assert_eq!(dirty[1].2, 5);
+    }
+}

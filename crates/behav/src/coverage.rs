@@ -1,0 +1,247 @@
+//! Coverage bookkeeping for the Laerte++-style metrics.
+//!
+//! Three of the four metrics live here (statement, branch, condition); the
+//! fourth — *bit coverage* over the high-level fault model — requires fault
+//! simulation and is computed by the `atpg` crate on top of the
+//! interpreter's fault-injection hook.
+
+use crate::expr::Expr;
+use crate::func::Function;
+use crate::stmt::{CondId, Stmt, StmtId};
+
+/// Mutable coverage state accumulated across interpreter runs.
+#[derive(Debug, Clone)]
+pub struct CoverageSet {
+    statements: Vec<bool>,
+    branch_true: Vec<bool>,
+    branch_false: Vec<bool>,
+    /// Per-condition (branch) list of atomic-condition slots: `(start, len)`
+    /// into the flat `atom_true/false` arrays.
+    atom_ranges: Vec<(usize, usize)>,
+    atom_true: Vec<bool>,
+    atom_false: Vec<bool>,
+}
+
+impl CoverageSet {
+    /// Creates an all-uncovered set sized for `func`.
+    pub fn new(func: &Function) -> Self {
+        let mut atom_ranges = vec![(0usize, 0usize); func.num_conditions() as usize];
+        let mut total_atoms = 0usize;
+        func.visit_stmts(&mut |s| {
+            let (cond_id, cond): (CondId, &Expr) = match s {
+                Stmt::If { cond_id, cond, .. } => (*cond_id, cond),
+                Stmt::While { cond_id, cond, .. } => (*cond_id, cond),
+                _ => return,
+            };
+            let n = cond.atomic_conditions().len();
+            atom_ranges[cond_id.index()] = (total_atoms, n);
+            total_atoms += n;
+        });
+        CoverageSet {
+            statements: vec![false; func.num_statements() as usize],
+            branch_true: vec![false; func.num_conditions() as usize],
+            branch_false: vec![false; func.num_conditions() as usize],
+            atom_ranges,
+            atom_true: vec![false; total_atoms],
+            atom_false: vec![false; total_atoms],
+        }
+    }
+
+    /// Marks a statement as executed.
+    pub fn hit_statement(&mut self, id: StmtId) {
+        self.statements[id.index()] = true;
+    }
+
+    /// Marks a branch outcome.
+    pub fn hit_branch(&mut self, id: CondId, taken: bool) {
+        if taken {
+            self.branch_true[id.index()] = true;
+        } else {
+            self.branch_false[id.index()] = true;
+        }
+    }
+
+    /// Marks the value of the `atom`-th atomic condition of branch `id`.
+    pub fn hit_atom(&mut self, id: CondId, atom: usize, value: bool) {
+        let (start, len) = self.atom_ranges[id.index()];
+        debug_assert!(atom < len);
+        if value {
+            self.atom_true[start + atom] = true;
+        } else {
+            self.atom_false[start + atom] = true;
+        }
+    }
+
+    /// Merges another set (e.g. coverage of a later test vector) into this
+    /// one.
+    pub fn merge(&mut self, other: &CoverageSet) {
+        for (a, b) in self.statements.iter_mut().zip(&other.statements) {
+            *a |= b;
+        }
+        for (a, b) in self.branch_true.iter_mut().zip(&other.branch_true) {
+            *a |= b;
+        }
+        for (a, b) in self.branch_false.iter_mut().zip(&other.branch_false) {
+            *a |= b;
+        }
+        for (a, b) in self.atom_true.iter_mut().zip(&other.atom_true) {
+            *a |= b;
+        }
+        for (a, b) in self.atom_false.iter_mut().zip(&other.atom_false) {
+            *a |= b;
+        }
+    }
+
+    /// Summarizes into percentages and uncovered-item lists.
+    pub fn report(&self) -> CoverageReport {
+        let stmt_hit = self.statements.iter().filter(|&&b| b).count();
+        let branch_items = self.branch_true.len() * 2;
+        let branch_hit = self.branch_true.iter().filter(|&&b| b).count()
+            + self.branch_false.iter().filter(|&&b| b).count();
+        let atom_items = self.atom_true.len() * 2;
+        let atom_hit = self.atom_true.iter().filter(|&&b| b).count()
+            + self.atom_false.iter().filter(|&&b| b).count();
+        CoverageReport {
+            statements_total: self.statements.len(),
+            statements_hit: stmt_hit,
+            branches_total: branch_items,
+            branches_hit: branch_hit,
+            conditions_total: atom_items,
+            conditions_hit: atom_hit,
+            uncovered_statements: self
+                .statements
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| !b)
+                .map(|(i, _)| StmtId(i as u32))
+                .collect(),
+            uncovered_branches: (0..self.branch_true.len())
+                .flat_map(|i| {
+                    let mut v = Vec::new();
+                    if !self.branch_true[i] {
+                        v.push((CondId(i as u32), true));
+                    }
+                    if !self.branch_false[i] {
+                        v.push((CondId(i as u32), false));
+                    }
+                    v
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Summary of a [`CoverageSet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageReport {
+    /// Total statements.
+    pub statements_total: usize,
+    /// Statements executed at least once.
+    pub statements_hit: usize,
+    /// Total branch outcomes (two per condition).
+    pub branches_total: usize,
+    /// Branch outcomes observed.
+    pub branches_hit: usize,
+    /// Total atomic-condition outcomes (two per atom).
+    pub conditions_total: usize,
+    /// Atomic-condition outcomes observed.
+    pub conditions_hit: usize,
+    /// Statements never executed.
+    pub uncovered_statements: Vec<StmtId>,
+    /// Branch outcomes never observed, as `(condition, direction)`.
+    pub uncovered_branches: Vec<(CondId, bool)>,
+}
+
+impl CoverageReport {
+    fn pct(hit: usize, total: usize) -> f64 {
+        if total == 0 {
+            100.0
+        } else {
+            100.0 * hit as f64 / total as f64
+        }
+    }
+
+    /// Statement coverage percentage.
+    pub fn statement_pct(&self) -> f64 {
+        Self::pct(self.statements_hit, self.statements_total)
+    }
+
+    /// Branch coverage percentage.
+    pub fn branch_pct(&self) -> f64 {
+        Self::pct(self.branches_hit, self.branches_total)
+    }
+
+    /// Condition coverage percentage.
+    pub fn condition_pct(&self) -> f64 {
+        Self::pct(self.conditions_hit, self.conditions_total)
+    }
+
+    /// Whether everything is covered.
+    pub fn is_complete(&self) -> bool {
+        self.statements_hit == self.statements_total
+            && self.branches_hit == self.branches_total
+            && self.conditions_hit == self.conditions_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::func::FunctionBuilder;
+
+    fn sample() -> Function {
+        let mut fb = FunctionBuilder::new("f", 8);
+        let a = fb.param("a", 8);
+        let x = fb.local("x", 8);
+        fb.if_else(
+            Expr::lt(Expr::var(a), Expr::constant(5, 8)),
+            |t| t.assign(x, Expr::constant(1, 8)),
+            |e| e.assign(x, Expr::constant(2, 8)),
+        );
+        fb.ret(Expr::var(x));
+        fb.build()
+    }
+
+    #[test]
+    fn fresh_set_is_empty() {
+        let f = sample();
+        let cov = CoverageSet::new(&f);
+        let r = cov.report();
+        assert_eq!(r.statements_hit, 0);
+        assert_eq!(r.statement_pct(), 0.0);
+        assert!(!r.is_complete());
+        assert_eq!(r.uncovered_statements.len(), r.statements_total);
+    }
+
+    #[test]
+    fn hits_accumulate_and_merge() {
+        let f = sample();
+        let mut a = CoverageSet::new(&f);
+        a.hit_statement(StmtId(0));
+        a.hit_branch(CondId(0), true);
+        a.hit_atom(CondId(0), 0, true);
+        let mut b = CoverageSet::new(&f);
+        b.hit_branch(CondId(0), false);
+        b.hit_atom(CondId(0), 0, false);
+        a.merge(&b);
+        let r = a.report();
+        assert_eq!(r.branches_hit, 2);
+        assert_eq!(r.conditions_hit, 2);
+        assert_eq!(r.branch_pct(), 100.0);
+    }
+
+    #[test]
+    fn report_percentages() {
+        let f = sample();
+        let mut cov = CoverageSet::new(&f);
+        for i in 0..f.num_statements() {
+            cov.hit_statement(StmtId(i));
+        }
+        let r = cov.report();
+        assert_eq!(r.statement_pct(), 100.0);
+        assert!(r.uncovered_statements.is_empty());
+        assert!(!r.is_complete()); // branches still uncovered
+        assert_eq!(r.uncovered_branches.len(), 2);
+    }
+}

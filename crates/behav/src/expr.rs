@@ -1,0 +1,377 @@
+//! Word-level expressions.
+
+use crate::func::VarId;
+use std::fmt;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Bitwise complement (within the operand's width).
+    Not,
+    /// Two's-complement negation (within the operand's width).
+    Neg,
+}
+
+/// Binary operators. Comparison operators produce a 1-bit result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division (division by zero yields all-ones, as common in HW).
+    Div,
+    /// Unsigned remainder (by zero yields the dividend).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (shift amount taken modulo width).
+    Shl,
+    /// Logical shift right (shift amount taken modulo width).
+    Shr,
+    /// Equality (1-bit result).
+    Eq,
+    /// Inequality (1-bit result).
+    Ne,
+    /// Unsigned less-than (1-bit result).
+    Lt,
+    /// Unsigned less-or-equal (1-bit result).
+    Le,
+    /// Unsigned greater-than (1-bit result).
+    Gt,
+    /// Unsigned greater-or-equal (1-bit result).
+    Ge,
+}
+
+impl BinOp {
+    /// Whether the operator yields a 1-bit (boolean) result.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// A side-effect-free expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// An unsigned constant of the given bit width.
+    Const {
+        /// Value (must fit in `width` bits).
+        value: u64,
+        /// Bit width (1..=64).
+        width: u32,
+    },
+    /// A scalar variable read.
+    Var(VarId),
+    /// An array element read: `array[index]` (out-of-range reads yield 0,
+    /// a common hardware-memory convention).
+    Index {
+        /// The array variable.
+        array: VarId,
+        /// Element index expression.
+        index: Box<Expr>,
+    },
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        arg: Box<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A 2:1 word multiplexer: `cond ? then_ : else_` (cond is 1-bit).
+    Mux {
+        /// 1-bit selector.
+        cond: Box<Expr>,
+        /// Value when the selector is 1.
+        then_: Box<Expr>,
+        /// Value when the selector is 0.
+        else_: Box<Expr>,
+    },
+}
+
+#[allow(clippy::should_implement_trait)] // the builder API mirrors operator
+// names (`Expr::add`, `Expr::not`, …) deliberately; these are constructors
+// taking two expression trees, not operator overloads.
+impl Expr {
+    /// A constant of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is 0, exceeds 64, or cannot hold `value`.
+    pub fn constant(value: u64, width: u32) -> Expr {
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "constant {value} does not fit in {width} bits"
+        );
+        Expr::Const { value, width }
+    }
+
+    /// A variable read.
+    pub fn var(v: VarId) -> Expr {
+        Expr::Var(v)
+    }
+
+    /// An array element read.
+    pub fn index(array: VarId, index: Expr) -> Expr {
+        Expr::Index {
+            array,
+            index: Box::new(index),
+        }
+    }
+
+    fn unary(op: UnaryOp, arg: Expr) -> Expr {
+        Expr::Unary {
+            op,
+            arg: Box::new(arg),
+        }
+    }
+
+    fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Bitwise complement.
+    pub fn not(arg: Expr) -> Expr {
+        Expr::unary(UnaryOp::Not, arg)
+    }
+
+    /// Two's-complement negation.
+    pub fn neg(arg: Expr) -> Expr {
+        Expr::unary(UnaryOp::Neg, arg)
+    }
+
+    /// Wrapping addition.
+    pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Add, lhs, rhs)
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Sub, lhs, rhs)
+    }
+
+    /// Wrapping multiplication.
+    pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Mul, lhs, rhs)
+    }
+
+    /// Unsigned division.
+    pub fn div(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Div, lhs, rhs)
+    }
+
+    /// Unsigned remainder.
+    pub fn rem(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Rem, lhs, rhs)
+    }
+
+    /// Bitwise and.
+    pub fn and(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::And, lhs, rhs)
+    }
+
+    /// Bitwise or.
+    pub fn or(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Or, lhs, rhs)
+    }
+
+    /// Bitwise xor.
+    pub fn xor(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Xor, lhs, rhs)
+    }
+
+    /// Logical shift left.
+    pub fn shl(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Shl, lhs, rhs)
+    }
+
+    /// Logical shift right.
+    pub fn shr(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Shr, lhs, rhs)
+    }
+
+    /// Equality test.
+    pub fn eq(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Eq, lhs, rhs)
+    }
+
+    /// Inequality test.
+    pub fn ne(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Ne, lhs, rhs)
+    }
+
+    /// Unsigned less-than.
+    pub fn lt(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Lt, lhs, rhs)
+    }
+
+    /// Unsigned less-or-equal.
+    pub fn le(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Le, lhs, rhs)
+    }
+
+    /// Unsigned greater-than.
+    pub fn gt(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Gt, lhs, rhs)
+    }
+
+    /// Unsigned greater-or-equal.
+    pub fn ge(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Ge, lhs, rhs)
+    }
+
+    /// Word multiplexer `cond ? then_ : else_`.
+    pub fn mux(cond: Expr, then_: Expr, else_: Expr) -> Expr {
+        Expr::Mux {
+            cond: Box::new(cond),
+            then_: Box::new(then_),
+            else_: Box::new(else_),
+        }
+    }
+
+    /// Collects every comparison sub-expression — the atomic conditions used
+    /// by the condition-coverage metric.
+    pub fn atomic_conditions(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        self.collect_conditions(&mut out);
+        out
+    }
+
+    fn collect_conditions<'a>(&'a self, out: &mut Vec<&'a Expr>) {
+        match self {
+            Expr::Binary { op, lhs, rhs } => {
+                if op.is_comparison() {
+                    out.push(self);
+                }
+                lhs.collect_conditions(out);
+                rhs.collect_conditions(out);
+            }
+            Expr::Unary { arg, .. } => arg.collect_conditions(out),
+            Expr::Index { index, .. } => index.collect_conditions(out),
+            Expr::Mux { cond, then_, else_ } => {
+                cond.collect_conditions(out);
+                then_.collect_conditions(out);
+                else_.collect_conditions(out);
+            }
+            Expr::Const { .. } | Expr::Var(_) => {}
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const { value, width } => write!(f, "{value}u{width}"),
+            Expr::Var(v) => write!(f, "v{}", v.index()),
+            Expr::Index { array, index } => write!(f, "v{}[{index}]", array.index()),
+            Expr::Unary { op, arg } => match op {
+                UnaryOp::Not => write!(f, "~({arg})"),
+                UnaryOp::Neg => write!(f, "-({arg})"),
+            },
+            Expr::Binary { op, lhs, rhs } => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Rem => "%",
+                    BinOp::And => "&",
+                    BinOp::Or => "|",
+                    BinOp::Xor => "^",
+                    BinOp::Shl => "<<",
+                    BinOp::Shr => ">>",
+                    BinOp::Eq => "==",
+                    BinOp::Ne => "!=",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                };
+                write!(f, "({lhs} {sym} {rhs})")
+            }
+            Expr::Mux { cond, then_, else_ } => write!(f, "({cond} ? {then_} : {else_})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::VarId;
+
+    #[test]
+    fn constant_validation() {
+        let c = Expr::constant(255, 8);
+        assert_eq!(
+            c,
+            Expr::Const {
+                value: 255,
+                width: 8
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_constant_panics() {
+        let _ = Expr::constant(256, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be")]
+    fn zero_width_panics() {
+        let _ = Expr::constant(0, 0);
+    }
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(!BinOp::Shl.is_comparison());
+    }
+
+    #[test]
+    fn atomic_conditions_are_collected() {
+        let v = VarId::from_index(0);
+        let w = VarId::from_index(1);
+        // (v < w) & (v == 0u8)  has two atomic conditions.
+        let e = Expr::and(
+            Expr::lt(Expr::var(v), Expr::var(w)),
+            Expr::eq(Expr::var(v), Expr::constant(0, 8)),
+        );
+        assert_eq!(e.atomic_conditions().len(), 2);
+        // A plain arithmetic expression has none.
+        let a = Expr::add(Expr::var(v), Expr::var(w));
+        assert!(a.atomic_conditions().is_empty());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = VarId::from_index(0);
+        let e = Expr::add(Expr::var(v), Expr::constant(1, 8));
+        assert_eq!(e.to_string(), "(v0 + 1u8)");
+    }
+}

@@ -1,0 +1,555 @@
+//! Functions, variables and the construction API.
+
+use crate::expr::Expr;
+use crate::stmt::{CondId, ConfigId, Stmt, StmtId};
+
+/// Identifier of a variable within one [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(u32);
+
+impl VarId {
+    /// Creates an id from a raw index (mainly for tests and tools).
+    pub fn from_index(index: usize) -> Self {
+        VarId(index as u32)
+    }
+
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Storage class of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Function parameter (bound by the caller).
+    Param,
+    /// Scalar local, initially 0.
+    Local,
+    /// Array local with the given element count, initially uninitialized
+    /// (reads before writes are recorded by the interpreter — the
+    /// memory-inspection capability the paper attributes to Laerte++).
+    Array {
+        /// Number of elements.
+        len: u32,
+    },
+}
+
+/// Declaration of one variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Variable name (for reports and traces).
+    pub name: String,
+    /// Element bit-width (1..=64).
+    pub width: u32,
+    /// Storage class.
+    pub kind: VarKind,
+}
+
+/// A behavioural function: declarations plus a structured statement body.
+///
+/// Construct via [`FunctionBuilder`]; construction assigns dense
+/// [`StmtId`]s/[`CondId`]s used by the coverage metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    name: String,
+    vars: Vec<VarDecl>,
+    num_params: usize,
+    ret_width: u32,
+    body: Vec<Stmt>,
+    num_statements: u32,
+    num_conditions: u32,
+}
+
+impl Function {
+    /// The function name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All variable declarations (parameters first).
+    pub fn vars(&self) -> &[VarDecl] {
+        &self.vars
+    }
+
+    /// Declaration of one variable.
+    pub fn var(&self, v: VarId) -> &VarDecl {
+        &self.vars[v.index()]
+    }
+
+    /// Number of parameters (the first `num_params` variables).
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// Parameter ids in order.
+    pub fn params(&self) -> Vec<VarId> {
+        (0..self.num_params).map(VarId::from_index).collect()
+    }
+
+    /// Bit width of the return value.
+    pub fn ret_width(&self) -> u32 {
+        self.ret_width
+    }
+
+    /// The statement body.
+    pub fn body(&self) -> &[Stmt] {
+        &self.body
+    }
+
+    /// Total number of statements (dense id space for coverage).
+    pub fn num_statements(&self) -> u32 {
+        self.num_statements
+    }
+
+    /// Total number of branching conditions.
+    pub fn num_conditions(&self) -> u32 {
+        self.num_conditions
+    }
+
+    /// Looks a variable up by name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(VarId::from_index)
+    }
+
+    /// Visits every statement in the body, depth-first.
+    pub fn visit_stmts<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        for s in &self.body {
+            s.visit(f);
+        }
+    }
+
+    /// Rebuilds a function from transformed parts, re-running statement and
+    /// condition numbering. This is the back door for program
+    /// transformations (loop unrolling, fault injection, coverage probes):
+    /// statement ids in `body` may be placeholders; they are renumbered
+    /// densely here.
+    pub fn rebuild(
+        name: String,
+        vars: Vec<VarDecl>,
+        num_params: usize,
+        ret_width: u32,
+        body: Vec<Stmt>,
+    ) -> Function {
+        Function::from_parts(name, vars, num_params, ret_width, body)
+    }
+
+    /// Rebuilds a function from transformed parts, re-running statement and
+    /// condition numbering (used by [`crate::unroll`]).
+    pub(crate) fn from_parts(
+        name: String,
+        vars: Vec<VarDecl>,
+        num_params: usize,
+        ret_width: u32,
+        mut body: Vec<Stmt>,
+    ) -> Function {
+        let mut next_stmt = 0u32;
+        let mut next_cond = 0u32;
+        number_block(&mut body, &mut next_stmt, &mut next_cond);
+        Function {
+            name,
+            vars,
+            num_params,
+            ret_width,
+            body,
+            num_statements: next_stmt,
+            num_conditions: next_cond,
+        }
+    }
+}
+
+/// Builds the statement list of one block (function body, branch arm or
+/// loop body). Obtained from [`FunctionBuilder`] methods taking closures.
+pub struct BlockBuilder<'a> {
+    vars: &'a mut Vec<VarDecl>,
+    stmts: &'a mut Vec<Stmt>,
+}
+
+impl<'a> BlockBuilder<'a> {
+    /// Declares a scalar local (visible from here on; initial value 0).
+    pub fn local(&mut self, name: &str, width: u32) -> VarId {
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        self.vars.push(VarDecl {
+            name: name.to_owned(),
+            width,
+            kind: VarKind::Local,
+        });
+        VarId((self.vars.len() - 1) as u32)
+    }
+
+    /// Declares an array local of `len` elements of `width` bits.
+    pub fn array(&mut self, name: &str, width: u32, len: u32) -> VarId {
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        assert!(len > 0, "array must have at least one element");
+        self.vars.push(VarDecl {
+            name: name.to_owned(),
+            width,
+            kind: VarKind::Array { len },
+        });
+        VarId((self.vars.len() - 1) as u32)
+    }
+
+    /// Appends `target = value`.
+    pub fn assign(&mut self, target: VarId, value: Expr) {
+        self.stmts.push(Stmt::Assign {
+            id: StmtId(0),
+            target,
+            value,
+        });
+    }
+
+    /// Appends `array[index] = value`.
+    pub fn store(&mut self, array: VarId, index: Expr, value: Expr) {
+        self.stmts.push(Stmt::Store {
+            id: StmtId(0),
+            array,
+            index,
+            value,
+        });
+    }
+
+    /// Appends a two-armed conditional built by the closures.
+    pub fn if_else(
+        &mut self,
+        cond: Expr,
+        then_f: impl FnOnce(&mut BlockBuilder<'_>),
+        else_f: impl FnOnce(&mut BlockBuilder<'_>),
+    ) {
+        let mut then_ = Vec::new();
+        then_f(&mut BlockBuilder {
+            vars: self.vars,
+            stmts: &mut then_,
+        });
+        let mut else_ = Vec::new();
+        else_f(&mut BlockBuilder {
+            vars: self.vars,
+            stmts: &mut else_,
+        });
+        self.stmts.push(Stmt::If {
+            id: StmtId(0),
+            cond_id: CondId(0),
+            cond,
+            then_,
+            else_,
+        });
+    }
+
+    /// Appends a conditional with an empty else arm.
+    pub fn if_(&mut self, cond: Expr, then_f: impl FnOnce(&mut BlockBuilder<'_>)) {
+        self.if_else(cond, then_f, |_| {});
+    }
+
+    /// Appends a pre-tested loop built by the closure.
+    pub fn while_(&mut self, cond: Expr, body_f: impl FnOnce(&mut BlockBuilder<'_>)) {
+        let mut body = Vec::new();
+        body_f(&mut BlockBuilder {
+            vars: self.vars,
+            stmts: &mut body,
+        });
+        self.stmts.push(Stmt::While {
+            id: StmtId(0),
+            cond_id: CondId(0),
+            cond,
+            body,
+        });
+    }
+
+    /// Appends `return value`.
+    pub fn ret(&mut self, value: Expr) {
+        self.stmts.push(Stmt::Return {
+            id: StmtId(0),
+            value: Some(value),
+        });
+    }
+
+    /// Appends a value-less return.
+    pub fn ret_void(&mut self) {
+        self.stmts.push(Stmt::Return {
+            id: StmtId(0),
+            value: None,
+        });
+    }
+
+    /// Appends a level-3 `reconfigure(config)` instrumentation call.
+    pub fn reconfigure(&mut self, config: ConfigId) {
+        self.stmts.push(Stmt::Reconfigure {
+            id: StmtId(0),
+            config,
+        });
+    }
+
+    /// Appends a level-3 FPGA resource call.
+    pub fn resource_call(&mut self, func: &str, args: Vec<Expr>, target: Option<VarId>) {
+        self.stmts.push(Stmt::ResourceCall {
+            id: StmtId(0),
+            func: func.to_owned(),
+            args,
+            target,
+        });
+    }
+}
+
+/// Builds a [`Function`]: declare parameters, emit the body with the
+/// [`BlockBuilder`] API (available directly on the function builder), then
+/// [`build`](FunctionBuilder::build).
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    ret_width: u32,
+    vars: Vec<VarDecl>,
+    num_params: usize,
+    body: Vec<Stmt>,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with the given name and return bit-width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ret_width` is not in `1..=64`.
+    pub fn new(name: &str, ret_width: u32) -> Self {
+        assert!((1..=64).contains(&ret_width), "width must be in 1..=64");
+        FunctionBuilder {
+            name: name.to_owned(),
+            ret_width,
+            vars: Vec::new(),
+            num_params: 0,
+            body: Vec::new(),
+        }
+    }
+
+    /// Declares the next parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after any local has been declared (parameters must
+    /// occupy the leading variable slots) or if the width is invalid.
+    pub fn param(&mut self, name: &str, width: u32) -> VarId {
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        assert_eq!(
+            self.vars.len(),
+            self.num_params,
+            "parameters must be declared before locals"
+        );
+        self.vars.push(VarDecl {
+            name: name.to_owned(),
+            width,
+            kind: VarKind::Param,
+        });
+        self.num_params += 1;
+        VarId((self.vars.len() - 1) as u32)
+    }
+
+    fn block(&mut self) -> BlockBuilder<'_> {
+        BlockBuilder {
+            vars: &mut self.vars,
+            stmts: &mut self.body,
+        }
+    }
+
+    /// Declares a scalar local. See [`BlockBuilder::local`].
+    pub fn local(&mut self, name: &str, width: u32) -> VarId {
+        self.block().local(name, width)
+    }
+
+    /// Declares an array local. See [`BlockBuilder::array`].
+    pub fn array(&mut self, name: &str, width: u32, len: u32) -> VarId {
+        self.block().array(name, width, len)
+    }
+
+    /// Appends an assignment. See [`BlockBuilder::assign`].
+    pub fn assign(&mut self, target: VarId, value: Expr) {
+        self.block().assign(target, value);
+    }
+
+    /// Appends an array store. See [`BlockBuilder::store`].
+    pub fn store(&mut self, array: VarId, index: Expr, value: Expr) {
+        self.block().store(array, index, value);
+    }
+
+    /// Appends a two-armed conditional. See [`BlockBuilder::if_else`].
+    pub fn if_else(
+        &mut self,
+        cond: Expr,
+        then_f: impl FnOnce(&mut BlockBuilder<'_>),
+        else_f: impl FnOnce(&mut BlockBuilder<'_>),
+    ) {
+        self.block().if_else(cond, then_f, else_f);
+    }
+
+    /// Appends a one-armed conditional. See [`BlockBuilder::if_`].
+    pub fn if_(&mut self, cond: Expr, then_f: impl FnOnce(&mut BlockBuilder<'_>)) {
+        self.block().if_(cond, then_f);
+    }
+
+    /// Appends a loop. See [`BlockBuilder::while_`].
+    pub fn while_(&mut self, cond: Expr, body_f: impl FnOnce(&mut BlockBuilder<'_>)) {
+        self.block().while_(cond, body_f);
+    }
+
+    /// Appends `return value`.
+    pub fn ret(&mut self, value: Expr) {
+        self.block().ret(value);
+    }
+
+    /// Appends a value-less return.
+    pub fn ret_void(&mut self) {
+        self.block().ret_void();
+    }
+
+    /// Appends a reconfiguration call.
+    pub fn reconfigure(&mut self, config: ConfigId) {
+        self.block().reconfigure(config);
+    }
+
+    /// Appends an FPGA resource call.
+    pub fn resource_call(&mut self, func: &str, args: Vec<Expr>, target: Option<VarId>) {
+        self.block().resource_call(func, args, target);
+    }
+
+    /// Finalizes the function, assigning dense statement and condition ids.
+    pub fn build(self) -> Function {
+        let mut body = self.body;
+        let mut next_stmt = 0u32;
+        let mut next_cond = 0u32;
+        number_block(&mut body, &mut next_stmt, &mut next_cond);
+        Function {
+            name: self.name,
+            vars: self.vars,
+            num_params: self.num_params,
+            ret_width: self.ret_width,
+            body,
+            num_statements: next_stmt,
+            num_conditions: next_cond,
+        }
+    }
+}
+
+fn number_block(stmts: &mut [Stmt], next_stmt: &mut u32, next_cond: &mut u32) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { id, .. }
+            | Stmt::Store { id, .. }
+            | Stmt::Return { id, .. }
+            | Stmt::Reconfigure { id, .. }
+            | Stmt::ResourceCall { id, .. } => {
+                *id = StmtId(*next_stmt);
+                *next_stmt += 1;
+            }
+            Stmt::If {
+                id,
+                cond_id,
+                then_,
+                else_,
+                ..
+            } => {
+                *id = StmtId(*next_stmt);
+                *next_stmt += 1;
+                *cond_id = CondId(*next_cond);
+                *next_cond += 1;
+                number_block(then_, next_stmt, next_cond);
+                number_block(else_, next_stmt, next_cond);
+            }
+            Stmt::While {
+                id, cond_id, body, ..
+            } => {
+                *id = StmtId(*next_stmt);
+                *next_stmt += 1;
+                *cond_id = CondId(*next_cond);
+                *next_cond += 1;
+                number_block(body, next_stmt, next_cond);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_numbers_statements_densely() {
+        let mut fb = FunctionBuilder::new("f", 8);
+        let a = fb.param("a", 8);
+        let x = fb.local("x", 8);
+        fb.assign(x, Expr::var(a));
+        fb.if_else(
+            Expr::lt(Expr::var(x), Expr::constant(10, 8)),
+            |t| t.assign(x, Expr::constant(1, 8)),
+            |e| e.assign(x, Expr::constant(2, 8)),
+        );
+        fb.ret(Expr::var(x));
+        let f = fb.build();
+        assert_eq!(f.num_statements(), 5); // assign, if, 2 arms, return
+        assert_eq!(f.num_conditions(), 1);
+        let mut ids = Vec::new();
+        f.visit_stmts(&mut |s| ids.push(s.id().index()));
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn params_precede_locals() {
+        let mut fb = FunctionBuilder::new("f", 8);
+        let a = fb.param("a", 8);
+        let b = fb.param("b", 16);
+        let x = fb.local("x", 32);
+        let f = {
+            let mut fb = fb;
+            fb.ret(Expr::var(a));
+            fb.build()
+        };
+        assert_eq!(f.num_params(), 2);
+        assert_eq!(f.params(), vec![a, b]);
+        assert_eq!(f.var(x).width, 32);
+        assert_eq!(f.var(a).kind, VarKind::Param);
+        assert_eq!(f.var(x).kind, VarKind::Local);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameters must be declared before locals")]
+    fn late_param_panics() {
+        let mut fb = FunctionBuilder::new("f", 8);
+        fb.local("x", 8);
+        fb.param("a", 8);
+    }
+
+    #[test]
+    fn var_lookup_by_name() {
+        let mut fb = FunctionBuilder::new("f", 8);
+        let a = fb.param("alpha", 8);
+        fb.ret(Expr::var(a));
+        let f = fb.build();
+        assert_eq!(f.var_by_name("alpha"), Some(a));
+        assert_eq!(f.var_by_name("beta"), None);
+    }
+
+    #[test]
+    fn arrays_carry_length() {
+        let mut fb = FunctionBuilder::new("f", 8);
+        let arr = fb.array("buf", 8, 16);
+        fb.ret(Expr::constant(0, 8));
+        let f = fb.build();
+        assert_eq!(f.var(arr).kind, VarKind::Array { len: 16 });
+    }
+
+    #[test]
+    fn nested_loops_and_branches_number_correctly() {
+        let mut fb = FunctionBuilder::new("f", 8);
+        let i = fb.local("i", 8);
+        fb.while_(Expr::lt(Expr::var(i), Expr::constant(4, 8)), |b| {
+            b.if_(Expr::eq(Expr::var(i), Expr::constant(2, 8)), |t| {
+                t.assign(i, Expr::constant(4, 8));
+            });
+            b.assign(i, Expr::add(Expr::var(i), Expr::constant(1, 8)));
+        });
+        fb.ret(Expr::var(i));
+        let f = fb.build();
+        assert_eq!(f.num_conditions(), 2); // while + if
+        assert_eq!(f.num_statements(), 5); // while, if, inner assign, incr, ret
+    }
+}

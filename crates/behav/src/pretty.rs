@@ -1,0 +1,277 @@
+//! Pretty-printing of behavioural functions.
+//!
+//! Counterexamples, SymbC violation reports and documentation all need a
+//! readable rendering of the IR; this module prints a function in a
+//! C-flavoured concrete syntax with variable *names* (not ids), statement
+//! ids as optional margin comments, and stable formatting (the output is
+//! deterministic, so it can be snapshot-tested).
+
+use crate::expr::Expr;
+use crate::func::{Function, VarKind};
+use crate::stmt::Stmt;
+use std::fmt::Write as _;
+
+/// Renders `func` as readable pseudo-C.
+///
+/// With `with_ids`, every statement line carries its [`crate::StmtId`] as a
+/// trailing comment — the ids SymbC violations and coverage reports refer
+/// to.
+pub fn function_to_string(func: &Function, with_ids: bool) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = func
+        .params()
+        .iter()
+        .map(|&p| {
+            let d = func.var(p);
+            format!("u{} {}", d.width, d.name)
+        })
+        .collect();
+    let _ = writeln!(
+        out,
+        "fn {}({}) -> u{} {{",
+        func.name(),
+        params.join(", "),
+        func.ret_width()
+    );
+    // Locals, declared up front like the builder sees them.
+    for (i, d) in func.vars().iter().enumerate().skip(func.num_params()) {
+        let _ = i;
+        match d.kind {
+            VarKind::Local => {
+                let _ = writeln!(out, "  let {}: u{};", d.name, d.width);
+            }
+            VarKind::Array { len } => {
+                let _ = writeln!(out, "  let {}: [u{}; {}];", d.name, d.width, len);
+            }
+            VarKind::Param => {}
+        }
+    }
+    print_block(&mut out, func, func.body(), 1, with_ids);
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn id_comment(s: &Stmt, with_ids: bool) -> String {
+    if with_ids {
+        format!("  // s{}", s.id().index())
+    } else {
+        String::new()
+    }
+}
+
+fn expr_str(func: &Function, e: &Expr) -> String {
+    // Reuse the Display impl but substitute variable names for v<N>.
+    let raw = e.to_string();
+    substitute_names(func, &raw)
+}
+
+fn substitute_names(func: &Function, raw: &str) -> String {
+    // Replace longest indices first so v12 is not clobbered by v1.
+    let mut s = raw.to_owned();
+    let mut ids: Vec<usize> = (0..func.vars().len()).collect();
+    ids.sort_by_key(|&i| std::cmp::Reverse(i));
+    for i in ids {
+        let name = &func.vars()[i].name;
+        s = s.replace(&format!("v{i}["), &format!("{name}["));
+        s = s.replace(&format!("v{i}"), name);
+    }
+    s
+}
+
+fn print_block(out: &mut String, func: &Function, stmts: &[Stmt], depth: usize, with_ids: bool) {
+    for s in stmts {
+        match s {
+            Stmt::Assign { target, value, .. } => {
+                indent(out, depth);
+                let _ = writeln!(
+                    out,
+                    "{} = {};{}",
+                    func.var(*target).name,
+                    expr_str(func, value),
+                    id_comment(s, with_ids)
+                );
+            }
+            Stmt::Store {
+                array,
+                index,
+                value,
+                ..
+            } => {
+                indent(out, depth);
+                let _ = writeln!(
+                    out,
+                    "{}[{}] = {};{}",
+                    func.var(*array).name,
+                    expr_str(func, index),
+                    expr_str(func, value),
+                    id_comment(s, with_ids)
+                );
+            }
+            Stmt::If {
+                cond, then_, else_, ..
+            } => {
+                indent(out, depth);
+                let _ = writeln!(
+                    out,
+                    "if {} {{{}",
+                    expr_str(func, cond),
+                    id_comment(s, with_ids)
+                );
+                print_block(out, func, then_, depth + 1, with_ids);
+                if !else_.is_empty() {
+                    indent(out, depth);
+                    let _ = writeln!(out, "}} else {{");
+                    print_block(out, func, else_, depth + 1, with_ids);
+                }
+                indent(out, depth);
+                let _ = writeln!(out, "}}");
+            }
+            Stmt::While { cond, body, .. } => {
+                indent(out, depth);
+                let _ = writeln!(
+                    out,
+                    "while {} {{{}",
+                    expr_str(func, cond),
+                    id_comment(s, with_ids)
+                );
+                print_block(out, func, body, depth + 1, with_ids);
+                indent(out, depth);
+                let _ = writeln!(out, "}}");
+            }
+            Stmt::Return { value, .. } => {
+                indent(out, depth);
+                match value {
+                    Some(v) => {
+                        let _ = writeln!(
+                            out,
+                            "return {};{}",
+                            expr_str(func, v),
+                            id_comment(s, with_ids)
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "return;{}", id_comment(s, with_ids));
+                    }
+                }
+            }
+            Stmt::Reconfigure { config, .. } => {
+                indent(out, depth);
+                let _ = writeln!(
+                    out,
+                    "reconfigure(config{});{}",
+                    config.index() + 1,
+                    id_comment(s, with_ids)
+                );
+            }
+            Stmt::ResourceCall {
+                func: fname,
+                args,
+                target,
+                ..
+            } => {
+                indent(out, depth);
+                let args_s: Vec<String> = args.iter().map(|a| expr_str(func, a)).collect();
+                match target {
+                    Some(t) => {
+                        let _ = writeln!(
+                            out,
+                            "{} = fpga::{}({});{}",
+                            func.var(*t).name,
+                            fname,
+                            args_s.join(", "),
+                            id_comment(s, with_ids)
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "fpga::{}({});{}",
+                            fname,
+                            args_s.join(", "),
+                            id_comment(s, with_ids)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::FunctionBuilder;
+    use crate::stmt::ConfigId;
+
+    fn sample() -> Function {
+        let mut fb = FunctionBuilder::new("demo", 16);
+        let n = fb.param("n", 8);
+        let acc = fb.local("acc", 16);
+        let buf = fb.array("buf", 16, 4);
+        fb.store(buf, Expr::constant(0, 8), Expr::constant(7, 16));
+        fb.reconfigure(ConfigId(0));
+        fb.while_(Expr::lt(Expr::var(acc), Expr::var(n)), |b| {
+            b.resource_call("distance", vec![Expr::var(acc)], Some(acc));
+        });
+        fb.if_else(
+            Expr::eq(Expr::var(n), Expr::constant(0, 8)),
+            |t| t.ret(Expr::constant(0, 16)),
+            |e| e.ret(Expr::index(buf, Expr::constant(0, 8))),
+        );
+        fb.build()
+    }
+
+    #[test]
+    fn renders_all_statement_kinds() {
+        let f = sample();
+        let text = function_to_string(&f, false);
+        assert!(text.contains("fn demo(u8 n) -> u16 {"));
+        assert!(text.contains("let acc: u16;"));
+        assert!(text.contains("let buf: [u16; 4];"));
+        assert!(text.contains("buf[0u8] = 7u16;"));
+        assert!(text.contains("reconfigure(config1);"));
+        assert!(text.contains("while (acc < n) {"));
+        assert!(text.contains("acc = fpga::distance(acc);"));
+        assert!(text.contains("if (n == 0u8) {"));
+        assert!(text.contains("} else {"));
+        assert!(text.contains("return buf[0u8];"));
+    }
+
+    #[test]
+    fn ids_appear_when_requested() {
+        let f = sample();
+        let with = function_to_string(&f, true);
+        let without = function_to_string(&f, false);
+        assert!(with.contains("// s0"));
+        assert!(!without.contains("// s0"));
+    }
+
+    #[test]
+    fn name_substitution_handles_double_digits() {
+        let mut fb = FunctionBuilder::new("many", 8);
+        let mut last = fb.param("p", 8);
+        for i in 0..12 {
+            let v = fb.local(&format!("local{i}"), 8);
+            fb.assign(v, Expr::var(last));
+            last = v;
+        }
+        fb.ret(Expr::var(last));
+        let f = fb.build();
+        let text = function_to_string(&f, false);
+        // v11 must render as local10, never as "local1" + stray "1".
+        assert!(text.contains("return local11;"));
+        assert!(!text.contains('v'), "raw variable ids leaked: {text}");
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let f = sample();
+        assert_eq!(function_to_string(&f, true), function_to_string(&f, true));
+    }
+}

@@ -1,0 +1,196 @@
+//! Structured statements.
+
+use crate::expr::Expr;
+use crate::func::VarId;
+
+/// Identifier of a statement (assigned by [`crate::Function`] numbering;
+/// the unit of statement coverage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StmtId(pub(crate) u32);
+
+impl StmtId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// A placeholder id for statements built by program transformations;
+    /// replaced by the dense numbering that [`crate::Function::rebuild`]
+    /// performs.
+    pub fn placeholder() -> Self {
+        StmtId(0)
+    }
+}
+
+/// Identifier of a branching condition (unit of branch coverage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CondId(pub(crate) u32);
+
+impl CondId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of an FPGA configuration (context), e.g. the paper's
+/// `config1` / `config2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConfigId(pub u32);
+
+impl ConfigId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A structured statement.
+///
+/// `id` fields are assigned during [`crate::Function`] construction and are
+/// dense (0..num_statements); `cond` ids are likewise dense per function.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Scalar assignment `target = value`.
+    Assign {
+        /// Statement id (coverage point).
+        id: StmtId,
+        /// Assigned variable.
+        target: VarId,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// Array element store `array[index] = value`. Out-of-range stores are
+    /// ignored (hardware-memory convention, keeps the semantics total).
+    Store {
+        /// Statement id (coverage point).
+        id: StmtId,
+        /// Target array variable.
+        array: VarId,
+        /// Element index.
+        index: Expr,
+        /// Stored value.
+        value: Expr,
+    },
+    /// Two-armed conditional.
+    If {
+        /// Statement id (coverage point).
+        id: StmtId,
+        /// Branch-coverage id for the condition.
+        cond_id: CondId,
+        /// 1-bit condition.
+        cond: Expr,
+        /// Taken when the condition is non-zero.
+        then_: Vec<Stmt>,
+        /// Taken when the condition is zero (may be empty).
+        else_: Vec<Stmt>,
+    },
+    /// Pre-tested loop.
+    While {
+        /// Statement id (coverage point).
+        id: StmtId,
+        /// Branch-coverage id for the condition.
+        cond_id: CondId,
+        /// 1-bit condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Return from the function with an optional value.
+    Return {
+        /// Statement id (coverage point).
+        id: StmtId,
+        /// Returned value, if the function returns one.
+        value: Option<Expr>,
+    },
+    /// Level-3 instrumentation: load the given FPGA configuration.
+    /// Semantically a no-op for dataflow; tracked by the interpreter and
+    /// verified by SymbC.
+    Reconfigure {
+        /// Statement id (coverage point).
+        id: StmtId,
+        /// Configuration to download.
+        config: ConfigId,
+    },
+    /// Level-3 instrumentation: invoke a hardware resource `func` that must
+    /// currently be loaded in the FPGA, assigning its (opaque) result to
+    /// `target` if present.
+    ResourceCall {
+        /// Statement id (coverage point).
+        id: StmtId,
+        /// Name of the FPGA-resident function.
+        func: String,
+        /// Argument expressions (evaluated, recorded in the call trace).
+        args: Vec<Expr>,
+        /// Optional result target.
+        target: Option<VarId>,
+    },
+}
+
+impl Stmt {
+    /// The statement's coverage id.
+    pub fn id(&self) -> StmtId {
+        match self {
+            Stmt::Assign { id, .. }
+            | Stmt::Store { id, .. }
+            | Stmt::If { id, .. }
+            | Stmt::While { id, .. }
+            | Stmt::Return { id, .. }
+            | Stmt::Reconfigure { id, .. }
+            | Stmt::ResourceCall { id, .. } => *id,
+        }
+    }
+
+    /// Visits this statement and all nested statements, depth-first.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        f(self);
+        match self {
+            Stmt::If { then_, else_, .. } => {
+                for s in then_ {
+                    s.visit(f);
+                }
+                for s in else_ {
+                    s.visit(f);
+                }
+            }
+            Stmt::While { body, .. } => {
+                for s in body {
+                    s.visit(f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::func::VarId;
+
+    #[test]
+    fn visit_reaches_nested_statements() {
+        let v = VarId::from_index(0);
+        let inner = Stmt::Assign {
+            id: StmtId(1),
+            target: v,
+            value: Expr::constant(1, 8),
+        };
+        let outer = Stmt::If {
+            id: StmtId(0),
+            cond_id: CondId(0),
+            cond: Expr::constant(1, 1),
+            then_: vec![inner],
+            else_: vec![],
+        };
+        let mut ids = Vec::new();
+        outer.visit(&mut |s| ids.push(s.id()));
+        assert_eq!(ids, vec![StmtId(0), StmtId(1)]);
+    }
+
+    #[test]
+    fn config_id_index() {
+        assert_eq!(ConfigId(2).index(), 2);
+    }
+}

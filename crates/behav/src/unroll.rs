@@ -1,0 +1,185 @@
+//! Bounded loop unrolling.
+//!
+//! Level 4 of the flow synthesizes behavioural kernels to RTL. The
+//! synthesis path (`hdl::synth`) accepts only loop-free bodies, so loops
+//! are first unrolled to a bound: `while c { B }` becomes `k` nested
+//! `if c { B … }` copies. The transform is semantics-preserving for every
+//! execution whose loop iterates at most `k` times; the caller picks `k`
+//! from the loop's static trip bound (e.g. the bit width for the
+//! non-restoring square root used by the ROOT module).
+
+use crate::func::Function;
+use crate::stmt::{CondId, Stmt, StmtId};
+
+/// Unrolls every loop in `func` `bound` times, producing a loop-free
+/// function with freshly numbered statements.
+///
+/// Executions that would iterate any loop more than `bound` times silently
+/// behave as if the loop exited early — callers must choose `bound` at
+/// least as large as the loop's trip count (checked in practice by the
+/// equivalence tests between the unrolled/synthesized artifact and the
+/// original).
+pub fn unroll(func: &Function, bound: u32) -> Function {
+    let body = unroll_block(func.body(), bound);
+    Function::from_parts(
+        format!("{}_unrolled", func.name()),
+        func.vars().to_vec(),
+        func.num_params(),
+        func.ret_width(),
+        body,
+    )
+}
+
+fn unroll_block(stmts: &[Stmt], bound: u32) -> Vec<Stmt> {
+    stmts.iter().map(|s| unroll_stmt(s, bound)).collect()
+}
+
+fn unroll_stmt(s: &Stmt, bound: u32) -> Stmt {
+    match s {
+        Stmt::While { cond, body, .. } => {
+            // Innermost copy first: if c { B }.
+            let unrolled_body = unroll_block(body, bound);
+            let mut acc: Vec<Stmt> = Vec::new();
+            for _ in 0..bound {
+                let mut then_ = unrolled_body.clone();
+                then_.extend(acc);
+                acc = vec![Stmt::If {
+                    id: StmtId(0),
+                    cond_id: CondId(0),
+                    cond: cond.clone(),
+                    then_,
+                    else_: Vec::new(),
+                }];
+            }
+            match acc.into_iter().next() {
+                Some(stmt) => stmt,
+                // bound == 0: the loop is removed entirely.
+                None => Stmt::If {
+                    id: StmtId(0),
+                    cond_id: CondId(0),
+                    cond: cond.clone(),
+                    then_: Vec::new(),
+                    else_: Vec::new(),
+                },
+            }
+        }
+        Stmt::If {
+            cond, then_, else_, ..
+        } => Stmt::If {
+            id: StmtId(0),
+            cond_id: CondId(0),
+            cond: cond.clone(),
+            then_: unroll_block(then_, bound),
+            else_: unroll_block(else_, bound),
+        },
+        other => other.clone(),
+    }
+}
+
+/// Returns `true` when `func` contains no loops (i.e. is synthesizable).
+pub fn is_loop_free(func: &Function) -> bool {
+    let mut found = false;
+    func.visit_stmts(&mut |s| {
+        if matches!(s, Stmt::While { .. }) {
+            found = true;
+        }
+    });
+    !found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::func::FunctionBuilder;
+    use crate::interp::Interpreter;
+
+    /// sum(n) = 0 + 1 + … + (n-1), loop trip count = n ≤ 10.
+    fn sum_func() -> Function {
+        let mut fb = FunctionBuilder::new("sum", 16);
+        let n = fb.param("n", 16);
+        let i = fb.local("i", 16);
+        let acc = fb.local("acc", 16);
+        fb.while_(Expr::lt(Expr::var(i), Expr::var(n)), |b| {
+            b.assign(acc, Expr::add(Expr::var(acc), Expr::var(i)));
+            b.assign(i, Expr::add(Expr::var(i), Expr::constant(1, 16)));
+        });
+        fb.ret(Expr::var(acc));
+        fb.build()
+    }
+
+    #[test]
+    fn unrolled_function_is_loop_free() {
+        let f = sum_func();
+        assert!(!is_loop_free(&f));
+        let u = unroll(&f, 10);
+        assert!(is_loop_free(&u));
+        assert_eq!(u.name(), "sum_unrolled");
+    }
+
+    #[test]
+    fn unrolled_matches_original_within_bound() {
+        let f = sum_func();
+        let u = unroll(&f, 10);
+        for n in 0..=10u64 {
+            let a = Interpreter::new(&f).run(&[n]).unwrap().return_value;
+            let b = Interpreter::new(&u).run(&[n]).unwrap().return_value;
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn beyond_bound_the_loop_exits_early() {
+        let f = sum_func();
+        let u = unroll(&f, 3);
+        // n = 5 iterates 5 > 3 times: unrolled version sums only 0+1+2.
+        let b = Interpreter::new(&u).run(&[5]).unwrap().return_value;
+        assert_eq!(b, Some(3));
+    }
+
+    #[test]
+    fn zero_bound_removes_loop_body() {
+        let f = sum_func();
+        let u = unroll(&f, 0);
+        assert!(is_loop_free(&u));
+        let b = Interpreter::new(&u).run(&[5]).unwrap().return_value;
+        assert_eq!(b, Some(0));
+    }
+
+    #[test]
+    fn nested_loops_unroll() {
+        let mut fb = FunctionBuilder::new("nested", 16);
+        let i = fb.local("i", 16);
+        let acc = fb.local("acc", 16);
+        fb.while_(Expr::lt(Expr::var(i), Expr::constant(3, 16)), |outer| {
+            let j = outer.local("j", 16);
+            outer.assign(j, Expr::constant(0, 16));
+            outer.while_(Expr::lt(Expr::var(j), Expr::constant(2, 16)), |inner| {
+                inner.assign(acc, Expr::add(Expr::var(acc), Expr::constant(1, 16)));
+                inner.assign(j, Expr::add(Expr::var(j), Expr::constant(1, 16)));
+            });
+            outer.assign(i, Expr::add(Expr::var(i), Expr::constant(1, 16)));
+        });
+        fb.ret(Expr::var(acc));
+        let f = fb.build();
+        let u = unroll(&f, 4);
+        assert!(is_loop_free(&u));
+        assert_eq!(
+            Interpreter::new(&u).run(&[]).unwrap().return_value,
+            Some(6)
+        );
+    }
+
+    #[test]
+    fn renumbering_is_dense() {
+        let f = sum_func();
+        let u = unroll(&f, 4);
+        let mut ids = Vec::new();
+        u.visit_stmts(&mut |s| ids.push(s.id().index()));
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "ids are unique");
+        assert_eq!(sorted, (0..ids.len()).collect::<Vec<_>>());
+    }
+}

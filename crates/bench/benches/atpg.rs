@@ -1,0 +1,52 @@
+//! E4: ATPG engines and coverage metrics on the case-study kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn atpg_benches(c: &mut Criterion) {
+    let distance = media::kernels::distance_step_function();
+    let root = media::kernels::root_function();
+    let mut group = c.benchmark_group("atpg");
+    group.sample_size(10);
+    group.bench_function("random_tpg_distance", |b| {
+        b.iter(|| {
+            atpg::tpg::random_tpg(
+                black_box(&distance),
+                &atpg::tpg::RandomConfig { rounds: 128, seed: 7 },
+            )
+        })
+    });
+    group.bench_function("genetic_tpg_distance", |b| {
+        b.iter(|| {
+            atpg::tpg::genetic_tpg(
+                black_box(&distance),
+                &atpg::tpg::GaConfig {
+                    population: 16,
+                    vectors_per_individual: 4,
+                    generations: 10,
+                    mutation_per_mille: 60,
+                    tournament: 3,
+                    seed: 11,
+                },
+            )
+        })
+    });
+    group.bench_function("bit_coverage_fault_sim_root", |b| {
+        let tb = atpg::tpg::random_tpg(&root, &atpg::tpg::RandomConfig { rounds: 32, seed: 3 });
+        b.iter(|| atpg::metrics::bit_coverage(black_box(&root), black_box(&tb)))
+    });
+    group.bench_function("sat_branch_tpg_distance", |b| {
+        let mut cond = None;
+        distance.visit_stmts(&mut |s| {
+            if let behav::Stmt::If { cond_id, .. } = s {
+                cond.get_or_insert(*cond_id);
+            }
+        });
+        let cond = cond.expect("distance has a branch");
+        b.iter(|| atpg::formal::sat_branch_tpg(black_box(&distance), cond, true).expect("ok"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, atpg_benches);
+criterion_main!(benches);

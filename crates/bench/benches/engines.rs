@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the formal engines (SAT, BDD, simplex) — the
+//! substrate costs behind every verification experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn sat_pigeonhole(n_holes: usize) -> sat::SolveResult {
+    let pigeons = n_holes + 1;
+    let mut s = sat::Solver::new();
+    let mut x = vec![vec![]; pigeons];
+    for row in x.iter_mut() {
+        for _ in 0..n_holes {
+            row.push(s.new_var());
+        }
+    }
+    for row in &x {
+        s.add_clause(row.iter().map(|&v| sat::Lit::pos(v)));
+    }
+    for h in 0..n_holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                s.add_clause([sat::Lit::neg(x[p1][h]), sat::Lit::neg(x[p2][h])]);
+            }
+        }
+    }
+    s.solve()
+}
+
+fn engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(10);
+    group.bench_function("sat_pigeonhole_6", |b| {
+        b.iter(|| sat_pigeonhole(black_box(6)))
+    });
+    group.bench_function("bdd_16bit_adder_equivalence", |b| {
+        b.iter(|| {
+            let mut rtl = hdl::Rtl::new("add");
+            let x = rtl.input("x", 16);
+            let y = rtl.input("y", 16);
+            let s1 = rtl.binary(behav::BinOp::Add, x, y);
+            let s2 = rtl.binary(behav::BinOp::Add, y, x);
+            let ne = rtl.binary(behav::BinOp::Ne, s1, s2);
+            rtl.output("ne", ne);
+            let mut mgr = bdd::Manager::new();
+            let mut ctx = hdl::lower::BddBackend::new(&mut mgr, 0);
+            use hdl::lower::BitCtx;
+            let bits_x: Vec<bdd::Ref> = (0..16).map(|_| ctx.bit_fresh()).collect();
+            let bits_y: Vec<bdd::Ref> = (0..16).map(|_| ctx.bit_fresh()).collect();
+            let lowered = hdl::lower::lower(&rtl, &mut ctx, &[bits_x, bits_y], &[]);
+            let ne_bit = lowered.outputs(&rtl)[0].1[0];
+            assert_eq!(ne_bit, bdd::Ref::FALSE);
+        })
+    });
+    group.bench_function("simplex_dense_20x20", |b| {
+        b.iter(|| {
+            let n = 20;
+            let mut p = lp::Problem::new(n);
+            p.maximize(&vec![lp::Rational::ONE; n]);
+            for i in 0..n {
+                let mut row = vec![lp::Rational::ZERO; n];
+                for (j, slot) in row.iter_mut().enumerate() {
+                    *slot = lp::Rational::new(((i * 7 + j * 3) % 5 + 1) as i128, 1);
+                }
+                p.add_le(&row, lp::Rational::integer(100));
+            }
+            black_box(p.solve())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engines);
+criterion_main!(benches);

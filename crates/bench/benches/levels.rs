@@ -1,0 +1,46 @@
+//! E1/E2/E3/E11: simulation speed of the four abstraction levels.
+//!
+//! The paper reports wall-clock figures per level on a Sun U80 (level 1:
+//! whole run < 15 s; level 2: ≈200 kHz simulated clock; level 3: ≈30 kHz).
+//! These benches measure our per-level wall time on the same workload; the
+//! `report` binary converts them into simulated-kHz rows for
+//! EXPERIMENTS.md. Level 4 is represented by cycle-accurate RTL simulation
+//! of the synthesized ROOT kernel — the abstraction the TL levels exist to
+//! avoid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn levels(c: &mut Criterion) {
+    let workload = bench::bench_workload();
+    let mut group = c.benchmark_group("levels");
+    group.sample_size(10);
+    group.bench_function("level1_untimed", |b| {
+        b.iter(|| symbad_core::level1::run(black_box(&workload)).expect("runs"))
+    });
+    group.bench_function("level2_timed_tl", |b| {
+        b.iter(|| symbad_core::level2::run(black_box(&workload)).expect("runs"))
+    });
+    group.bench_function("level3_reconfigurable", |b| {
+        b.iter(|| symbad_core::level3::run(black_box(&workload)).expect("runs"))
+    });
+    // Level 4: cycle-level RTL simulation of the ROOT kernel over the same
+    // number of distance evaluations the workload performs.
+    let root = media::kernels::root_function();
+    let unrolled = behav::unroll::unroll(&root, media::kernels::ROOT_ITERATIONS);
+    let rtl = hdl::synth::synthesize(&unrolled).expect("synthesizable");
+    let evals = workload.probes.len() * workload.gallery_len();
+    group.bench_function("level4_rtl_sim", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..evals {
+                acc = acc.wrapping_add(rtl.eval_combinational(&[black_box(i as u64 * 37)])[0]);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, levels);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E5/E6: LPV — deadlock freeness, deadline achievement, FIFO sizing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use symbad_core::cascade::fig2_petri_net;
+
+fn lpv_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lpv");
+    group.sample_size(20);
+    let live_net = fig2_petri_net(1);
+    let dead_net = fig2_petri_net(0);
+    group.bench_function("liveness_proof_fig2", |b| {
+        b.iter(|| lp::check_liveness(black_box(&live_net)))
+    });
+    group.bench_function("deadlock_counterexample_fig2", |b| {
+        b.iter(|| lp::check_liveness(black_box(&dead_net)))
+    });
+    group.bench_function("unreachability_state_equation", |b| {
+        b.iter(|| {
+            lp::check_unreachable(
+                black_box(&live_net),
+                &[lp::MarkingConstraint {
+                    place: lp::PlaceId::from_index(0),
+                    relation: lp::MarkingRelation::AtLeast,
+                    tokens: 2,
+                }],
+            )
+        })
+    });
+    // Deadline LP on the annotated paper task graph.
+    let config = media::dataset::DatasetConfig::default();
+    let profile = media::profile::build_profile(&config, 80);
+    let cpu = platform::CpuModel::arm7tdmi();
+    let mut graph = lp::TaskGraph::new();
+    let mut prev = None;
+    for m in media::profile::MODULES {
+        let t = graph.add_task(m, cpu.cycles(profile.mix(m)));
+        if let Some(p) = prev {
+            graph.add_dep(p, t);
+        }
+        prev = Some(t);
+    }
+    group.bench_function("deadline_lp_pipeline", |b| {
+        b.iter(|| lp::check_deadline(black_box(&graph), 10_000_000))
+    });
+    group.bench_function("fifo_dimensioning", |b| {
+        b.iter(|| {
+            lp::dimension_fifo(black_box(&lp::ChannelRates {
+                producer_burst: 1,
+                producer_period: 8,
+                consumer_period: 6,
+                consumer_latency: 120,
+                horizon: 1_000_000,
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, lpv_benches);
+criterion_main!(benches);

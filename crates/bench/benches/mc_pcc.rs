@@ -1,0 +1,48 @@
+//! E8: model checking of the level-4 RTL and PCC property coverage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mc::prop::{BoolExpr, Property};
+use std::hint::black_box;
+use symbad_core::cascade::wrapper;
+use symbad_core::level4::{extended_properties, initial_properties};
+
+fn mc_pcc_benches(c: &mut Criterion) {
+    let rtl = wrapper(true);
+    let mut group = c.benchmark_group("mc_pcc");
+    group.sample_size(10);
+    let inv = Property::invariant("state_in_range", BoolExpr::le("state", 3));
+    group.bench_function("bmc_invariant_bound12", |b| {
+        b.iter(|| mc::bmc::check(black_box(&rtl), black_box(&inv), 12))
+    });
+    group.bench_function("bdd_reachability_proof", |b| {
+        b.iter(|| mc::reach::check(black_box(&rtl), black_box(&inv)))
+    });
+    let resp = Property::response(
+        "request_advances",
+        BoolExpr::eq("state", 1),
+        BoolExpr::eq("state", 2),
+        1,
+    );
+    group.bench_function("bmc_response_bound12", |b| {
+        b.iter(|| mc::bmc::check(black_box(&rtl), black_box(&resp), 12))
+    });
+    let cfg = pcc::PccConfig { bmc_bound: 10 };
+    let initial: Vec<Property> = initial_properties()
+        .into_iter()
+        .filter(|p| p.name() != "req_eventually_done")
+        .collect();
+    let extended: Vec<Property> = extended_properties()
+        .into_iter()
+        .filter(|p| p.name() != "req_eventually_done")
+        .collect();
+    group.bench_function("pcc_initial_set", |b| {
+        b.iter(|| pcc::check_coverage(black_box(&rtl), black_box(&initial), &cfg).expect("ok"))
+    });
+    group.bench_function("pcc_extended_set", |b| {
+        b.iter(|| pcc::check_coverage(black_box(&rtl), black_box(&extended), &cfg).expect("ok"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, mc_pcc_benches);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E9/E10: reconfiguration ablations — context partitioning and
+//! reconfiguration-call placement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use symbad_core::partition::ArchConfig;
+use symbad_core::timed::ReconfigStrategy;
+use symbad_core::{level2, level3, Partition};
+
+fn reconfig_benches(c: &mut Criterion) {
+    let workload = bench::small_workload();
+    let arch = ArchConfig::default();
+    let mut group = c.benchmark_group("reconfig");
+    group.sample_size(10);
+    group.bench_function("static_hw_no_fpga", |b| {
+        b.iter(|| level2::run(black_box(&workload)).expect("runs"))
+    });
+    group.bench_function("split_contexts_hoisted", |b| {
+        b.iter(|| {
+            level3::run_with(
+                black_box(&workload),
+                &Partition::paper_level3(),
+                &arch,
+                ReconfigStrategy::Hoisted,
+            )
+            .expect("runs")
+        })
+    });
+    group.bench_function("merged_context_hoisted", |b| {
+        b.iter(|| {
+            level3::run_with(
+                black_box(&workload),
+                &Partition::merged_context(),
+                &arch,
+                ReconfigStrategy::Hoisted,
+            )
+            .expect("runs")
+        })
+    });
+    group.bench_function("split_contexts_naive", |b| {
+        b.iter(|| {
+            level3::run_with(
+                black_box(&workload),
+                &Partition::paper_level3(),
+                &arch,
+                ReconfigStrategy::Naive,
+            )
+            .expect("runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, reconfig_benches);
+criterion_main!(benches);

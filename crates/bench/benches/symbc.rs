@@ -1,0 +1,60 @@
+//! E7: SymbC consistency checking, scaling with program size.
+
+use behav::{Expr, FunctionBuilder};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use symbad_core::cascade::instrumented_sw;
+
+/// Instrumented SW with `blocks` reconfigure/call phases and nested
+/// branching, to scale the abstract-interpretation workload.
+fn large_sw(blocks: usize) -> (behav::Function, symbc::ConfigMap) {
+    let mut map = symbc::ConfigMap::new();
+    let c1 = map.add_config("config1");
+    let c2 = map.add_config("config2");
+    map.add_function(c1, "distance");
+    map.add_function(c2, "root");
+    let mut fb = FunctionBuilder::new("sw", 32);
+    let x = fb.param("x", 32);
+    let acc = fb.local("acc", 32);
+    for i in 0..blocks {
+        fb.reconfigure(c1);
+        fb.if_else(
+            Expr::gt(Expr::var(x), Expr::constant(i as u64, 32)),
+            |t| {
+                t.resource_call("distance", vec![], None);
+            },
+            |e| {
+                e.resource_call("distance", vec![], None);
+            },
+        );
+        fb.reconfigure(c2);
+        fb.while_(Expr::lt(Expr::var(acc), Expr::constant(100, 32)), |b| {
+            b.resource_call("root", vec![], None);
+            b.assign(acc, Expr::add(Expr::var(acc), Expr::constant(1, 32)));
+        });
+    }
+    fb.ret(Expr::var(acc));
+    (fb.build(), map)
+}
+
+fn symbc_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symbc");
+    let (clean, map) = instrumented_sw(true);
+    let (buggy, _) = instrumented_sw(false);
+    group.bench_function("certificate_paper_sw", |b| {
+        b.iter(|| symbc::check(black_box(&clean), black_box(&map)))
+    });
+    group.bench_function("counterexample_paper_sw", |b| {
+        b.iter(|| symbc::check(black_box(&buggy), black_box(&map)))
+    });
+    for blocks in [4usize, 16, 64] {
+        let (sw, map) = large_sw(blocks);
+        group.bench_function(format!("certificate_{blocks}_phases"), |b| {
+            b.iter(|| symbc::check(black_box(&sw), black_box(&map)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, symbc_benches);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Shared workload configuration for the benchmark harness and the
+//! `report` binary, so benches and EXPERIMENTS.md rows use identical
+//! parameters.
+
+use symbad_core::workload::Workload;
+
+/// The workload used by the level benches: paper-scale gallery
+/// (20 identities × 4 poses), a handful of probe frames.
+pub fn bench_workload() -> Workload {
+    Workload::paper(3)
+}
+
+/// A smaller workload for the slowest benches (naive reconfiguration).
+pub fn small_workload() -> Workload {
+    Workload::small()
+}

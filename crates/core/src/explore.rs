@@ -1,0 +1,220 @@
+//! Architecture exploration: the level-2/3 design-space sweeps.
+//!
+//! "This process includes a number of iterations through II-III-IV steps to
+//! find the best product trade-off" (§2). The sweeps here regenerate the
+//! exploration data of experiments E9 (context partitioning) and E10
+//! (reconfiguration placement), plus the HW/SW partition curve that
+//! motivates the level-2 mapping.
+
+use crate::partition::{ArchConfig, Domain, Partition};
+use crate::timed::ReconfigStrategy;
+use crate::workload::Workload;
+use crate::{level2, level3};
+use media::profile::build_profile;
+use sim::SimError;
+
+/// One point of an exploration sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Candidate label.
+    pub name: String,
+    /// Total simulated ticks for the workload.
+    pub total_ticks: u64,
+    /// Ticks per frame.
+    pub ticks_per_frame: f64,
+    /// Bus utilization (0..1).
+    pub bus_utilization: f64,
+    /// FPGA reconfigurations (0 when no FPGA).
+    pub reconfigurations: u64,
+    /// Bitstream words downloaded.
+    pub download_words: u64,
+    /// Whether the candidate still recognizes probes identically to the
+    /// reference (functionality must never change during exploration).
+    pub functional: bool,
+}
+
+fn point(
+    name: &str,
+    report: &crate::timed::TimedReport,
+) -> SweepPoint {
+    SweepPoint {
+        name: name.to_owned(),
+        total_ticks: report.total_ticks,
+        ticks_per_frame: report.ticks_per_frame,
+        bus_utilization: report.bus.utilization,
+        reconfigurations: report.fpga.as_ref().map(|f| f.reconfigurations).unwrap_or(0),
+        download_words: report.fpga.as_ref().map(|f| f.download_words).unwrap_or(0),
+        functional: report.matches_reference,
+    }
+}
+
+/// The HW/SW partition curve: starting from all-SW, the profiling ranking's
+/// heaviest HW-mappable modules are moved to hardware one by one.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+pub fn partition_sweep(
+    workload: &Workload,
+    arch: &ArchConfig,
+) -> Result<Vec<SweepPoint>, SimError> {
+    const HW_MAPPABLE: [&str; 8] = [
+        "camera", "bay", "erosion", "edge", "ellipse", "distance", "calcdist", "root",
+    ];
+    let profile = build_profile(workload.dataset.config(), workload.gallery_len());
+    let ranked: Vec<&str> = profile
+        .ranking()
+        .into_iter()
+        .map(|(m, _)| m)
+        .filter(|m| HW_MAPPABLE.contains(m))
+        .collect();
+
+    let mut points = Vec::new();
+    let mut partition = Partition::all_sw();
+    let report = level2::run_with(workload, &partition, arch)?;
+    points.push(point("0 HW modules", &report));
+    for (k, module) in ranked.iter().enumerate() {
+        partition.assign(module, Domain::Hw);
+        let report = level2::run_with(workload, &partition, arch)?;
+        points.push(point(&format!("{} HW modules (+{})", k + 1, module), &report));
+    }
+    Ok(points)
+}
+
+/// E9: context-partitioning ablation — static hardwired matcher vs the
+/// paper's config1/config2 split vs a single merged context.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+pub fn context_ablation(
+    workload: &Workload,
+    arch: &ArchConfig,
+) -> Result<Vec<SweepPoint>, SimError> {
+    let mut points = Vec::new();
+    let l2 = level2::run(workload)?;
+    points.push(point("static HW (no FPGA)", &l2));
+    let split = level3::run_with(
+        workload,
+        &Partition::paper_level3(),
+        arch,
+        ReconfigStrategy::Hoisted,
+    )?;
+    points.push(point("split contexts (config1/config2)", &split));
+    let merged = level3::run_with(
+        workload,
+        &Partition::merged_context(),
+        arch,
+        ReconfigStrategy::Hoisted,
+    )?;
+    points.push(point("merged single context", &merged));
+    Ok(points)
+}
+
+/// E10: reconfiguration-placement ablation — hoisted vs naive call-site
+/// instrumentation on the paper's split-context mapping.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+pub fn strategy_ablation(
+    workload: &Workload,
+    arch: &ArchConfig,
+) -> Result<Vec<SweepPoint>, SimError> {
+    let mut points = Vec::new();
+    for (name, strategy) in [
+        ("hoisted reconfiguration", ReconfigStrategy::Hoisted),
+        ("naive per-call reconfiguration", ReconfigStrategy::Naive),
+    ] {
+        let r = level3::run_with(workload, &Partition::paper_level3(), arch, strategy)?;
+        points.push(point(name, &r));
+    }
+    Ok(points)
+}
+
+/// Bus-bandwidth sweep on the level-3 mapping: the paper's architecture
+/// exploration tunes "power consumption, bus loading and memory accesses";
+/// this sweep shows when the reconfigurable design becomes bus-bound.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+pub fn bus_sweep(
+    workload: &Workload,
+    base: &ArchConfig,
+) -> Result<Vec<SweepPoint>, SimError> {
+    let mut points = Vec::new();
+    for cycles_per_word in [1u64, 2, 4, 8] {
+        let mut arch = base.clone();
+        arch.bus.cycles_per_word = cycles_per_word;
+        let r = level3::run_with(
+            workload,
+            &Partition::paper_level3(),
+            &arch,
+            ReconfigStrategy::Hoisted,
+        )?;
+        points.push(point(&format!("{cycles_per_word} cycles/word"), &r));
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_sweep_slower_bus_costs_time() {
+        let w = Workload::small();
+        let points = bus_sweep(&w, &ArchConfig::default()).expect("sweep");
+        assert_eq!(points.len(), 4);
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].total_ticks > pair[0].total_ticks,
+                "slower bus must cost simulated time: {pair:?}"
+            );
+        }
+        assert!(points.iter().all(|p| p.functional));
+    }
+
+    #[test]
+    fn partition_sweep_is_monotone_enough() {
+        let w = Workload::small();
+        let points = partition_sweep(&w, &ArchConfig::default()).expect("sweep");
+        assert_eq!(points.len(), 9);
+        assert!(points.iter().all(|p| p.functional));
+        // Moving everything to HW must be far faster than all-SW.
+        let first = points.first().unwrap().total_ticks;
+        let last = points.last().unwrap().total_ticks;
+        assert!(
+            last * 3 < first,
+            "full-HW ({last}) should be ≥3× faster than all-SW ({first})"
+        );
+    }
+
+    #[test]
+    fn context_ablation_orders_as_expected() {
+        let w = Workload::small();
+        let points = context_ablation(&w, &ArchConfig::default()).expect("ablation");
+        assert_eq!(points.len(), 3);
+        let static_hw = &points[0];
+        let split = &points[1];
+        let merged = &points[2];
+        assert_eq!(static_hw.reconfigurations, 0);
+        assert!(split.reconfigurations > merged.reconfigurations);
+        // Static HW is fastest; merged beats split on reconfig traffic.
+        assert!(static_hw.total_ticks < split.total_ticks);
+        assert!(merged.download_words < split.download_words);
+        assert!(points.iter().all(|p| p.functional));
+    }
+
+    #[test]
+    fn strategy_ablation_shows_hoisting_wins() {
+        let w = Workload::small();
+        let points = strategy_ablation(&w, &ArchConfig::default()).expect("ablation");
+        let hoisted = &points[0];
+        let naive = &points[1];
+        assert!(naive.reconfigurations > hoisted.reconfigurations);
+        assert!(naive.total_ticks > hoisted.total_ticks);
+        assert!(naive.download_words > hoisted.download_words);
+    }
+}

@@ -1,0 +1,163 @@
+//! The complete Figure-1 flow as one call.
+//!
+//! [`run_full_flow`] executes every phase of the methodology in order —
+//! level-1 functional model, LPV checks, level-2 mapping, level-3
+//! reconfigurable platform, SymbC, level-4 RTL + model checking + PCC —
+//! with the cross-level equivalence checks between refinements, and
+//! aggregates the evidence into one [`FlowReport`]. This is the "system
+//! level design platform" deliverable the abstract promises, as a library
+//! entry point.
+
+use crate::partition::ArchConfig;
+use crate::workload::Workload;
+use crate::{cascade, level1, level2, level3, level4};
+use lp::lpv::LivenessVerdict;
+use sim::SimError;
+
+/// One phase's summary line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSummary {
+    /// Phase name.
+    pub phase: &'static str,
+    /// Whether the phase's checks all passed.
+    pub ok: bool,
+    /// Evidence in one line.
+    pub detail: String,
+}
+
+/// Aggregated evidence of a full flow run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowReport {
+    /// Per-phase summaries in flow order.
+    pub phases: Vec<PhaseSummary>,
+    /// Recognized identity per probe (identical across all levels when
+    /// the flow is healthy).
+    pub recognized: Vec<usize>,
+}
+
+impl FlowReport {
+    /// Whether every phase passed.
+    pub fn all_ok(&self) -> bool {
+        self.phases.iter().all(|p| p.ok)
+    }
+}
+
+/// Runs the complete four-level flow on a workload.
+///
+/// # Errors
+///
+/// Propagates kernel errors from the simulations.
+pub fn run_full_flow(workload: &Workload) -> Result<FlowReport, SimError> {
+    let mut phases = Vec::new();
+
+    // ── Level 1: functional model vs reference ────────────────────────
+    let l1 = level1::run(workload)?;
+    phases.push(PhaseSummary {
+        phase: "level 1: functional model",
+        ok: l1.matches_reference && l1.outcome.is_quiescent(),
+        detail: format!(
+            "trace vs C reference: {}; clean completion: {}",
+            l1.matches_reference,
+            l1.outcome.is_quiescent()
+        ),
+    });
+
+    // ── Level 1 verification: LPV deadlock freeness ────────────────────
+    let net = cascade::fig2_petri_net(1);
+    let liveness = lp::check_liveness(&net);
+    phases.push(PhaseSummary {
+        phase: "level 1: LPV deadlock freeness",
+        ok: liveness.is_live(),
+        detail: match &liveness {
+            LivenessVerdict::Live { min_cycle_tokens } => {
+                format!("live; min cycle tokens {min_cycle_tokens}")
+            }
+            other => format!("{other:?}"),
+        },
+    });
+
+    // ── Level 2: architecture mapping ──────────────────────────────────
+    let arch = ArchConfig::default();
+    let l2 = level2::run(workload)?;
+    let l2_matches_l1 = l1.trace.matches_untimed(&l2.trace).is_ok();
+    phases.push(PhaseSummary {
+        phase: "level 2: timed TL mapping",
+        ok: l2.matches_reference && l2_matches_l1,
+        detail: format!(
+            "{:.0} ticks/frame; bus {:.1}%; trace ≡ level 1: {l2_matches_l1}",
+            l2.ticks_per_frame,
+            l2.bus.utilization * 100.0
+        ),
+    });
+
+    // ── Level 2 verification: deadline LP ──────────────────────────────
+    let bounds = level2::dimension_channels(workload, &crate::Partition::paper_level2(), &arch);
+    phases.push(PhaseSummary {
+        phase: "level 2: LPV FIFO dimensioning",
+        ok: bounds.iter().all(|(_, b)| b.capacity >= 1),
+        detail: bounds
+            .iter()
+            .map(|(n, b)| format!("{n}: {} tokens", b.capacity))
+            .collect::<Vec<_>>()
+            .join(", "),
+    });
+
+    // ── Level 3: reconfigurable platform ───────────────────────────────
+    let l3 = level3::run(workload)?;
+    let l3_matches_l2 = l2.trace.matches_untimed(&l3.trace).is_ok();
+    let fpga = l3.fpga.clone().expect("level 3 has an FPGA");
+    phases.push(PhaseSummary {
+        phase: "level 3: reconfigurable platform",
+        ok: l3.matches_reference && l3_matches_l2,
+        detail: format!(
+            "{:.0} ticks/frame; {} reconfigs, {} bitstream words; trace ≡ level 2: {l3_matches_l2}",
+            l3.ticks_per_frame, fpga.reconfigurations, fpga.download_words
+        ),
+    });
+
+    // ── Level 3 verification: SymbC ────────────────────────────────────
+    let (sw, map) = cascade::instrumented_sw(true);
+    let symbc_verdict = symbc::check(&sw, &map);
+    phases.push(PhaseSummary {
+        phase: "level 3: SymbC consistency",
+        ok: symbc_verdict.is_consistent(),
+        detail: format!("{symbc_verdict:?}"),
+    });
+
+    // ── Level 4: RTL + formal ──────────────────────────────────────────
+    let l4 = level4::run();
+    let kernels_ok = l4.kernels.iter().all(|(_, _, eq)| *eq);
+    let props_ok = l4.properties.iter().all(|(_, _, p)| *p);
+    phases.push(PhaseSummary {
+        phase: "level 4: RTL, model checking, PCC",
+        ok: kernels_ok && props_ok && l4.pcc_extended.pct() > l4.pcc_initial.pct(),
+        detail: format!(
+            "kernels equivalent: {kernels_ok}; {} properties proven; PCC {:.0}% → {:.0}%",
+            l4.properties.len(),
+            l4.pcc_initial.pct(),
+            l4.pcc_extended.pct()
+        ),
+    });
+
+    Ok(FlowReport {
+        phases,
+        recognized: l1.recognized,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_flow_passes_on_small_workload() {
+        let w = Workload::small();
+        let report = run_full_flow(&w).expect("flow runs");
+        assert_eq!(report.phases.len(), 7);
+        for p in &report.phases {
+            assert!(p.ok, "{} failed: {}", p.phase, p.detail);
+        }
+        assert!(report.all_ok());
+        assert_eq!(report.recognized.len(), w.probes.len());
+    }
+}

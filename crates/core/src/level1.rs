@@ -1,0 +1,514 @@
+//! Level 1: the untimed functional model (Figure 2).
+//!
+//! "The level 1 description is a pure functional un-timed point-to-point
+//! communication model" (§4.1). Every Figure-2 module is a kernel process
+//! on the `sim` kernel connected by capacity-1 FIFOs; simulation order is
+//! purely data-driven. Functional verification is trace comparison against
+//! the C reference model — [`Level1Report::matches_reference`] is the
+//! paper's "functionality was fully verified against the reference model".
+
+use crate::msg::Msg;
+use crate::workload::Workload;
+use media::pipeline::{
+    bay, calcdist, calcline, crtbord, crtline, distance, edge, ellipse, erosion, root, winner,
+};
+use media::reference::RecognitionResult;
+use sim::{Activation, FifoId, Outcome, Process, ProcessCtx, SimError, SimTime, Simulator, Trace};
+use std::collections::VecDeque;
+
+/// Packs an ellipse fit into one trace scalar (fields are small and
+/// non-negative for any real frame; the reference model packs identically).
+pub fn pack_ellipse(cx: i32, cy: i32, a: i32, b: i32) -> u64 {
+    (cx as u16 as u64) | ((cy as u16 as u64) << 16) | ((a as u16 as u64) << 32)
+        | ((b as u16 as u64) << 48)
+}
+
+/// A source process emitting a fixed token sequence, one per poll.
+struct Source {
+    name: &'static str,
+    out: FifoId,
+    tokens: VecDeque<Msg>,
+}
+
+impl Process<Msg> for Source {
+    fn poll(&mut self, ctx: &mut ProcessCtx<'_, Msg>) -> Activation {
+        match self.tokens.pop_front() {
+            None => Activation::Done,
+            Some(tok) => match ctx.try_write(self.out, tok) {
+                Ok(()) => Activation::Continue,
+                Err(tok) => {
+                    self.tokens.push_front(tok);
+                    Activation::WaitFifoWritable(self.out)
+                }
+            },
+        }
+    }
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+/// A map stage: reads one token, applies the kernel function, traces
+/// observations, writes the outputs. Retires cleanly after `expected`
+/// inputs, so a complete run ends [`sim::RunResult::Quiescent`] and a
+/// reported deadlock is always a real one (the property LPV checks).
+struct Stage {
+    name: &'static str,
+    inp: FifoId,
+    out: Option<FifoId>,
+    expected: u64,
+    #[allow(clippy::type_complexity)]
+    func: Box<dyn FnMut(Msg) -> (Vec<(&'static str, Msg)>, Vec<Msg>)>,
+    pending: VecDeque<Msg>,
+}
+
+impl Process<Msg> for Stage {
+    fn poll(&mut self, ctx: &mut ProcessCtx<'_, Msg>) -> Activation {
+        // Drain pending outputs first.
+        if let Some(out) = self.out {
+            while let Some(tok) = self.pending.pop_front() {
+                if let Err(tok) = ctx.try_write(out, tok) {
+                    self.pending.push_front(tok);
+                    return Activation::WaitFifoWritable(out);
+                }
+            }
+        }
+        if self.expected == 0 {
+            return Activation::Done;
+        }
+        match ctx.try_read(self.inp) {
+            None => Activation::WaitFifoReadable(self.inp),
+            Some(tok) => {
+                let (traces, outs) = (self.func)(tok);
+                for (src, obs) in traces {
+                    ctx.trace(src, obs);
+                }
+                self.pending.extend(outs);
+                self.expected -= 1;
+                Activation::Continue
+            }
+        }
+    }
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+/// DISTANCE: pairs one probe signature with the stream of gallery entries.
+struct DistanceProc {
+    features_in: FifoId,
+    gallery_in: FifoId,
+    out: FifoId,
+    gallery_len: usize,
+    probes_left: u64,
+    current: Option<Vec<u16>>,
+    seen: usize,
+    pending: VecDeque<Msg>,
+}
+
+impl Process<Msg> for DistanceProc {
+    fn poll(&mut self, ctx: &mut ProcessCtx<'_, Msg>) -> Activation {
+        while let Some(tok) = self.pending.pop_front() {
+            if let Err(tok) = ctx.try_write(self.out, tok) {
+                self.pending.push_front(tok);
+                return Activation::WaitFifoWritable(self.out);
+            }
+        }
+        if self.current.is_none() {
+            if self.probes_left == 0 {
+                return Activation::Done;
+            }
+            match ctx.try_read(self.features_in) {
+                None => return Activation::WaitFifoReadable(self.features_in),
+                Some(Msg::Features(f)) => {
+                    self.current = Some(f);
+                    self.seen = 0;
+                }
+                Some(other) => panic!("DISTANCE expected features, got {other:?}"),
+            }
+        }
+        match ctx.try_read(self.gallery_in) {
+            None => Activation::WaitFifoReadable(self.gallery_in),
+            Some(Msg::GalleryEntry(idx, g)) => {
+                let f = self.current.as_ref().expect("features present");
+                let sq = distance(f, &g);
+                self.pending.push_back(Msg::SquaredDiffs(idx, sq));
+                self.seen += 1;
+                if self.seen == self.gallery_len {
+                    self.current = None;
+                    self.probes_left -= 1;
+                }
+                Activation::Continue
+            }
+            Some(other) => panic!("DISTANCE expected gallery entry, got {other:?}"),
+        }
+    }
+    fn name(&self) -> &str {
+        "distance"
+    }
+}
+
+/// WINNER: collects all rooted distances of one probe and emits the argmin.
+struct WinnerProc {
+    inp: FifoId,
+    gallery_len: usize,
+    probes_left: u64,
+    collected: Vec<u32>,
+    results: Vec<usize>,
+}
+
+impl Process<Msg> for WinnerProc {
+    fn poll(&mut self, ctx: &mut ProcessCtx<'_, Msg>) -> Activation {
+        if self.probes_left == 0 {
+            return Activation::Done;
+        }
+        match ctx.try_read(self.inp) {
+            None => Activation::WaitFifoReadable(self.inp),
+            Some(Msg::Dist(idx, d)) => {
+                debug_assert_eq!(idx, self.collected.len());
+                ctx.trace("root", Msg::Dist(idx, d));
+                self.collected.push(d);
+                if self.collected.len() == self.gallery_len {
+                    let best = winner(&self.collected);
+                    ctx.trace("winner", Msg::Winner(best));
+                    self.results.push(best);
+                    self.collected.clear();
+                    self.probes_left -= 1;
+                }
+                Activation::Continue
+            }
+            Some(other) => panic!("WINNER expected dist, got {other:?}"),
+        }
+    }
+    fn name(&self) -> &str {
+        "winner"
+    }
+}
+
+/// Report of a level-1 run.
+#[derive(Debug, Clone)]
+pub struct Level1Report {
+    /// Recognized identity per probe.
+    pub recognized: Vec<usize>,
+    /// Whether the simulation trace matches the C reference model's.
+    pub matches_reference: bool,
+    /// First trace divergence, when any.
+    pub mismatch: Option<String>,
+    /// Kernel outcome/statistics.
+    pub outcome: Outcome,
+    /// The recorded observation trace.
+    pub trace: Trace<Msg>,
+}
+
+/// Builds the expected observation trace from the reference results.
+pub fn reference_trace(results: &[RecognitionResult]) -> Trace<Msg> {
+    let mut t = Trace::new();
+    let z = SimTime::ZERO;
+    for r in results {
+        t.record(z, "bay", Msg::Scalar(r.trace.bay_checksum));
+        t.record(z, "erosion", Msg::Scalar(r.trace.erosion_checksum));
+        t.record(z, "edge", Msg::Scalar(r.trace.edge_count));
+        let (cx, cy, a, b) = r.trace.ellipse;
+        t.record(z, "ellipse", Msg::Scalar(pack_ellipse(cx, cy, a, b)));
+        t.record(z, "calcline", Msg::Features(r.trace.features.clone()));
+        for (i, &d) in r.trace.distances.iter().enumerate() {
+            t.record(z, "root", Msg::Dist(i, d));
+        }
+        t.record(z, "winner", Msg::Winner(r.trace.winner_entry));
+    }
+    t
+}
+
+/// Constructs and runs the level-1 model for a workload.
+///
+/// # Errors
+///
+/// Propagates kernel errors (the livelock guard).
+pub fn run(workload: &Workload) -> Result<Level1Report, SimError> {
+    let mut sim: Simulator<Msg> = Simulator::new();
+    sim.set_poll_limit(200_000_000);
+
+    // Point-to-point channels, capacity 1 (pure dataflow), except the
+    // database stream which gets a little slack.
+    let ch_cam = sim.add_fifo("camera→bay", 1);
+    let ch_bay = sim.add_fifo("bay→erosion", 1);
+    let ch_ero = sim.add_fifo("erosion→edge", 1);
+    let ch_edge = sim.add_fifo("edge→ellipse", 1);
+    let ch_ell = sim.add_fifo("ellipse→crtbord", 1);
+    let ch_bord = sim.add_fifo("crtbord→crtline", 1);
+    let ch_line = sim.add_fifo("crtline→calcline", 1);
+    let ch_feat = sim.add_fifo("calcline→distance", 1);
+    let ch_db = sim.add_fifo("database→distance", 2);
+    let ch_sq = sim.add_fifo("distance→calcdist", 1);
+    let ch_sum = sim.add_fifo("calcdist→root", 1);
+    let ch_root = sim.add_fifo("root→winner", 1);
+
+    // CAMERA.
+    let frames: VecDeque<Msg> = workload
+        .probes
+        .iter()
+        .map(|&(id, pose, seed)| Msg::Frame(workload.dataset.frame(id, pose, seed)))
+        .collect();
+    sim.add_process(Source {
+        name: "camera",
+        out: ch_cam,
+        tokens: frames,
+    });
+
+    // DATABASE: the full gallery stream, once per probe.
+    let mut db_tokens = VecDeque::new();
+    for _ in 0..workload.probes.len() {
+        for (i, (_, _, f)) in workload.gallery.entries.iter().enumerate() {
+            db_tokens.push_back(Msg::GalleryEntry(i, f.clone()));
+        }
+    }
+    sim.add_process(Source {
+        name: "database",
+        out: ch_db,
+        tokens: db_tokens,
+    });
+
+    // Pixel pipeline. Each stage keeps the *real* data moving so the
+    // functional results are genuine, and traces the same checkpoints the
+    // reference model exposes.
+    sim.add_process(Stage {
+        name: "bay",
+        inp: ch_cam,
+        out: Some(ch_bay),
+        expected: workload.probes.len() as u64,
+        pending: VecDeque::new(),
+        func: Box::new(|tok| match tok {
+            Msg::Frame(f) => {
+                let g = bay(&f);
+                let sum: u64 = g.data.iter().map(|&p| p as u64).sum();
+                (
+                    vec![("bay", Msg::Scalar(sum))],
+                    vec![Msg::Frame(BayerFromGray::wrap(g))],
+                )
+            }
+            other => panic!("bay expected frame, got {other:?}"),
+        }),
+    });
+    sim.add_process(Stage {
+        name: "erosion",
+        inp: ch_bay,
+        out: Some(ch_ero),
+        expected: workload.probes.len() as u64,
+        pending: VecDeque::new(),
+        func: Box::new(|tok| match tok {
+            Msg::Frame(f) => {
+                let g = BayerFromGray::unwrap(f);
+                let e = erosion(&g);
+                let sum: u64 = e.data.iter().map(|&p| p as u64).sum();
+                (
+                    vec![("erosion", Msg::Scalar(sum))],
+                    vec![Msg::Frame(BayerFromGray::wrap(e))],
+                )
+            }
+            other => panic!("erosion expected frame, got {other:?}"),
+        }),
+    });
+    sim.add_process(Stage {
+        name: "edge_ellipse_crtbord_crtline_calcline",
+        inp: ch_ero,
+        out: Some(ch_feat),
+        expected: workload.probes.len() as u64,
+        pending: VecDeque::new(),
+        func: Box::new(move |tok| match tok {
+            Msg::Frame(f) => {
+                let g = BayerFromGray::unwrap(f);
+                let edges = edge(&g);
+                let fit = ellipse(&edges);
+                let region = crtbord(g.width, g.height, &fit);
+                let raw = crtline(&g, &region);
+                let features = calcline(&raw);
+                (
+                    vec![
+                        ("edge", Msg::Scalar(edges.count_ones() as u64)),
+                        (
+                            "ellipse",
+                            Msg::Scalar(pack_ellipse(fit.cx, fit.cy, fit.a, fit.b)),
+                        ),
+                        ("calcline", Msg::Features(features.clone())),
+                    ],
+                    vec![Msg::Features(features)],
+                )
+            }
+            other => panic!("edge expected frame, got {other:?}"),
+        }),
+    });
+    // NOTE: EDGE…CALCLINE are modelled above as one fused stage at level 1
+    // to avoid inventing channel payloads the reference model does not
+    // observe; levels 2–3 keep the same fusion for the SW partition, which
+    // matches the paper ("SW modules have been collapsed to a single large
+    // SW task"). The unused intermediate channels document the full
+    // Figure-2 topology for the LPV abstraction.
+    let _ = (ch_edge, ch_ell, ch_bord, ch_line);
+
+    sim.add_process(DistanceProc {
+        features_in: ch_feat,
+        gallery_in: ch_db,
+        out: ch_sq,
+        gallery_len: workload.gallery_len(),
+        probes_left: workload.probes.len() as u64,
+        current: None,
+        seen: 0,
+        pending: VecDeque::new(),
+    });
+    sim.add_process(Stage {
+        name: "calcdist",
+        inp: ch_sq,
+        out: Some(ch_sum),
+        expected: workload.probes.len() as u64 * workload.gallery_len() as u64,
+        pending: VecDeque::new(),
+        func: Box::new(|tok| match tok {
+            Msg::SquaredDiffs(i, sq) => (vec![], vec![Msg::SumSq(i, calcdist(&sq))]),
+            other => panic!("calcdist expected squared diffs, got {other:?}"),
+        }),
+    });
+    sim.add_process(Stage {
+        name: "root",
+        inp: ch_sum,
+        out: Some(ch_root),
+        expected: workload.probes.len() as u64 * workload.gallery_len() as u64,
+        pending: VecDeque::new(),
+        func: Box::new(|tok| match tok {
+            Msg::SumSq(i, s) => (vec![], vec![Msg::Dist(i, root(s))]),
+            other => panic!("root expected sum, got {other:?}"),
+        }),
+    });
+    let winner_pid = sim.add_process(WinnerProc {
+        inp: ch_root,
+        gallery_len: workload.gallery_len(),
+        probes_left: workload.probes.len() as u64,
+        collected: Vec::new(),
+        results: Vec::new(),
+    });
+    let _ = winner_pid;
+
+    let outcome = sim.run(SimTime::MAX)?;
+    let trace = sim.take_trace();
+
+    // Compare against the reference model.
+    let reference = workload.reference_results();
+    let expected = reference_trace(&reference);
+    let cmp = trace.matches_untimed(&expected);
+    let recognized: Vec<usize> = trace
+        .items_for("winner")
+        .into_iter()
+        .map(|m| match m {
+            Msg::Winner(entry) => workload.gallery.entries[*entry].0,
+            other => panic!("winner trace holds {other:?}"),
+        })
+        .collect();
+
+    Ok(Level1Report {
+        recognized,
+        matches_reference: cmp.is_ok(),
+        mismatch: cmp.err().map(|e| e.to_string()),
+        outcome,
+        trace,
+    })
+}
+
+/// The pixel stages move whole grayscale images. Rather than widening
+/// [`Msg`] with a grayscale variant (levels 2–3 never ship raw grayscale
+/// over the bus), the gray image rides inside the `Frame` variant's
+/// container — widths/heights/data are preserved exactly.
+pub fn gray_as_frame(g: media::image::GrayImage) -> media::image::BayerImage {
+    media::image::BayerImage {
+        width: g.width,
+        height: g.height,
+        data: g.data,
+    }
+}
+
+/// Inverse of [`gray_as_frame`].
+pub fn frame_as_gray(f: media::image::BayerImage) -> media::image::GrayImage {
+    media::image::GrayImage {
+        width: f.width,
+        height: f.height,
+        data: f.data,
+    }
+}
+
+struct BayerFromGray;
+
+impl BayerFromGray {
+    fn wrap(g: media::image::GrayImage) -> media::image::BayerImage {
+        gray_as_frame(g)
+    }
+
+    fn unwrap(f: media::image::BayerImage) -> media::image::GrayImage {
+        frame_as_gray(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level1_matches_reference_on_small_workload() {
+        let w = Workload::small();
+        let report = run(&w).expect("simulation runs");
+        assert!(
+            report.matches_reference,
+            "mismatch: {:?}",
+            report.mismatch
+        );
+        // A complete run retires every process: quiescent, not deadlocked.
+        assert!(report.outcome.is_quiescent(), "{:?}", report.outcome.result);
+        // Winner identities equal the reference's.
+        let expected: Vec<usize> = w
+            .reference_results()
+            .iter()
+            .map(|r| r.identity)
+            .collect();
+        assert_eq!(report.recognized, expected);
+    }
+
+    #[test]
+    fn level1_processes_every_probe() {
+        let w = Workload::new(
+            media::dataset::DatasetConfig {
+                identities: 3,
+                poses: 2,
+                width: 64,
+                height: 64,
+                noise_amp: 4,
+            },
+            5,
+        );
+        let report = run(&w).expect("simulation runs");
+        assert_eq!(report.recognized.len(), 5);
+        assert_eq!(
+            report.trace.items_for("winner").len(),
+            5,
+            "one winner per probe"
+        );
+        assert_eq!(
+            report.trace.items_for("root").len(),
+            5 * w.gallery_len(),
+            "one distance per gallery entry per probe"
+        );
+    }
+
+    #[test]
+    fn level1_run_is_deterministic() {
+        let w = Workload::small();
+        let a = run(&w).expect("run a");
+        let b = run(&w).expect("run b");
+        assert_eq!(a.recognized, b.recognized);
+        assert_eq!(a.outcome.stats.polls, b.outcome.stats.polls);
+    }
+
+    #[test]
+    fn ellipse_packing_is_injective_for_small_fields() {
+        let a = pack_ellipse(1, 2, 3, 4);
+        let b = pack_ellipse(2, 1, 3, 4);
+        let c = pack_ellipse(1, 2, 4, 3);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

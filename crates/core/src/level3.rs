@@ -1,0 +1,156 @@
+//! Level 3: the reconfigurable platform model.
+//!
+//! "Level 3 of the methodology flow is the heart of the reconfigurable
+//! platform. Here the dynamic reconfigurable device (FPGA) is instantiated
+//! into the design and some of the HW modules … are carried inside the
+//! FPGA" (§4.1). DISTANCE (with its CALCDIST accumulator) and ROOT live in
+//! contexts `config1`/`config2`; the software loads a configuration before
+//! calling into it, and bitstream downloads ride the same bus as the data.
+
+use crate::partition::{ArchConfig, Partition};
+use crate::timed::{self, MatcherKind, ReconfigStrategy, TimedReport};
+use crate::workload::Workload;
+use sim::SimError;
+
+/// Runs the level-3 model with the paper's context split
+/// (`config1` = DISTANCE, `config2` = ROOT) and hoisted reconfiguration.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+pub fn run(workload: &Workload) -> Result<TimedReport, SimError> {
+    run_with(
+        workload,
+        &Partition::paper_level3(),
+        &ArchConfig::default(),
+        ReconfigStrategy::Hoisted,
+    )
+}
+
+/// Runs the level-3 model with explicit partition/platform/strategy.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+pub fn run_with(
+    workload: &Workload,
+    partition: &Partition,
+    arch: &ArchConfig,
+    strategy: ReconfigStrategy,
+) -> Result<TimedReport, SimError> {
+    timed::run(
+        workload,
+        partition,
+        arch,
+        MatcherKind::Fpga {
+            strategy,
+            rtl_cosim: false,
+        },
+    )
+}
+
+/// Runs the level-3 model with the ROOT kernel computed by co-simulating
+/// its synthesized RTL netlist — functionally identical, much slower on
+/// the host. This is the cost the paper cites for "HW/SW
+/// co-emulation/simulation … still too expensive", made measurable.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+pub fn run_with_rtl_cosim(workload: &Workload) -> Result<TimedReport, SimError> {
+    timed::run(
+        workload,
+        &Partition::paper_level3(),
+        &ArchConfig::default(),
+        MatcherKind::Fpga {
+            strategy: ReconfigStrategy::Hoisted,
+            rtl_cosim: true,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level3_matches_reference_and_level2() {
+        let w = Workload::small();
+        let l3 = run(&w).expect("level-3 run");
+        assert!(l3.matches_reference, "mismatch: {:?}", l3.mismatch);
+        let l2 = crate::level2::run(&w).expect("level-2 run");
+        assert_eq!(l2.recognized, l3.recognized);
+        assert!(l2.trace.matches_untimed(&l3.trace).is_ok());
+    }
+
+    #[test]
+    fn reconfiguration_costs_time_and_bus() {
+        let w = Workload::small();
+        let l2 = crate::level2::run(&w).expect("level 2");
+        let l3 = run(&w).expect("level 3");
+        let fpga = l3.fpga.as_ref().expect("level 3 has an FPGA");
+        // Two contexts ping-pong once per frame: 2 reconfigs per frame
+        // (the very first distance load included).
+        assert_eq!(fpga.reconfigurations, 2 * w.probes.len() as u64);
+        assert!(fpga.download_words > 0);
+        // Reconfiguration + slower fabric make level 3 slower than level 2.
+        assert!(
+            l3.total_ticks > l2.total_ticks,
+            "l3 {} vs l2 {}",
+            l3.total_ticks,
+            l2.total_ticks
+        );
+    }
+
+    #[test]
+    fn rtl_cosimulation_is_functionally_identical() {
+        let w = Workload::small();
+        let native = run(&w).expect("native level 3");
+        let cosim = run_with_rtl_cosim(&w).expect("co-simulated level 3");
+        // Same recognitions, same trace, same simulated time — only the
+        // host-side cost differs (measured in the report/bench harness).
+        assert_eq!(native.recognized, cosim.recognized);
+        assert!(native.trace.matches_untimed(&cosim.trace).is_ok());
+        assert_eq!(native.total_ticks, cosim.total_ticks);
+    }
+
+    #[test]
+    fn naive_strategy_reconfigures_far_more() {
+        let w = Workload::small();
+        let hoisted = run(&w).expect("hoisted");
+        let naive = run_with(
+            &w,
+            &crate::Partition::paper_level3(),
+            &crate::partition::ArchConfig::default(),
+            ReconfigStrategy::Naive,
+        )
+        .expect("naive");
+        let h = hoisted.fpga.as_ref().unwrap().reconfigurations;
+        let n = naive.fpga.as_ref().unwrap().reconfigurations;
+        assert!(
+            n > 4 * h,
+            "naive ({n}) must reconfigure much more than hoisted ({h})"
+        );
+        assert!(naive.total_ticks > hoisted.total_ticks);
+        assert_eq!(naive.recognized, hoisted.recognized);
+    }
+
+    #[test]
+    fn merged_context_avoids_ping_pong() {
+        let w = Workload::small();
+        let split = run(&w).expect("split contexts");
+        let merged = run_with(
+            &w,
+            &crate::Partition::merged_context(),
+            &crate::partition::ArchConfig::default(),
+            ReconfigStrategy::Hoisted,
+        )
+        .expect("merged context");
+        let ms = merged.fpga.as_ref().unwrap();
+        let ss = split.fpga.as_ref().unwrap();
+        // One context: a single download, ever.
+        assert_eq!(ms.reconfigurations, 1);
+        assert!(ss.reconfigurations > ms.reconfigurations);
+        assert_eq!(merged.recognized, split.recognized);
+    }
+}

@@ -1,0 +1,64 @@
+//! The token type of the case-study simulations.
+//!
+//! One enum carries every payload that flows through the Figure-2 network,
+//! so a single `sim::Simulator<Msg>` hosts all abstraction levels and
+//! traces stay comparable across them.
+
+use media::image::BayerImage;
+use media::pipeline::FeatureVector;
+
+/// A dataflow token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// A raw camera frame.
+    Frame(BayerImage),
+    /// A normalized face signature.
+    Features(FeatureVector),
+    /// A gallery signature tagged with its entry index.
+    GalleryEntry(usize, FeatureVector),
+    /// Per-element squared differences (DISTANCE output) with entry index.
+    SquaredDiffs(usize, Vec<u64>),
+    /// An accumulated squared distance (CALCDIST output) with entry index.
+    SumSq(usize, u64),
+    /// A rooted distance (ROOT output) with entry index.
+    Dist(usize, u32),
+    /// The recognized gallery entry index (WINNER output).
+    Winner(usize),
+    /// A scalar observation (checksums and counters used in traces).
+    Scalar(u64),
+}
+
+impl Msg {
+    /// Approximate size of the token in bus words — what a boundary
+    /// crossing costs on the level-2/3 bus.
+    pub fn bus_words(&self) -> u32 {
+        match self {
+            // 4 packed 8-bit pixels per 32-bit word.
+            Msg::Frame(f) => (f.data.len() as u32).div_ceil(4),
+            // 2 packed 16-bit elements per word.
+            Msg::Features(v) | Msg::GalleryEntry(_, v) => (v.len() as u32).div_ceil(2),
+            // One 64-bit value = 2 words.
+            Msg::SquaredDiffs(_, v) => 2 * v.len() as u32,
+            Msg::SumSq(..) => 2,
+            Msg::Dist(..) | Msg::Winner(_) | Msg::Scalar(_) => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_word_sizes() {
+        let f = BayerImage::new(64, 64);
+        assert_eq!(Msg::Frame(f).bus_words(), 64 * 64 / 4);
+        assert_eq!(Msg::Features(vec![0; 128]).bus_words(), 64);
+        assert_eq!(Msg::Features(vec![0; 3]).bus_words(), 2);
+        assert_eq!(Msg::SquaredDiffs(0, vec![0; 10]).bus_words(), 20);
+        assert_eq!(Msg::Dist(0, 5).bus_words(), 1);
+        assert_eq!(Msg::SumSq(0, 5).bus_words(), 2);
+        assert_eq!(Msg::Winner(1).bus_words(), 1);
+        assert_eq!(Msg::Scalar(9).bus_words(), 1);
+    }
+}

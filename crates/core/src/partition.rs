@@ -1,0 +1,227 @@
+//! Architecture description: HW/SW partition and platform parameters.
+//!
+//! Level 2's "architecture mapping consists in deciding HW/SW partitioning
+//! and in providing the HW with a communication architecture"; level 3
+//! additionally separates pure HW from reconfigurable HW ("soft hardware").
+//! A [`Partition`] assigns each Figure-2 module to a [`Domain`];
+//! [`ArchConfig`] carries the platform constants the timed models share.
+
+use media::profile::MODULES;
+use std::collections::BTreeMap;
+use tlm::BusConfig;
+
+/// Where a module executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// On the CPU, inside the single collapsed SW task.
+    Sw,
+    /// As hardwired logic with its own bus connection.
+    Hw,
+    /// Inside the FPGA, in the context with this index (level 3 only).
+    Fpga(usize),
+}
+
+/// Assignment of every Figure-2 module to a domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    map: BTreeMap<String, Domain>,
+}
+
+impl Partition {
+    /// All modules in SW — the starting point of exploration.
+    pub fn all_sw() -> Self {
+        let map = MODULES
+            .iter()
+            .map(|&m| (m.to_owned(), Domain::Sw))
+            .collect();
+        Partition { map }
+    }
+
+    /// The paper's level-2 partition, derived from the profiling ranking:
+    /// the heavy pixel kernels (camera, bay, erosion, edge, ellipse) and
+    /// the match kernels (distance with its calcdist accumulator, root) in
+    /// HW; control-dominated modules stay in SW.
+    pub fn paper_level2() -> Self {
+        let mut p = Partition::all_sw();
+        for m in [
+            "camera", "bay", "erosion", "edge", "ellipse", "distance", "calcdist", "root",
+        ] {
+            p.assign(m, Domain::Hw);
+        }
+        p
+    }
+
+    /// The paper's level-3 mapping: DISTANCE in FPGA context 0 (`config1`)
+    /// and ROOT in context 1 (`config2`); the pixel front-end stays
+    /// hardwired.
+    pub fn paper_level3() -> Self {
+        let mut p = Partition::paper_level2();
+        p.assign("distance", Domain::Fpga(0));
+        p.assign("calcdist", Domain::Fpga(0));
+        p.assign("root", Domain::Fpga(1));
+        p
+    }
+
+    /// A level-3 variant with both kernels merged into a single context —
+    /// the E9 ablation point (bigger bitstream, no context ping-pong).
+    pub fn merged_context() -> Self {
+        let mut p = Partition::paper_level2();
+        p.assign("distance", Domain::Fpga(0));
+        p.assign("calcdist", Domain::Fpga(0));
+        p.assign("root", Domain::Fpga(0));
+        p
+    }
+
+    /// Reassigns a module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module is not one of the Figure-2 modules.
+    pub fn assign(&mut self, module: &str, domain: Domain) {
+        assert!(MODULES.contains(&module), "unknown module `{module}`");
+        self.map.insert(module.to_owned(), domain);
+    }
+
+    /// The domain of a module.
+    pub fn domain(&self, module: &str) -> Domain {
+        self.map.get(module).copied().unwrap_or(Domain::Sw)
+    }
+
+    /// Modules mapped to SW, in dataflow order.
+    pub fn sw_modules(&self) -> Vec<&'static str> {
+        MODULES
+            .iter()
+            .copied()
+            .filter(|m| self.domain(m) == Domain::Sw)
+            .collect()
+    }
+
+    /// Modules mapped to an FPGA context, in dataflow order.
+    pub fn fpga_modules(&self) -> Vec<(&'static str, usize)> {
+        MODULES
+            .iter()
+            .copied()
+            .filter_map(|m| match self.domain(m) {
+                Domain::Fpga(c) => Some((m, c)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of FPGA contexts referenced.
+    pub fn num_contexts(&self) -> usize {
+        self.fpga_modules()
+            .iter()
+            .map(|&(_, c)| c + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether the edge between two adjacent modules goes over the bus in
+    /// the timed models. HW→HW edges are point-to-point wires; everything
+    /// touching SW or the FPGA is a bus transfer.
+    pub fn crosses_boundary(&self, from: &str, to: &str) -> bool {
+        let a = self.domain(from);
+        let b = self.domain(to);
+        if matches!(a, Domain::Fpga(_)) || matches!(b, Domain::Fpga(_)) {
+            return true;
+        }
+        match (a, b) {
+            (Domain::Hw, Domain::Hw) => false,
+            (Domain::Sw, Domain::Sw) => false, // intra-task, in CPU memory
+            _ => true,
+        }
+    }
+}
+
+/// Platform constants shared by the level-2/3 models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchConfig {
+    /// Bus timing.
+    pub bus: BusConfig,
+    /// CPU cycle model.
+    pub cpu: platform::CpuModel,
+    /// Hardware parallelism factor: a HW module executes its operation mix
+    /// `hw_speedup`× faster than 1 op/cycle.
+    pub hw_speedup: u64,
+    /// FPGA fabric is slower than hardwired logic by this divisor of
+    /// `hw_speedup`.
+    pub fpga_slowdown: u64,
+    /// Bitstream words per FPGA context *function* (a context's bitstream
+    /// is the sum over its resident functions).
+    pub bitstream_words_per_function: u32,
+    /// FPGA context-switch latency beyond the download.
+    pub fpga_switch_cycles: u64,
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        ArchConfig {
+            bus: BusConfig::default(),
+            cpu: platform::CpuModel::arm7tdmi(),
+            hw_speedup: 16,
+            fpga_slowdown: 2,
+            bitstream_words_per_function: 4096,
+            fpga_switch_cycles: 64,
+        }
+    }
+}
+
+impl ArchConfig {
+    /// Cycles one invocation of `module` takes in hardwired logic.
+    pub fn hw_cycles(&self, mix_total: u64) -> u64 {
+        (mix_total / self.hw_speedup).max(1)
+    }
+
+    /// Cycles one invocation of `module` takes in FPGA fabric.
+    pub fn fpga_cycles(&self, mix_total: u64) -> u64 {
+        (mix_total * self.fpga_slowdown / self.hw_speedup).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_partitions() {
+        let p = Partition::all_sw();
+        assert_eq!(p.sw_modules().len(), MODULES.len());
+        assert!(p.fpga_modules().is_empty());
+
+        let l2 = Partition::paper_level2();
+        assert_eq!(l2.domain("distance"), Domain::Hw);
+        assert_eq!(l2.domain("winner"), Domain::Sw);
+
+        let l3 = Partition::paper_level3();
+        assert_eq!(l3.domain("distance"), Domain::Fpga(0));
+        assert_eq!(l3.domain("root"), Domain::Fpga(1));
+        assert_eq!(l3.num_contexts(), 2);
+        assert_eq!(Partition::merged_context().num_contexts(), 1);
+    }
+
+    #[test]
+    fn boundary_detection() {
+        let p = Partition::paper_level2();
+        assert!(!p.crosses_boundary("bay", "erosion")); // HW→HW wire
+        assert!(p.crosses_boundary("ellipse", "crtbord")); // HW→SW bus
+        assert!(!p.crosses_boundary("crtbord", "crtline")); // SW→SW local
+        let l3 = Partition::paper_level3();
+        assert!(l3.crosses_boundary("calcdist", "root")); // SW→FPGA
+        assert!(l3.crosses_boundary("distance", "calcdist")); // FPGA→SW
+    }
+
+    #[test]
+    fn hw_and_fpga_cycle_scaling() {
+        let cfg = ArchConfig::default();
+        assert_eq!(cfg.hw_cycles(1600), 100);
+        assert_eq!(cfg.fpga_cycles(1600), 200);
+        assert_eq!(cfg.hw_cycles(3), 1, "floor at one cycle");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown module")]
+    fn unknown_module_rejected() {
+        Partition::all_sw().assign("warp_drive", Domain::Hw);
+    }
+}

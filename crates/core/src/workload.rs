@@ -1,0 +1,104 @@
+//! Workload description shared by all levels.
+
+use media::dataset::{Dataset, DatasetConfig};
+use media::reference::{enroll, Gallery};
+
+/// One probe to recognize: `(identity, pose, noise_seed)`.
+pub type Probe = (usize, usize, u64);
+
+/// A complete recognition workload: the dataset, the enrolled gallery and
+/// the probe sequence. All levels simulate exactly this workload, which is
+/// what makes their traces comparable.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The synthetic dataset.
+    pub dataset: Dataset,
+    /// The enrolled gallery (noise-free signatures).
+    pub gallery: Gallery,
+    /// Probes presented to the camera, in order.
+    pub probes: Vec<Probe>,
+}
+
+impl Workload {
+    /// Builds a workload: enrols the dataset and schedules `num_probes`
+    /// probes round-robin over identities/poses with distinct noise seeds.
+    pub fn new(config: DatasetConfig, num_probes: usize) -> Self {
+        let dataset = Dataset::new(config);
+        let gallery = enroll(&dataset);
+        let probes = (0..num_probes)
+            .map(|i| {
+                let id = i % config.identities;
+                let pose = (i / config.identities) % config.poses;
+                (id, pose, 1 + i as u64)
+            })
+            .collect();
+        Workload {
+            dataset,
+            gallery,
+            probes,
+        }
+    }
+
+    /// The paper-scale workload: 20 identities, 4 poses (80-entry gallery).
+    pub fn paper(num_probes: usize) -> Self {
+        Workload::new(DatasetConfig::default(), num_probes)
+    }
+
+    /// A small workload for tests and doc examples: 4 identities × 2 poses,
+    /// 2 probes.
+    pub fn small() -> Self {
+        Workload::new(
+            DatasetConfig {
+                identities: 4,
+                poses: 2,
+                width: 64,
+                height: 64,
+                noise_amp: 6,
+            },
+            2,
+        )
+    }
+
+    /// Number of gallery entries.
+    pub fn gallery_len(&self) -> usize {
+        self.gallery.entries.len()
+    }
+
+    /// Expected (reference-model) recognition results for every probe.
+    pub fn reference_results(&self) -> Vec<media::reference::RecognitionResult> {
+        self.probes
+            .iter()
+            .map(|&(id, pose, seed)| {
+                let frame = self.dataset.frame(id, pose, seed);
+                media::reference::recognize(&frame, &self.gallery)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_workload_shape() {
+        let w = Workload::small();
+        assert_eq!(w.gallery_len(), 8);
+        assert_eq!(w.probes.len(), 2);
+        assert_eq!(w.probes[0], (0, 0, 1));
+        assert_eq!(w.probes[1], (1, 0, 2));
+    }
+
+    #[test]
+    fn paper_workload_has_80_entries() {
+        let w = Workload::paper(1);
+        assert_eq!(w.gallery_len(), 80);
+    }
+
+    #[test]
+    fn reference_results_align_with_probes() {
+        let w = Workload::small();
+        let results = w.reference_results();
+        assert_eq!(results.len(), 2);
+    }
+}

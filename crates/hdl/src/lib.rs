@@ -1,0 +1,51 @@
+//! RTL: the level-4 hardware representation of the Symbad flow.
+//!
+//! At level 4 the chosen architecture is mapped to RTL: the FPGA-resident
+//! kernels (DISTANCE, ROOT in the case study) are produced by behavioural
+//! synthesis, and the bus interface wrappers are small FSMs. This crate
+//! provides:
+//!
+//! * [`rtl`] — a word-level sequential netlist IR with a cycle-accurate
+//!   simulator,
+//! * [`lower`] — bit-blasting of the netlist through a backend-generic
+//!   [`lower::BitCtx`], with backends for the `sat` crate (Tseitin CNF, used
+//!   by BMC and SAT-ATPG) and the `bdd` crate (symbolic transition
+//!   relations),
+//! * [`synth`] — behavioural synthesis: loop-free `behav` functions are
+//!   if-converted into combinational RTL,
+//! * [`fsm`] — a finite-state-machine builder for the bus-protocol wrappers,
+//! * [`vhdl`] — emission of the verified netlist as synthesizable VHDL-93,
+//!   the flow's "FPGA RTL VHDL" deliverable,
+//! * [`vcd`] — value-change-dump export of RTL simulations for waveform
+//!   viewers.
+//!
+//! # Example: synthesize and simulate |a−b|
+//!
+//! ```
+//! use behav::{Expr, FunctionBuilder};
+//! use hdl::synth::synthesize;
+//!
+//! let mut fb = FunctionBuilder::new("absdiff", 16);
+//! let a = fb.param("a", 16);
+//! let b = fb.param("b", 16);
+//! fb.if_else(
+//!     Expr::lt(Expr::var(a), Expr::var(b)),
+//!     |t| t.ret(Expr::sub(Expr::var(b), Expr::var(a))),
+//!     |e| e.ret(Expr::sub(Expr::var(a), Expr::var(b))),
+//! );
+//! let f = fb.build();
+//! let rtl = synthesize(&f).expect("synthesizable");
+//! let out = rtl.eval_combinational(&[3, 10]);
+//! assert_eq!(out[0], 7);
+//! ```
+
+pub mod fsm;
+pub mod lower;
+pub mod rtl;
+pub mod synth;
+pub mod vcd;
+pub mod vhdl;
+
+pub use lower::{BddBackend, BitCtx, CnfBackend, LoweredCircuit};
+pub use rtl::{Rtl, RtlOp, SigId};
+pub use synth::{synthesize, SynthError};

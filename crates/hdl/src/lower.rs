@@ -1,0 +1,679 @@
+//! Bit-blasting: lowering the word-level netlist to single-bit logic.
+//!
+//! One lowering serves every formal backend through the [`BitCtx`]
+//! abstraction: the `sat` backend emits Tseitin CNF (for BMC, k-induction
+//! and SAT-based ATPG), the `bdd` backend builds decision diagrams (for
+//! symbolic reachability). Because both run the *same* lowering code, an
+//! equivalence bug would have to fool two independent reasoning engines and
+//! the word-level simulator at once — the cross-checks in the test suite
+//! exploit exactly that.
+//!
+//! Bit vectors are LSB-first. Variable shift amounts are not lowered
+//! (synthesis only produces constant shifts; see [`lower`]).
+
+use crate::rtl::{Rtl, RtlOp, SigId};
+use behav::BinOp;
+
+/// Backend abstraction over single-bit logic.
+pub trait BitCtx {
+    /// The backend's bit handle (a SAT literal, a BDD node, …).
+    type Bit: Copy;
+
+    /// The constant bit.
+    fn bit_const(&mut self, value: bool) -> Self::Bit;
+    /// A fresh unconstrained bit (used for primary inputs).
+    fn bit_fresh(&mut self) -> Self::Bit;
+    /// Conjunction.
+    fn bit_and(&mut self, a: Self::Bit, b: Self::Bit) -> Self::Bit;
+    /// Disjunction.
+    fn bit_or(&mut self, a: Self::Bit, b: Self::Bit) -> Self::Bit;
+    /// Exclusive or.
+    fn bit_xor(&mut self, a: Self::Bit, b: Self::Bit) -> Self::Bit;
+    /// Negation.
+    fn bit_not(&mut self, a: Self::Bit) -> Self::Bit;
+
+    /// 2:1 mux, default-implemented from the primitives.
+    fn bit_mux(&mut self, sel: Self::Bit, t: Self::Bit, e: Self::Bit) -> Self::Bit {
+        let st = self.bit_and(sel, t);
+        let ns = self.bit_not(sel);
+        let se = self.bit_and(ns, e);
+        self.bit_or(st, se)
+    }
+}
+
+/// CNF backend over [`sat::CnfBuilder`].
+#[derive(Debug, Default)]
+pub struct CnfBackend {
+    builder: sat::CnfBuilder,
+}
+
+impl CnfBackend {
+    /// Creates an empty backend.
+    pub fn new() -> Self {
+        CnfBackend::default()
+    }
+
+    /// Access to the underlying builder (e.g. to add assumptions/clauses).
+    pub fn builder_mut(&mut self) -> &mut sat::CnfBuilder {
+        &mut self.builder
+    }
+
+    /// Extracts the builder.
+    pub fn into_builder(self) -> sat::CnfBuilder {
+        self.builder
+    }
+}
+
+impl BitCtx for CnfBackend {
+    type Bit = sat::Lit;
+
+    fn bit_const(&mut self, value: bool) -> sat::Lit {
+        if value {
+            self.builder.lit_true()
+        } else {
+            self.builder.lit_false()
+        }
+    }
+
+    fn bit_fresh(&mut self) -> sat::Lit {
+        self.builder.new_lit()
+    }
+
+    fn bit_and(&mut self, a: sat::Lit, b: sat::Lit) -> sat::Lit {
+        self.builder.and_gate(a, b)
+    }
+
+    fn bit_or(&mut self, a: sat::Lit, b: sat::Lit) -> sat::Lit {
+        self.builder.or_gate(a, b)
+    }
+
+    fn bit_xor(&mut self, a: sat::Lit, b: sat::Lit) -> sat::Lit {
+        self.builder.xor_gate(a, b)
+    }
+
+    fn bit_not(&mut self, a: sat::Lit) -> sat::Lit {
+        !a
+    }
+
+    fn bit_mux(&mut self, sel: sat::Lit, t: sat::Lit, e: sat::Lit) -> sat::Lit {
+        self.builder.mux_gate(sel, t, e)
+    }
+}
+
+/// BDD backend over [`bdd::Manager`]. Fresh bits allocate consecutive BDD
+/// variables starting from the index given at construction.
+#[derive(Debug)]
+pub struct BddBackend<'m> {
+    mgr: &'m mut bdd::Manager,
+    next_var: u32,
+}
+
+impl<'m> BddBackend<'m> {
+    /// Creates a backend allocating fresh variables from `first_var`.
+    pub fn new(mgr: &'m mut bdd::Manager, first_var: u32) -> Self {
+        BddBackend {
+            mgr,
+            next_var: first_var,
+        }
+    }
+
+    /// The next variable index that would be allocated.
+    pub fn next_var(&self) -> u32 {
+        self.next_var
+    }
+
+    /// Access to the manager.
+    pub fn manager_mut(&mut self) -> &mut bdd::Manager {
+        self.mgr
+    }
+}
+
+impl BitCtx for BddBackend<'_> {
+    type Bit = bdd::Ref;
+
+    fn bit_const(&mut self, value: bool) -> bdd::Ref {
+        self.mgr.constant(value)
+    }
+
+    fn bit_fresh(&mut self) -> bdd::Ref {
+        let v = self.mgr.var(self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    fn bit_and(&mut self, a: bdd::Ref, b: bdd::Ref) -> bdd::Ref {
+        self.mgr.and(a, b)
+    }
+
+    fn bit_or(&mut self, a: bdd::Ref, b: bdd::Ref) -> bdd::Ref {
+        self.mgr.or(a, b)
+    }
+
+    fn bit_xor(&mut self, a: bdd::Ref, b: bdd::Ref) -> bdd::Ref {
+        self.mgr.xor(a, b)
+    }
+
+    fn bit_not(&mut self, a: bdd::Ref) -> bdd::Ref {
+        self.mgr.not(a)
+    }
+
+    fn bit_mux(&mut self, sel: bdd::Ref, t: bdd::Ref, e: bdd::Ref) -> bdd::Ref {
+        self.mgr.ite(sel, t, e)
+    }
+}
+
+/// The result of lowering: per-node bit vectors (LSB first).
+#[derive(Debug, Clone)]
+pub struct LoweredCircuit<B> {
+    bits: Vec<Vec<B>>,
+}
+
+impl<B: Copy> LoweredCircuit<B> {
+    /// Bits of one signal, LSB first.
+    pub fn signal(&self, sig: SigId) -> &[B] {
+        &self.bits[sig.index()]
+    }
+
+    /// Bits of every declared output, with names.
+    pub fn outputs(&self, rtl: &Rtl) -> Vec<(String, Vec<B>)> {
+        rtl.outputs()
+            .iter()
+            .map(|(n, s)| (n.clone(), self.bits[s.index()].clone()))
+            .collect()
+    }
+
+    /// Next-state bits of every register, in register order.
+    pub fn next_state(&self, rtl: &Rtl) -> Vec<Vec<B>> {
+        rtl.registers()
+            .iter()
+            .map(|&(_, next)| self.bits[next.index()].clone())
+            .collect()
+    }
+}
+
+/// Lowers every node of `rtl` in one pass.
+///
+/// `input_bits` supplies the bits of each primary input (in declaration
+/// order); `reg_bits` supplies the *current-state* bits of each register
+/// (in registration order). Passing the bits in — rather than allocating
+/// fresh ones internally — lets BMC chain time frames and lets the BDD
+/// engine control variable numbering.
+///
+/// # Panics
+///
+/// Panics on width mismatches, on variable shift amounts (only shifts by a
+/// constant node are synthesizable to muxless wiring), and on arity
+/// mismatches.
+pub fn lower<C: BitCtx>(
+    rtl: &Rtl,
+    ctx: &mut C,
+    input_bits: &[Vec<C::Bit>],
+    reg_bits: &[Vec<C::Bit>],
+) -> LoweredCircuit<C::Bit> {
+    assert_eq!(input_bits.len(), rtl.inputs().len(), "input arity mismatch");
+    assert_eq!(
+        reg_bits.len(),
+        rtl.num_registers(),
+        "register arity mismatch"
+    );
+    let mut bits: Vec<Vec<C::Bit>> = Vec::with_capacity(rtl.num_nodes());
+    let mut in_idx = 0usize;
+    let mut reg_idx = 0usize;
+
+    for i in 0..rtl.num_nodes() {
+        let sig = SigId(i);
+        let w = rtl.width(sig) as usize;
+        let v: Vec<C::Bit> = match rtl.op(sig) {
+            RtlOp::Const(c) => (0..w).map(|b| ctx.bit_const(c >> b & 1 == 1)).collect(),
+            RtlOp::Input => {
+                let v = input_bits[in_idx].clone();
+                assert_eq!(v.len(), w, "input width mismatch");
+                in_idx += 1;
+                v
+            }
+            RtlOp::Reg { .. } => {
+                let v = reg_bits[reg_idx].clone();
+                assert_eq!(v.len(), w, "register width mismatch");
+                reg_idx += 1;
+                v
+            }
+            RtlOp::Not(a) => {
+                let a = zext(ctx, &bits[a.index()], w);
+                a.iter().map(|&b| ctx.bit_not(b)).collect()
+            }
+            RtlOp::Neg(a) => {
+                let a = zext(ctx, &bits[a.index()], w);
+                let na: Vec<C::Bit> = a.iter().map(|&b| ctx.bit_not(b)).collect();
+                let one = const_vec(ctx, 1, w);
+                add(ctx, &na, &one)
+            }
+            RtlOp::Binary(op, a, b) => {
+                let ops_w = if op.is_comparison() {
+                    (rtl.width(*a).max(rtl.width(*b))) as usize
+                } else {
+                    w
+                };
+                let bv_a = zext(ctx, &bits[a.index()], ops_w);
+                // Constant-shift special case reads the raw constant.
+                if matches!(op, BinOp::Shl | BinOp::Shr) {
+                    let amount = match rtl.op(*b) {
+                        RtlOp::Const(c) => (*c % ops_w as u64) as usize,
+                        _ => panic!(
+                            "variable shift amounts are not lowered; \
+                             use a constant shift (synthesis guarantees this)"
+                        ),
+                    };
+                    match op {
+                        BinOp::Shl => shift_left(ctx, &bv_a, amount),
+                        BinOp::Shr => shift_right(ctx, &bv_a, amount),
+                        _ => unreachable!(),
+                    }
+                } else {
+                    let bv_b = zext(ctx, &bits[b.index()], ops_w);
+                    lower_binop(ctx, *op, &bv_a, &bv_b)
+                }
+            }
+            RtlOp::Mux { sel, then_, else_ } => {
+                let s = bits[sel.index()][0];
+                let t = zext(ctx, &bits[then_.index()], w);
+                let e = zext(ctx, &bits[else_.index()], w);
+                t.iter()
+                    .zip(&e)
+                    .map(|(&tb, &eb)| ctx.bit_mux(s, tb, eb))
+                    .collect()
+            }
+        };
+        debug_assert_eq!(v.len(), w);
+        bits.push(v);
+    }
+    LoweredCircuit { bits }
+}
+
+/// Public bit-vector helpers for clients (the model checker and SAT-ATPG)
+/// that build constraints on top of lowered circuits.
+pub mod bv {
+    use super::{add_with_carry, equal, sub_with_borrow, BitCtx};
+
+    /// Bits of a constant, LSB first.
+    pub fn constant<C: BitCtx>(ctx: &mut C, value: u64, width: usize) -> Vec<C::Bit> {
+        super::const_vec(ctx, value, width)
+    }
+
+    /// Ripple-carry sum (inputs must have equal width).
+    pub fn add<C: BitCtx>(ctx: &mut C, a: &[C::Bit], b: &[C::Bit]) -> Vec<C::Bit> {
+        super::add(ctx, a, b)
+    }
+
+    /// Difference `a − b` (two's complement, equal widths).
+    pub fn sub<C: BitCtx>(ctx: &mut C, a: &[C::Bit], b: &[C::Bit]) -> Vec<C::Bit> {
+        sub_with_borrow(ctx, a, b).0
+    }
+
+    /// Equality bit.
+    pub fn eq<C: BitCtx>(ctx: &mut C, a: &[C::Bit], b: &[C::Bit]) -> C::Bit {
+        equal(ctx, a, b)
+    }
+
+    /// Unsigned `a < b`.
+    pub fn lt<C: BitCtx>(ctx: &mut C, a: &[C::Bit], b: &[C::Bit]) -> C::Bit {
+        let (_, no_borrow) = sub_with_borrow(ctx, a, b);
+        ctx.bit_not(no_borrow)
+    }
+
+    /// Unsigned `a ≤ b`.
+    pub fn le<C: BitCtx>(ctx: &mut C, a: &[C::Bit], b: &[C::Bit]) -> C::Bit {
+        let (_, no_borrow) = sub_with_borrow(ctx, b, a);
+        no_borrow
+    }
+
+    /// Carry-out of `a + b + cin` (for overflow constraints).
+    pub fn add_carry<C: BitCtx>(
+        ctx: &mut C,
+        a: &[C::Bit],
+        b: &[C::Bit],
+        cin: Option<C::Bit>,
+    ) -> (Vec<C::Bit>, C::Bit) {
+        add_with_carry(ctx, a, b, cin)
+    }
+}
+
+fn const_vec<C: BitCtx>(ctx: &mut C, value: u64, width: usize) -> Vec<C::Bit> {
+    (0..width)
+        .map(|b| ctx.bit_const(value >> b & 1 == 1))
+        .collect()
+}
+
+fn zext<C: BitCtx>(ctx: &mut C, bits: &[C::Bit], width: usize) -> Vec<C::Bit> {
+    let mut v: Vec<C::Bit> = bits.iter().copied().take(width).collect();
+    while v.len() < width {
+        v.push(ctx.bit_const(false));
+    }
+    v
+}
+
+fn add<C: BitCtx>(ctx: &mut C, a: &[C::Bit], b: &[C::Bit]) -> Vec<C::Bit> {
+    add_with_carry(ctx, a, b, None).0
+}
+
+/// Ripple-carry adder; returns (sum, carry-out).
+fn add_with_carry<C: BitCtx>(
+    ctx: &mut C,
+    a: &[C::Bit],
+    b: &[C::Bit],
+    cin: Option<C::Bit>,
+) -> (Vec<C::Bit>, C::Bit) {
+    let mut carry = match cin {
+        Some(c) => c,
+        None => ctx.bit_const(false),
+    };
+    let mut out = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let xy = ctx.bit_xor(x, y);
+        let sum = ctx.bit_xor(xy, carry);
+        let c1 = ctx.bit_and(x, y);
+        let c2 = ctx.bit_and(xy, carry);
+        carry = ctx.bit_or(c1, c2);
+        out.push(sum);
+    }
+    (out, carry)
+}
+
+/// Subtraction `a − b` via `a + ¬b + 1`; returns (diff, no-borrow flag).
+/// The carry-out is 1 exactly when `a ≥ b` (unsigned).
+fn sub_with_borrow<C: BitCtx>(ctx: &mut C, a: &[C::Bit], b: &[C::Bit]) -> (Vec<C::Bit>, C::Bit) {
+    let nb: Vec<C::Bit> = b.iter().map(|&x| ctx.bit_not(x)).collect();
+    let one = ctx.bit_const(true);
+    add_with_carry(ctx, a, &nb, Some(one))
+}
+
+fn shift_left<C: BitCtx>(ctx: &mut C, a: &[C::Bit], amount: usize) -> Vec<C::Bit> {
+    let w = a.len();
+    (0..w)
+        .map(|i| {
+            if i >= amount {
+                a[i - amount]
+            } else {
+                ctx.bit_const(false)
+            }
+        })
+        .collect()
+}
+
+fn shift_right<C: BitCtx>(ctx: &mut C, a: &[C::Bit], amount: usize) -> Vec<C::Bit> {
+    let w = a.len();
+    (0..w)
+        .map(|i| {
+            if i + amount < w {
+                a[i + amount]
+            } else {
+                ctx.bit_const(false)
+            }
+        })
+        .collect()
+}
+
+fn equal<C: BitCtx>(ctx: &mut C, a: &[C::Bit], b: &[C::Bit]) -> C::Bit {
+    let mut acc = ctx.bit_const(true);
+    for (&x, &y) in a.iter().zip(b) {
+        let diff = ctx.bit_xor(x, y);
+        let same = ctx.bit_not(diff);
+        acc = ctx.bit_and(acc, same);
+    }
+    acc
+}
+
+fn lower_binop<C: BitCtx>(ctx: &mut C, op: BinOp, a: &[C::Bit], b: &[C::Bit]) -> Vec<C::Bit> {
+    match op {
+        BinOp::Add => add(ctx, a, b),
+        BinOp::Sub => sub_with_borrow(ctx, a, b).0,
+        BinOp::Mul => {
+            let w = a.len();
+            let mut acc = const_vec(ctx, 0, w);
+            for (i, &bit) in b.iter().enumerate() {
+                // acc += (a << i) masked by b[i]
+                let shifted = shift_left(ctx, a, i);
+                let masked: Vec<C::Bit> =
+                    shifted.iter().map(|&s| ctx.bit_and(s, bit)).collect();
+                acc = add(ctx, &acc, &masked);
+            }
+            acc
+        }
+        BinOp::And => a.iter().zip(b).map(|(&x, &y)| ctx.bit_and(x, y)).collect(),
+        BinOp::Or => a.iter().zip(b).map(|(&x, &y)| ctx.bit_or(x, y)).collect(),
+        BinOp::Xor => a.iter().zip(b).map(|(&x, &y)| ctx.bit_xor(x, y)).collect(),
+        BinOp::Eq => vec![equal(ctx, a, b)],
+        BinOp::Ne => {
+            let e = equal(ctx, a, b);
+            vec![ctx.bit_not(e)]
+        }
+        BinOp::Lt => {
+            let (_, no_borrow) = sub_with_borrow(ctx, a, b);
+            vec![ctx.bit_not(no_borrow)]
+        }
+        BinOp::Ge => {
+            let (_, no_borrow) = sub_with_borrow(ctx, a, b);
+            vec![no_borrow]
+        }
+        BinOp::Gt => {
+            let (_, no_borrow) = sub_with_borrow(ctx, b, a);
+            vec![ctx.bit_not(no_borrow)]
+        }
+        BinOp::Le => {
+            let (_, no_borrow) = sub_with_borrow(ctx, b, a);
+            vec![no_borrow]
+        }
+        BinOp::Div | BinOp::Rem => unreachable!("rejected by Rtl::binary"),
+        BinOp::Shl | BinOp::Shr => unreachable!("handled by the constant-shift path"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtl::Rtl;
+    use sat::Lit;
+
+    /// Builds a combinational RTL exercising an operator, lowers it to CNF,
+    /// and checks agreement with the word-level simulator on many inputs.
+    fn check_op(op: BinOp, width: u32, cases: &[(u64, u64)]) {
+        let mut rtl = Rtl::new("t");
+        let a = rtl.input("a", width);
+        let b = rtl.input("b", width);
+        let o = rtl.binary(op, a, b);
+        rtl.output("o", o);
+
+        for &(va, vb) in cases {
+            let expected = rtl.eval_combinational(&[va, vb])[0];
+            let mut ctx = CnfBackend::new();
+            let bits_a: Vec<Lit> = (0..width).map(|_| ctx.bit_fresh()).collect();
+            let bits_b: Vec<Lit> = (0..width).map(|_| ctx.bit_fresh()).collect();
+            let lowered = lower(&rtl, &mut ctx, &[bits_a.clone(), bits_b.clone()], &[]);
+            let out_bits = lowered.outputs(&rtl)[0].1.clone();
+            let mut assumptions = Vec::new();
+            for (i, &l) in bits_a.iter().enumerate() {
+                assumptions.push(sat::Lit::with_polarity(l.var(), va >> i & 1 == 1));
+            }
+            for (i, &l) in bits_b.iter().enumerate() {
+                assumptions.push(sat::Lit::with_polarity(l.var(), vb >> i & 1 == 1));
+            }
+            let builder = ctx.builder_mut();
+            assert!(builder.solve_with(&assumptions).is_sat());
+            let mut got = 0u64;
+            for (i, &l) in out_bits.iter().enumerate() {
+                if builder.lit_value(l) {
+                    got |= 1 << i;
+                }
+            }
+            assert_eq!(got, expected, "{op:?} on ({va}, {vb})");
+        }
+    }
+
+    const CASES: &[(u64, u64)] = &[
+        (0, 0),
+        (1, 0),
+        (0, 1),
+        (7, 7),
+        (255, 1),
+        (128, 128),
+        (200, 55),
+        (13, 250),
+        (255, 255),
+    ];
+
+    #[test]
+    fn cnf_add_matches_simulator() {
+        check_op(BinOp::Add, 8, CASES);
+    }
+
+    #[test]
+    fn cnf_sub_matches_simulator() {
+        check_op(BinOp::Sub, 8, CASES);
+    }
+
+    #[test]
+    fn cnf_mul_matches_simulator() {
+        check_op(BinOp::Mul, 8, CASES);
+    }
+
+    #[test]
+    fn cnf_bitwise_match_simulator() {
+        check_op(BinOp::And, 8, CASES);
+        check_op(BinOp::Or, 8, CASES);
+        check_op(BinOp::Xor, 8, CASES);
+    }
+
+    #[test]
+    fn cnf_comparisons_match_simulator() {
+        check_op(BinOp::Eq, 8, CASES);
+        check_op(BinOp::Ne, 8, CASES);
+        check_op(BinOp::Lt, 8, CASES);
+        check_op(BinOp::Le, 8, CASES);
+        check_op(BinOp::Gt, 8, CASES);
+        check_op(BinOp::Ge, 8, CASES);
+    }
+
+    #[test]
+    fn constant_shifts_match_simulator() {
+        for amount in 0..8u64 {
+            let mut rtl = Rtl::new("t");
+            let a = rtl.input("a", 8);
+            let k = rtl.constant(amount, 8);
+            let l = rtl.binary(BinOp::Shl, a, k);
+            let r = rtl.binary(BinOp::Shr, a, k);
+            rtl.output("l", l);
+            rtl.output("r", r);
+            let expected = rtl.eval_combinational(&[0b1011_0110]);
+
+            let mut ctx = CnfBackend::new();
+            let bits_a: Vec<Lit> = (0..8).map(|_| ctx.bit_fresh()).collect();
+            let lowered = lower(&rtl, &mut ctx, &[bits_a.clone()], &[]);
+            let outs = lowered.outputs(&rtl);
+            let mut assumptions = Vec::new();
+            for (i, &lit) in bits_a.iter().enumerate() {
+                assumptions.push(sat::Lit::with_polarity(lit.var(), 0b1011_0110u64 >> i & 1 == 1));
+            }
+            let builder = ctx.builder_mut();
+            assert!(builder.solve_with(&assumptions).is_sat());
+            for (oi, (_, obits)) in outs.iter().enumerate() {
+                let mut got = 0u64;
+                for (i, &lit) in obits.iter().enumerate() {
+                    if builder.lit_value(lit) {
+                        got |= 1 << i;
+                    }
+                }
+                assert_eq!(got, expected[oi], "shift by {amount}");
+            }
+        }
+    }
+
+    #[test]
+    fn bdd_backend_matches_simulator() {
+        let mut rtl = Rtl::new("t");
+        let a = rtl.input("a", 4);
+        let b = rtl.input("b", 4);
+        let s = rtl.binary(BinOp::Add, a, b);
+        let lt = rtl.binary(BinOp::Lt, a, b);
+        rtl.output("s", s);
+        rtl.output("lt", lt);
+
+        let mut mgr = bdd::Manager::new();
+        let mut ctx = BddBackend::new(&mut mgr, 0);
+        let bits_a: Vec<bdd::Ref> = (0..4).map(|_| ctx.bit_fresh()).collect();
+        let bits_b: Vec<bdd::Ref> = (0..4).map(|_| ctx.bit_fresh()).collect();
+        let lowered = lower(&rtl, &mut ctx, &[bits_a, bits_b], &[]);
+        let outs = lowered.outputs(&rtl);
+
+        for va in 0..16u64 {
+            for vb in 0..16u64 {
+                let expected = rtl.eval_combinational(&[va, vb]);
+                let mut assignment = vec![false; 8];
+                for i in 0..4 {
+                    assignment[i] = va >> i & 1 == 1;
+                    assignment[4 + i] = vb >> i & 1 == 1;
+                }
+                for (oi, (_, obits)) in outs.iter().enumerate() {
+                    let mut got = 0u64;
+                    for (i, &r) in obits.iter().enumerate() {
+                        if mgr.eval(r, &assignment) {
+                            got |= 1 << i;
+                        }
+                    }
+                    assert_eq!(got, expected[oi], "a={va} b={vb}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn miter_proves_equivalence_of_two_adders() {
+        // a + b  vs  b + a: the miter (xor of outputs) must be UNSAT.
+        let mut rtl = Rtl::new("t");
+        let a = rtl.input("a", 8);
+        let b = rtl.input("b", 8);
+        let s1 = rtl.binary(BinOp::Add, a, b);
+        let s2 = rtl.binary(BinOp::Add, b, a);
+        let ne = rtl.binary(BinOp::Ne, s1, s2);
+        rtl.output("ne", ne);
+
+        let mut ctx = CnfBackend::new();
+        let bits_a: Vec<Lit> = (0..8).map(|_| ctx.bit_fresh()).collect();
+        let bits_b: Vec<Lit> = (0..8).map(|_| ctx.bit_fresh()).collect();
+        let lowered = lower(&rtl, &mut ctx, &[bits_a, bits_b], &[]);
+        let ne_bit = lowered.outputs(&rtl)[0].1[0];
+        let builder = ctx.builder_mut();
+        builder.assert_lit(ne_bit);
+        assert!(builder.solve().is_unsat());
+    }
+
+    #[test]
+    fn widening_zero_extends() {
+        let mut rtl = Rtl::new("t");
+        let a = rtl.input("a", 4);
+        let b = rtl.input("b", 8);
+        let s = rtl.binary(BinOp::Add, a, b);
+        rtl.output("s", s);
+        assert_eq!(rtl.eval_combinational(&[15, 240])[0], 255);
+
+        let mut ctx = CnfBackend::new();
+        let bits_a: Vec<Lit> = (0..4).map(|_| ctx.bit_fresh()).collect();
+        let bits_b: Vec<Lit> = (0..8).map(|_| ctx.bit_fresh()).collect();
+        let lowered = lower(&rtl, &mut ctx, &[bits_a.clone(), bits_b.clone()], &[]);
+        let out = lowered.outputs(&rtl)[0].1.clone();
+        let mut assumptions = Vec::new();
+        for (i, &l) in bits_a.iter().enumerate() {
+            assumptions.push(sat::Lit::with_polarity(l.var(), 15u64 >> i & 1 == 1));
+        }
+        for (i, &l) in bits_b.iter().enumerate() {
+            assumptions.push(sat::Lit::with_polarity(l.var(), 240u64 >> i & 1 == 1));
+        }
+        let builder = ctx.builder_mut();
+        assert!(builder.solve_with(&assumptions).is_sat());
+        let mut got = 0u64;
+        for (i, &l) in out.iter().enumerate() {
+            if builder.lit_value(l) {
+                got |= 1 << i;
+            }
+        }
+        assert_eq!(got, 255);
+    }
+}

@@ -1,0 +1,429 @@
+//! Behavioural synthesis: loop-free `behav` functions → combinational RTL.
+//!
+//! This is the level-4 step the paper calls "Behavioral Synthesis and IP
+//! reuse": the FPGA-resident kernels are turned into RTL by *if-conversion*
+//! — every control-flow join becomes a word multiplexer, and `return`
+//! statements are folded into a `(returned, value)` pair threaded through
+//! the body. Loops must be unrolled first ([`behav::unroll`]), which is how
+//! the iterative ROOT (square root) module becomes synthesizable.
+//!
+//! The synthesized netlist is proven equivalent to the behavioural source
+//! by the test-suite (simulation cross-check here; SAT miter in `mc`).
+
+use crate::rtl::{Rtl, SigId};
+use behav::{BinOp, Expr, Function, Stmt, UnaryOp, VarId};
+use std::fmt;
+
+/// Why a function could not be synthesized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthError {
+    /// The body still contains a loop; unroll it first.
+    LoopNotSupported,
+    /// Arrays have no combinational equivalent (memories are platform IP).
+    ArrayNotSupported,
+    /// Division/remainder must be implemented iteratively and then unrolled.
+    DivisionNotSupported,
+    /// Only shifts by compile-time constants are synthesizable here.
+    VariableShiftNotSupported,
+    /// Reconfiguration / resource calls are software constructs.
+    InstrumentationNotSupported,
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            SynthError::LoopNotSupported => "loops must be unrolled before synthesis",
+            SynthError::ArrayNotSupported => "arrays are not synthesizable to combinational RTL",
+            SynthError::DivisionNotSupported => {
+                "division must be implemented iteratively before synthesis"
+            }
+            SynthError::VariableShiftNotSupported => {
+                "only constant shift amounts are synthesizable"
+            }
+            SynthError::InstrumentationNotSupported => {
+                "reconfigure/resource calls cannot be synthesized"
+            }
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// Synthesizes a loop-free behavioural function into a combinational
+/// netlist with one input per parameter and a single output `out`.
+///
+/// # Errors
+///
+/// Returns a [`SynthError`] for constructs with no combinational
+/// equivalent (loops, arrays, division, variable shifts, instrumentation).
+pub fn synthesize(func: &Function) -> Result<Rtl, SynthError> {
+    let mut rtl = Rtl::new(func.name());
+    let mut env: Vec<Option<SigId>> = vec![None; func.vars().len()];
+    for p in func.params() {
+        let decl = func.var(p);
+        env[p.index()] = Some(rtl.input(&decl.name, decl.width));
+    }
+    let mut st = SynthState {
+        rtl: &mut rtl,
+        func,
+        env,
+        returned: None,
+        ret_val: None,
+    };
+    let zero_flag = st.rtl.constant(0, 1);
+    let zero_ret = st.rtl.constant(0, func.ret_width());
+    st.returned = Some(zero_flag);
+    st.ret_val = Some(zero_ret);
+    st.block(func.body())?;
+    let out = st.ret_val.expect("initialized");
+    rtl.output("out", out);
+    Ok(rtl)
+}
+
+struct SynthState<'a> {
+    rtl: &'a mut Rtl,
+    func: &'a Function,
+    env: Vec<Option<SigId>>,
+    returned: Option<SigId>,
+    ret_val: Option<SigId>,
+}
+
+impl<'a> SynthState<'a> {
+    fn var_sig(&mut self, v: VarId) -> SigId {
+        match self.env[v.index()] {
+            Some(s) => s,
+            None => {
+                // Unassigned local reads as 0 (matching the interpreter).
+                let w = self.func.var(v).width;
+                let z = self.rtl.constant(0, w);
+                self.env[v.index()] = Some(z);
+                z
+            }
+        }
+    }
+
+    /// Reduces a signal to 1 bit via `!= 0` when needed.
+    fn bool_sig(&mut self, s: SigId) -> SigId {
+        if self.rtl.width(s) == 1 {
+            s
+        } else {
+            let z = self.rtl.constant(0, self.rtl.width(s));
+            self.rtl.binary(BinOp::Ne, s, z)
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<SigId, SynthError> {
+        match e {
+            Expr::Const { value, width } => Ok(self.rtl.constant(*value, *width)),
+            Expr::Var(v) => Ok(self.var_sig(*v)),
+            Expr::Index { .. } => Err(SynthError::ArrayNotSupported),
+            Expr::Unary { op, arg } => {
+                let a = self.expr(arg)?;
+                Ok(match op {
+                    UnaryOp::Not => self.rtl.not(a),
+                    UnaryOp::Neg => self.rtl.neg(a),
+                })
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                match op {
+                    BinOp::Div | BinOp::Rem => return Err(SynthError::DivisionNotSupported),
+                    // Shift amounts must be constants for the lowering.
+                    BinOp::Shl | BinOp::Shr if !matches!(**rhs, Expr::Const { .. }) => {
+                        return Err(SynthError::VariableShiftNotSupported);
+                    }
+                    _ => {}
+                }
+                let a = self.expr(lhs)?;
+                let b = self.expr(rhs)?;
+                Ok(self.rtl.binary(*op, a, b))
+            }
+            Expr::Mux { cond, then_, else_ } => {
+                let c = self.expr(cond)?;
+                let c = self.bool_sig(c);
+                let t = self.expr(then_)?;
+                let e2 = self.expr(else_)?;
+                Ok(self.rtl.mux(c, t, e2))
+            }
+        }
+    }
+
+    /// Guard a new value with the `returned` flag: once the function has
+    /// returned, later writes must not take effect.
+    fn guarded(&mut self, old: SigId, new: SigId) -> SigId {
+        let returned = self.returned.expect("initialized");
+        self.rtl.mux(returned, old, new)
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), SynthError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), SynthError> {
+        match s {
+            Stmt::Assign { target, value, .. } => {
+                let new = self.expr(value)?;
+                let old = self.var_sig(*target);
+                let merged = self.guarded(old, new);
+                self.env[target.index()] = Some(merged);
+                Ok(())
+            }
+            Stmt::Store { .. } => Err(SynthError::ArrayNotSupported),
+            Stmt::While { .. } => Err(SynthError::LoopNotSupported),
+            Stmt::Reconfigure { .. } | Stmt::ResourceCall { .. } => {
+                Err(SynthError::InstrumentationNotSupported)
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    let new = self.expr(v)?;
+                    let old = self.ret_val.expect("initialized");
+                    self.ret_val = Some(self.guarded(old, new));
+                }
+                // From here on, this path has returned.
+                let one = self.rtl.constant(1, 1);
+                let returned = self.returned.expect("initialized");
+                self.returned = Some(self.rtl.binary(BinOp::Or, returned, one));
+                Ok(())
+            }
+            Stmt::If {
+                cond, then_, else_, ..
+            } => {
+                let c = self.expr(cond)?;
+                let c = self.bool_sig(c);
+                let env_before = self.env.clone();
+                let returned_before = self.returned;
+                let ret_val_before = self.ret_val;
+
+                self.block(then_)?;
+                let env_then = std::mem::replace(&mut self.env, env_before.clone());
+                let returned_then = std::mem::replace(&mut self.returned, returned_before);
+                let ret_then = std::mem::replace(&mut self.ret_val, ret_val_before);
+
+                self.block(else_)?;
+                // Merge: phi nodes as muxes on the branch condition.
+                for (i, &t) in env_then.iter().enumerate() {
+                    let e = self.env[i];
+                    self.env[i] = match (t, e) {
+                        (None, None) => None,
+                        _ => {
+                            let w = self.func.var(VarId::from_index(i)).width;
+                            let tv = t.unwrap_or_else(|| self.rtl.constant(0, w));
+                            let ev = e.unwrap_or_else(|| self.rtl.constant(0, w));
+                            if tv == ev {
+                                Some(tv)
+                            } else {
+                                Some(self.rtl.mux(c, tv, ev))
+                            }
+                        }
+                    };
+                }
+                let rt = returned_then.expect("initialized");
+                let re = self.returned.expect("initialized");
+                self.returned = Some(if rt == re { rt } else { self.rtl.mux(c, rt, re) });
+                let vt = ret_then.expect("initialized");
+                let ve = self.ret_val.expect("initialized");
+                self.ret_val = Some(if vt == ve { vt } else { self.rtl.mux(c, vt, ve) });
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use behav::interp::Interpreter;
+    use behav::unroll::unroll;
+    use behav::FunctionBuilder;
+
+    /// Exhaustive (or sampled) equivalence between the interpreter and the
+    /// synthesized netlist.
+    fn assert_equiv(func: &Function, rtl: &Rtl, samples: &[Vec<u64>]) {
+        for inputs in samples {
+            let behav_out = Interpreter::new(func)
+                .run(inputs)
+                .expect("interpreter run")
+                .return_value
+                .unwrap_or(0);
+            let rtl_out = rtl.eval_combinational(inputs)[0];
+            assert_eq!(behav_out, rtl_out, "inputs {inputs:?}");
+        }
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut fb = FunctionBuilder::new("f", 16);
+        let a = fb.param("a", 16);
+        let b = fb.param("b", 16);
+        let x = fb.local("x", 16);
+        fb.assign(
+            x,
+            Expr::add(Expr::mul(Expr::var(a), Expr::var(b)), Expr::constant(3, 16)),
+        );
+        fb.ret(Expr::var(x));
+        let f = fb.build();
+        let rtl = synthesize(&f).expect("synthesizable");
+        let samples: Vec<Vec<u64>> = (0..20).map(|i| vec![i * 37 % 997, i * 91 % 499]).collect();
+        assert_equiv(&f, &rtl, &samples);
+    }
+
+    #[test]
+    fn if_conversion_with_early_return() {
+        let mut fb = FunctionBuilder::new("clamp", 8);
+        let a = fb.param("a", 8);
+        fb.if_(Expr::gt(Expr::var(a), Expr::constant(100, 8)), |t| {
+            t.ret(Expr::constant(100, 8));
+        });
+        fb.ret(Expr::var(a));
+        let f = fb.build();
+        let rtl = synthesize(&f).expect("synthesizable");
+        let samples: Vec<Vec<u64>> = (0..=255).map(|v| vec![v]).collect();
+        assert_equiv(&f, &rtl, &samples);
+    }
+
+    #[test]
+    fn assignments_after_return_are_dead() {
+        let mut fb = FunctionBuilder::new("f", 8);
+        let a = fb.param("a", 8);
+        let x = fb.local("x", 8);
+        fb.assign(x, Expr::var(a));
+        fb.if_(Expr::eq(Expr::var(a), Expr::constant(0, 8)), |t| {
+            t.ret(Expr::constant(77, 8));
+        });
+        fb.assign(x, Expr::add(Expr::var(x), Expr::constant(1, 8)));
+        fb.ret(Expr::var(x));
+        let f = fb.build();
+        let rtl = synthesize(&f).expect("synthesizable");
+        let samples: Vec<Vec<u64>> = (0..=255).map(|v| vec![v]).collect();
+        assert_equiv(&f, &rtl, &samples);
+    }
+
+    #[test]
+    fn nested_branches() {
+        let mut fb = FunctionBuilder::new("classify", 8);
+        let a = fb.param("a", 8);
+        let out = fb.local("out", 8);
+        fb.if_else(
+            Expr::lt(Expr::var(a), Expr::constant(85, 8)),
+            |t| t.assign(out, Expr::constant(0, 8)),
+            |e| {
+                e.if_else(
+                    Expr::lt(Expr::var(a), Expr::constant(170, 8)),
+                    |t2| t2.assign(out, Expr::constant(1, 8)),
+                    |e2| e2.assign(out, Expr::constant(2, 8)),
+                );
+            },
+        );
+        fb.ret(Expr::var(out));
+        let f = fb.build();
+        let rtl = synthesize(&f).expect("synthesizable");
+        let samples: Vec<Vec<u64>> = (0..=255).map(|v| vec![v]).collect();
+        assert_equiv(&f, &rtl, &samples);
+    }
+
+    #[test]
+    fn unrolled_sqrt_synthesizes_and_matches() {
+        // Integer sqrt by linear search (trip count ≤ 16 for 8-bit input).
+        let mut fb = FunctionBuilder::new("root", 8);
+        let a = fb.param("a", 8);
+        let r = fb.local("r", 8);
+        fb.while_(
+            Expr::le(
+                Expr::mul(
+                    Expr::add(Expr::var(r), Expr::constant(1, 8)),
+                    Expr::add(Expr::var(r), Expr::constant(1, 8)),
+                ),
+                Expr::var(a),
+            ),
+            |b| {
+                b.assign(r, Expr::add(Expr::var(r), Expr::constant(1, 8)));
+            },
+        );
+        fb.ret(Expr::var(r));
+        let f = fb.build();
+        let unrolled = unroll(&f, 16);
+        let rtl = synthesize(&unrolled).expect("synthesizable after unroll");
+        // Note: 8-bit mul wraps, so compare against the behavioural model
+        // (which has identical wrap semantics), sampling the full domain.
+        let samples: Vec<Vec<u64>> = (0..=255).map(|v| vec![v]).collect();
+        assert_equiv(&unrolled, &rtl, &samples);
+        // And spot-check true square roots in the wrap-free range.
+        assert_eq!(rtl.eval_combinational(&[49])[0], 7);
+        assert_eq!(rtl.eval_combinational(&[50])[0], 7);
+        assert_eq!(rtl.eval_combinational(&[0])[0], 0);
+    }
+
+    #[test]
+    fn loops_are_rejected_without_unrolling() {
+        let mut fb = FunctionBuilder::new("f", 8);
+        fb.while_(Expr::constant(0, 1), |_| {});
+        fb.ret(Expr::constant(0, 8));
+        let f = fb.build();
+        assert_eq!(synthesize(&f).unwrap_err(), SynthError::LoopNotSupported);
+    }
+
+    #[test]
+    fn arrays_are_rejected() {
+        let mut fb = FunctionBuilder::new("f", 8);
+        let arr = fb.array("m", 8, 4);
+        fb.store(arr, Expr::constant(0, 8), Expr::constant(1, 8));
+        fb.ret(Expr::constant(0, 8));
+        let f = fb.build();
+        assert_eq!(synthesize(&f).unwrap_err(), SynthError::ArrayNotSupported);
+    }
+
+    #[test]
+    fn division_is_rejected() {
+        let mut fb = FunctionBuilder::new("f", 8);
+        let a = fb.param("a", 8);
+        fb.ret(Expr::div(Expr::var(a), Expr::constant(3, 8)));
+        let f = fb.build();
+        assert_eq!(
+            synthesize(&f).unwrap_err(),
+            SynthError::DivisionNotSupported
+        );
+    }
+
+    #[test]
+    fn instrumentation_is_rejected() {
+        let mut fb = FunctionBuilder::new("f", 8);
+        fb.reconfigure(behav::ConfigId(0));
+        fb.ret(Expr::constant(0, 8));
+        let f = fb.build();
+        assert_eq!(
+            synthesize(&f).unwrap_err(),
+            SynthError::InstrumentationNotSupported
+        );
+    }
+
+    #[test]
+    fn variable_shift_is_rejected() {
+        let mut fb = FunctionBuilder::new("f", 8);
+        let a = fb.param("a", 8);
+        let b = fb.param("b", 8);
+        fb.ret(Expr::shl(Expr::var(a), Expr::var(b)));
+        let f = fb.build();
+        assert_eq!(
+            synthesize(&f).unwrap_err(),
+            SynthError::VariableShiftNotSupported
+        );
+    }
+
+    #[test]
+    fn mux_expression_synthesizes() {
+        let mut fb = FunctionBuilder::new("f", 8);
+        let a = fb.param("a", 8);
+        fb.ret(Expr::mux(
+            Expr::ge(Expr::var(a), Expr::constant(128, 8)),
+            Expr::sub(Expr::var(a), Expr::constant(128, 8)),
+            Expr::var(a),
+        ));
+        let f = fb.build();
+        let rtl = synthesize(&f).expect("synthesizable");
+        let samples: Vec<Vec<u64>> = (0..=255).map(|v| vec![v]).collect();
+        assert_equiv(&f, &rtl, &samples);
+    }
+}

@@ -1,0 +1,359 @@
+//! Petri nets: the abstraction LPV works on.
+//!
+//! The Symbad flow translates the SystemC model into "an abstract model
+//! where communication and synchronization characteristics remain
+//! un-abstracted" (§3.1). For the point-to-point dataflow networks of
+//! level 1 that abstraction is a *marked graph*: places are channels,
+//! transitions are module firings. This module provides the net structure,
+//! token-game semantics (used to confirm counterexamples by simulation) and
+//! the incidence matrix consumed by the LP encodings in [`crate::lpv`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlaceId(pub(crate) usize);
+
+impl PlaceId {
+    /// Creates an id from a raw index (for tools addressing places by
+    /// registration order).
+    pub fn from_index(index: usize) -> Self {
+        PlaceId(index)
+    }
+
+    /// Raw index in registration order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransitionId(pub(crate) usize);
+
+impl TransitionId {
+    /// Raw index in registration order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Place {
+    name: String,
+    initial: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Transition {
+    name: String,
+}
+
+/// A place/transition net with weighted arcs and an initial marking.
+#[derive(Debug, Clone, Default)]
+pub struct PetriNet {
+    places: Vec<Place>,
+    transitions: Vec<Transition>,
+    /// (place, transition, weight): tokens consumed when the transition fires.
+    input_arcs: Vec<(PlaceId, TransitionId, u64)>,
+    /// (transition, place, weight): tokens produced when the transition fires.
+    output_arcs: Vec<(TransitionId, PlaceId, u64)>,
+}
+
+impl PetriNet {
+    /// Creates an empty net.
+    pub fn new() -> Self {
+        PetriNet::default()
+    }
+
+    /// Adds a place holding `initial` tokens.
+    pub fn add_place(&mut self, name: &str, initial: u64) -> PlaceId {
+        let id = PlaceId(self.places.len());
+        self.places.push(Place {
+            name: name.to_owned(),
+            initial,
+        });
+        id
+    }
+
+    /// Adds a transition.
+    pub fn add_transition(&mut self, name: &str) -> TransitionId {
+        let id = TransitionId(self.transitions.len());
+        self.transitions.push(Transition {
+            name: name.to_owned(),
+        });
+        id
+    }
+
+    /// Adds an arc from `place` to `transition` with the given weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is zero.
+    pub fn add_input_arc(&mut self, place: PlaceId, transition: TransitionId, weight: u64) {
+        assert!(weight > 0, "arc weight must be positive");
+        self.input_arcs.push((place, transition, weight));
+    }
+
+    /// Adds an arc from `transition` to `place` with the given weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is zero.
+    pub fn add_output_arc(&mut self, transition: TransitionId, place: PlaceId, weight: u64) {
+        assert!(weight > 0, "arc weight must be positive");
+        self.output_arcs.push((transition, place, weight));
+    }
+
+    /// Convenience: a unit-weight channel place from `producer` to
+    /// `consumer` carrying `initial` tokens — exactly how a bounded FIFO of
+    /// the simulation model is abstracted.
+    pub fn add_channel(
+        &mut self,
+        name: &str,
+        producer: TransitionId,
+        consumer: TransitionId,
+        initial: u64,
+    ) -> PlaceId {
+        let p = self.add_place(name, initial);
+        self.add_output_arc(producer, p, 1);
+        self.add_input_arc(p, consumer, 1);
+        p
+    }
+
+    /// Number of places.
+    pub fn num_places(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Name of a place.
+    pub fn place_name(&self, p: PlaceId) -> &str {
+        &self.places[p.0].name
+    }
+
+    /// Name of a transition.
+    pub fn transition_name(&self, t: TransitionId) -> &str {
+        &self.transitions[t.0].name
+    }
+
+    /// The initial marking.
+    pub fn initial_marking(&self) -> Vec<u64> {
+        self.places.iter().map(|p| p.initial).collect()
+    }
+
+    /// Tokens consumed from each place by `t` (sparse).
+    pub fn pre(&self, t: TransitionId) -> BTreeMap<PlaceId, u64> {
+        let mut map = BTreeMap::new();
+        for &(p, tr, w) in &self.input_arcs {
+            if tr == t {
+                *map.entry(p).or_insert(0) += w;
+            }
+        }
+        map
+    }
+
+    /// Tokens produced into each place by `t` (sparse).
+    pub fn post(&self, t: TransitionId) -> BTreeMap<PlaceId, u64> {
+        let mut map = BTreeMap::new();
+        for &(tr, p, w) in &self.output_arcs {
+            if tr == t {
+                *map.entry(p).or_insert(0) += w;
+            }
+        }
+        map
+    }
+
+    /// The incidence matrix `C[p][t] = post(p,t) − pre(p,t)` as `i64`.
+    pub fn incidence(&self) -> Vec<Vec<i64>> {
+        let mut c = vec![vec![0i64; self.transitions.len()]; self.places.len()];
+        for &(p, t, w) in &self.input_arcs {
+            c[p.0][t.0] -= w as i64;
+        }
+        for &(t, p, w) in &self.output_arcs {
+            c[p.0][t.0] += w as i64;
+        }
+        c
+    }
+
+    /// Whether every place has exactly one input arc and one output arc of
+    /// weight 1 — the *marked graph* subclass for which the liveness LP of
+    /// [`crate::lpv`] is exact.
+    pub fn is_marked_graph(&self) -> bool {
+        let mut in_deg = vec![0usize; self.places.len()];
+        let mut out_deg = vec![0usize; self.places.len()];
+        for &(p, _, w) in &self.input_arcs {
+            if w != 1 {
+                return false;
+            }
+            out_deg[p.0] += 1;
+        }
+        for &(_, p, w) in &self.output_arcs {
+            if w != 1 {
+                return false;
+            }
+            in_deg[p.0] += 1;
+        }
+        in_deg.iter().all(|&d| d == 1) && out_deg.iter().all(|&d| d == 1)
+    }
+
+    /// Whether `t` is enabled under `marking`.
+    pub fn is_enabled(&self, marking: &[u64], t: TransitionId) -> bool {
+        self.pre(t).iter().all(|(&p, &w)| marking[p.0] >= w)
+    }
+
+    /// Fires `t`, updating `marking`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not enabled.
+    pub fn fire(&self, marking: &mut [u64], t: TransitionId) {
+        for (&p, &w) in &self.pre(t) {
+            assert!(marking[p.0] >= w, "transition not enabled");
+            marking[p.0] -= w;
+        }
+        for (&p, &w) in &self.post(t) {
+            marking[p.0] += w;
+        }
+    }
+
+    /// Deterministic token-game simulation: repeatedly fires the
+    /// lowest-index enabled transition, up to `max_steps`. Returns the firing
+    /// sequence and the final marking; used by LPV to confirm potential
+    /// counterexamples.
+    pub fn simulate(&self, max_steps: usize) -> (Vec<TransitionId>, Vec<u64>) {
+        let mut marking = self.initial_marking();
+        let mut fired = Vec::new();
+        for _ in 0..max_steps {
+            let next = (0..self.transitions.len())
+                .map(TransitionId)
+                .find(|&t| self.is_enabled(&marking, t));
+            match next {
+                None => break,
+                Some(t) => {
+                    self.fire(&mut marking, t);
+                    fired.push(t);
+                }
+            }
+        }
+        (fired, marking)
+    }
+
+    /// Whether no transition is enabled under `marking`.
+    pub fn is_dead(&self, marking: &[u64]) -> bool {
+        (0..self.transitions.len())
+            .map(TransitionId)
+            .all(|t| !self.is_enabled(marking, t))
+    }
+}
+
+impl fmt::Display for PetriNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "petri net: {} places, {} transitions",
+            self.places.len(),
+            self.transitions.len()
+        )?;
+        for (i, p) in self.places.iter().enumerate() {
+            writeln!(f, "  place {} `{}` tokens={}", i, p.name, p.initial)?;
+        }
+        for (i, t) in self.transitions.iter().enumerate() {
+            writeln!(f, "  transition {} `{}`", i, t.name)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-stage pipeline: src -> (a) -> mid -> (b) -> sink place.
+    fn pipeline() -> (PetriNet, TransitionId, TransitionId) {
+        let mut net = PetriNet::new();
+        let a = net.add_transition("a");
+        let b = net.add_transition("b");
+        let src = net.add_place("src", 3);
+        net.add_input_arc(src, a, 1);
+        net.add_channel("mid", a, b, 0);
+        let out = net.add_place("out", 0);
+        net.add_output_arc(b, out, 1);
+        (net, a, b)
+    }
+
+    #[test]
+    fn token_game_runs_to_completion() {
+        let (net, _, _) = pipeline();
+        let (fired, marking) = net.simulate(100);
+        assert_eq!(fired.len(), 6); // 3 firings of a + 3 of b
+        assert!(net.is_dead(&marking));
+        // Indices: src=0, mid=1, out=2 — everything drains into `out`.
+        assert_eq!(marking, vec![0, 0, 3]);
+    }
+
+    #[test]
+    fn enabledness_respects_weights() {
+        let mut net = PetriNet::new();
+        let t = net.add_transition("t");
+        let p = net.add_place("p", 1);
+        net.add_input_arc(p, t, 2);
+        assert!(!net.is_enabled(&net.initial_marking(), t));
+        let mut net2 = PetriNet::new();
+        let t2 = net2.add_transition("t");
+        let p2 = net2.add_place("p", 2);
+        net2.add_input_arc(p2, t2, 2);
+        assert!(net2.is_enabled(&net2.initial_marking(), t2));
+    }
+
+    #[test]
+    fn incidence_matrix() {
+        let (net, _, _) = pipeline();
+        let c = net.incidence();
+        // Place 0 (src): consumed by a.
+        assert_eq!(c[0], vec![-1, 0]);
+        // Place 1 (mid): produced by a, consumed by b.
+        assert_eq!(c[1], vec![1, -1]);
+        // Place 2 (out): produced by b.
+        assert_eq!(c[2], vec![0, 1]);
+    }
+
+    #[test]
+    fn marked_graph_detection() {
+        let mut net = PetriNet::new();
+        let a = net.add_transition("a");
+        let b = net.add_transition("b");
+        net.add_channel("ab", a, b, 1);
+        net.add_channel("ba", b, a, 0);
+        assert!(net.is_marked_graph());
+        // Adding a second consumer to a place breaks the property.
+        let c = net.add_transition("c");
+        net.add_input_arc(PlaceId(0), c, 1);
+        assert!(!net.is_marked_graph());
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        let mut net = PetriNet::new();
+        let t = net.add_transition("camera");
+        let p = net.add_place("frame", 0);
+        assert_eq!(net.transition_name(t), "camera");
+        assert_eq!(net.place_name(p), "frame");
+    }
+
+    #[test]
+    #[should_panic(expected = "not enabled")]
+    fn firing_disabled_transition_panics() {
+        let mut net = PetriNet::new();
+        let t = net.add_transition("t");
+        let p = net.add_place("p", 0);
+        net.add_input_arc(p, t, 1);
+        let mut m = net.initial_marking();
+        net.fire(&mut m, t);
+    }
+}

@@ -1,0 +1,136 @@
+//! k-induction: full safety proofs from bounded reasoning.
+//!
+//! `G φ` is proven if (base) no violation exists within `k` cycles of
+//! reset, and (step) any `k` consecutive φ-states are followed by another
+//! φ-state. The step case starts from an unconstrained state, so failure of
+//! the step is *not* a refutation — the verdict is then
+//! [`Verdict::Unknown`] and a larger `k` (or the exact BDD engine) is
+//! needed.
+
+use crate::bmc;
+use crate::prop::Property;
+use crate::unrolling::{InitMode, Unroller};
+use crate::Verdict;
+use hdl::Rtl;
+
+/// Attempts to prove the invariant `property` by k-induction.
+///
+/// # Panics
+///
+/// Panics if called with a response property (only invariants are
+/// inductively checkable here; compile response properties to monitors
+/// first).
+pub fn check(rtl: &Rtl, property: &Property, k: u32) -> Verdict {
+    let expr = match property {
+        Property::Invariant { expr, .. } => expr,
+        Property::Response { .. } => {
+            panic!("k-induction expects an invariant property")
+        }
+    };
+
+    assert!(k >= 1, "k-induction requires k >= 1");
+    // Base case: no violation in the first k cycles from reset.
+    match bmc::check(rtl, property, k - 1) {
+        Verdict::Violated(trace) => return Verdict::Violated(trace),
+        Verdict::NoViolationUpTo(_) => {}
+        other => return other,
+    }
+
+    // Step case: φ(s_0) ∧ … ∧ φ(s_{k-1}) ∧ ¬φ(s_k) unsatisfiable?
+    let mut unroller = Unroller::new(rtl, InitMode::Free);
+    unroller.ensure_frames(k as usize);
+    let mut assumptions = Vec::new();
+    for i in 0..k as usize {
+        let phi = unroller.compile_expr(expr, i);
+        assumptions.push(phi);
+    }
+    let bad = unroller.compile_expr(expr, k as usize);
+    assumptions.push(!bad);
+    if unroller
+        .ctx
+        .builder_mut()
+        .solve_with(&assumptions)
+        .is_unsat()
+    {
+        Verdict::Proven
+    } else {
+        Verdict::Unknown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::BoolExpr;
+    use behav::BinOp;
+    use hdl::Rtl;
+
+    /// Counter that wraps at `modulus` (stays in 0..modulus).
+    fn mod_counter(width: u32, modulus: u64) -> Rtl {
+        let mut rtl = Rtl::new("modc");
+        let q = rtl.reg("q", width, 0);
+        let one = rtl.constant(1, width);
+        let maxc = rtl.constant(modulus - 1, width);
+        let zero = rtl.constant(0, width);
+        let inc = rtl.binary(BinOp::Add, q, one);
+        let at_max = rtl.binary(BinOp::Eq, q, maxc);
+        let next = rtl.mux(at_max, zero, inc);
+        rtl.set_next(q, next);
+        rtl.output("q", q);
+        rtl
+    }
+
+    #[test]
+    fn inductive_invariant_is_proven() {
+        // q < 5 is 1-inductive for the mod-5 counter.
+        let rtl = mod_counter(3, 5);
+        let p = Property::invariant("lt5", BoolExpr::lt("q", 5));
+        assert_eq!(check(&rtl, &p, 1), Verdict::Proven);
+    }
+
+    #[test]
+    fn non_inductive_invariant_is_unknown_at_k1_but_proven_at_k2() {
+        // q != 6 holds (6 unreachable) but is not 1-inductive: from the
+        // unreachable state q=5 the next state is 6. It *is* 2-inductive
+        // because q=5 itself has no predecessor.
+        let rtl = mod_counter(3, 5);
+        let p = Property::invariant("ne6", BoolExpr::ne("q", 6));
+        assert_eq!(check(&rtl, &p, 1), Verdict::Unknown);
+        assert_eq!(check(&rtl, &p, 2), Verdict::Proven);
+    }
+
+    #[test]
+    fn false_invariant_is_refuted_in_base_case() {
+        let rtl = mod_counter(3, 5);
+        let p = Property::invariant("lt3", BoolExpr::lt("q", 3));
+        assert!(check(&rtl, &p, 4).is_violated());
+    }
+
+    #[test]
+    fn stronger_invariant_proves_at_higher_k_or_stays_unknown() {
+        // With larger k the path constraint-free induction may still fail;
+        // the verdict must never be wrong, only Unknown.
+        let rtl = mod_counter(3, 5);
+        let p = Property::invariant("ne6", BoolExpr::ne("q", 6));
+        for k in 1..=4 {
+            let v = check(&rtl, &p, k);
+            assert!(
+                v == Verdict::Proven || v == Verdict::Unknown,
+                "unsound verdict {v:?} at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an invariant")]
+    fn response_properties_are_rejected() {
+        let rtl = mod_counter(3, 5);
+        let p = Property::response(
+            "r",
+            BoolExpr::Const(true),
+            BoolExpr::Const(true),
+            1,
+        );
+        let _ = check(&rtl, &p, 1);
+    }
+}

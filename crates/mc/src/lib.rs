@@ -1,0 +1,128 @@
+//! Model checking for level-4 RTL verification.
+//!
+//! The paper applies "model checking and SAT solving" (references
+//! RuleBase/SMV) to the generated RTL and its HW/SW interfaces. This crate
+//! provides the corresponding engines over the `hdl` netlist IR:
+//!
+//! * [`bmc`] — bounded model checking by SAT: time-frame unrolling through
+//!   the shared `hdl::lower` bit-blaster, counterexample traces extracted
+//!   from the model,
+//! * [`induction`] — k-induction, turning bounded results into full safety
+//!   proofs when the invariant is inductive,
+//! * [`reach`] — exact symbolic reachability with BDDs (the "symbolic model
+//!   checking" of reference \[8\]), used both as a proof engine and as a
+//!   cross-check of the SAT path,
+//! * [`monitor`] — compiles bounded-response properties into monitor
+//!   automata + invariants, so the exact engines can decide them too,
+//! * [`prop`] — the property language: boolean formulas over named RTL
+//!   outputs, with invariant (`G φ`) and bounded-response
+//!   (`G (a → F≤k b)`) templates, plus concrete-trace evaluation reused by
+//!   the property-coverage checker (`pcc`).
+//!
+//! # Example: prove a counter never exceeds its modulus
+//!
+//! ```
+//! use behav::BinOp;
+//! use hdl::Rtl;
+//! use mc::prop::{BoolExpr, Property};
+//! use mc::{reach, Verdict};
+//!
+//! // 3-bit counter that wraps at 5.
+//! let mut rtl = Rtl::new("mod5");
+//! let q = rtl.reg("q", 3, 0);
+//! let one = rtl.constant(1, 3);
+//! let four = rtl.constant(4, 3);
+//! let zero = rtl.constant(0, 3);
+//! let inc = rtl.binary(BinOp::Add, q, one);
+//! let at_max = rtl.binary(BinOp::Eq, q, four);
+//! let next = rtl.mux(at_max, zero, inc);
+//! rtl.set_next(q, next);
+//! rtl.output("q", q);
+//!
+//! let prop = Property::invariant("bounded", BoolExpr::le("q", 4));
+//! assert_eq!(reach::check(&rtl, &prop), Verdict::Proven);
+//! ```
+
+pub mod bmc;
+pub mod induction;
+pub mod monitor;
+pub mod prop;
+pub mod reach;
+mod unrolling;
+
+pub use prop::{Atom, BoolExpr, Cmp, Property};
+
+/// A concrete counterexample: one frame per clock cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CexFrame {
+    /// Primary input values for the cycle (in declaration order).
+    pub inputs: Vec<u64>,
+    /// Register state at the start of the cycle (in registration order).
+    pub state: Vec<u64>,
+    /// Output values during the cycle, `(name, value)`.
+    pub outputs: Vec<(String, u64)>,
+}
+
+/// A counterexample trace from reset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CexTrace {
+    /// Frames from cycle 0 (reset) to the violating cycle.
+    pub frames: Vec<CexFrame>,
+}
+
+impl CexTrace {
+    /// Number of cycles in the trace.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+impl std::fmt::Display for CexTrace {
+    /// One line per cycle: inputs, register state, then outputs — the
+    /// format verification engineers paste into bug reports.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.frames.is_empty() {
+            return writeln!(f, "(no trace — violation reported symbolically)");
+        }
+        for (cycle, frame) in self.frames.iter().enumerate() {
+            write!(f, "cycle {cycle}: in={:?} state={:?}", frame.inputs, frame.state)?;
+            for (name, value) in &frame.outputs {
+                write!(f, " {name}={value}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a model-checking run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The property holds on all reachable states (a full proof).
+    Proven,
+    /// No violation exists within the explored bound (BMC only — not a
+    /// proof beyond the bound).
+    NoViolationUpTo(u32),
+    /// A violation was found; the trace witnesses it (BDD reachability
+    /// reports violations without a trace, using an empty frame list).
+    Violated(CexTrace),
+    /// The engine could not decide (e.g. the invariant is not k-inductive).
+    Unknown,
+}
+
+impl Verdict {
+    /// Whether the property was fully proven.
+    pub fn is_proven(&self) -> bool {
+        matches!(self, Verdict::Proven)
+    }
+
+    /// Whether a violation was found.
+    pub fn is_violated(&self) -> bool {
+        matches!(self, Verdict::Violated(_))
+    }
+}

@@ -1,0 +1,238 @@
+//! Monitor compilation: bounded-response properties as invariants.
+//!
+//! BMC refutes response properties but cannot prove them; the exact BDD
+//! engine ([`crate::reach`]) only decides invariants. This module closes
+//! the gap the classic way: `G (trigger → F≤k response)` is compiled into
+//! a *monitor* — a saturating counter of cycles since the oldest
+//! undischarged trigger, synthesized into a copy of the design — and the
+//! property becomes the invariant "the counter never exceeds `k`", which
+//! every engine (BMC, k-induction, reachability) can handle.
+//!
+//! Monitor transition, evaluated on the design's own outputs:
+//!
+//! ```text
+//! c' = 0                 if response holds this cycle
+//! c' = min(c+1, k+1)     if trigger holds or c > 0
+//! c' = c (= 0)           otherwise
+//! ```
+//!
+//! `c > k` witnesses a trigger that waited more than `k` cycles.
+
+use crate::prop::{BoolExpr, Cmp, Property};
+use behav::BinOp;
+use hdl::{Rtl, SigId};
+
+/// Compiles a [`Property::Response`] into `(augmented design, invariant)`.
+///
+/// The augmented design contains the original netlist unchanged plus the
+/// monitor register; the returned property is an invariant over the new
+/// `__monitor_violation` output.
+///
+/// # Panics
+///
+/// Panics when given an invariant property (nothing to compile) or when an
+/// atom references a missing output.
+pub fn compile_response_monitor(rtl: &Rtl, property: &Property) -> (Rtl, Property) {
+    let (name, trigger, response, within) = match property {
+        Property::Response {
+            name,
+            trigger,
+            response,
+            within,
+        } => (name, trigger, response, *within),
+        Property::Invariant { .. } => {
+            panic!("monitor compilation expects a response property")
+        }
+    };
+
+    let mut aug = rtl.clone();
+    let trig = compile_bool(&mut aug, trigger);
+    let resp = compile_bool(&mut aug, response);
+
+    // Counter wide enough for 0..=within+1.
+    let width = (u64::BITS - (within as u64 + 1).leading_zeros()).max(1);
+    let c = aug.reg("__monitor_count", width, 0);
+    let zero = aug.constant(0, width);
+    let one = aug.constant(1, width);
+    let cap = aug.constant(within as u64 + 1, width);
+
+    let pending = aug.binary(BinOp::Ne, c, zero);
+    let active = aug.binary(BinOp::Or, trig, pending);
+    let inc = aug.binary(BinOp::Add, c, one);
+    // Saturate at within+1 (the violated value latches).
+    let at_cap = aug.binary(BinOp::Ge, c, cap);
+    let inc_sat = aug.mux(at_cap, c, inc);
+    let advanced = aug.mux(active, inc_sat, c);
+    let next = aug.mux(resp, zero, advanced);
+    aug.set_next(c, next);
+
+    let within_const = aug.constant(within as u64, width);
+    let violated = aug.binary(BinOp::Gt, c, within_const);
+    aug.output("__monitor_violation", violated);
+
+    let invariant = Property::invariant(
+        &format!("{name}_monitor"),
+        BoolExpr::eq("__monitor_violation", 0),
+    );
+    (aug, invariant)
+}
+
+
+/// Compiles a [`BoolExpr`] over the design's named outputs into a 1-bit
+/// signal of the netlist.
+fn compile_bool(rtl: &mut Rtl, expr: &BoolExpr) -> SigId {
+    match expr {
+        BoolExpr::Const(b) => rtl.constant(*b as u64, 1),
+        BoolExpr::Atom(a) => {
+            let sig = rtl
+                .outputs()
+                .iter()
+                .find(|(n, _)| n == &a.output)
+                .map(|&(_, s)| s)
+                .unwrap_or_else(|| panic!("no output named `{}`", a.output));
+            let w = rtl.width(sig);
+            let m = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+            let cst = rtl.constant(a.value & m, w);
+            let op = match a.cmp {
+                Cmp::Eq => BinOp::Eq,
+                Cmp::Ne => BinOp::Ne,
+                Cmp::Lt => BinOp::Lt,
+                Cmp::Le => BinOp::Le,
+                Cmp::Gt => BinOp::Gt,
+                Cmp::Ge => BinOp::Ge,
+            };
+            rtl.binary(op, sig, cst)
+        }
+        BoolExpr::Not(e) => {
+            let x = compile_bool(rtl, e);
+            rtl.not(x)
+        }
+        BoolExpr::And(a, b) => {
+            let x = compile_bool(rtl, a);
+            let y = compile_bool(rtl, b);
+            rtl.binary(BinOp::And, x, y)
+        }
+        BoolExpr::Or(a, b) => {
+            let x = compile_bool(rtl, a);
+            let y = compile_bool(rtl, b);
+            rtl.binary(BinOp::Or, x, y)
+        }
+        BoolExpr::Implies(a, b) => {
+            let x = compile_bool(rtl, a);
+            let y = compile_bool(rtl, b);
+            let nx = rtl.not(x);
+            rtl.binary(BinOp::Or, nx, y)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bmc, induction, reach, Verdict};
+    use hdl::fsm::FsmBuilder;
+
+    /// Closed FSM: busy (state 1) always reaches done (state 2) in one step.
+    fn closed_fsm() -> Rtl {
+        let mut b = FsmBuilder::new("closed");
+        let idle = b.state("IDLE");
+        let busy = b.state("BUSY");
+        let done = b.state("DONE");
+        let start = b.input("start");
+        b.transition(idle, vec![(start, true)], busy);
+        b.transition(busy, vec![], done);
+        b.transition(done, vec![], idle);
+        b.moore_output("busy", 1, &[0, 1, 0]);
+        b.moore_output("done", 1, &[0, 0, 1]);
+        b.build()
+    }
+
+    fn busy_done(within: u32) -> Property {
+        Property::response(
+            "busy_done",
+            BoolExpr::eq("busy", 1),
+            BoolExpr::eq("done", 1),
+            within,
+        )
+    }
+
+    #[test]
+    fn monitor_enables_exact_proof_of_response() {
+        let rtl = closed_fsm();
+        let p = busy_done(1);
+        // BMC alone can only bound-check…
+        assert!(matches!(
+            bmc::check(&rtl, &p, 10),
+            Verdict::NoViolationUpTo(_)
+        ));
+        // …the monitor turns it into a full reachability proof.
+        let (aug, inv) = compile_response_monitor(&rtl, &p);
+        assert_eq!(reach::check(&aug, &inv), Verdict::Proven);
+    }
+
+    #[test]
+    fn monitor_refutes_too_tight_window() {
+        let rtl = closed_fsm();
+        // done arrives exactly 1 cycle after busy; within=0 demands the
+        // same cycle → violated.
+        let p = busy_done(0);
+        let (aug, inv) = compile_response_monitor(&rtl, &p);
+        assert!(reach::check(&aug, &inv).is_violated());
+        // BMC agrees on the unmonitored property.
+        assert!(bmc::check(&rtl, &p, 10).is_violated());
+    }
+
+    #[test]
+    fn monitor_agrees_with_bmc_on_open_wrapper() {
+        // The open bus wrapper (free ack) cannot guarantee done: both
+        // engines must refute.
+        let rtl = hdl::fsm::bus_wrapper_fsm("w");
+        let p = Property::response(
+            "req_done",
+            BoolExpr::eq("bus_req", 1),
+            BoolExpr::eq("done", 1),
+            3,
+        );
+        assert!(bmc::check(&rtl, &p, 10).is_violated());
+        let (aug, inv) = compile_response_monitor(&rtl, &p);
+        assert!(reach::check(&aug, &inv).is_violated());
+    }
+
+    #[test]
+    fn monitor_invariant_is_k_inductive_for_simple_cases() {
+        let rtl = closed_fsm();
+        let (aug, inv) = compile_response_monitor(&rtl, &busy_done(2));
+        // k-induction on the monitored invariant must never be unsound.
+        for k in 1..=4 {
+            let v = induction::check(&aug, &inv, k);
+            assert!(
+                v == Verdict::Proven || v == Verdict::Unknown,
+                "unsound induction verdict {v:?} at k={k}"
+            );
+        }
+        // And the exact engine settles it.
+        assert_eq!(reach::check(&aug, &inv), Verdict::Proven);
+    }
+
+    #[test]
+    fn augmentation_preserves_original_behaviour() {
+        let rtl = closed_fsm();
+        let (aug, _) = compile_response_monitor(&rtl, &busy_done(1));
+        // Original outputs simulate identically on the augmented design.
+        let inputs: Vec<Vec<u64>> =
+            vec![vec![1], vec![0], vec![0], vec![1], vec![0], vec![0]];
+        let orig = rtl.simulate(&inputs);
+        let augd = aug.simulate(&inputs);
+        for (o, a) in orig.iter().zip(&augd) {
+            assert_eq!(&a[..o.len()], &o[..], "original outputs unchanged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a response property")]
+    fn invariant_input_is_rejected() {
+        let rtl = closed_fsm();
+        let p = Property::invariant("inv", BoolExpr::Const(true));
+        let _ = compile_response_monitor(&rtl, &p);
+    }
+}

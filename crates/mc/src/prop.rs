@@ -1,0 +1,335 @@
+//! The property language.
+//!
+//! Properties are boolean formulas over the *named outputs* of an RTL
+//! module, wrapped in one of two temporal templates: invariants (`G φ`) and
+//! bounded response (`G (trigger → F≤k response)`). This matches the
+//! safety/bounded-liveness style industrial checkers of the paper's era
+//! (RuleBase) applied to interface correctness.
+
+/// Comparison operator of an [`Atom`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    Lt,
+    /// Unsigned less-or-equal.
+    Le,
+    /// Unsigned greater-than.
+    Gt,
+    /// Unsigned greater-or-equal.
+    Ge,
+}
+
+impl Cmp {
+    /// Applies the comparison to concrete values.
+    pub fn eval(self, lhs: u64, rhs: u64) -> bool {
+        match self {
+            Cmp::Eq => lhs == rhs,
+            Cmp::Ne => lhs != rhs,
+            Cmp::Lt => lhs < rhs,
+            Cmp::Le => lhs <= rhs,
+            Cmp::Gt => lhs > rhs,
+            Cmp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// An atomic proposition: a named RTL output compared with a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Output name (must exist on the checked module).
+    pub output: String,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Constant to compare with.
+    pub value: u64,
+}
+
+/// A boolean formula over atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoolExpr {
+    /// A constant.
+    Const(bool),
+    /// An atomic comparison.
+    Atom(Atom),
+    /// Negation.
+    Not(Box<BoolExpr>),
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    /// Implication.
+    Implies(Box<BoolExpr>, Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Atom shorthand: `output == value`.
+    pub fn eq(output: &str, value: u64) -> BoolExpr {
+        BoolExpr::Atom(Atom {
+            output: output.to_owned(),
+            cmp: Cmp::Eq,
+            value,
+        })
+    }
+
+    /// Atom shorthand: `output != value`.
+    pub fn ne(output: &str, value: u64) -> BoolExpr {
+        BoolExpr::Atom(Atom {
+            output: output.to_owned(),
+            cmp: Cmp::Ne,
+            value,
+        })
+    }
+
+    /// Atom shorthand: `output < value`.
+    pub fn lt(output: &str, value: u64) -> BoolExpr {
+        BoolExpr::Atom(Atom {
+            output: output.to_owned(),
+            cmp: Cmp::Lt,
+            value,
+        })
+    }
+
+    /// Atom shorthand: `output <= value`.
+    pub fn le(output: &str, value: u64) -> BoolExpr {
+        BoolExpr::Atom(Atom {
+            output: output.to_owned(),
+            cmp: Cmp::Le,
+            value,
+        })
+    }
+
+    /// Atom shorthand: `output > value`.
+    pub fn gt(output: &str, value: u64) -> BoolExpr {
+        BoolExpr::Atom(Atom {
+            output: output.to_owned(),
+            cmp: Cmp::Gt,
+            value,
+        })
+    }
+
+    /// Atom shorthand: `output >= value`.
+    pub fn ge(output: &str, value: u64) -> BoolExpr {
+        BoolExpr::Atom(Atom {
+            output: output.to_owned(),
+            cmp: Cmp::Ge,
+            value,
+        })
+    }
+
+    /// Negation combinator.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: BoolExpr) -> BoolExpr {
+        BoolExpr::Not(Box::new(e))
+    }
+
+    /// Conjunction combinator.
+    pub fn and(a: BoolExpr, b: BoolExpr) -> BoolExpr {
+        BoolExpr::And(Box::new(a), Box::new(b))
+    }
+
+    /// Disjunction combinator.
+    pub fn or(a: BoolExpr, b: BoolExpr) -> BoolExpr {
+        BoolExpr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Implication combinator.
+    pub fn implies(a: BoolExpr, b: BoolExpr) -> BoolExpr {
+        BoolExpr::Implies(Box::new(a), Box::new(b))
+    }
+
+    /// Evaluates over one cycle's named output values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an atom references an output missing from `outputs` —
+    /// property/module mismatches are configuration errors.
+    pub fn eval(&self, outputs: &[(String, u64)]) -> bool {
+        match self {
+            BoolExpr::Const(b) => *b,
+            BoolExpr::Atom(a) => {
+                let v = outputs
+                    .iter()
+                    .find(|(n, _)| n == &a.output)
+                    .unwrap_or_else(|| panic!("no output named `{}`", a.output))
+                    .1;
+                a.cmp.eval(v, a.value)
+            }
+            BoolExpr::Not(e) => !e.eval(outputs),
+            BoolExpr::And(a, b) => a.eval(outputs) && b.eval(outputs),
+            BoolExpr::Or(a, b) => a.eval(outputs) || b.eval(outputs),
+            BoolExpr::Implies(a, b) => !a.eval(outputs) || b.eval(outputs),
+        }
+    }
+}
+
+/// A temporal property over an RTL module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Property {
+    /// `G expr` — the formula holds in every reachable state, for every
+    /// input valuation.
+    Invariant {
+        /// Property name for reports.
+        name: String,
+        /// The invariant formula.
+        expr: BoolExpr,
+    },
+    /// `G (trigger → F≤within response)` — whenever `trigger` holds,
+    /// `response` holds within `within` cycles (inclusive of the trigger
+    /// cycle itself when `within = 0`).
+    Response {
+        /// Property name for reports.
+        name: String,
+        /// Antecedent.
+        trigger: BoolExpr,
+        /// Consequent that must follow.
+        response: BoolExpr,
+        /// Window length in cycles.
+        within: u32,
+    },
+}
+
+impl Property {
+    /// Invariant constructor.
+    pub fn invariant(name: &str, expr: BoolExpr) -> Property {
+        Property::Invariant {
+            name: name.to_owned(),
+            expr,
+        }
+    }
+
+    /// Bounded-response constructor.
+    pub fn response(name: &str, trigger: BoolExpr, response: BoolExpr, within: u32) -> Property {
+        Property::Response {
+            name: name.to_owned(),
+            trigger,
+            response,
+            within,
+        }
+    }
+
+    /// The property name.
+    pub fn name(&self) -> &str {
+        match self {
+            Property::Invariant { name, .. } | Property::Response { name, .. } => name,
+        }
+    }
+
+    /// Checks the property on a concrete output trace (one `(name, value)`
+    /// list per cycle). Used for simulation-based checking and by the
+    /// property-coverage checker.
+    ///
+    /// For response properties only complete windows are judged: a trigger
+    /// too close to the end of the trace is not reported as a violation.
+    pub fn holds_on_trace(&self, trace: &[Vec<(String, u64)>]) -> bool {
+        match self {
+            Property::Invariant { expr, .. } => trace.iter().all(|frame| expr.eval(frame)),
+            Property::Response {
+                trigger,
+                response,
+                within,
+                ..
+            } => {
+                for i in 0..trace.len() {
+                    if trigger.eval(&trace[i]) {
+                        let window_end = i + *within as usize;
+                        if window_end >= trace.len() {
+                            continue; // incomplete window: not judged
+                        }
+                        let answered =
+                            (i..=window_end).any(|j| response.eval(&trace[j]));
+                        if !answered {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(pairs: &[(&str, u64)]) -> Vec<(String, u64)> {
+        pairs.iter().map(|&(n, v)| (n.to_owned(), v)).collect()
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert!(Cmp::Eq.eval(3, 3));
+        assert!(Cmp::Ne.eval(3, 4));
+        assert!(Cmp::Lt.eval(3, 4));
+        assert!(Cmp::Le.eval(4, 4));
+        assert!(Cmp::Gt.eval(5, 4));
+        assert!(Cmp::Ge.eval(4, 4));
+        assert!(!Cmp::Lt.eval(4, 4));
+    }
+
+    #[test]
+    fn bool_expr_eval() {
+        let outs = frame(&[("x", 5), ("y", 0)]);
+        assert!(BoolExpr::eq("x", 5).eval(&outs));
+        assert!(BoolExpr::not(BoolExpr::eq("x", 6)).eval(&outs));
+        assert!(BoolExpr::and(BoolExpr::ge("x", 5), BoolExpr::eq("y", 0)).eval(&outs));
+        assert!(BoolExpr::or(BoolExpr::eq("x", 9), BoolExpr::eq("y", 0)).eval(&outs));
+        // x=5 → y=0 holds; x=5 → y=1 fails.
+        assert!(BoolExpr::implies(BoolExpr::eq("x", 5), BoolExpr::eq("y", 0)).eval(&outs));
+        assert!(!BoolExpr::implies(BoolExpr::eq("x", 5), BoolExpr::eq("y", 1)).eval(&outs));
+        assert!(BoolExpr::Const(true).eval(&outs));
+    }
+
+    #[test]
+    #[should_panic(expected = "no output named")]
+    fn missing_output_panics() {
+        BoolExpr::eq("ghost", 0).eval(&frame(&[("x", 1)]));
+    }
+
+    #[test]
+    fn invariant_on_trace() {
+        let p = Property::invariant("x_small", BoolExpr::le("x", 3));
+        let good = vec![frame(&[("x", 1)]), frame(&[("x", 3)])];
+        let bad = vec![frame(&[("x", 1)]), frame(&[("x", 4)])];
+        assert!(p.holds_on_trace(&good));
+        assert!(!p.holds_on_trace(&bad));
+    }
+
+    #[test]
+    fn response_on_trace() {
+        let p = Property::response("req_ack", BoolExpr::eq("req", 1), BoolExpr::eq("ack", 1), 2);
+        // req at cycle 0, ack at cycle 2: within window.
+        let good = vec![
+            frame(&[("req", 1), ("ack", 0)]),
+            frame(&[("req", 0), ("ack", 0)]),
+            frame(&[("req", 0), ("ack", 1)]),
+        ];
+        assert!(p.holds_on_trace(&good));
+        // req at cycle 0, no ack by cycle 2: violated.
+        let bad = vec![
+            frame(&[("req", 1), ("ack", 0)]),
+            frame(&[("req", 0), ("ack", 0)]),
+            frame(&[("req", 0), ("ack", 0)]),
+        ];
+        assert!(!p.holds_on_trace(&bad));
+        // Trigger near the end: window incomplete, not judged.
+        let truncated = vec![frame(&[("req", 1), ("ack", 0)])];
+        assert!(p.holds_on_trace(&truncated));
+    }
+
+    #[test]
+    fn property_names() {
+        assert_eq!(
+            Property::invariant("p1", BoolExpr::Const(true)).name(),
+            "p1"
+        );
+        assert_eq!(
+            Property::response("p2", BoolExpr::Const(true), BoolExpr::Const(true), 1).name(),
+            "p2"
+        );
+    }
+}

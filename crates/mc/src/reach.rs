@@ -1,0 +1,281 @@
+//! Exact symbolic model checking by BDD reachability.
+//!
+//! Variable layout: current-state bits occupy BDD variables `0..n`,
+//! next-state bits `n..2n`, primary-input bits `2n..`. The reachable-state
+//! set is computed by iterated image computation (`∃ current, inputs.
+//! R ∧ T` renamed back to the current frame); the invariant is checked
+//! against every reachable state under every input valuation. Unlike BMC
+//! this is a decision procedure — it either proves the invariant or reports
+//! a violation (without a trace; re-run BMC to extract one).
+
+use crate::prop::{BoolExpr, Cmp, Property};
+use crate::{CexTrace, Verdict};
+use hdl::lower::{bv, lower, BddBackend, BitCtx};
+use hdl::Rtl;
+
+/// Decides the invariant `property` on `rtl` by exact reachability.
+///
+/// # Panics
+///
+/// Panics if called with a response property (compile those to monitor
+/// FSMs first) or if the state space is too wide (> 28 state bits) to
+/// enumerate symbolically with the naive variable order used here.
+pub fn check(rtl: &Rtl, property: &Property) -> Verdict {
+    let expr = match property {
+        Property::Invariant { expr, .. } => expr,
+        Property::Response { .. } => panic!("reachability expects an invariant property"),
+    };
+    let n = rtl.state_bits() as usize;
+    assert!(
+        n <= 28,
+        "state space too wide for the naive BDD order ({n} bits)"
+    );
+
+    let mut mgr = bdd::Manager::new();
+    // Current-state bits per register.
+    let mut reg_bits: Vec<Vec<bdd::Ref>> = Vec::new();
+    let mut var = 0u32;
+    for &(r, _) in &rtl.registers() {
+        let w = rtl.width(r);
+        let bits: Vec<bdd::Ref> = (0..w).map(|i| mgr.var(var + i)).collect();
+        var += w;
+        reg_bits.push(bits);
+    }
+    debug_assert_eq!(var as usize, n);
+
+    // Lower with inputs allocated from 2n.
+    let (outputs, next_state, input_var_count) = {
+        let mut ctx = BddBackend::new(&mut mgr, 2 * n as u32);
+        let input_bits: Vec<Vec<bdd::Ref>> = rtl
+            .inputs()
+            .iter()
+            .map(|&i| {
+                let w = rtl.width(i) as usize;
+                (0..w).map(|_| ctx.bit_fresh()).collect()
+            })
+            .collect();
+        let lowered = lower(rtl, &mut ctx, &input_bits, &reg_bits);
+        let outputs = lowered.outputs(rtl);
+        let next_state = lowered.next_state(rtl);
+        let count = ctx.next_var() - 2 * n as u32;
+        (outputs, next_state, count)
+    };
+
+    let input_vars: Vec<u32> = (0..input_var_count).map(|i| 2 * n as u32 + i).collect();
+    let current_vars: Vec<u32> = (0..n as u32).collect();
+
+    // Transition relation T(current, input, next).
+    let mut trans = mgr.constant(true);
+    let mut bit_idx = 0u32;
+    for reg_next in &next_state {
+        for &next_bit in reg_next {
+            let next_var = mgr.var(n as u32 + bit_idx);
+            let iff = mgr.iff(next_var, next_bit);
+            trans = mgr.and(trans, iff);
+            bit_idx += 1;
+        }
+    }
+
+    // Bad states: ∃ inputs. ¬φ(outputs(current, inputs)).
+    let phi = compile_expr(&mut mgr, n, &outputs, expr);
+    let not_phi = mgr.not(phi);
+    let bad_states = mgr.exists_many(not_phi, &input_vars);
+
+    // Initial state cube.
+    let reset = rtl.reset_state();
+    let mut init = mgr.constant(true);
+    let mut bit = 0u32;
+    for (ri, &(r, _)) in rtl.registers().iter().enumerate() {
+        let w = rtl.width(r);
+        for i in 0..w {
+            let v = if reset[ri] >> i & 1 == 1 {
+                mgr.var(bit)
+            } else {
+                mgr.nvar(bit)
+            };
+            init = mgr.and(init, v);
+            bit += 1;
+        }
+    }
+
+    // Fixpoint reachability.
+    let quantify: Vec<u32> = current_vars
+        .iter()
+        .copied()
+        .chain(input_vars.iter().copied())
+        .collect();
+    let rename_map: Vec<(u32, u32)> = (0..n as u32).map(|i| (n as u32 + i, i)).collect();
+    let mut reached = init;
+    loop {
+        let overlap = mgr.and(reached, bad_states);
+        if overlap != bdd::Ref::FALSE {
+            return Verdict::Violated(CexTrace { frames: Vec::new() });
+        }
+        let img_next = mgr.and_exists(reached, trans, &quantify);
+        let img = mgr.rename(img_next, &rename_map);
+        let new_reached = mgr.or(reached, img);
+        if new_reached == reached {
+            return Verdict::Proven;
+        }
+        reached = new_reached;
+    }
+}
+
+fn compile_expr(
+    mgr: &mut bdd::Manager,
+    n: usize,
+    outputs: &[(String, Vec<bdd::Ref>)],
+    expr: &BoolExpr,
+) -> bdd::Ref {
+    match expr {
+        BoolExpr::Const(b) => mgr.constant(*b),
+        BoolExpr::Atom(a) => {
+            let bits = &outputs
+                .iter()
+                .find(|(nm, _)| nm == &a.output)
+                .unwrap_or_else(|| panic!("no output named `{}`", a.output))
+                .1;
+            // Fresh vars are never needed for constants/comparisons, so the
+            // backend's starting index is irrelevant here.
+            let mut ctx = BddBackend::new(mgr, u32::MAX - 1024);
+            let w = bits.len();
+            let m = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+            let cst = bv::constant(&mut ctx, a.value & m, w);
+            match a.cmp {
+                Cmp::Eq => bv::eq(&mut ctx, bits, &cst),
+                Cmp::Ne => {
+                    let e = bv::eq(&mut ctx, bits, &cst);
+                    ctx.bit_not(e)
+                }
+                Cmp::Lt => bv::lt(&mut ctx, bits, &cst),
+                Cmp::Le => bv::le(&mut ctx, bits, &cst),
+                Cmp::Gt => {
+                    let le = bv::le(&mut ctx, bits, &cst);
+                    ctx.bit_not(le)
+                }
+                Cmp::Ge => {
+                    let lt = bv::lt(&mut ctx, bits, &cst);
+                    ctx.bit_not(lt)
+                }
+            }
+        }
+        BoolExpr::Not(e) => {
+            let x = compile_expr(mgr, n, outputs, e);
+            mgr.not(x)
+        }
+        BoolExpr::And(a, b) => {
+            let x = compile_expr(mgr, n, outputs, a);
+            let y = compile_expr(mgr, n, outputs, b);
+            mgr.and(x, y)
+        }
+        BoolExpr::Or(a, b) => {
+            let x = compile_expr(mgr, n, outputs, a);
+            let y = compile_expr(mgr, n, outputs, b);
+            mgr.or(x, y)
+        }
+        BoolExpr::Implies(a, b) => {
+            let x = compile_expr(mgr, n, outputs, a);
+            let y = compile_expr(mgr, n, outputs, b);
+            mgr.implies(x, y)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bmc;
+    use crate::prop::BoolExpr;
+    use behav::BinOp;
+    use hdl::fsm::bus_wrapper_fsm;
+    use hdl::Rtl;
+
+    fn mod_counter(width: u32, modulus: u64) -> Rtl {
+        let mut rtl = Rtl::new("modc");
+        let q = rtl.reg("q", width, 0);
+        let one = rtl.constant(1, width);
+        let maxc = rtl.constant(modulus - 1, width);
+        let zero = rtl.constant(0, width);
+        let inc = rtl.binary(BinOp::Add, q, one);
+        let at_max = rtl.binary(BinOp::Eq, q, maxc);
+        let next = rtl.mux(at_max, zero, inc);
+        rtl.set_next(q, next);
+        rtl.output("q", q);
+        rtl
+    }
+
+    #[test]
+    fn proves_unreachable_state_exactly() {
+        // q != 6 is NOT 1-inductive but IS true: the exact engine proves it.
+        let rtl = mod_counter(3, 5);
+        let p = Property::invariant("ne6", BoolExpr::ne("q", 6));
+        assert_eq!(check(&rtl, &p), Verdict::Proven);
+    }
+
+    #[test]
+    fn refutes_false_invariant() {
+        let rtl = mod_counter(3, 5);
+        let p = Property::invariant("lt3", BoolExpr::lt("q", 3));
+        assert!(check(&rtl, &p).is_violated());
+    }
+
+    #[test]
+    fn agrees_with_bmc_on_fsm_invariants() {
+        let rtl = bus_wrapper_fsm("w");
+        let cases = [
+            (Property::invariant("range", BoolExpr::le("state", 3)), true),
+            (
+                // bus_req is never high in DONE (state 3).
+                Property::invariant(
+                    "no_req_in_done",
+                    BoolExpr::implies(BoolExpr::eq("state", 3), BoolExpr::eq("bus_req", 0)),
+                ),
+                true,
+            ),
+            (
+                Property::invariant("never_done", BoolExpr::eq("done", 0)),
+                false,
+            ),
+        ];
+        for (p, expect_proven) in cases {
+            let exact = check(&rtl, &p);
+            let bounded = bmc::check(&rtl, &p, 10);
+            if expect_proven {
+                assert_eq!(exact, Verdict::Proven, "{}", p.name());
+                assert!(
+                    matches!(bounded, Verdict::NoViolationUpTo(_)),
+                    "{}",
+                    p.name()
+                );
+            } else {
+                assert!(exact.is_violated(), "{}", p.name());
+                assert!(bounded.is_violated(), "{}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn input_dependent_invariant() {
+        // Module: out = in0 & in1. Invariant "out ≤ 1" holds; "out == 0"
+        // fails because some input valuation makes out 1. State-free models
+        // still work (no registers).
+        let mut rtl = Rtl::new("comb");
+        let a = rtl.input("a", 1);
+        let b = rtl.input("b", 1);
+        let o = rtl.binary(BinOp::And, a, b);
+        rtl.output("o", o);
+        assert_eq!(
+            check(&rtl, &Property::invariant("le1", BoolExpr::le("o", 1))),
+            Verdict::Proven
+        );
+        assert!(check(&rtl, &Property::invariant("zero", BoolExpr::eq("o", 0))).is_violated());
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an invariant")]
+    fn response_rejected() {
+        let rtl = mod_counter(3, 5);
+        let p = Property::response("r", BoolExpr::Const(true), BoolExpr::Const(true), 1);
+        let _ = check(&rtl, &p);
+    }
+}

@@ -1,0 +1,191 @@
+//! Time-frame unrolling shared by BMC and k-induction.
+
+use crate::prop::{BoolExpr, Cmp};
+use crate::{CexFrame, CexTrace};
+use hdl::lower::{bv, lower, CnfBackend};
+use hdl::Rtl;
+use sat::Lit;
+
+/// How the first frame's register state is constrained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitMode {
+    /// Frame 0 starts from the reset values (BMC).
+    Reset,
+    /// Frame 0 state is unconstrained (induction step).
+    Free,
+}
+
+pub struct Frame {
+    pub input_lits: Vec<Vec<Lit>>,
+    pub state_lits: Vec<Vec<Lit>>,
+    pub outputs: Vec<(String, Vec<Lit>)>,
+    pub next_state: Vec<Vec<Lit>>,
+}
+
+/// Incrementally unrolls an [`Rtl`] netlist into CNF time frames.
+pub struct Unroller<'r> {
+    rtl: &'r Rtl,
+    pub ctx: CnfBackend,
+    pub frames: Vec<Frame>,
+    init: InitMode,
+}
+
+impl<'r> Unroller<'r> {
+    pub fn new(rtl: &'r Rtl, init: InitMode) -> Self {
+        Unroller {
+            rtl,
+            ctx: CnfBackend::new(),
+            frames: Vec::new(),
+            init,
+        }
+    }
+
+    /// Appends one more time frame and returns its index.
+    pub fn add_frame(&mut self) -> usize {
+        use hdl::lower::BitCtx;
+        let state_lits: Vec<Vec<Lit>> = if let Some(last) = self.frames.last() {
+            last.next_state.clone()
+        } else {
+            match self.init {
+                InitMode::Reset => {
+                    let reset = self.rtl.reset_state();
+                    self.rtl
+                        .registers()
+                        .iter()
+                        .zip(&reset)
+                        .map(|(&(r, _), &v)| {
+                            let w = self.rtl.width(r) as usize;
+                            bv::constant(&mut self.ctx, v, w)
+                        })
+                        .collect()
+                }
+                InitMode::Free => self
+                    .rtl
+                    .registers()
+                    .iter()
+                    .map(|&(r, _)| {
+                        let w = self.rtl.width(r) as usize;
+                        (0..w).map(|_| self.ctx.bit_fresh()).collect()
+                    })
+                    .collect(),
+            }
+        };
+        let input_lits: Vec<Vec<Lit>> = self
+            .rtl
+            .inputs()
+            .iter()
+            .map(|&i| {
+                let w = self.rtl.width(i) as usize;
+                (0..w).map(|_| self.ctx.bit_fresh()).collect()
+            })
+            .collect();
+        let lowered = lower(self.rtl, &mut self.ctx, &input_lits, &state_lits);
+        let outputs = lowered.outputs(self.rtl);
+        let next_state = lowered.next_state(self.rtl);
+        self.frames.push(Frame {
+            input_lits,
+            state_lits,
+            outputs,
+            next_state,
+        });
+        self.frames.len() - 1
+    }
+
+    /// Ensures at least `n + 1` frames exist.
+    pub fn ensure_frames(&mut self, n: usize) {
+        while self.frames.len() <= n {
+            self.add_frame();
+        }
+    }
+
+    /// Builds a literal equal to `expr` evaluated on frame `fi`.
+    pub fn compile_expr(&mut self, expr: &BoolExpr, fi: usize) -> Lit {
+        use hdl::lower::BitCtx;
+        match expr {
+            BoolExpr::Const(b) => self.ctx.bit_const(*b),
+            BoolExpr::Atom(a) => {
+                let bits: Vec<Lit> = self.frames[fi]
+                    .outputs
+                    .iter()
+                    .find(|(n, _)| n == &a.output)
+                    .unwrap_or_else(|| panic!("no output named `{}`", a.output))
+                    .1
+                    .clone();
+                let cst = bv::constant(&mut self.ctx, a.value & mask_w(bits.len()), bits.len());
+                match a.cmp {
+                    Cmp::Eq => bv::eq(&mut self.ctx, &bits, &cst),
+                    Cmp::Ne => {
+                        let e = bv::eq(&mut self.ctx, &bits, &cst);
+                        !e
+                    }
+                    Cmp::Lt => bv::lt(&mut self.ctx, &bits, &cst),
+                    Cmp::Le => bv::le(&mut self.ctx, &bits, &cst),
+                    Cmp::Gt => {
+                        let le = bv::le(&mut self.ctx, &bits, &cst);
+                        !le
+                    }
+                    Cmp::Ge => {
+                        let lt = bv::lt(&mut self.ctx, &bits, &cst);
+                        !lt
+                    }
+                }
+            }
+            BoolExpr::Not(e) => {
+                let l = self.compile_expr(e, fi);
+                !l
+            }
+            BoolExpr::And(a, b) => {
+                let la = self.compile_expr(a, fi);
+                let lb = self.compile_expr(b, fi);
+                self.ctx.bit_and(la, lb)
+            }
+            BoolExpr::Or(a, b) => {
+                let la = self.compile_expr(a, fi);
+                let lb = self.compile_expr(b, fi);
+                self.ctx.bit_or(la, lb)
+            }
+            BoolExpr::Implies(a, b) => {
+                let la = self.compile_expr(a, fi);
+                let lb = self.compile_expr(b, fi);
+                let na = !la;
+                self.ctx.bit_or(na, lb)
+            }
+        }
+    }
+
+    /// Extracts a counterexample trace covering frames `0..=last` from the
+    /// current SAT model.
+    pub fn extract_trace(&mut self, last: usize) -> CexTrace {
+        let read_word = |builder: &sat::CnfBuilder, bits: &[Lit]| -> u64 {
+            let mut v = 0u64;
+            for (i, &l) in bits.iter().enumerate() {
+                if builder.lit_value(l) {
+                    v |= 1 << i;
+                }
+            }
+            v
+        };
+        let builder = self.ctx.builder_mut();
+        let mut frames = Vec::new();
+        for f in &self.frames[..=last] {
+            frames.push(CexFrame {
+                inputs: f.input_lits.iter().map(|b| read_word(builder, b)).collect(),
+                state: f.state_lits.iter().map(|b| read_word(builder, b)).collect(),
+                outputs: f
+                    .outputs
+                    .iter()
+                    .map(|(n, b)| (n.clone(), read_word(builder, b)))
+                    .collect(),
+            });
+        }
+        CexTrace { frames }
+    }
+}
+
+fn mask_w(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}

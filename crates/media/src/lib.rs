@@ -1,0 +1,38 @@
+//! The face-recognition application — the Symbad case study workload.
+//!
+//! "The target application consists of recognition of a face previously
+//! acquired by a low-resolution CMOS camera. The recognition phase is
+//! performed comparing the unknown face to a database of twenty different
+//! faces under multiple poses" (§4). The original camera and face database
+//! are not available, so this crate substitutes a **deterministic synthetic
+//! face generator** (20 parametric identities × poses, Bayer-mosaiced with
+//! seeded sensor noise); the methodology only needs a reproducible image
+//! source whose outputs can be trace-compared across refinement levels.
+//!
+//! The modules are exactly the Figure-2 blocks:
+//!
+//! `CAMERA → BAY → EROSION → EDGE → ELLIPSE → CRTBORD → CRTLINE → CALCLINE
+//!  → DISTANCE → CALCDIST → ROOT → WINNER`, with `DATABASE` as the stored
+//! gallery.
+//!
+//! * [`image`] — image containers (Bayer raw, grayscale, binary),
+//! * [`dataset`] — the synthetic camera and gallery,
+//! * [`pipeline`] — each Figure-2 module as a pure function,
+//! * [`mod@reference`] — the end-to-end "C reference model" with an
+//!   observation trace for cross-level comparison,
+//! * [`kernels`] — DISTANCE and ROOT expressed as `behav` functions: the
+//!   two modules the case study maps into the FPGA (contexts `config1` /
+//!   `config2`) and later synthesizes to RTL,
+//! * [`profile`] — per-module operation mixes feeding the platform's
+//!   automatic SW annotation.
+
+pub mod dataset;
+pub mod image;
+pub mod kernels;
+pub mod pipeline;
+pub mod profile;
+pub mod reference;
+
+pub use dataset::{Dataset, DatasetConfig};
+pub use image::{BayerImage, BinaryImage, GrayImage};
+pub use reference::{recognize, RecognitionResult};

@@ -1,0 +1,226 @@
+//! The end-to-end "C reference model".
+//!
+//! "The reference model of the complete system functionality is a
+//! collection of programs written in C" (§4). This module is that
+//! collection: the whole pipeline as one pure call chain, producing both
+//! the recognition answer and an *observation trace* of intermediate
+//! results. Every abstraction level of the flow is verified by comparing
+//! its trace against this one (paper: "match of results consists of trace
+//! files comparison").
+
+use crate::dataset::Dataset;
+use crate::image::BayerImage;
+use crate::pipeline::{
+    bay, calcdist, calcline, crtbord, crtline, distance, edge, ellipse, erosion, root, winner,
+    FeatureVector,
+};
+
+/// Observable checkpoints of one pipeline run, in dataflow order. These are
+/// the values the level-1/2/3 models must reproduce exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineTrace {
+    /// Sum of the demosaiced image (BAY output checkpoint).
+    pub bay_checksum: u64,
+    /// Sum of the eroded image (EROSION output checkpoint).
+    pub erosion_checksum: u64,
+    /// Edge-pixel count (EDGE output checkpoint).
+    pub edge_count: u64,
+    /// Fitted ellipse (ELLIPSE output).
+    pub ellipse: (i32, i32, i32, i32),
+    /// The normalized signature (CALCLINE output).
+    pub features: FeatureVector,
+    /// Per-gallery-entry distances after ROOT.
+    pub distances: Vec<u32>,
+    /// WINNER output: index into the gallery entry list.
+    pub winner_entry: usize,
+}
+
+/// The recognition answer plus its trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecognitionResult {
+    /// Recognized identity.
+    pub identity: usize,
+    /// Pose of the best-matching gallery entry.
+    pub pose: usize,
+    /// Distance to the best match.
+    pub distance: u32,
+    /// Full observation trace.
+    pub trace: PipelineTrace,
+}
+
+/// Extracts the normalized face signature from a raw camera frame —
+/// the front half of Figure 2 (BAY … CALCLINE).
+pub fn extract_features(frame: &BayerImage) -> (FeatureVector, PipelineTracePrefix) {
+    let gray = bay(frame);
+    let eroded = erosion(&gray);
+    let edges = edge(&eroded);
+    let fit = ellipse(&edges);
+    let region = crtbord(gray.width, gray.height, &fit);
+    let raw_lines = crtline(&eroded, &region);
+    let features = calcline(&raw_lines);
+    let prefix = PipelineTracePrefix {
+        bay_checksum: gray.data.iter().map(|&p| p as u64).sum(),
+        erosion_checksum: eroded.data.iter().map(|&p| p as u64).sum(),
+        edge_count: edges.count_ones() as u64,
+        ellipse: (fit.cx, fit.cy, fit.a, fit.b),
+    };
+    (features, prefix)
+}
+
+/// The front-half observations of [`PipelineTrace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineTracePrefix {
+    /// Sum of the demosaiced image.
+    pub bay_checksum: u64,
+    /// Sum of the eroded image.
+    pub erosion_checksum: u64,
+    /// Edge-pixel count.
+    pub edge_count: u64,
+    /// Fitted ellipse.
+    pub ellipse: (i32, i32, i32, i32),
+}
+
+/// The enrolled gallery: one signature per `(identity, pose)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gallery {
+    /// `(identity, pose, signature)` triples in enumeration order.
+    pub entries: Vec<(usize, usize, FeatureVector)>,
+}
+
+/// Enrols the whole dataset (noise-free frames, matching the paper's
+/// "previously acquired" gallery).
+pub fn enroll(dataset: &Dataset) -> Gallery {
+    let entries = dataset
+        .gallery_entries()
+        .into_iter()
+        .map(|(id, pose)| {
+            let frame = dataset.frame(id, pose, 0);
+            let (features, _) = extract_features(&frame);
+            (id, pose, features)
+        })
+        .collect();
+    Gallery { entries }
+}
+
+/// Runs the complete reference recognition of `frame` against `gallery`.
+pub fn recognize(frame: &BayerImage, gallery: &Gallery) -> RecognitionResult {
+    let (features, prefix) = extract_features(frame);
+    let distances: Vec<u32> = gallery
+        .entries
+        .iter()
+        .map(|(_, _, g)| root(calcdist(&distance(&features, g))))
+        .collect();
+    let best = winner(&distances);
+    let (identity, pose, _) = gallery.entries[best].clone();
+    RecognitionResult {
+        identity,
+        pose,
+        distance: distances[best],
+        trace: PipelineTrace {
+            bay_checksum: prefix.bay_checksum,
+            erosion_checksum: prefix.erosion_checksum,
+            edge_count: prefix.edge_count,
+            ellipse: prefix.ellipse,
+            features,
+            distances,
+            winner_entry: best,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetConfig;
+
+    fn small_dataset() -> Dataset {
+        Dataset::new(DatasetConfig {
+            identities: 8,
+            poses: 3,
+            ..DatasetConfig::default()
+        })
+    }
+
+    #[test]
+    fn noiseless_probe_recognizes_itself() {
+        let ds = small_dataset();
+        let gallery = enroll(&ds);
+        for id in 0..8 {
+            let probe = ds.frame(id, 1, 0);
+            let r = recognize(&probe, &gallery);
+            assert_eq!(r.identity, id, "identity {id}");
+            assert_eq!(r.pose, 1);
+            assert_eq!(r.distance, 0);
+        }
+    }
+
+    #[test]
+    fn noisy_probe_accuracy_is_high() {
+        let ds = small_dataset();
+        let gallery = enroll(&ds);
+        let mut correct = 0;
+        let mut total = 0;
+        for id in 0..8 {
+            for pose in 0..3 {
+                for seed in 1..=3u64 {
+                    let probe = ds.frame(id, pose, seed);
+                    let r = recognize(&probe, &gallery);
+                    total += 1;
+                    if r.identity == id {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        let accuracy = correct as f64 / total as f64;
+        assert!(
+            accuracy >= 0.85,
+            "recognition accuracy {accuracy} too low ({correct}/{total})"
+        );
+    }
+
+    #[test]
+    fn recognition_is_deterministic() {
+        let ds = small_dataset();
+        let gallery = enroll(&ds);
+        let probe = ds.frame(2, 0, 99);
+        let a = recognize(&probe, &gallery);
+        let b = recognize(&probe, &gallery);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_is_fully_populated() {
+        let ds = small_dataset();
+        let gallery = enroll(&ds);
+        let probe = ds.frame(4, 2, 5);
+        let r = recognize(&probe, &gallery);
+        assert!(r.trace.bay_checksum > 0);
+        assert!(r.trace.erosion_checksum > 0);
+        assert!(r.trace.edge_count > 0);
+        assert_eq!(r.trace.features.len(), crate::pipeline::FEATURE_LEN);
+        assert_eq!(r.trace.distances.len(), gallery.entries.len());
+        assert_eq!(
+            gallery.entries[r.trace.winner_entry].0,
+            r.identity,
+            "winner entry consistent with identity"
+        );
+    }
+
+    #[test]
+    fn different_identities_have_distinct_signatures() {
+        let ds = small_dataset();
+        let gallery = enroll(&ds);
+        // Pairwise distances between identities must exceed zero.
+        for i in 0..gallery.entries.len() {
+            for j in (i + 1)..gallery.entries.len() {
+                let (id_i, _, fi) = &gallery.entries[i];
+                let (id_j, _, fj) = &gallery.entries[j];
+                if id_i != id_j {
+                    let d = calcdist(&distance(fi, fj));
+                    assert!(d > 0, "identities {id_i} and {id_j} collide");
+                }
+            }
+        }
+    }
+}

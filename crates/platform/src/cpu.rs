@@ -1,0 +1,236 @@
+//! Processor cycle models and operation mixes.
+
+use std::fmt;
+
+/// An operation mix: how many operations of each cost class a piece of
+/// software executes. Produced by profiling (level 1) and priced by a
+/// [`CpuModel`] (levels 2–3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpMix {
+    /// ALU operations (add/sub/logic/shift/compare/move).
+    pub alu: u64,
+    /// Multiplications.
+    pub mul: u64,
+    /// Divisions / remainders.
+    pub div: u64,
+    /// Memory accesses.
+    pub mem: u64,
+    /// Branches.
+    pub branch: u64,
+    /// Calls (function, resource, reconfiguration).
+    pub call: u64,
+}
+
+impl OpMix {
+    /// Elementwise sum.
+    pub fn add(self, other: OpMix) -> OpMix {
+        OpMix {
+            alu: self.alu + other.alu,
+            mul: self.mul + other.mul,
+            div: self.div + other.div,
+            mem: self.mem + other.mem,
+            branch: self.branch + other.branch,
+            call: self.call + other.call,
+        }
+    }
+
+    /// Scales every class by `n` (e.g. per-pixel mix × pixel count).
+    pub fn scale(self, n: u64) -> OpMix {
+        OpMix {
+            alu: self.alu * n,
+            mul: self.mul * n,
+            div: self.div * n,
+            mem: self.mem * n,
+            branch: self.branch * n,
+            call: self.call * n,
+        }
+    }
+
+    /// Total operation count.
+    pub fn total(self) -> u64 {
+        self.alu + self.mul + self.div + self.mem + self.branch + self.call
+    }
+}
+
+impl From<behav::interp::OpCounts> for OpMix {
+    fn from(c: behav::interp::OpCounts) -> OpMix {
+        OpMix {
+            alu: c.alu,
+            mul: c.mul,
+            div: c.div,
+            mem: c.mem,
+            branch: c.branch,
+            call: c.call,
+        }
+    }
+}
+
+/// A processor timing model: cycles charged per operation class.
+///
+/// # Example
+///
+/// ```
+/// use platform::{CpuModel, OpMix};
+/// let cpu = CpuModel::arm7tdmi();
+/// let mix = OpMix { alu: 100, mul: 10, mem: 20, ..OpMix::default() };
+/// assert!(cpu.cycles(mix) > 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuModel {
+    name: String,
+    /// Cycles per ALU op.
+    pub alu_cycles: u64,
+    /// Cycles per multiplication.
+    pub mul_cycles: u64,
+    /// Cycles per division (SW routine on cores without a divider).
+    pub div_cycles: u64,
+    /// Cycles per memory access.
+    pub mem_cycles: u64,
+    /// Cycles per branch (pipeline refill).
+    pub branch_cycles: u64,
+    /// Cycles per call (save/restore + branch).
+    pub call_cycles: u64,
+    /// Clock divisor relative to the bus clock (1 = same clock).
+    pub clock_divisor: u64,
+}
+
+impl CpuModel {
+    /// The case study's processor: an ARM7TDMI-class 32-bit core.
+    /// Three-stage pipeline: 1-cycle ALU, early-terminating multiplier
+    /// (~4 cycles average), no divider (software division ~40 cycles),
+    /// 3-cycle loads/branches.
+    pub fn arm7tdmi() -> Self {
+        CpuModel {
+            name: "ARM7TDMI-class".to_owned(),
+            alu_cycles: 1,
+            mul_cycles: 4,
+            div_cycles: 40,
+            mem_cycles: 3,
+            branch_cycles: 3,
+            call_cycles: 6,
+            clock_divisor: 1,
+        }
+    }
+
+    /// A faster hypothetical core for exploration sweeps (single-cycle
+    /// memory, hardware divider).
+    pub fn fast_riscv_class() -> Self {
+        CpuModel {
+            name: "fast-RISC-class".to_owned(),
+            alu_cycles: 1,
+            mul_cycles: 2,
+            div_cycles: 8,
+            mem_cycles: 1,
+            branch_cycles: 2,
+            call_cycles: 3,
+            clock_divisor: 1,
+        }
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Prices an operation mix in bus-clock ticks — the automatic SW
+    /// annotation of the flow.
+    pub fn cycles(&self, mix: OpMix) -> u64 {
+        let core = mix.alu * self.alu_cycles
+            + mix.mul * self.mul_cycles
+            + mix.div * self.div_cycles
+            + mix.mem * self.mem_cycles
+            + mix.branch * self.branch_cycles
+            + mix.call * self.call_cycles;
+        core * self.clock_divisor
+    }
+}
+
+impl fmt::Display for CpuModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opmix_arithmetic() {
+        let a = OpMix {
+            alu: 1,
+            mul: 2,
+            ..OpMix::default()
+        };
+        let b = OpMix {
+            alu: 10,
+            mem: 5,
+            ..OpMix::default()
+        };
+        let s = a.add(b);
+        assert_eq!(s.alu, 11);
+        assert_eq!(s.mul, 2);
+        assert_eq!(s.mem, 5);
+        assert_eq!(s.total(), 18);
+        let sc = a.scale(3);
+        assert_eq!(sc.alu, 3);
+        assert_eq!(sc.mul, 6);
+    }
+
+    #[test]
+    fn arm7_pricing() {
+        let cpu = CpuModel::arm7tdmi();
+        let mix = OpMix {
+            alu: 10,
+            mul: 1,
+            div: 1,
+            mem: 2,
+            branch: 1,
+            call: 1,
+        };
+        // 10 + 4 + 40 + 6 + 3 + 6 = 69
+        assert_eq!(cpu.cycles(mix), 69);
+    }
+
+    #[test]
+    fn division_dominates_on_arm7() {
+        let cpu = CpuModel::arm7tdmi();
+        let divs = OpMix {
+            div: 10,
+            ..OpMix::default()
+        };
+        let alus = OpMix {
+            alu: 100,
+            ..OpMix::default()
+        };
+        assert!(cpu.cycles(divs) > cpu.cycles(alus));
+    }
+
+    #[test]
+    fn faster_core_is_faster() {
+        let mix = OpMix {
+            alu: 100,
+            mul: 20,
+            div: 5,
+            mem: 50,
+            branch: 25,
+            call: 10,
+        };
+        assert!(CpuModel::fast_riscv_class().cycles(mix) < CpuModel::arm7tdmi().cycles(mix));
+    }
+
+    #[test]
+    fn conversion_from_behav_counts() {
+        let counts = behav::interp::OpCounts {
+            alu: 5,
+            mul: 1,
+            div: 2,
+            mem: 3,
+            branch: 4,
+            call: 6,
+        };
+        let mix: OpMix = counts.into();
+        assert_eq!(mix.alu, 5);
+        assert_eq!(mix.call, 6);
+    }
+}

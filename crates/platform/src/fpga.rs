@@ -1,0 +1,364 @@
+//! The reconfigurable device: contexts, bitstream downloads, calls.
+//!
+//! The case study maps DISTANCE and ROOT into an embedded FPGA, split over
+//! two contexts (`config1`, `config2`). "Downloading bit-streams is costly
+//! in terms of bus loading" (§3.3): loading a context issues a burst
+//! transaction of `bitstream_words` on the bus, and the per-run report
+//! exposes reconfiguration counts and download traffic — the quantities
+//! experiments E3/E9/E10 sweep.
+
+use sim::SimTime;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+use tlm::{AccessKind, Payload, Reservation, SharedBus};
+
+/// Identifier of a context (configuration) of an [`Fpga`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContextId(pub usize);
+
+impl ContextId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One FPGA configuration: a set of resident functions plus its bitstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Context {
+    /// Context name (e.g. `config1`).
+    pub name: String,
+    /// Functions resident when this context is loaded, with their
+    /// hardware execution cost in cycles per invocation.
+    pub functions: Vec<(String, u64)>,
+    /// Bitstream size in bus words (download cost driver).
+    pub bitstream_words: u32,
+}
+
+/// Runtime errors of the reconfigurable device — exactly the class of bug
+/// SymbC proves absent before this model ever runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FpgaError {
+    /// A function was called while not resident in the loaded context.
+    FunctionNotLoaded {
+        /// The requested function.
+        func: String,
+        /// The currently loaded context, if any.
+        loaded: Option<ContextId>,
+    },
+    /// The named function exists in no context.
+    UnknownFunction {
+        /// The requested function.
+        func: String,
+    },
+}
+
+impl fmt::Display for FpgaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpgaError::FunctionNotLoaded { func, loaded } => write!(
+                f,
+                "function `{func}` called while context {loaded:?} is loaded"
+            ),
+            FpgaError::UnknownFunction { func } => {
+                write!(f, "function `{func}` exists in no context")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FpgaError {}
+
+/// The embedded FPGA model.
+#[derive(Debug)]
+pub struct Fpga {
+    name: String,
+    contexts: Vec<Context>,
+    loaded: Option<ContextId>,
+    /// Bus address of the configuration port (bitstreams are written here).
+    config_port_addr: u64,
+    /// Extra context-switch latency on top of the bus transfer.
+    switch_cycles: u64,
+    reconfigurations: u64,
+    download_words: u64,
+    calls: u64,
+    busy_cycles: u64,
+}
+
+/// Shared handle to an [`Fpga`].
+pub type SharedFpga = Rc<RefCell<Fpga>>;
+
+impl Fpga {
+    /// Creates an FPGA with no contexts loaded.
+    pub fn new(name: &str, config_port_addr: u64, switch_cycles: u64) -> Self {
+        Fpga {
+            name: name.to_owned(),
+            contexts: Vec::new(),
+            loaded: None,
+            config_port_addr,
+            switch_cycles,
+            reconfigurations: 0,
+            download_words: 0,
+            calls: 0,
+            busy_cycles: 0,
+        }
+    }
+
+    /// Creates a shared handle.
+    pub fn shared(name: &str, config_port_addr: u64, switch_cycles: u64) -> SharedFpga {
+        Rc::new(RefCell::new(Fpga::new(name, config_port_addr, switch_cycles)))
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers a context.
+    pub fn add_context(&mut self, context: Context) -> ContextId {
+        self.contexts.push(context);
+        ContextId(self.contexts.len() - 1)
+    }
+
+    /// The currently loaded context.
+    pub fn loaded(&self) -> Option<ContextId> {
+        self.loaded
+    }
+
+    /// All contexts.
+    pub fn contexts(&self) -> &[Context] {
+        &self.contexts
+    }
+
+    /// The context providing `func`, if any.
+    pub fn context_of(&self, func: &str) -> Option<ContextId> {
+        self.contexts
+            .iter()
+            .position(|c| c.functions.iter().any(|(n, _)| n == func))
+            .map(ContextId)
+    }
+
+    /// Loads `context`: reserves a bitstream-download burst on `bus` at
+    /// time `now` and returns the reservation (caller sleeps until
+    /// `reservation.end + switch_cycles`). Loading the already-loaded
+    /// context is a no-op costing nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `context` is out of range.
+    pub fn load(
+        &mut self,
+        context: ContextId,
+        now: SimTime,
+        bus: &SharedBus,
+        master: usize,
+    ) -> Option<Reservation> {
+        assert!(context.0 < self.contexts.len(), "unknown context");
+        if self.loaded == Some(context) {
+            return None;
+        }
+        let words = self.contexts[context.0].bitstream_words;
+        let reservation = bus.borrow_mut().transfer(
+            now,
+            &Payload::burst(master, self.config_port_addr, AccessKind::Write, words),
+        );
+        self.loaded = Some(context);
+        self.reconfigurations += 1;
+        self.download_words += words as u64;
+        Some(Reservation {
+            start: reservation.start,
+            end: reservation.end.saturating_add_ticks(self.switch_cycles),
+            waited: reservation.waited,
+        })
+    }
+
+    /// Invokes `func` on the currently loaded context; returns the
+    /// execution cycles the caller must wait.
+    ///
+    /// # Errors
+    ///
+    /// [`FpgaError::FunctionNotLoaded`] when the function is not resident —
+    /// the consistency violation SymbC exists to rule out — and
+    /// [`FpgaError::UnknownFunction`] when no context provides it.
+    pub fn call(&mut self, func: &str) -> Result<u64, FpgaError> {
+        if self.context_of(func).is_none() {
+            return Err(FpgaError::UnknownFunction {
+                func: func.to_owned(),
+            });
+        }
+        let loaded = self.loaded;
+        let cycles = loaded
+            .and_then(|c| {
+                self.contexts[c.0]
+                    .functions
+                    .iter()
+                    .find(|(n, _)| n == func)
+                    .map(|&(_, cyc)| cyc)
+            })
+            .ok_or(FpgaError::FunctionNotLoaded {
+                func: func.to_owned(),
+                loaded,
+            })?;
+        self.calls += 1;
+        self.busy_cycles += cycles;
+        Ok(cycles)
+    }
+
+    /// Activity report.
+    pub fn report(&self) -> FpgaReport {
+        FpgaReport {
+            fpga: self.name.clone(),
+            reconfigurations: self.reconfigurations,
+            download_words: self.download_words,
+            calls: self.calls,
+            busy_cycles: self.busy_cycles,
+        }
+    }
+}
+
+/// Reconfiguration activity summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FpgaReport {
+    /// Device name.
+    pub fpga: String,
+    /// Context switches performed.
+    pub reconfigurations: u64,
+    /// Total bitstream words downloaded over the bus.
+    pub download_words: u64,
+    /// Function invocations served.
+    pub calls: u64,
+    /// Cycles spent computing.
+    pub busy_cycles: u64,
+}
+
+/// Hardware cost table: cycles a module takes per invocation when
+/// implemented in FPGA fabric vs. as a software [`crate::OpMix`] on the CPU. Used
+/// by the exploration step to decide the mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImplCost {
+    /// Cycles per invocation in hardware.
+    pub hw_cycles: u64,
+    /// Operation mix per invocation in software.
+    pub sw_mix_total: u64,
+}
+
+impl ImplCost {
+    /// Hardware speed-up factor over a CPU pricing the mix at ~1
+    /// cycle/op (coarse screening metric for partitioning).
+    pub fn speedup(&self) -> f64 {
+        if self.hw_cycles == 0 {
+            f64::INFINITY
+        } else {
+            self.sw_mix_total as f64 / self.hw_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlm::{Bus, BusConfig};
+
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    fn device() -> (Fpga, SharedBus, usize) {
+        let bus = Bus::shared("amba", BusConfig::default());
+        let master = {
+            let mut b = bus.borrow_mut();
+            b.map_region("fpga_cfg", 0x1000, 0x100, 0);
+            b.add_master("cpu")
+        };
+        let mut fpga = Fpga::new("efpga", 0x1000, 8);
+        fpga.add_context(Context {
+            name: "config1".to_owned(),
+            functions: vec![("distance".to_owned(), 16)],
+            bitstream_words: 256,
+        });
+        fpga.add_context(Context {
+            name: "config2".to_owned(),
+            functions: vec![("root".to_owned(), 24)],
+            bitstream_words: 128,
+        });
+        (fpga, bus, master)
+    }
+
+    #[test]
+    fn context_lookup() {
+        let (fpga, _, _) = device();
+        assert_eq!(fpga.context_of("distance"), Some(ContextId(0)));
+        assert_eq!(fpga.context_of("root"), Some(ContextId(1)));
+        assert_eq!(fpga.context_of("ghost"), None);
+    }
+
+    #[test]
+    fn loading_charges_the_bus() {
+        let (mut fpga, bus, m) = device();
+        let r = fpga.load(ContextId(0), t(0), &bus, m).expect("first load");
+        // 1 arbitration + 256 words + 8 switch cycles.
+        assert_eq!(r.end, t(1 + 256 + 8));
+        assert_eq!(fpga.loaded(), Some(ContextId(0)));
+        let report = bus.borrow().report(r.end);
+        assert_eq!(report.masters[m].words, 256);
+    }
+
+    #[test]
+    fn reloading_same_context_is_free() {
+        let (mut fpga, bus, m) = device();
+        fpga.load(ContextId(1), t(0), &bus, m);
+        assert!(fpga.load(ContextId(1), t(500), &bus, m).is_none());
+        assert_eq!(fpga.report().reconfigurations, 1);
+        assert_eq!(fpga.report().download_words, 128);
+    }
+
+    #[test]
+    fn calls_respect_residency() {
+        let (mut fpga, bus, m) = device();
+        // Nothing loaded yet.
+        assert_eq!(
+            fpga.call("distance"),
+            Err(FpgaError::FunctionNotLoaded {
+                func: "distance".to_owned(),
+                loaded: None
+            })
+        );
+        fpga.load(ContextId(0), t(0), &bus, m);
+        assert_eq!(fpga.call("distance"), Ok(16));
+        // root lives in config2: calling it now is the SymbC-class error.
+        assert_eq!(
+            fpga.call("root"),
+            Err(FpgaError::FunctionNotLoaded {
+                func: "root".to_owned(),
+                loaded: Some(ContextId(0))
+            })
+        );
+        fpga.load(ContextId(1), t(100), &bus, m);
+        assert_eq!(fpga.call("root"), Ok(24));
+        let report = fpga.report();
+        assert_eq!(report.calls, 2);
+        assert_eq!(report.busy_cycles, 40);
+        assert_eq!(report.reconfigurations, 2);
+    }
+
+    #[test]
+    fn unknown_function_is_distinguished() {
+        let (mut fpga, _, _) = device();
+        assert_eq!(
+            fpga.call("fft"),
+            Err(FpgaError::UnknownFunction {
+                func: "fft".to_owned()
+            })
+        );
+    }
+
+    #[test]
+    fn impl_cost_speedup() {
+        let c = ImplCost {
+            hw_cycles: 10,
+            sw_mix_total: 500,
+        };
+        assert!((c.speedup() - 50.0).abs() < 1e-9);
+    }
+}

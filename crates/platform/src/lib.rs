@@ -1,0 +1,28 @@
+//! Platform models: CPU timing, FPGA contexts, profiling/annotation.
+//!
+//! Levels 2 and 3 of the Symbad flow need architecture models on top of the
+//! TL bus:
+//!
+//! * [`cpu`] — the processor cycle model (ARM7TDMI-class default). The
+//!   paper's key speed trick is that embedded SW is *not* run on an ISS:
+//!   it executes natively, and simulated time advances by a cycle count
+//!   computed from the SW's operation profile and the CPU's cycle table —
+//!   "cycle accurate timing of SW can be automatically extracted … based on
+//!   a library of models of available processors". [`cpu::CpuModel`] is
+//!   that library entry; [`profile`] carries the per-task operation mixes.
+//! * [`fpga`] — the reconfigurable device: a set of contexts
+//!   (configurations), each holding a set of functions and a bitstream
+//!   size. Loading a context issues a burst on the bus (the level-3 cost
+//!   the paper highlights); calling a function not currently loaded is the
+//!   runtime error SymbC proves absent.
+//!
+//! Everything is a passive shared object: simulation processes (built by
+//! `symbad-core`) call in and then sleep for the returned number of ticks.
+
+pub mod cpu;
+pub mod fpga;
+pub mod profile;
+
+pub use cpu::{CpuModel, OpMix};
+pub use fpga::{Context, ContextId, Fpga, FpgaError, FpgaReport, SharedFpga};
+pub use profile::Profile;

@@ -1,0 +1,138 @@
+//! Execution profiles: the bridge from level-1 profiling to level-2
+//! annotation.
+//!
+//! "This ranking of the most demanding tasks is done by execution profiling
+//! of the UT code developed at level 1. Therefore accurate profiling is of
+//! key relevance" (§4.1). A [`Profile`] stores the measured per-invocation
+//! [`OpMix`] of every module; the level-2 model builder prices it with a
+//! [`crate::CpuModel`] for modules mapped to SW and with a hardware cost
+//! for modules mapped to HW.
+
+use crate::cpu::{CpuModel, OpMix};
+use std::collections::BTreeMap;
+
+/// Per-module operation profiles collected at level 1.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    mixes: BTreeMap<String, OpMix>,
+}
+
+impl Profile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Profile::default()
+    }
+
+    /// Records (accumulates) a module's operation mix.
+    pub fn record(&mut self, module: &str, mix: OpMix) {
+        let entry = self.mixes.entry(module.to_owned()).or_default();
+        *entry = entry.add(mix);
+    }
+
+    /// The mix recorded for a module (zero when never recorded).
+    pub fn mix(&self, module: &str) -> OpMix {
+        self.mixes.get(module).copied().unwrap_or_default()
+    }
+
+    /// Modules sorted by descending total operation count — the ranking of
+    /// "the heaviest computational tasks" that drives HW/SW partitioning.
+    pub fn ranking(&self) -> Vec<(&str, OpMix)> {
+        let mut v: Vec<(&str, OpMix)> = self
+            .mixes
+            .iter()
+            .map(|(k, &m)| (k.as_str(), m))
+            .collect();
+        v.sort_by(|a, b| b.1.total().cmp(&a.1.total()).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// Prices a module's recorded mix on a CPU — the automatic annotation.
+    pub fn annotate(&self, module: &str, cpu: &CpuModel) -> u64 {
+        cpu.cycles(self.mix(module))
+    }
+
+    /// All module names.
+    pub fn modules(&self) -> Vec<&str> {
+        self.mixes.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut p = Profile::new();
+        p.record(
+            "edge",
+            OpMix {
+                alu: 10,
+                ..OpMix::default()
+            },
+        );
+        p.record(
+            "edge",
+            OpMix {
+                alu: 5,
+                mem: 2,
+                ..OpMix::default()
+            },
+        );
+        let m = p.mix("edge");
+        assert_eq!(m.alu, 15);
+        assert_eq!(m.mem, 2);
+        assert_eq!(p.mix("ghost"), OpMix::default());
+    }
+
+    #[test]
+    fn ranking_orders_by_total() {
+        let mut p = Profile::new();
+        p.record(
+            "light",
+            OpMix {
+                alu: 10,
+                ..OpMix::default()
+            },
+        );
+        p.record(
+            "heavy",
+            OpMix {
+                mul: 1000,
+                ..OpMix::default()
+            },
+        );
+        p.record(
+            "medium",
+            OpMix {
+                mem: 100,
+                ..OpMix::default()
+            },
+        );
+        let names: Vec<&str> = p.ranking().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["heavy", "medium", "light"]);
+    }
+
+    #[test]
+    fn annotation_prices_with_cpu_model() {
+        let mut p = Profile::new();
+        p.record(
+            "root",
+            OpMix {
+                div: 10,
+                ..OpMix::default()
+            },
+        );
+        let arm = CpuModel::arm7tdmi();
+        assert_eq!(p.annotate("root", &arm), 400);
+        assert_eq!(p.annotate("missing", &arm), 0);
+    }
+
+    #[test]
+    fn modules_listed() {
+        let mut p = Profile::new();
+        p.record("a", OpMix::default());
+        p.record("b", OpMix::default());
+        assert_eq!(p.modules(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,191 @@
+//! DIMACS CNF interchange.
+//!
+//! The industry-standard format lets the solver exchange problems with
+//! external tools (and lets bug reports against this reproduction be
+//! replayed in any off-the-shelf solver).
+
+use crate::solver::Solver;
+use crate::types::{Lit, Var};
+use std::fmt::Write as _;
+
+/// A parsed CNF: variable count and clauses of DIMACS-signed literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dimacs {
+    /// Declared variable count.
+    pub num_vars: usize,
+    /// Clauses; literals are non-zero integers (negative = negated),
+    /// magnitudes in `1..=num_vars`.
+    pub clauses: Vec<Vec<i64>>,
+}
+
+/// DIMACS parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseDimacsError {
+    /// No `p cnf <vars> <clauses>` header found before the clauses.
+    MissingHeader,
+    /// The header was malformed.
+    BadHeader(String),
+    /// A token was not an integer.
+    BadLiteral(String),
+    /// A literal's magnitude exceeds the declared variable count.
+    LiteralOutOfRange(i64),
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseDimacsError::MissingHeader => write!(f, "missing `p cnf` header"),
+            ParseDimacsError::BadHeader(h) => write!(f, "malformed header `{h}`"),
+            ParseDimacsError::BadLiteral(t) => write!(f, "bad literal token `{t}`"),
+            ParseDimacsError::LiteralOutOfRange(l) => {
+                write!(f, "literal {l} out of declared range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text (comments and blank lines allowed; clauses are
+/// zero-terminated and may span lines).
+///
+/// # Errors
+///
+/// Returns a [`ParseDimacsError`] on malformed input.
+pub fn parse(text: &str) -> Result<Dimacs, ParseDimacsError> {
+    let mut num_vars: Option<usize> = None;
+    let mut clauses = Vec::new();
+    let mut current: Vec<i64> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('p') {
+            let mut parts = line.split_whitespace();
+            let _p = parts.next();
+            if parts.next() != Some("cnf") {
+                return Err(ParseDimacsError::BadHeader(line.to_owned()));
+            }
+            let nv = parts
+                .next()
+                .and_then(|t| t.parse::<usize>().ok())
+                .ok_or_else(|| ParseDimacsError::BadHeader(line.to_owned()))?;
+            num_vars = Some(nv);
+            continue;
+        }
+        let nv = num_vars.ok_or(ParseDimacsError::MissingHeader)?;
+        for tok in line.split_whitespace() {
+            let lit: i64 = tok
+                .parse()
+                .map_err(|_| ParseDimacsError::BadLiteral(tok.to_owned()))?;
+            if lit == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                if lit.unsigned_abs() as usize > nv {
+                    return Err(ParseDimacsError::LiteralOutOfRange(lit));
+                }
+                current.push(lit);
+            }
+        }
+    }
+    if !current.is_empty() {
+        clauses.push(current);
+    }
+    Ok(Dimacs {
+        num_vars: num_vars.ok_or(ParseDimacsError::MissingHeader)?,
+        clauses,
+    })
+}
+
+impl Dimacs {
+    /// Loads the CNF into a fresh [`Solver`], returning the solver and the
+    /// variable handles (index 0 ↔ DIMACS variable 1).
+    pub fn into_solver(&self) -> (Solver, Vec<Var>) {
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..self.num_vars).map(|_| solver.new_var()).collect();
+        for clause in &self.clauses {
+            solver.add_clause(clause.iter().map(|&l| {
+                let v = vars[(l.unsigned_abs() - 1) as usize];
+                Lit::with_polarity(v, l > 0)
+            }));
+        }
+        (solver, vars)
+    }
+
+    /// Renders as DIMACS text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for &l in clause {
+                let _ = write!(out, "{l} ");
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "c a tiny instance\np cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n";
+
+    #[test]
+    fn parse_and_solve() {
+        let cnf = parse(SAMPLE).expect("parses");
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 3);
+        let (mut solver, vars) = cnf.into_solver();
+        assert!(solver.solve().is_sat());
+        // Verify the model against the clauses.
+        for clause in &cnf.clauses {
+            assert!(clause.iter().any(|&l| {
+                solver.value(vars[(l.unsigned_abs() - 1) as usize]) == Some(l > 0)
+            }));
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cnf = parse(SAMPLE).expect("parses");
+        let text = cnf.render();
+        let again = parse(&text).expect("reparses");
+        assert_eq!(cnf, again);
+    }
+
+    #[test]
+    fn unsat_instance() {
+        let cnf = parse("p cnf 1 2\n1 0\n-1 0\n").expect("parses");
+        let (mut solver, _) = cnf.into_solver();
+        assert!(solver.solve().is_unsat());
+    }
+
+    #[test]
+    fn multiline_clause_and_trailing() {
+        let cnf = parse("p cnf 4 1\n1 2\n3 4 0").expect("parses");
+        assert_eq!(cnf.clauses, vec![vec![1, 2, 3, 4]]);
+        // Unterminated final clause is accepted.
+        let cnf2 = parse("p cnf 2 1\n1 -2").expect("parses");
+        assert_eq!(cnf2.clauses, vec![vec![1, -2]]);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(parse("1 2 0").unwrap_err(), ParseDimacsError::MissingHeader);
+        assert!(matches!(
+            parse("p dnf 2 1\n1 0").unwrap_err(),
+            ParseDimacsError::BadHeader(_)
+        ));
+        assert!(matches!(
+            parse("p cnf 2 1\n1 x 0").unwrap_err(),
+            ParseDimacsError::BadLiteral(_)
+        ));
+        assert_eq!(
+            parse("p cnf 2 1\n3 0").unwrap_err(),
+            ParseDimacsError::LiteralOutOfRange(3)
+        );
+    }
+}

@@ -1,0 +1,809 @@
+//! The CDCL solver core.
+
+use crate::types::{Lit, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found (query it via [`Solver::value`]).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+}
+
+impl SolveResult {
+    /// Whether the result is [`SolveResult::Sat`].
+    pub fn is_sat(self) -> bool {
+        matches!(self, SolveResult::Sat)
+    }
+
+    /// Whether the result is [`SolveResult::Unsat`].
+    pub fn is_unsat(self) -> bool {
+        matches!(self, SolveResult::Unsat)
+    }
+}
+
+const UNASSIGNED: u8 = 2;
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    clause: usize,
+    blocker: Lit,
+}
+
+/// Activity-ordered variable heap (MiniSat-style).
+#[derive(Debug, Default)]
+struct VarOrder {
+    heap: Vec<Var>,
+    position: Vec<Option<usize>>,
+}
+
+impl VarOrder {
+    fn grow(&mut self, n: usize) {
+        while self.position.len() < n {
+            self.position.push(None);
+        }
+    }
+
+    fn contains(&self, v: Var) -> bool {
+        self.position[v.index()].is_some()
+    }
+
+    fn push(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.position[v.index()] = Some(self.heap.len());
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn pop(&mut self, act: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.position[top.index()] = None;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last.index()] = Some(0);
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn bump(&mut self, v: Var, act: &[f64]) {
+        if let Some(pos) = self.position[v.index()] {
+            self.sift_up(pos, act);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].index()] <= act[self.heap[parent].index()] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l].index()] > act[self.heap[best].index()] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r].index()] > act[self.heap[best].index()] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.position[self.heap[a].index()] = Some(a);
+        self.position[self.heap[b].index()] = Some(b);
+    }
+}
+
+/// A conflict-driven clause-learning SAT solver.
+///
+/// Supports incremental use: clauses persist across [`solve`](Solver::solve)
+/// calls, and [`solve_with`](Solver::solve_with) solves under temporary
+/// assumptions.
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watch>>,
+    assign: Vec<u8>,
+    level: Vec<u32>,
+    reason: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    queue_head: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarOrder,
+    polarity: Vec<bool>,
+    unsat: bool,
+    model: Vec<u8>,
+    conflicts: u64,
+    decisions: u64,
+    propagations: u64,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            var_inc: 1.0,
+            ..Solver::default()
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(UNASSIGNED);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.polarity.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow(self.assign.len());
+        self.order.push(v, &self.activity);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of stored clauses (original + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Number of learnt (conflict-derived) clauses currently stored.
+    pub fn num_learnt(&self) -> usize {
+        self.clauses.iter().filter(|c| c.learnt).count()
+    }
+
+    /// Conflicts encountered so far (across all solve calls).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Decisions made so far (across all solve calls).
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Unit propagations performed so far (across all solve calls).
+    pub fn propagations(&self) -> u64 {
+        self.propagations
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> u8 {
+        let a = self.assign[l.var().index()];
+        if a == UNASSIGNED {
+            UNASSIGNED
+        } else {
+            a ^ (l.code() as u8 & 1)
+        }
+    }
+
+    /// Adds a clause. Returns `false` when the clause (after level-0
+    /// simplification) makes the formula trivially unsatisfiable.
+    ///
+    /// Must be called at decision level 0 (i.e. not between `solve` steps of
+    /// a single search; between whole `solve` calls is fine).
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        debug_assert!(self.trail_lim.is_empty());
+        if self.unsat {
+            return false;
+        }
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology / falsified-literal simplification at level 0.
+        let mut simplified = Vec::with_capacity(lits.len());
+        let mut i = 0;
+        while i < lits.len() {
+            let l = lits[i];
+            if i + 1 < lits.len() && lits[i + 1] == !l {
+                return true; // tautology: l and ¬l adjacent after sort
+            }
+            match self.lit_value(l) {
+                1 => return true,          // already satisfied at level 0
+                0 => {}                    // falsified at level 0: drop it
+                _ => simplified.push(l),   // unassigned: keep
+            }
+            i += 1;
+        }
+        match simplified.len() {
+            0 => {
+                self.unsat = true;
+                false
+            }
+            1 => {
+                if !self.enqueue(simplified[0], None) {
+                    self.unsat = true;
+                    return false;
+                }
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                    return false;
+                }
+                true
+            }
+            _ => {
+                self.attach_clause(simplified, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> usize {
+        let idx = self.clauses.len();
+        let w0 = lits[0];
+        let w1 = lits[1];
+        self.watches[(!w0).code()].push(Watch {
+            clause: idx,
+            blocker: w1,
+        });
+        self.watches[(!w1).code()].push(Watch {
+            clause: idx,
+            blocker: w0,
+        });
+        self.clauses.push(Clause { lits, learnt });
+        idx
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<usize>) -> bool {
+        match self.lit_value(l) {
+            0 => false,
+            1 => true,
+            _ => {
+                let v = l.var().index();
+                self.assign[v] = if l.is_positive() { 1 } else { 0 };
+                self.level[v] = self.trail_lim.len() as u32;
+                self.reason[v] = reason;
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Propagates until fixpoint; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.queue_head < self.trail.len() {
+            let p = self.trail[self.queue_head];
+            self.queue_head += 1;
+            self.propagations += 1;
+            let mut watch_list = std::mem::take(&mut self.watches[p.code()]);
+            let mut keep = 0;
+            let mut conflict = None;
+            let mut wi = 0;
+            while wi < watch_list.len() {
+                let watch = watch_list[wi];
+                wi += 1;
+                if self.lit_value(watch.blocker) == 1 {
+                    watch_list[keep] = watch;
+                    keep += 1;
+                    continue;
+                }
+                let ci = watch.clause;
+                // Ensure lits[0] is the other watched literal.
+                {
+                    let clause = &mut self.clauses[ci];
+                    if clause.lits[0] == !p {
+                        clause.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[ci].lits[0];
+                if first != watch.blocker && self.lit_value(first) == 1 {
+                    watch_list[keep] = Watch {
+                        clause: ci,
+                        blocker: first,
+                    };
+                    keep += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut found = false;
+                let len = self.clauses[ci].lits.len();
+                for k in 2..len {
+                    let cand = self.clauses[ci].lits[k];
+                    if self.lit_value(cand) != 0 {
+                        self.clauses[ci].lits.swap(1, k);
+                        let new_watch = self.clauses[ci].lits[1];
+                        self.watches[(!new_watch).code()].push(Watch {
+                            clause: ci,
+                            blocker: first,
+                        });
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                watch_list[keep] = Watch {
+                    clause: ci,
+                    blocker: first,
+                };
+                keep += 1;
+                if !self.enqueue(first, Some(ci)) {
+                    // Conflict: keep the remaining watches and bail out.
+                    while wi < watch_list.len() {
+                        watch_list[keep] = watch_list[wi];
+                        keep += 1;
+                        wi += 1;
+                    }
+                    self.queue_head = self.trail.len();
+                    conflict = Some(ci);
+                }
+            }
+            watch_list.truncate(keep);
+            self.watches[p.code()] = watch_list;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bump(v, &self.activity);
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    /// First-UIP conflict analysis. Returns (learnt clause, backtrack level).
+    fn analyze(&mut self, mut conflict: usize) -> (Vec<Lit>, u32) {
+        let mut seen = vec![false; self.num_vars()];
+        let mut learnt: Vec<Lit> = vec![Lit::pos(Var(0))]; // placeholder for asserting lit
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let current_level = self.trail_lim.len() as u32;
+
+        loop {
+            let start = if p.is_none() { 0 } else { 1 };
+            let lits: Vec<Lit> = self.clauses[conflict].lits[start..].to_vec();
+            for q in lits {
+                let v = q.var();
+                if !seen[v.index()] && self.level[v.index()] > 0 {
+                    seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] == current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find next literal to resolve on.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found").var();
+            seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p.expect("found");
+                break;
+            }
+            conflict = self.reason[pv.index()].expect("non-decision has reason");
+        }
+
+        // Backtrack level: second-highest decision level in the clause.
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, bt_level)
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        while self.trail_lim.len() as u32 > level {
+            let lim = self.trail_lim.pop().expect("non-empty");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("non-empty");
+                let v = l.var();
+                self.polarity[v.index()] = l.is_positive();
+                self.assign[v.index()] = UNASSIGNED;
+                self.reason[v.index()] = None;
+                self.order.push(v, &self.activity);
+            }
+        }
+        self.queue_head = self.trail.len();
+    }
+
+    fn pick_branch(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assign[v.index()] == UNASSIGNED {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Solves the formula with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves under temporary `assumptions` (literals forced true for this
+    /// call only). Learnt clauses are kept for later calls.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if self.unsat {
+            return SolveResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SolveResult::Unsat;
+        }
+        let result = self.search(assumptions);
+        if result.is_sat() {
+            // Snapshot the model before clearing search state.
+            self.model = self.assign.clone();
+        }
+        // Leave level-0 state only.
+        self.backtrack_to(0);
+        result
+    }
+
+    fn luby(i: u64) -> u64 {
+        // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+        let mut k = 1u32;
+        loop {
+            if i == (1u64 << k) - 1 {
+                return 1u64 << (k - 1);
+            }
+            if i < (1u64 << k) - 1 {
+                return Self::luby(i - (1u64 << (k - 1)) + 1);
+            }
+            k += 1;
+        }
+    }
+
+    fn search(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let mut restart_count = 1u64;
+        let mut conflict_budget = 100 * Self::luby(restart_count);
+        let mut conflicts_here = 0u64;
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_here += 1;
+                // The conflicting clause may be falsified entirely below the
+                // current decision level (possible with assumption levels
+                // that introduced no assignment). Backtrack to the highest
+                // level actually involved so analysis sees a literal at the
+                // conflict level.
+                let conflict_level = self.clauses[conflict]
+                    .lits
+                    .iter()
+                    .map(|l| self.level[l.var().index()])
+                    .max()
+                    .unwrap_or(0);
+                if conflict_level == 0 {
+                    self.unsat = true;
+                    return SolveResult::Unsat;
+                }
+                if conflict_level < self.trail_lim.len() as u32 {
+                    self.backtrack_to(conflict_level);
+                }
+                let (learnt, bt) = self.analyze(conflict);
+                self.backtrack_to(bt);
+                if learnt.len() == 1 {
+                    if !self.enqueue(learnt[0], None) {
+                        self.unsat = true;
+                        return SolveResult::Unsat;
+                    }
+                } else {
+                    let ci = self.attach_clause(learnt.clone(), true);
+                    if !self.enqueue(learnt[0], Some(ci)) {
+                        self.unsat = true;
+                        return SolveResult::Unsat;
+                    }
+                }
+                self.decay_activities();
+                if conflicts_here >= conflict_budget {
+                    // Restart.
+                    conflicts_here = 0;
+                    restart_count += 1;
+                    conflict_budget = 100 * Self::luby(restart_count);
+                    self.backtrack_to(0);
+                }
+            } else {
+                // Re-apply assumptions that got undone (e.g. by restarts).
+                let decision_level = self.trail_lim.len();
+                if decision_level < assumptions.len() {
+                    let a = assumptions[decision_level];
+                    match self.lit_value(a) {
+                        1 => {
+                            // Already true: open a level anyway to keep the
+                            // level/assumption correspondence simple.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        0 => return SolveResult::Unsat,
+                        _ => {
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch() {
+                    None => return SolveResult::Sat,
+                    Some(v) => {
+                        self.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let lit = Lit::with_polarity(v, self.polarity[v.index()]);
+                        self.enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Value of `var` in the most recent model (complete after a
+    /// [`SolveResult::Sat`] answer; variables created later are `None`).
+    pub fn value(&self, var: Var) -> Option<bool> {
+        match self.model.get(var.index()).copied().unwrap_or(UNASSIGNED) {
+            1 => Some(true),
+            0 => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Value of a literal in the current assignment.
+    pub fn lit_is_true(&self, lit: Lit) -> Option<bool> {
+        self.value(lit.var())
+            .map(|v| v == lit.is_positive())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn unit_clauses_force_values() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause([Lit::pos(v[0])]);
+        s.add_clause([Lit::neg(v[1])]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(v[0]), Some(true));
+        assert_eq!(s.value(v[1]), Some(false));
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([Lit::pos(v)]);
+        let ok = s.add_clause([Lit::neg(v)]);
+        assert!(!ok);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn tautologies_are_ignored() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        assert!(s.add_clause([Lit::pos(v), Lit::neg(v)]));
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn three_sat_instance_with_unique_model() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        // Force v0=1, v1=0, v2=1 via implications.
+        s.add_clause([Lit::pos(v[0]), Lit::pos(v[1]), Lit::pos(v[2])]);
+        s.add_clause([Lit::pos(v[0])]);
+        s.add_clause([Lit::neg(v[0]), Lit::neg(v[1])]);
+        s.add_clause([Lit::pos(v[1]), Lit::pos(v[2])]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(v[0]), Some(true));
+        assert_eq!(s.value(v[1]), Some(false));
+        assert_eq!(s.value(v[2]), Some(true));
+    }
+
+    /// Pigeonhole principle PHP(n+1, n) is unsatisfiable; n=4 forces real
+    /// conflict analysis and restarts.
+    #[test]
+    fn pigeonhole_is_unsat() {
+        let pigeons = 5;
+        let holes = 4;
+        let mut s = Solver::new();
+        let mut x = vec![vec![Var(0); holes]; pigeons];
+        for p in 0..pigeons {
+            for h in 0..holes {
+                x[p][h] = s.new_var();
+            }
+        }
+        for p in 0..pigeons {
+            s.add_clause((0..holes).map(|h| Lit::pos(x[p][h])));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause([Lit::neg(x[p1][h]), Lit::neg(x[p2][h])]);
+                }
+            }
+        }
+        assert!(s.solve().is_unsat());
+        assert!(s.conflicts() > 0);
+    }
+
+    #[test]
+    fn satisfiable_graph_coloring() {
+        // 3-color a 5-cycle (chromatic number 3 → satisfiable).
+        let n = 5;
+        let k = 3;
+        let mut s = Solver::new();
+        let mut c = vec![vec![Var(0); k]; n];
+        for (i, row) in c.iter_mut().enumerate() {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+                let _ = i;
+            }
+        }
+        for row in &c {
+            s.add_clause(row.iter().map(|&v| Lit::pos(v)));
+            for a in 0..k {
+                for b in (a + 1)..k {
+                    s.add_clause([Lit::neg(row[a]), Lit::neg(row[b])]);
+                }
+            }
+        }
+        for i in 0..n {
+            let j = (i + 1) % n;
+            for color in 0..k {
+                s.add_clause([Lit::neg(c[i][color]), Lit::neg(c[j][color])]);
+            }
+        }
+        assert!(s.solve().is_sat());
+        // Verify the model is a proper coloring.
+        for i in 0..n {
+            let color_i = (0..k).find(|&a| s.value(c[i][a]) == Some(true));
+            assert!(color_i.is_some());
+            let j = (i + 1) % n;
+            let color_j = (0..k).find(|&a| s.value(c[j][a]) == Some(true));
+            assert_ne!(color_i, color_j);
+        }
+    }
+
+    #[test]
+    fn assumptions_are_temporary() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::neg(a), Lit::pos(b)]); // a -> b
+        // Under assumption a ∧ ¬b: unsat.
+        assert!(s.solve_with(&[Lit::pos(a), Lit::neg(b)]).is_unsat());
+        // Without assumptions: still sat.
+        assert!(s.solve().is_sat());
+        // Under a alone: b must be true.
+        assert!(s.solve_with(&[Lit::pos(a)]).is_sat());
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause([Lit::pos(v[0]), Lit::pos(v[1])]);
+        assert!(s.solve().is_sat());
+        s.add_clause([Lit::neg(v[0])]);
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(v[1]), Some(true));
+        s.add_clause([Lit::neg(v[1])]);
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(Solver::luby(i as u64 + 1), e, "luby({})", i + 1);
+        }
+    }
+
+    /// Random 3-SAT at low clause density should be satisfiable and the
+    /// model must actually satisfy every clause.
+    #[test]
+    fn random_3sat_models_verify() {
+        // Deterministic LCG so the test is reproducible without rand.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _round in 0..10 {
+            let n = 30usize;
+            let m = 60usize;
+            let mut s = Solver::new();
+            let v = vars(&mut s, n);
+            let mut clauses = Vec::new();
+            for _ in 0..m {
+                let mut lits = Vec::new();
+                for _ in 0..3 {
+                    let var = v[(next() % n as u64) as usize];
+                    let neg = next() % 2 == 0;
+                    lits.push(Lit::with_polarity(var, !neg));
+                }
+                clauses.push(lits.clone());
+                s.add_clause(lits);
+            }
+            if s.solve().is_sat() {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&l| s.lit_is_true(l) == Some(true)),
+                        "model violates clause"
+                    );
+                }
+            }
+        }
+    }
+}

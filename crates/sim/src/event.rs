@@ -1,0 +1,65 @@
+//! Named events with timed notification, analogous to `sc_event`.
+
+use crate::time::SimTime;
+
+/// Identifier of an event registered with a [`crate::Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub(crate) usize);
+
+impl EventId {
+    /// Raw index of the event in registration order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Kernel-internal storage for one event.
+#[derive(Debug)]
+pub(crate) struct EventSlot {
+    pub(crate) name: String,
+    /// Processes blocked until the next notification.
+    pub(crate) waiters: Vec<crate::process::ProcessId>,
+    /// Earliest pending timed notification, if any. SystemC keeps only the
+    /// earliest outstanding notification per event; we match that.
+    pub(crate) pending_at: Option<SimTime>,
+    /// Number of notifications delivered so far.
+    pub(crate) fired: u64,
+}
+
+impl EventSlot {
+    pub(crate) fn new(name: &str) -> Self {
+        EventSlot {
+            name: name.to_owned(),
+            waiters: Vec::new(),
+            pending_at: None,
+            fired: 0,
+        }
+    }
+
+    /// Records a notification request, keeping only the earliest one.
+    pub(crate) fn schedule(&mut self, at: SimTime) {
+        self.pending_at = Some(match self.pending_at {
+            Some(existing) => existing.min(at),
+            None => at,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earliest_notification_wins() {
+        let mut slot = EventSlot::new("ev");
+        slot.schedule(SimTime::from_ticks(10));
+        slot.schedule(SimTime::from_ticks(4));
+        slot.schedule(SimTime::from_ticks(7));
+        assert_eq!(slot.pending_at, Some(SimTime::from_ticks(4)));
+    }
+
+    #[test]
+    fn event_id_exposes_index() {
+        assert_eq!(EventId(1).index(), 1);
+    }
+}

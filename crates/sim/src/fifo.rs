@@ -1,0 +1,89 @@
+//! Bounded FIFO channels with blocking semantics.
+//!
+//! The level-1 Symbad model uses point-to-point channels between the face
+//! recognition modules; levels 2–3 keep FIFOs between the hardware side and
+//! the bus wrappers. LPV's FIFO-dimensioning experiment (E6) consumes the
+//! high-watermark statistics recorded here.
+
+use std::collections::VecDeque;
+
+/// Identifier of a FIFO channel registered with a [`crate::Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FifoId(pub(crate) usize);
+
+impl FifoId {
+    /// Raw index of the FIFO in registration order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Kernel-internal storage for one FIFO channel.
+#[derive(Debug)]
+pub(crate) struct FifoSlot<T> {
+    pub(crate) name: String,
+    pub(crate) capacity: usize,
+    pub(crate) queue: VecDeque<T>,
+    pub(crate) total_reads: u64,
+    pub(crate) total_writes: u64,
+    pub(crate) high_watermark: usize,
+    /// Processes blocked waiting for a token to appear.
+    pub(crate) read_waiters: Vec<crate::process::ProcessId>,
+    /// Processes blocked waiting for space to appear.
+    pub(crate) write_waiters: Vec<crate::process::ProcessId>,
+}
+
+impl<T> FifoSlot<T> {
+    pub(crate) fn new(name: &str, capacity: usize) -> Self {
+        FifoSlot {
+            name: name.to_owned(),
+            capacity,
+            queue: VecDeque::new(),
+            total_reads: 0,
+            total_writes: 0,
+            high_watermark: 0,
+            read_waiters: Vec::new(),
+            write_waiters: Vec::new(),
+        }
+    }
+}
+
+/// Read-only snapshot of a FIFO's occupancy statistics.
+///
+/// Obtained from [`crate::Simulator::fifo_stats`]; experiment E6 compares the
+/// observed `high_watermark` against the capacity bound LPV proves
+/// sufficient.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FifoStats {
+    /// Channel name given at registration.
+    pub name: String,
+    /// Configured capacity in tokens.
+    pub capacity: usize,
+    /// Tokens currently queued.
+    pub occupancy: usize,
+    /// Total successful reads over the run.
+    pub total_reads: u64,
+    /// Total successful writes over the run.
+    pub total_writes: u64,
+    /// Maximum occupancy ever observed.
+    pub high_watermark: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_starts_empty() {
+        let slot: FifoSlot<u32> = FifoSlot::new("ch", 4);
+        assert_eq!(slot.queue.len(), 0);
+        assert_eq!(slot.capacity, 4);
+        assert_eq!(slot.high_watermark, 0);
+        assert_eq!(slot.name, "ch");
+    }
+
+    #[test]
+    fn fifo_id_exposes_index() {
+        assert_eq!(FifoId(7).index(), 7);
+    }
+}

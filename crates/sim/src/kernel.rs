@@ -1,0 +1,816 @@
+//! The simulation kernel: registration, scheduling, delta cycles.
+//!
+//! Scheduling is deterministic: within a delta cycle processes run in the
+//! order they became runnable; timed wakeups are ordered by `(time,
+//! sequence)`. Two runs of the same model always produce identical traces,
+//! which is what makes the flow's cross-level trace comparison meaningful.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+
+use crate::event::{EventId, EventSlot};
+use crate::fifo::{FifoId, FifoSlot, FifoStats};
+use crate::process::{Activation, Process, ProcessCtx, ProcessId};
+use crate::signal::{SignalId, SignalSlot};
+use crate::stats::Stats;
+use crate::time::SimTime;
+use crate::trace::Trace;
+
+/// Why a blocked process is parked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockReason {
+    Time,
+    Event(EventId),
+    FifoRead(FifoId),
+    FifoWrite(FifoId),
+    Signal(SignalId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    /// In the runnable or next-delta queue.
+    Queued,
+    Blocked(BlockReason),
+    Done,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Wake {
+    Proc(ProcessId),
+    Event(EventId),
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunResult {
+    /// No activity left and no live process is blocked: normal termination.
+    Quiescent,
+    /// No activity left but live processes are still blocked on channels,
+    /// events or signals — a deadlock. Carries the blocked process names.
+    Deadlock(Vec<String>),
+    /// The time horizon passed to [`Simulator::run`] was reached first.
+    HorizonReached,
+}
+
+/// Result of a completed run: the [`RunResult`] plus accumulated [`Stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Why the run stopped.
+    pub result: RunResult,
+    /// Kernel counters for the run.
+    pub stats: Stats,
+}
+
+impl Outcome {
+    /// Whether the run terminated normally with no blocked process.
+    pub fn is_quiescent(&self) -> bool {
+        matches!(self.result, RunResult::Quiescent)
+    }
+
+    /// Whether the run ended in a deadlock.
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self.result, RunResult::Deadlock(_))
+    }
+}
+
+/// Errors raised by the kernel itself (as opposed to model-level outcomes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The livelock guard tripped: more polls than the configured limit.
+    PollLimitExceeded {
+        /// The configured limit that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PollLimitExceeded { limit } => {
+                write!(f, "poll limit of {limit} exceeded (livelock?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+struct ProcEntry<T> {
+    body: Option<Box<dyn Process<T>>>,
+    name: String,
+    state: ProcState,
+}
+
+/// The discrete-event simulator.
+///
+/// Generic over the token type `T` carried by FIFOs, signals and the trace.
+/// See the [crate docs](crate) for a complete example.
+pub struct Simulator<T = u64> {
+    procs: Vec<ProcEntry<T>>,
+    fifos: Vec<FifoSlot<T>>,
+    signals: Vec<SignalSlot<T>>,
+    events: Vec<EventSlot>,
+    timed: BinaryHeap<Reverse<(SimTime, u64, Wake)>>,
+    runnable: VecDeque<ProcessId>,
+    next_delta: VecDeque<ProcessId>,
+    now: SimTime,
+    seq: u64,
+    poll_limit: u64,
+    stats: Stats,
+    trace: Trace<T>,
+}
+
+impl<T> Default for Simulator<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Simulator<T> {
+    /// Creates an empty simulator at time zero.
+    pub fn new() -> Self {
+        Simulator {
+            procs: Vec::new(),
+            fifos: Vec::new(),
+            signals: Vec::new(),
+            events: Vec::new(),
+            timed: BinaryHeap::new(),
+            runnable: VecDeque::new(),
+            next_delta: VecDeque::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            poll_limit: u64::MAX,
+            stats: Stats::default(),
+            trace: Trace::new(),
+        }
+    }
+
+    /// Sets the livelock guard: [`Simulator::run`] fails with
+    /// [`SimError::PollLimitExceeded`] once more polls than this occur.
+    pub fn set_poll_limit(&mut self, limit: u64) {
+        self.poll_limit = limit;
+    }
+
+    /// Registers a process; it becomes runnable at the start of the run.
+    pub fn add_process<P: Process<T> + 'static>(&mut self, process: P) -> ProcessId {
+        let id = ProcessId(self.procs.len());
+        self.procs.push(ProcEntry {
+            name: process.name().to_owned(),
+            body: Some(Box::new(process)),
+            state: ProcState::Queued,
+        });
+        self.runnable.push_back(id);
+        id
+    }
+
+    /// Registers a bounded FIFO channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero: a zero-capacity FIFO can never transfer
+    /// a token under blocking semantics.
+    pub fn add_fifo(&mut self, name: &str, capacity: usize) -> FifoId {
+        assert!(capacity > 0, "fifo `{name}` must have capacity >= 1");
+        let id = FifoId(self.fifos.len());
+        self.fifos.push(FifoSlot::new(name, capacity));
+        id
+    }
+
+    /// Registers a signal with an initial committed value.
+    pub fn add_signal(&mut self, name: &str, initial: T) -> SignalId {
+        let id = SignalId(self.signals.len());
+        self.signals.push(SignalSlot::new(name, initial));
+        id
+    }
+
+    /// Registers a named event.
+    pub fn add_event(&mut self, name: &str) -> EventId {
+        let id = EventId(self.events.len());
+        self.events.push(EventSlot::new(name));
+        id
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace<T> {
+        &self.trace
+    }
+
+    /// Takes ownership of the recorded trace, leaving an empty one.
+    pub fn take_trace(&mut self) -> Trace<T> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Occupancy statistics of every registered FIFO, in registration order.
+    pub fn fifo_stats(&self) -> Vec<FifoStats> {
+        self.fifos
+            .iter()
+            .map(|f| FifoStats {
+                name: f.name.clone(),
+                capacity: f.capacity,
+                occupancy: f.queue.len(),
+                total_reads: f.total_reads,
+                total_writes: f.total_writes,
+                high_watermark: f.high_watermark,
+            })
+            .collect()
+    }
+
+    /// Name of a registered process.
+    pub fn process_name(&self, pid: ProcessId) -> &str {
+        &self.procs[pid.0].name
+    }
+
+    /// Name of a registered event.
+    pub fn event_name(&self, ev: EventId) -> &str {
+        &self.events[ev.0].name
+    }
+
+    /// Name of a registered signal.
+    pub fn signal_name(&self, sig: SignalId) -> &str {
+        &self.signals[sig.0].name
+    }
+
+    fn enqueue_runnable(&mut self, pid: ProcessId) {
+        if self.procs[pid.0].state != ProcState::Done {
+            self.procs[pid.0].state = ProcState::Queued;
+            self.runnable.push_back(pid);
+        }
+    }
+
+    fn schedule_timed(&mut self, at: SimTime, wake: Wake) {
+        self.seq += 1;
+        self.timed.push(Reverse((at, self.seq, wake)));
+    }
+
+    /// Wakes processes whose FIFO wait condition is now satisfiable.
+    fn service_fifo(&mut self, fifo: FifoId) {
+        let (readable, writable) = {
+            let slot = &self.fifos[fifo.0];
+            (!slot.queue.is_empty(), slot.queue.len() < slot.capacity)
+        };
+        if readable {
+            let waiters = std::mem::take(&mut self.fifos[fifo.0].read_waiters);
+            for pid in waiters {
+                self.enqueue_runnable(pid);
+            }
+        }
+        if writable {
+            let waiters = std::mem::take(&mut self.fifos[fifo.0].write_waiters);
+            for pid in waiters {
+                self.enqueue_runnable(pid);
+            }
+        }
+    }
+
+    fn fire_event(&mut self, ev: EventId) {
+        self.stats.notifications += 1;
+        self.events[ev.0].fired += 1;
+        let waiters = std::mem::take(&mut self.events[ev.0].waiters);
+        for pid in waiters {
+            self.enqueue_runnable(pid);
+        }
+    }
+
+    fn blocked_process_names(&self) -> Vec<String> {
+        self.procs
+            .iter()
+            .filter(|p| matches!(p.state, ProcState::Blocked(_)))
+            .map(|p| p.name.clone())
+            .collect()
+    }
+}
+
+impl<T: PartialEq> Simulator<T> {
+    /// Runs the simulation until quiescence, deadlock, or `horizon`.
+    ///
+    /// The kernel alternates SystemC-style evaluate phases (polling runnable
+    /// processes) and update phases (committing signal writes), advancing
+    /// time only when no delta activity remains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PollLimitExceeded`] if the livelock guard set via
+    /// [`Simulator::set_poll_limit`] trips.
+    pub fn run(&mut self, horizon: SimTime) -> Result<Outcome, SimError> {
+        let mut fifo_activity: Vec<FifoId> = Vec::new();
+        let mut signal_activity: Vec<SignalId> = Vec::new();
+        let mut notifications: Vec<(EventId, SimTime)> = Vec::new();
+
+        'outer: loop {
+            // Evaluate phase: drain the runnable queue.
+            while let Some(pid) = self.runnable.pop_front() {
+                if self.procs[pid.0].state == ProcState::Done {
+                    continue;
+                }
+                self.stats.polls += 1;
+                if self.stats.polls > self.poll_limit {
+                    return Err(SimError::PollLimitExceeded {
+                        limit: self.poll_limit,
+                    });
+                }
+                let mut body = self.procs[pid.0]
+                    .body
+                    .take()
+                    .expect("process body present while queued");
+                let activation = {
+                    let mut ctx = ProcessCtx {
+                        now: self.now,
+                        pid,
+                        fifos: &mut self.fifos,
+                        signals: &mut self.signals,
+                        pending_notifications: &mut notifications,
+                        trace: &mut self.trace,
+                        fifo_activity: &mut fifo_activity,
+                        signal_activity: &mut signal_activity,
+                    };
+                    body.poll(&mut ctx)
+                };
+                self.procs[pid.0].body = Some(body);
+
+                match activation {
+                    Activation::Continue => {
+                        self.procs[pid.0].state = ProcState::Queued;
+                        self.runnable.push_back(pid);
+                    }
+                    Activation::WaitTime(delta) => {
+                        self.procs[pid.0].state = ProcState::Blocked(BlockReason::Time);
+                        self.stats.timed_wakeups += 1;
+                        let at = self.now.saturating_add_ticks(delta.ticks());
+                        self.schedule_timed(at, Wake::Proc(pid));
+                    }
+                    Activation::WaitEvent(ev) => {
+                        self.procs[pid.0].state = ProcState::Blocked(BlockReason::Event(ev));
+                        self.events[ev.0].waiters.push(pid);
+                    }
+                    Activation::WaitFifoReadable(fifo) => {
+                        // Re-check before parking: the condition may already
+                        // hold (another process wrote since our last check).
+                        if self.fifos[fifo.0].queue.is_empty() {
+                            self.procs[pid.0].state =
+                                ProcState::Blocked(BlockReason::FifoRead(fifo));
+                            self.fifos[fifo.0].read_waiters.push(pid);
+                        } else {
+                            self.procs[pid.0].state = ProcState::Queued;
+                            self.runnable.push_back(pid);
+                        }
+                    }
+                    Activation::WaitFifoWritable(fifo) => {
+                        let full =
+                            self.fifos[fifo.0].queue.len() >= self.fifos[fifo.0].capacity;
+                        if full {
+                            self.procs[pid.0].state =
+                                ProcState::Blocked(BlockReason::FifoWrite(fifo));
+                            self.fifos[fifo.0].write_waiters.push(pid);
+                        } else {
+                            self.procs[pid.0].state = ProcState::Queued;
+                            self.runnable.push_back(pid);
+                        }
+                    }
+                    Activation::WaitSignal(sig) => {
+                        self.procs[pid.0].state = ProcState::Blocked(BlockReason::Signal(sig));
+                        self.signals[sig.0].waiters.push(pid);
+                    }
+                    Activation::Done => {
+                        self.procs[pid.0].state = ProcState::Done;
+                    }
+                }
+
+                // Service channel wakeups caused by this poll.
+                for fifo in fifo_activity.drain(..) {
+                    self.service_fifo(fifo);
+                }
+                // Deliver notifications: immediate ones this time step,
+                // future ones via the timed heap.
+                for (ev, at) in notifications.drain(..) {
+                    if at <= self.now {
+                        self.fire_event(ev);
+                    } else {
+                        self.events[ev.0].schedule(at);
+                        self.schedule_timed(at, Wake::Event(ev));
+                    }
+                }
+            }
+
+            // Update phase: commit signal writes, wake changed-signal waiters.
+            let mut any_delta_work = false;
+            for idx in 0..self.signals.len() {
+                if let Some(next) = self.signals[idx].next.take() {
+                    let changed = self.signals[idx].current != next;
+                    self.signals[idx].current = next;
+                    if changed {
+                        self.signals[idx].change_count += 1;
+                        self.stats.signal_changes += 1;
+                        let waiters = std::mem::take(&mut self.signals[idx].waiters);
+                        for pid in waiters {
+                            self.next_delta.push_back(pid);
+                            any_delta_work = true;
+                        }
+                    }
+                }
+            }
+            signal_activity.clear();
+            if any_delta_work || !self.next_delta.is_empty() {
+                self.stats.delta_cycles += 1;
+                while let Some(pid) = self.next_delta.pop_front() {
+                    self.enqueue_runnable(pid);
+                }
+                continue 'outer;
+            }
+
+            // Time advance phase.
+            loop {
+                match self.timed.pop() {
+                    None => break 'outer,
+                    Some(Reverse((at, _, wake))) => {
+                        if at > horizon {
+                            self.now = horizon;
+                            return Ok(Outcome {
+                                result: RunResult::HorizonReached,
+                                stats: self.stats.clone(),
+                            });
+                        }
+                        if at > self.now {
+                            self.now = at;
+                            self.stats.time_steps += 1;
+                        }
+                        match wake {
+                            Wake::Proc(pid) => self.enqueue_runnable(pid),
+                            Wake::Event(ev) => {
+                                // Skip stale entries superseded by an earlier
+                                // notification of the same event.
+                                if self.events[ev.0].pending_at == Some(at) {
+                                    self.events[ev.0].pending_at = None;
+                                    self.fire_event(ev);
+                                }
+                            }
+                        }
+                        // Pull in everything else scheduled for this instant
+                        // so the whole time step runs as one evaluate phase.
+                        while let Some(Reverse((t2, _, _))) = self.timed.peek().copied() {
+                            if t2 != self.now {
+                                break;
+                            }
+                            let Reverse((_, _, wake2)) = self.timed.pop().expect("peeked");
+                            match wake2 {
+                                Wake::Proc(pid) => self.enqueue_runnable(pid),
+                                Wake::Event(ev) => {
+                                    if self.events[ev.0].pending_at == Some(self.now) {
+                                        self.events[ev.0].pending_at = None;
+                                        self.fire_event(ev);
+                                    }
+                                }
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+
+            if self.runnable.is_empty() && self.timed.is_empty() {
+                break;
+            }
+        }
+
+        self.stats.final_time = self.now;
+        let blocked = self.blocked_process_names();
+        let result = if blocked.is_empty() {
+            RunResult::Quiescent
+        } else {
+            RunResult::Deadlock(blocked)
+        };
+        Ok(Outcome {
+            result,
+            stats: self.stats.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Emits `count` tokens, one per tick.
+    struct Source {
+        out: FifoId,
+        count: u64,
+        sent: u64,
+    }
+    impl Process<u64> for Source {
+        fn poll(&mut self, ctx: &mut ProcessCtx<'_, u64>) -> Activation {
+            if self.sent == self.count {
+                return Activation::Done;
+            }
+            match ctx.try_write(self.out, self.sent) {
+                Ok(()) => {
+                    self.sent += 1;
+                    Activation::WaitTime(SimTime::from_ticks(1))
+                }
+                Err(_) => Activation::WaitFifoWritable(self.out),
+            }
+        }
+        fn name(&self) -> &str {
+            "source"
+        }
+    }
+
+    /// Accumulates tokens and traces them.
+    struct Sink {
+        inp: FifoId,
+        got: Vec<u64>,
+    }
+    impl Process<u64> for Sink {
+        fn poll(&mut self, ctx: &mut ProcessCtx<'_, u64>) -> Activation {
+            match ctx.try_read(self.inp) {
+                Some(v) => {
+                    self.got.push(v);
+                    ctx.trace("sink", v);
+                    Activation::Continue
+                }
+                None => Activation::WaitFifoReadable(self.inp),
+            }
+        }
+        fn name(&self) -> &str {
+            "sink"
+        }
+    }
+
+    #[test]
+    fn pipeline_transfers_all_tokens_in_order() {
+        let mut sim = Simulator::new();
+        let ch = sim.add_fifo("ch", 2);
+        sim.add_process(Source {
+            out: ch,
+            count: 10,
+            sent: 0,
+        });
+        sim.add_process(Sink {
+            inp: ch,
+            got: Vec::new(),
+        });
+        let outcome = sim.run(SimTime::MAX).expect("no livelock");
+        // Sink never terminates (always waits for more), so the run ends in
+        // "deadlock" with only the sink blocked — the expected shape for an
+        // open-ended consumer.
+        assert!(matches!(outcome.result, RunResult::Deadlock(ref names) if names == &vec!["sink".to_owned()]));
+        let items: Vec<u64> = sim.trace().items_for("sink").into_iter().copied().collect();
+        assert_eq!(items, (0..10).collect::<Vec<_>>());
+    }
+
+    /// A classic two-process circular-wait deadlock: each waits to read a
+    /// token the other never produces.
+    struct Waiter {
+        inp: FifoId,
+        label: &'static str,
+    }
+    impl Process<u64> for Waiter {
+        fn poll(&mut self, ctx: &mut ProcessCtx<'_, u64>) -> Activation {
+            match ctx.try_read(self.inp) {
+                Some(_) => Activation::Done,
+                None => Activation::WaitFifoReadable(self.inp),
+            }
+        }
+        fn name(&self) -> &str {
+            self.label
+        }
+    }
+
+    #[test]
+    fn circular_wait_is_reported_as_deadlock() {
+        let mut sim = Simulator::new();
+        let a = sim.add_fifo("a", 1);
+        let b = sim.add_fifo("b", 1);
+        sim.add_process(Waiter { inp: a, label: "p" });
+        sim.add_process(Waiter { inp: b, label: "q" });
+        let outcome = sim.run(SimTime::MAX).expect("run");
+        match outcome.result {
+            RunResult::Deadlock(names) => {
+                assert_eq!(names, vec!["p".to_owned(), "q".to_owned()]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    /// A process that immediately finishes.
+    struct Nop;
+    impl Process<u64> for Nop {
+        fn poll(&mut self, _ctx: &mut ProcessCtx<'_, u64>) -> Activation {
+            Activation::Done
+        }
+        fn name(&self) -> &str {
+            "nop"
+        }
+    }
+
+    #[test]
+    fn empty_model_is_quiescent() {
+        let mut sim: Simulator<u64> = Simulator::new();
+        sim.add_process(Nop);
+        let outcome = sim.run(SimTime::MAX).expect("run");
+        assert!(outcome.is_quiescent());
+        assert_eq!(outcome.stats.polls, 1);
+    }
+
+    /// Ping-pong over an event with a timed notification.
+    struct Pinger {
+        ev: EventId,
+        fired: bool,
+    }
+    impl Process<u64> for Pinger {
+        fn poll(&mut self, ctx: &mut ProcessCtx<'_, u64>) -> Activation {
+            if self.fired {
+                return Activation::Done;
+            }
+            self.fired = true;
+            ctx.notify(self.ev, SimTime::from_ticks(5));
+            Activation::Done
+        }
+        fn name(&self) -> &str {
+            "pinger"
+        }
+    }
+    struct EventWaiter {
+        ev: EventId,
+        woke_at: Option<SimTime>,
+        armed: bool,
+    }
+    impl Process<u64> for EventWaiter {
+        fn poll(&mut self, ctx: &mut ProcessCtx<'_, u64>) -> Activation {
+            if self.armed {
+                self.woke_at = Some(ctx.now());
+                ctx.trace("woke", ctx.now().ticks());
+                return Activation::Done;
+            }
+            self.armed = true;
+            Activation::WaitEvent(self.ev)
+        }
+        fn name(&self) -> &str {
+            "event_waiter"
+        }
+    }
+
+    #[test]
+    fn timed_notification_wakes_waiter_at_right_time() {
+        let mut sim = Simulator::new();
+        let ev = sim.add_event("tick");
+        sim.add_process(EventWaiter {
+            ev,
+            woke_at: None,
+            armed: false,
+        });
+        sim.add_process(Pinger { ev, fired: false });
+        let outcome = sim.run(SimTime::MAX).expect("run");
+        assert!(outcome.is_quiescent());
+        let woke: Vec<u64> = sim.trace().items_for("woke").into_iter().copied().collect();
+        assert_eq!(woke, vec![5]);
+        assert_eq!(outcome.stats.notifications, 1);
+    }
+
+    /// A signal writer and a reader demonstrating delta-cycle semantics.
+    struct SigWriter {
+        sig: SignalId,
+        done: bool,
+    }
+    impl Process<u64> for SigWriter {
+        fn poll(&mut self, ctx: &mut ProcessCtx<'_, u64>) -> Activation {
+            if self.done {
+                return Activation::Done;
+            }
+            self.done = true;
+            // The committed value must still be the initial one within this
+            // evaluate phase.
+            assert_eq!(*ctx.signal_read(self.sig), 0);
+            ctx.signal_write(self.sig, 7);
+            assert_eq!(
+                *ctx.signal_read(self.sig),
+                0,
+                "write must not be visible before the update phase"
+            );
+            Activation::Done
+        }
+        fn name(&self) -> &str {
+            "sig_writer"
+        }
+    }
+    struct SigReader {
+        sig: SignalId,
+        armed: bool,
+    }
+    impl Process<u64> for SigReader {
+        fn poll(&mut self, ctx: &mut ProcessCtx<'_, u64>) -> Activation {
+            if self.armed {
+                let v = *ctx.signal_read(self.sig);
+                ctx.trace("sig", v);
+                return Activation::Done;
+            }
+            self.armed = true;
+            Activation::WaitSignal(self.sig)
+        }
+        fn name(&self) -> &str {
+            "sig_reader"
+        }
+    }
+
+    #[test]
+    fn signal_update_is_deferred_to_next_delta() {
+        let mut sim = Simulator::new();
+        let sig = sim.add_signal("s", 0u64);
+        sim.add_process(SigReader { sig, armed: false });
+        sim.add_process(SigWriter { sig, done: false });
+        let outcome = sim.run(SimTime::MAX).expect("run");
+        assert!(outcome.is_quiescent());
+        let seen: Vec<u64> = sim.trace().items_for("sig").into_iter().copied().collect();
+        assert_eq!(seen, vec![7]);
+        assert!(outcome.stats.delta_cycles >= 1);
+        assert_eq!(outcome.stats.signal_changes, 1);
+    }
+
+    /// Livelock: a process that spins forever with `Continue`.
+    struct Spinner;
+    impl Process<u64> for Spinner {
+        fn poll(&mut self, _ctx: &mut ProcessCtx<'_, u64>) -> Activation {
+            Activation::Continue
+        }
+        fn name(&self) -> &str {
+            "spinner"
+        }
+    }
+
+    #[test]
+    fn poll_limit_catches_livelock() {
+        let mut sim: Simulator<u64> = Simulator::new();
+        sim.add_process(Spinner);
+        sim.set_poll_limit(1000);
+        let err = sim.run(SimTime::MAX).unwrap_err();
+        assert_eq!(err, SimError::PollLimitExceeded { limit: 1000 });
+    }
+
+    #[test]
+    fn horizon_is_respected() {
+        let mut sim = Simulator::new();
+        let ch = sim.add_fifo("ch", 1);
+        sim.add_process(Source {
+            out: ch,
+            count: u64::MAX,
+            sent: 0,
+        });
+        sim.add_process(Sink {
+            inp: ch,
+            got: Vec::new(),
+        });
+        let outcome = sim.run(SimTime::from_ticks(50)).expect("run");
+        assert_eq!(outcome.result, RunResult::HorizonReached);
+        assert!(sim.now() <= SimTime::from_ticks(50));
+    }
+
+    #[test]
+    fn fifo_stats_track_watermark_and_counts() {
+        let mut sim = Simulator::new();
+        let ch = sim.add_fifo("ch", 4);
+        sim.add_process(Source {
+            out: ch,
+            count: 6,
+            sent: 0,
+        });
+        sim.add_process(Sink {
+            inp: ch,
+            got: Vec::new(),
+        });
+        sim.run(SimTime::MAX).expect("run");
+        let stats = &sim.fifo_stats()[0];
+        assert_eq!(stats.total_writes, 6);
+        assert_eq!(stats.total_reads, 6);
+        assert!(stats.high_watermark >= 1);
+        assert!(stats.high_watermark <= 4);
+        assert_eq!(stats.occupancy, 0);
+    }
+
+    #[test]
+    fn determinism_same_trace_across_runs() {
+        let run_once = || {
+            let mut sim = Simulator::new();
+            let ch = sim.add_fifo("ch", 2);
+            sim.add_process(Source {
+                out: ch,
+                count: 20,
+                sent: 0,
+            });
+            sim.add_process(Sink {
+                inp: ch,
+                got: Vec::new(),
+            });
+            sim.run(SimTime::MAX).expect("run");
+            sim.take_trace()
+                .entries()
+                .iter()
+                .map(|e| (e.time, e.item))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -1,0 +1,199 @@
+//! Processes: the unit of concurrent behaviour.
+//!
+//! SystemC threads suspend inside `wait(...)`; stable Rust has no stackful
+//! coroutines, so Symbad processes are *polled state machines*. The kernel
+//! calls [`Process::poll`] whenever the process is runnable; the return
+//! value ([`Activation`]) either keeps the process runnable, blocks it on a
+//! resource, or retires it. This is behaviourally equivalent for the models
+//! in the flow (dataflow loops of read → compute → write) and keeps every
+//! process an ordinary owned struct that unit tests can drive directly.
+
+use crate::event::EventId;
+use crate::fifo::FifoId;
+use crate::signal::SignalId;
+use crate::time::SimTime;
+
+/// Identifier of a process registered with a [`crate::Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub(crate) usize);
+
+impl ProcessId {
+    /// Raw index of the process in registration order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What a process asks the kernel to do after a poll step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Run again within the current delta cycle (made runnable immediately).
+    Continue,
+    /// Sleep for the given number of ticks (a `wait(t)` in SystemC terms).
+    WaitTime(SimTime),
+    /// Block until the event is notified.
+    WaitEvent(EventId),
+    /// Block until the FIFO has at least one token to read.
+    WaitFifoReadable(FifoId),
+    /// Block until the FIFO has room for at least one token.
+    WaitFifoWritable(FifoId),
+    /// Block until the signal's committed value changes.
+    WaitSignal(SignalId),
+    /// The process has finished; it will never be polled again.
+    Done,
+}
+
+impl Activation {
+    /// Whether the activation retires the process.
+    pub fn is_done(self) -> bool {
+        matches!(self, Activation::Done)
+    }
+
+    /// Whether the activation blocks the process on an external condition
+    /// (anything but [`Activation::Continue`] and [`Activation::Done`]).
+    pub fn is_blocking(self) -> bool {
+        !matches!(self, Activation::Continue | Activation::Done)
+    }
+}
+
+/// A concurrent behaviour scheduled by the kernel.
+///
+/// Implementations store their own "program counter" (typically an enum of
+/// phases) and use the [`ProcessCtx`] passed to [`poll`](Process::poll) for
+/// all interaction with channels, signals, events and the trace.
+pub trait Process<T> {
+    /// Advances the process by one step.
+    ///
+    /// A poll must not busy-wait: when a needed resource is unavailable the
+    /// process returns the corresponding `Wait*` activation so the kernel can
+    /// park it. Returning [`Activation::Continue`] reschedules the process in
+    /// the same delta cycle.
+    fn poll(&mut self, ctx: &mut ProcessCtx<'_, T>) -> Activation;
+
+    /// Stable, human-readable process name used in traces and diagnostics.
+    fn name(&self) -> &str;
+}
+
+/// Per-poll view of the kernel handed to a process.
+///
+/// Created by the kernel; a process can not outlive its context.
+pub struct ProcessCtx<'a, T> {
+    pub(crate) now: SimTime,
+    pub(crate) pid: ProcessId,
+    pub(crate) fifos: &'a mut [crate::fifo::FifoSlot<T>],
+    pub(crate) signals: &'a mut [crate::signal::SignalSlot<T>],
+    pub(crate) pending_notifications: &'a mut Vec<(EventId, SimTime)>,
+    pub(crate) trace: &'a mut crate::trace::Trace<T>,
+    pub(crate) fifo_activity: &'a mut Vec<FifoId>,
+    pub(crate) signal_activity: &'a mut Vec<SignalId>,
+}
+
+impl<'a, T> ProcessCtx<'a, T> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Identifier of the polled process.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Attempts to pop a token from `fifo`.
+    ///
+    /// Returns `None` when the FIFO is empty; the caller should then return
+    /// [`Activation::WaitFifoReadable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fifo` does not belong to the running simulator.
+    pub fn try_read(&mut self, fifo: FifoId) -> Option<T> {
+        let slot = &mut self.fifos[fifo.0];
+        let v = slot.queue.pop_front();
+        if v.is_some() {
+            slot.total_reads += 1;
+            self.fifo_activity.push(fifo);
+        }
+        v
+    }
+
+    /// Attempts to push a token into `fifo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the token back when the FIFO is full; the caller should then
+    /// return [`Activation::WaitFifoWritable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fifo` does not belong to the running simulator.
+    pub fn try_write(&mut self, fifo: FifoId, value: T) -> Result<(), T> {
+        let slot = &mut self.fifos[fifo.0];
+        if slot.queue.len() >= slot.capacity {
+            return Err(value);
+        }
+        slot.queue.push_back(value);
+        slot.total_writes += 1;
+        slot.high_watermark = slot.high_watermark.max(slot.queue.len());
+        self.fifo_activity.push(fifo);
+        Ok(())
+    }
+
+    /// Number of tokens currently queued in `fifo`.
+    pub fn fifo_len(&self, fifo: FifoId) -> usize {
+        self.fifos[fifo.0].queue.len()
+    }
+
+    /// Capacity of `fifo`.
+    pub fn fifo_capacity(&self, fifo: FifoId) -> usize {
+        self.fifos[fifo.0].capacity
+    }
+
+    /// Reads the committed (last-updated) value of a signal.
+    pub fn signal_read(&self, signal: SignalId) -> &T {
+        &self.signals[signal.0].current
+    }
+
+    /// Requests a signal update, committed at the end of the current delta
+    /// cycle (SystemC evaluate/update semantics). The last writer in a delta
+    /// wins, as in `sc_signal`.
+    pub fn signal_write(&mut self, signal: SignalId, value: T) {
+        self.signals[signal.0].next = Some(value);
+        self.signal_activity.push(signal);
+    }
+
+    /// Notifies `event` after `delay` ticks (zero means next delta cycle).
+    pub fn notify(&mut self, event: EventId, delay: SimTime) {
+        self.pending_notifications
+            .push((event, self.now.saturating_add_ticks(delay.ticks())));
+    }
+
+    /// Appends an entry to the simulation trace under the given source tag.
+    ///
+    /// Traces are the flow's functional-equivalence artifact: the same
+    /// workload simulated at two abstraction levels must produce identical
+    /// per-source token sequences.
+    pub fn trace(&mut self, source: &str, item: T) {
+        self.trace.record(self.now, source, item);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_classification() {
+        assert!(Activation::Done.is_done());
+        assert!(!Activation::Continue.is_done());
+        assert!(Activation::WaitTime(SimTime::from_ticks(1)).is_blocking());
+        assert!(Activation::WaitFifoReadable(FifoId(0)).is_blocking());
+        assert!(!Activation::Continue.is_blocking());
+        assert!(!Activation::Done.is_blocking());
+    }
+
+    #[test]
+    fn process_id_exposes_index() {
+        assert_eq!(ProcessId(3).index(), 3);
+    }
+}

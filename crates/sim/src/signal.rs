@@ -1,0 +1,62 @@
+//! Signals with SystemC evaluate/update (delta-cycle) semantics.
+//!
+//! A write to a signal does not become visible until the end of the current
+//! delta cycle; processes blocked on [`crate::Activation::WaitSignal`] wake
+//! in the next delta only if the committed value actually changed. Level-4
+//! RTL co-simulation wrappers use signals for request/acknowledge handshakes.
+
+/// Identifier of a signal registered with a [`crate::Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub(crate) usize);
+
+impl SignalId {
+    /// Raw index of the signal in registration order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Kernel-internal storage for one signal.
+#[derive(Debug)]
+pub(crate) struct SignalSlot<T> {
+    pub(crate) name: String,
+    /// Committed value, visible to readers.
+    pub(crate) current: T,
+    /// Value requested during the running delta cycle, if any.
+    pub(crate) next: Option<T>,
+    /// Processes blocked until the committed value changes.
+    pub(crate) waiters: Vec<crate::process::ProcessId>,
+    /// Number of committed updates that changed the value.
+    pub(crate) change_count: u64,
+}
+
+impl<T> SignalSlot<T> {
+    pub(crate) fn new(name: &str, initial: T) -> Self {
+        SignalSlot {
+            name: name.to_owned(),
+            current: initial,
+            next: None,
+            waiters: Vec::new(),
+            change_count: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_initial_state() {
+        let slot = SignalSlot::new("req", 0u8);
+        assert_eq!(slot.current, 0);
+        assert!(slot.next.is_none());
+        assert_eq!(slot.change_count, 0);
+        assert_eq!(slot.name, "req");
+    }
+
+    #[test]
+    fn signal_id_exposes_index() {
+        assert_eq!(SignalId(2).index(), 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! Run statistics.
+//!
+//! Experiments E1–E3 and E11 report *simulation speed* — simulated cycles
+//! per wall-clock second, the figure the paper quotes as "200 kHz" (level 2)
+//! and "30 kHz" (level 3) on the authors' workstation. [`Stats`] collects the
+//! raw counters from which the bench harness derives those rates.
+
+use crate::time::SimTime;
+
+/// Counters accumulated over one [`crate::Simulator::run`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Total process polls performed.
+    pub polls: u64,
+    /// Delta cycles executed.
+    pub delta_cycles: u64,
+    /// Distinct time points at which activity occurred.
+    pub time_steps: u64,
+    /// Timed wakeups scheduled.
+    pub timed_wakeups: u64,
+    /// Event notifications delivered.
+    pub notifications: u64,
+    /// Signal updates that changed a committed value.
+    pub signal_changes: u64,
+    /// Final simulation time reached.
+    pub final_time: SimTime,
+}
+
+impl Stats {
+    /// Simulated ticks per poll — a density measure of the model's
+    /// abstraction level (higher = more abstract).
+    pub fn ticks_per_poll(&self) -> f64 {
+        if self.polls == 0 {
+            0.0
+        } else {
+            self.final_time.ticks() as f64 / self.polls as f64
+        }
+    }
+
+    /// Simulated frequency in Hz given the wall-clock seconds the run took:
+    /// `final_time / wall_seconds`. This is the paper's "simulation speed"
+    /// metric (kHz of simulated clock per real second).
+    pub fn simulated_hz(&self, wall_seconds: f64) -> f64 {
+        if wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.final_time.ticks() as f64 / wall_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_per_poll_handles_zero_polls() {
+        let s = Stats::default();
+        assert_eq!(s.ticks_per_poll(), 0.0);
+    }
+
+    #[test]
+    fn simulated_hz_scales_with_time() {
+        let s = Stats {
+            final_time: SimTime::from_ticks(200_000),
+            ..Stats::default()
+        };
+        assert_eq!(s.simulated_hz(1.0), 200_000.0);
+        assert_eq!(s.simulated_hz(2.0), 100_000.0);
+        assert_eq!(s.simulated_hz(0.0), 0.0);
+    }
+}

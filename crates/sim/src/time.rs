@@ -1,0 +1,141 @@
+//! Simulation time.
+//!
+//! Time advances in abstract kernel *ticks*. The Symbad flow interprets a
+//! tick as one CPU/bus clock cycle at levels 2–4 and as an arbitrary causal
+//! step at the untimed level 1, mirroring how SystemC time units are assigned
+//! per model.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in kernel ticks.
+///
+/// `SimTime` is a transparent, totally ordered newtype over `u64`. Arithmetic
+/// saturates at [`SimTime::MAX`] rather than wrapping, so "run forever"
+/// horizons compose safely with offsets.
+///
+/// # Example
+///
+/// ```
+/// use sim::SimTime;
+/// let t = SimTime::from_ticks(10) + SimTime::from_ticks(5);
+/// assert_eq!(t.ticks(), 15);
+/// assert_eq!(SimTime::MAX + SimTime::from_ticks(1), SimTime::MAX);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero — the instant at which every simulation starts.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; used as an "unbounded" run horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from a raw tick count.
+    #[inline]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a tick count.
+    #[inline]
+    pub const fn saturating_add_ticks(self, ticks: u64) -> Self {
+        SimTime(self.0.saturating_add(ticks))
+    }
+
+    /// Ticks elapsed since `earlier`, or zero when `earlier` is later.
+    #[inline]
+    pub const fn ticks_since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Whether this is the unbounded horizon.
+    #[inline]
+    pub const fn is_max(self) -> bool {
+        self.0 == u64::MAX
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_max() {
+            write!(f, "t=∞")
+        } else {
+            write!(f, "t={}", self.0)
+        }
+    }
+}
+
+impl From<u64> for SimTime {
+    fn from(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_ticks() {
+        assert!(SimTime::from_ticks(1) < SimTime::from_ticks(2));
+        assert!(SimTime::ZERO < SimTime::MAX);
+    }
+
+    #[test]
+    fn addition_saturates() {
+        assert_eq!(SimTime::MAX + SimTime::from_ticks(7), SimTime::MAX);
+        assert_eq!(SimTime::MAX.saturating_add_ticks(1), SimTime::MAX);
+    }
+
+    #[test]
+    fn subtraction_saturates_at_zero() {
+        assert_eq!(
+            SimTime::from_ticks(3) - SimTime::from_ticks(10),
+            SimTime::ZERO
+        );
+        assert_eq!(SimTime::from_ticks(10).ticks_since(SimTime::from_ticks(3)), 7);
+        assert_eq!(SimTime::from_ticks(3).ticks_since(SimTime::from_ticks(10)), 0);
+    }
+
+    #[test]
+    fn display_renders_ticks_and_infinity() {
+        assert_eq!(SimTime::from_ticks(42).to_string(), "t=42");
+        assert_eq!(SimTime::MAX.to_string(), "t=∞");
+    }
+
+    #[test]
+    fn conversion_from_u64() {
+        let t: SimTime = 9u64.into();
+        assert_eq!(t.ticks(), 9);
+    }
+}

@@ -1,0 +1,249 @@
+//! Simulation traces and cross-level trace comparison.
+//!
+//! The paper's functional-verification criterion at each refinement step is
+//! "match of results consists of trace files comparison" — the level-N model
+//! must emit, per observation point, the same token sequence as level N−1
+//! (and ultimately the C reference model). [`Trace`] records `(time, source,
+//! item)` triples; [`Trace::matches_untimed`] implements the comparison that
+//! deliberately ignores timestamps, because refinement changes timing but
+//! must preserve data.
+
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One recorded observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry<T> {
+    /// Simulation time at which the observation was made.
+    pub time: SimTime,
+    /// Observation point (e.g. module output name).
+    pub source: String,
+    /// Observed token.
+    pub item: T,
+}
+
+/// An ordered log of observations made during a run.
+#[derive(Debug, Clone)]
+pub struct Trace<T> {
+    entries: Vec<TraceEntry<T>>,
+}
+
+impl<T> Default for Trace<T> {
+    fn default() -> Self {
+        Trace { entries: Vec::new() }
+    }
+}
+
+impl<T> Trace<T> {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an observation.
+    pub fn record(&mut self, time: SimTime, source: &str, item: T) {
+        self.entries.push(TraceEntry {
+            time,
+            source: source.to_owned(),
+            item,
+        });
+    }
+
+    /// All entries in recording order.
+    pub fn entries(&self) -> &[TraceEntry<T>] {
+        &self.entries
+    }
+
+    /// Number of recorded observations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Items observed at one source, in order.
+    pub fn items_for(&self, source: &str) -> Vec<&T> {
+        self.entries
+            .iter()
+            .filter(|e| e.source == source)
+            .map(|e| &e.item)
+            .collect()
+    }
+
+    /// Groups items by source, preserving per-source order.
+    pub fn by_source(&self) -> BTreeMap<&str, Vec<&T>> {
+        let mut map: BTreeMap<&str, Vec<&T>> = BTreeMap::new();
+        for e in &self.entries {
+            map.entry(e.source.as_str()).or_default().push(&e.item);
+        }
+        map
+    }
+}
+
+impl<T: PartialEq + fmt::Debug> Trace<T> {
+    /// Untimed trace equivalence: per observation point, both traces contain
+    /// the same token sequence, timestamps ignored.
+    ///
+    /// Returns `Ok(())` on match, otherwise a [`TraceMismatch`] describing
+    /// the first divergence — the artifact the paper's per-level
+    /// "functionality fully verified" checks rely on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceMismatch`] naming the diverging source and position.
+    pub fn matches_untimed(&self, other: &Trace<T>) -> Result<(), TraceMismatch> {
+        let a = self.by_source();
+        let b = other.by_source();
+        for (src, items_a) in &a {
+            match b.get(src) {
+                None => {
+                    return Err(TraceMismatch {
+                        source: (*src).to_owned(),
+                        position: 0,
+                        detail: "source missing from other trace".to_owned(),
+                    })
+                }
+                Some(items_b) => {
+                    for (i, (x, y)) in items_a.iter().zip(items_b.iter()).enumerate() {
+                        if x != y {
+                            return Err(TraceMismatch {
+                                source: (*src).to_owned(),
+                                position: i,
+                                detail: format!("{x:?} != {y:?}"),
+                            });
+                        }
+                    }
+                    if items_a.len() != items_b.len() {
+                        return Err(TraceMismatch {
+                            source: (*src).to_owned(),
+                            position: items_a.len().min(items_b.len()),
+                            detail: format!(
+                                "length mismatch: {} vs {}",
+                                items_a.len(),
+                                items_b.len()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        for src in b.keys() {
+            if !a.contains_key(src) {
+                return Err(TraceMismatch {
+                    source: (*src).to_owned(),
+                    position: 0,
+                    detail: "source missing from this trace".to_owned(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// First point of divergence between two traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMismatch {
+    /// Observation point at which the traces diverge.
+    pub source: String,
+    /// Index of the first diverging token at that source.
+    pub position: usize,
+    /// Human-readable description of the divergence.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace mismatch at source `{}` position {}: {}",
+            self.source, self.position, self.detail
+        )
+    }
+}
+
+impl std::error::Error for TraceMismatch {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ticks: u64) -> SimTime {
+        SimTime::from_ticks(ticks)
+    }
+
+    #[test]
+    fn matching_traces_ignore_time() {
+        let mut a = Trace::new();
+        a.record(t(0), "out", 1u32);
+        a.record(t(1), "out", 2);
+        let mut b = Trace::new();
+        b.record(t(100), "out", 1);
+        b.record(t(999), "out", 2);
+        assert!(a.matches_untimed(&b).is_ok());
+    }
+
+    #[test]
+    fn interleaving_across_sources_is_ignored() {
+        let mut a = Trace::new();
+        a.record(t(0), "x", 1u32);
+        a.record(t(0), "y", 10);
+        a.record(t(1), "x", 2);
+        let mut b = Trace::new();
+        b.record(t(0), "y", 10);
+        b.record(t(5), "x", 1);
+        b.record(t(6), "x", 2);
+        assert!(a.matches_untimed(&b).is_ok());
+    }
+
+    #[test]
+    fn value_divergence_is_reported_with_position() {
+        let mut a = Trace::new();
+        a.record(t(0), "out", 1u32);
+        a.record(t(1), "out", 2);
+        let mut b = Trace::new();
+        b.record(t(0), "out", 1);
+        b.record(t(1), "out", 3);
+        let err = a.matches_untimed(&b).unwrap_err();
+        assert_eq!(err.source, "out");
+        assert_eq!(err.position, 1);
+    }
+
+    #[test]
+    fn length_divergence_is_reported() {
+        let mut a = Trace::new();
+        a.record(t(0), "out", 1u32);
+        let b = {
+            let mut b = Trace::new();
+            b.record(t(0), "out", 1);
+            b.record(t(1), "out", 2);
+            b
+        };
+        let err = a.matches_untimed(&b).unwrap_err();
+        assert!(err.detail.contains("length mismatch"));
+    }
+
+    #[test]
+    fn missing_source_is_reported_both_ways() {
+        let mut a = Trace::new();
+        a.record(t(0), "only_a", 1u32);
+        let b: Trace<u32> = Trace::new();
+        assert!(a.matches_untimed(&b).is_err());
+        assert!(b.matches_untimed(&a).is_err());
+    }
+
+    #[test]
+    fn items_for_filters_by_source() {
+        let mut a = Trace::new();
+        a.record(t(0), "x", 1u32);
+        a.record(t(0), "y", 2);
+        a.record(t(1), "x", 3);
+        assert_eq!(a.items_for("x"), vec![&1, &3]);
+        assert!(a.items_for("z").is_empty());
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,578 @@
+//! SymbC: formal consistency checking of reconfiguration-instrumented SW.
+//!
+//! Level 3 of the Symbad flow instruments the embedded software with FPGA
+//! reconfiguration calls. SymbC verifies the fundamental consistency
+//! property the paper states verbatim: *"each time the software requires a
+//! hardware resource of the reconfigurable part, this resource is actually
+//! available"* — producing either *"a certificate of consistency (proving
+//! formally that any function is only invoked when it is present in the
+//! FPGA) or a counter-example showing a problem."*
+//!
+//! The engine is an abstract interpretation over the structured control
+//! flow of the software (a `behav` [`Function`]): the abstract state is the
+//! set of configurations possibly loaded (`⊥` = nothing loaded yet), joins
+//! at branch merges are set unions, and loops run to a fixpoint — the
+//! lattice is finite, so termination is guaranteed. The analysis is
+//! *sound*: every concrete execution's configuration is contained in the
+//! abstract set, so a certificate covers all paths, including ones no
+//! simulation would try. Data-dependent branches make it conservative: a
+//! reported violation on a semantically dead path is possible, which is
+//! why each violation carries a best-effort concrete witness.
+//!
+//! # Example
+//!
+//! ```
+//! use behav::{ConfigId, Expr, FunctionBuilder};
+//! use symbc::{check, ConfigMap};
+//!
+//! let mut map = ConfigMap::new();
+//! let cfg1 = map.add_config("config1");
+//! map.add_function(cfg1, "distance");
+//!
+//! let mut fb = FunctionBuilder::new("sw", 8);
+//! fb.reconfigure(cfg1);
+//! fb.resource_call("distance", vec![], None);
+//! fb.ret(Expr::constant(0, 8));
+//! let sw = fb.build();
+//! assert!(check(&sw, &map).is_consistent());
+//! ```
+
+use behav::{CondId, ConfigId, Function, Stmt, StmtId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The configuration table: which FPGA function is present in which
+/// configuration (the paper's "configuration information" input to SymbC).
+#[derive(Debug, Clone, Default)]
+pub struct ConfigMap {
+    configs: Vec<(String, BTreeSet<String>)>,
+}
+
+impl ConfigMap {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ConfigMap::default()
+    }
+
+    /// Declares a configuration (context); returns its id.
+    pub fn add_config(&mut self, name: &str) -> ConfigId {
+        self.configs.push((name.to_owned(), BTreeSet::new()));
+        ConfigId((self.configs.len() - 1) as u32)
+    }
+
+    /// Declares that `func` is implemented in configuration `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` was not declared.
+    pub fn add_function(&mut self, config: ConfigId, func: &str) {
+        self.configs[config.index()].1.insert(func.to_owned());
+    }
+
+    /// Whether `func` is available in `config`.
+    pub fn provides(&self, config: ConfigId, func: &str) -> bool {
+        self.configs
+            .get(config.index())
+            .map(|(_, fs)| fs.contains(func))
+            .unwrap_or(false)
+    }
+
+    /// Name of a configuration.
+    pub fn config_name(&self, config: ConfigId) -> &str {
+        &self.configs[config.index()].0
+    }
+
+    /// Number of declared configurations.
+    pub fn num_configs(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// All configurations providing `func`.
+    pub fn configs_providing(&self, func: &str) -> Vec<ConfigId> {
+        (0..self.configs.len())
+            .filter(|&i| self.configs[i].1.contains(func))
+            .map(|i| ConfigId(i as u32))
+            .collect()
+    }
+}
+
+/// Abstract configuration state: the set of configurations possibly loaded.
+/// `None` represents "nothing loaded yet".
+pub type AbstractConfig = BTreeSet<Option<ConfigId>>;
+
+/// One consistency violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The offending resource-call statement.
+    pub stmt: StmtId,
+    /// The required FPGA function.
+    pub func: String,
+    /// Configurations under which the call may execute while the function
+    /// is absent (`None` = no configuration loaded at all).
+    pub offending: Vec<Option<ConfigId>>,
+    /// A concrete branch-decision witness `(condition, direction)` leading
+    /// to the violation, when the bounded path search found one.
+    pub witness: Option<Vec<(CondId, bool)>>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "resource `{}` called at statement {} while possibly unavailable",
+            self.func,
+            self.stmt.index()
+        )
+    }
+}
+
+/// The consistency certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Resource calls proven consistent.
+    pub checked_calls: usize,
+    /// Reconfiguration statements encountered.
+    pub reconfigurations: usize,
+}
+
+/// Result of a SymbC run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every resource call is provably consistent on every path.
+    Consistent(Certificate),
+    /// At least one call may execute with its function unavailable.
+    Inconsistent(Vec<Violation>),
+}
+
+impl Verdict {
+    /// Whether consistency was certified.
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, Verdict::Consistent(_))
+    }
+}
+
+/// Checks the consistency property on instrumented software.
+pub fn check(program: &Function, map: &ConfigMap) -> Verdict {
+    let mut analysis = Analysis {
+        map,
+        violations: Vec::new(),
+        checked_calls: 0,
+        reconfigurations: 0,
+    };
+    let mut init: AbstractConfig = BTreeSet::new();
+    init.insert(None);
+    analysis.block(program.body(), Some(init));
+    if analysis.violations.is_empty() {
+        Verdict::Consistent(Certificate {
+            checked_calls: analysis.checked_calls,
+            reconfigurations: analysis.reconfigurations,
+        })
+    } else {
+        // Attach best-effort concrete witnesses.
+        let mut violations = analysis.violations;
+        for v in &mut violations {
+            v.witness = find_witness(program, map, v.stmt);
+        }
+        Verdict::Inconsistent(violations)
+    }
+}
+
+struct Analysis<'m> {
+    map: &'m ConfigMap,
+    violations: Vec<Violation>,
+    checked_calls: usize,
+    reconfigurations: usize,
+}
+
+impl Analysis<'_> {
+    /// Executes a block abstractly. `state = None` means the block is
+    /// unreachable (all paths already returned). Returns the state at the
+    /// block's fall-through exit (`None` when every path returns inside).
+    fn block(&mut self, stmts: &[Stmt], mut state: Option<AbstractConfig>) -> Option<AbstractConfig> {
+        for s in stmts {
+            state = self.stmt(s, state);
+            if state.is_none() {
+                break;
+            }
+        }
+        state
+    }
+
+    fn stmt(&mut self, s: &Stmt, state: Option<AbstractConfig>) -> Option<AbstractConfig> {
+        let state = state?;
+        match s {
+            Stmt::Reconfigure { config, .. } => {
+                self.reconfigurations += 1;
+                let mut next = BTreeSet::new();
+                next.insert(Some(*config));
+                Some(next)
+            }
+            Stmt::ResourceCall { id, func, .. } => {
+                self.checked_calls += 1;
+                let offending: Vec<Option<ConfigId>> = state
+                    .iter()
+                    .filter(|c| match c {
+                        None => true,
+                        Some(cfg) => !self.map.provides(*cfg, func),
+                    })
+                    .copied()
+                    .collect();
+                if !offending.is_empty() {
+                    // Dedupe on (stmt, func).
+                    if !self
+                        .violations
+                        .iter()
+                        .any(|v| v.stmt == *id && v.func == *func)
+                    {
+                        self.violations.push(Violation {
+                            stmt: *id,
+                            func: func.clone(),
+                            offending,
+                            witness: None,
+                        });
+                    }
+                }
+                Some(state)
+            }
+            Stmt::If { then_, else_, .. } => {
+                let t = self.block(then_, Some(state.clone()));
+                let e = self.block(else_, Some(state));
+                join_opt(t, e)
+            }
+            Stmt::While { body, .. } => {
+                // Fixpoint over the finite powerset lattice. Violations are
+                // deduplicated, so re-running the body is harmless.
+                let mut entry = state;
+                loop {
+                    let exit = self.block(body, Some(entry.clone()));
+                    let joined = match exit {
+                        None => entry.clone(), // body always returns: loop runs ≤ once
+                        Some(x) => entry.union(&x).copied().collect(),
+                    };
+                    if joined == entry {
+                        break;
+                    }
+                    entry = joined;
+                }
+                Some(entry)
+            }
+            Stmt::Return { .. } => None,
+            Stmt::Assign { .. } | Stmt::Store { .. } => Some(state),
+        }
+    }
+}
+
+fn join_opt(a: Option<AbstractConfig>, b: Option<AbstractConfig>) -> Option<AbstractConfig> {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some(x), Some(y)) => Some(x.union(&y).copied().collect()),
+    }
+}
+
+/// Bounded DFS over branch decisions (loops tried for 0, 1 and 2
+/// iterations — two suffice to expose config cycling) looking for a
+/// concrete path on which the call at `target` executes with its function
+/// unavailable. The path is control-flow-feasible by construction but may
+/// be data-infeasible; soundness lives in the abstract analysis, the
+/// witness is a debugging aid.
+fn find_witness(
+    program: &Function,
+    map: &ConfigMap,
+    target: StmtId,
+) -> Option<Vec<(CondId, bool)>> {
+    let mut path = Vec::new();
+    let mut stack: Vec<(&[Stmt], usize)> = vec![(program.body(), 0)];
+    if dfs(&mut stack, map, target, None, &mut path, 0) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+/// Executes the continuation `stack` (frames of `(block, next index)`),
+/// branching on every `If`/`While`. Returns `true` when the target call is
+/// reached with its function unavailable; `path` then holds the decisions.
+fn dfs<'a>(
+    stack: &mut Vec<(&'a [Stmt], usize)>,
+    map: &ConfigMap,
+    target: StmtId,
+    mut config: Option<ConfigId>,
+    path: &mut Vec<(CondId, bool)>,
+    depth: u32,
+) -> bool {
+    if depth > 64 {
+        return false;
+    }
+    loop {
+        let Some(&(stmts, idx)) = stack.last() else {
+            return false;
+        };
+        if idx >= stmts.len() {
+            stack.pop();
+            continue;
+        }
+        stack.last_mut().expect("non-empty").1 = idx + 1;
+        match &stmts[idx] {
+            Stmt::Reconfigure { config: c, .. } => config = Some(*c),
+            Stmt::ResourceCall { id, func, .. } => {
+                if *id == target {
+                    let unavailable = match config {
+                        None => true,
+                        Some(cfg) => !map.provides(cfg, func),
+                    };
+                    if unavailable {
+                        return true;
+                    }
+                }
+            }
+            Stmt::Return { .. } => return false,
+            Stmt::Assign { .. } | Stmt::Store { .. } => {}
+            Stmt::If {
+                cond_id,
+                then_,
+                else_,
+                ..
+            } => {
+                for (dir, arm) in [(true, then_), (false, else_)] {
+                    let mut branch_stack = stack.clone();
+                    branch_stack.push((arm, 0));
+                    path.push((*cond_id, dir));
+                    if dfs(&mut branch_stack, map, target, config, path, depth + 1) {
+                        return true;
+                    }
+                    path.pop();
+                }
+                return false;
+            }
+            Stmt::While { cond_id, body, .. } => {
+                for iters in [0usize, 1, 2] {
+                    let mut branch_stack = stack.clone();
+                    // Stacked frames run the body `iters` times in sequence
+                    // before falling back to the parent frame.
+                    for _ in 0..iters {
+                        branch_stack.push((body, 0));
+                    }
+                    let mark = path.len();
+                    for _ in 0..iters {
+                        path.push((*cond_id, true));
+                    }
+                    path.push((*cond_id, false));
+                    if dfs(&mut branch_stack, map, target, config, path, depth + 1) {
+                        return true;
+                    }
+                    path.truncate(mark);
+                }
+                return false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use behav::{Expr, FunctionBuilder};
+
+    /// The paper's configuration split: DISTANCE in config1, ROOT in
+    /// config2.
+    fn paper_map() -> (ConfigMap, ConfigId, ConfigId) {
+        let mut map = ConfigMap::new();
+        let c1 = map.add_config("config1");
+        let c2 = map.add_config("config2");
+        map.add_function(c1, "distance");
+        map.add_function(c1, "calcdist");
+        map.add_function(c2, "root");
+        (map, c1, c2)
+    }
+
+    #[test]
+    fn correctly_instrumented_sw_is_certified() {
+        let (map, c1, c2) = paper_map();
+        let mut fb = FunctionBuilder::new("sw", 16);
+        let d = fb.local("d", 16);
+        fb.reconfigure(c1);
+        fb.resource_call("distance", vec![Expr::constant(3, 16)], Some(d));
+        fb.reconfigure(c2);
+        fb.resource_call("root", vec![Expr::var(d)], Some(d));
+        fb.ret(Expr::var(d));
+        let sw = fb.build();
+        match check(&sw, &map) {
+            Verdict::Consistent(cert) => {
+                assert_eq!(cert.checked_calls, 2);
+                assert_eq!(cert.reconfigurations, 2);
+            }
+            Verdict::Inconsistent(v) => panic!("expected certificate, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_reconfiguration_is_reported() {
+        let (map, c1, _) = paper_map();
+        let mut fb = FunctionBuilder::new("sw", 16);
+        let d = fb.local("d", 16);
+        fb.reconfigure(c1);
+        fb.resource_call("distance", vec![], Some(d));
+        // BUG: root needs config2 but config1 is still loaded.
+        fb.resource_call("root", vec![Expr::var(d)], Some(d));
+        fb.ret(Expr::var(d));
+        let sw = fb.build();
+        match check(&sw, &map) {
+            Verdict::Inconsistent(violations) => {
+                assert_eq!(violations.len(), 1);
+                assert_eq!(violations[0].func, "root");
+                assert_eq!(violations[0].offending, vec![Some(c1)]);
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_before_any_reconfiguration_is_reported() {
+        let (map, _, _) = paper_map();
+        let mut fb = FunctionBuilder::new("sw", 16);
+        fb.resource_call("distance", vec![], None);
+        fb.ret(Expr::constant(0, 16));
+        let sw = fb.build();
+        match check(&sw, &map) {
+            Verdict::Inconsistent(violations) => {
+                assert_eq!(violations[0].offending, vec![None]);
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_local_reconfiguration_leaks_into_join() {
+        let (map, c1, c2) = paper_map();
+        let mut fb = FunctionBuilder::new("sw", 16);
+        let x = fb.param("x", 16);
+        fb.reconfigure(c1);
+        fb.if_(Expr::gt(Expr::var(x), Expr::constant(5, 16)), |t| {
+            t.reconfigure(c2);
+            t.resource_call("root", vec![], None);
+        });
+        // After the if, the loaded config may be config1 OR config2:
+        // calling distance here is only valid under config1 → violation.
+        fb.resource_call("distance", vec![], None);
+        fb.ret(Expr::constant(0, 16));
+        let sw = fb.build();
+        match check(&sw, &map) {
+            Verdict::Inconsistent(violations) => {
+                assert_eq!(violations.len(), 1);
+                assert_eq!(violations[0].func, "distance");
+                assert_eq!(violations[0].offending, vec![Some(c2)]);
+                assert!(violations[0].witness.is_some());
+                // The witness takes the then-branch.
+                let w = violations[0].witness.as_ref().unwrap();
+                assert_eq!(w[0].1, true);
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reconfiguration_in_both_arms_is_fine() {
+        let (map, c1, c2) = paper_map();
+        let mut fb = FunctionBuilder::new("sw", 16);
+        let x = fb.param("x", 16);
+        fb.if_else(
+            Expr::gt(Expr::var(x), Expr::constant(5, 16)),
+            |t| t.reconfigure(c2),
+            |e| e.reconfigure(c2),
+        );
+        fb.resource_call("root", vec![], None);
+        let _ = c1;
+        fb.ret(Expr::constant(0, 16));
+        let sw = fb.build();
+        assert!(check(&sw, &map).is_consistent());
+    }
+
+    #[test]
+    fn loop_carried_configuration_is_caught_by_fixpoint() {
+        // Loop body: call distance (needs c1), then switch to c2 for root.
+        // First iteration enters with c1 (fine); the second enters with c2
+        // → distance call is inconsistent. Only the fixpoint sees this.
+        let (map, c1, c2) = paper_map();
+        let mut fb = FunctionBuilder::new("sw", 16);
+        let i = fb.local("i", 16);
+        fb.reconfigure(c1);
+        fb.while_(Expr::lt(Expr::var(i), Expr::constant(10, 16)), |b| {
+            b.resource_call("distance", vec![], None);
+            b.reconfigure(c2);
+            b.resource_call("root", vec![], None);
+            b.assign(i, Expr::add(Expr::var(i), Expr::constant(1, 16)));
+        });
+        fb.ret(Expr::constant(0, 16));
+        let sw = fb.build();
+        match check(&sw, &map) {
+            Verdict::Inconsistent(violations) => {
+                assert_eq!(violations.len(), 1);
+                assert_eq!(violations[0].func, "distance");
+                assert_eq!(violations[0].offending, vec![Some(c2)]);
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_with_reconfiguration_at_top_is_consistent() {
+        let (map, c1, c2) = paper_map();
+        let mut fb = FunctionBuilder::new("sw", 16);
+        let i = fb.local("i", 16);
+        fb.while_(Expr::lt(Expr::var(i), Expr::constant(10, 16)), |b| {
+            b.reconfigure(c1);
+            b.resource_call("distance", vec![], None);
+            b.reconfigure(c2);
+            b.resource_call("root", vec![], None);
+            b.assign(i, Expr::add(Expr::var(i), Expr::constant(1, 16)));
+        });
+        fb.ret(Expr::constant(0, 16));
+        let sw = fb.build();
+        assert!(check(&sw, &map).is_consistent());
+    }
+
+    #[test]
+    fn function_in_multiple_configs_is_flexible() {
+        let mut map = ConfigMap::new();
+        let c1 = map.add_config("config1");
+        let c2 = map.add_config("config2");
+        map.add_function(c1, "shared");
+        map.add_function(c2, "shared");
+        let mut fb = FunctionBuilder::new("sw", 16);
+        let x = fb.param("x", 16);
+        fb.if_else(
+            Expr::gt(Expr::var(x), Expr::constant(5, 16)),
+            |t| t.reconfigure(c1),
+            |e| e.reconfigure(c2),
+        );
+        // `shared` exists in both configurations: consistent despite the
+        // ambiguous abstract state.
+        fb.resource_call("shared", vec![], None);
+        fb.ret(Expr::constant(0, 16));
+        let sw = fb.build();
+        assert!(check(&sw, &map).is_consistent());
+        assert_eq!(map.configs_providing("shared").len(), 2);
+    }
+
+    #[test]
+    fn code_after_return_is_not_analyzed() {
+        let (map, _, _) = paper_map();
+        let mut fb = FunctionBuilder::new("sw", 16);
+        fb.ret(Expr::constant(0, 16));
+        // Dead call after return: unreachable, so no violation.
+        fb.resource_call("distance", vec![], None);
+        let sw = fb.build();
+        assert!(check(&sw, &map).is_consistent());
+    }
+
+    #[test]
+    fn config_map_accessors() {
+        let (map, c1, c2) = paper_map();
+        assert_eq!(map.config_name(c1), "config1");
+        assert_eq!(map.num_configs(), 2);
+        assert!(map.provides(c1, "distance"));
+        assert!(!map.provides(c1, "root"));
+        assert_eq!(map.configs_providing("root"), vec![c2]);
+        assert!(map.configs_providing("ghost").is_empty());
+    }
+}

@@ -1,0 +1,392 @@
+//! The shared arbitrated bus.
+//!
+//! Timing model: each transaction occupies the bus for
+//! `arbitration + words × cycles_per_word + slave_latency` ticks, and
+//! transactions serialize in reservation order (deterministic FCFS — the
+//! kernel's scheduling determinism makes this reproducible run-to-run).
+//! Waiting time while the bus is busy is recorded per master, giving the
+//! bus-loading figures the paper's architecture exploration optimizes, and
+//! making the cost of FPGA bitstream downloads (long bursts) visible at
+//! level 3.
+
+use crate::payload::Payload;
+use sim::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Identifier of a slave region on the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlaveId(usize);
+
+impl SlaveId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Static configuration of a bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusConfig {
+    /// Cycles of arbitration overhead per transaction.
+    pub arbitration_cycles: u64,
+    /// Cycles per transferred word.
+    pub cycles_per_word: u64,
+    /// Maximum beats per burst: longer transfers split into several bursts,
+    /// each paying arbitration again (re-arbitration lets other masters in
+    /// between — the realistic AMBA behaviour for long bitstream
+    /// downloads). `u32::MAX` disables splitting.
+    pub max_burst_words: u32,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        // Single-layer bus: 1-cycle arbitration, 1 word/cycle, unlimited
+        // bursts (the simplest TL abstraction).
+        BusConfig {
+            arbitration_cycles: 1,
+            cycles_per_word: 1,
+            max_burst_words: u32::MAX,
+        }
+    }
+}
+
+impl BusConfig {
+    /// AMBA-AHB-flavoured preset: 16-beat incrementing bursts.
+    pub fn ahb() -> Self {
+        BusConfig {
+            arbitration_cycles: 1,
+            cycles_per_word: 1,
+            max_burst_words: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Region {
+    base: u64,
+    size: u64,
+    name: String,
+    /// Extra access latency charged per transaction by this slave.
+    latency: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct MasterStats {
+    name: String,
+    transactions: u64,
+    words: u64,
+    wait_ticks: u64,
+    occupancy_ticks: u64,
+}
+
+/// A time-reservation on the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// When the transaction starts driving the bus.
+    pub start: SimTime,
+    /// When the transaction completes (the caller should wait until then).
+    pub end: SimTime,
+    /// Ticks spent waiting for the bus before `start`.
+    pub waited: u64,
+}
+
+impl Reservation {
+    /// Ticks from now until completion (what the caller sleeps).
+    pub fn delay_from(&self, now: SimTime) -> SimTime {
+        self.end - now
+    }
+}
+
+/// The shared bus. Wrap in [`SharedBus`] to hand to multiple processes.
+#[derive(Debug)]
+pub struct Bus {
+    name: String,
+    config: BusConfig,
+    regions: Vec<Region>,
+    masters: Vec<MasterStats>,
+    busy_until: SimTime,
+    total_busy_ticks: u64,
+    created: SimTime,
+}
+
+/// Shared handle to a [`Bus`].
+pub type SharedBus = Rc<RefCell<Bus>>;
+
+impl Bus {
+    /// Creates a bus with the given configuration.
+    pub fn new(name: &str, config: BusConfig) -> Self {
+        Bus {
+            name: name.to_owned(),
+            config,
+            regions: Vec::new(),
+            masters: Vec::new(),
+            busy_until: SimTime::ZERO,
+            total_busy_ticks: 0,
+            created: SimTime::ZERO,
+        }
+    }
+
+    /// Creates a shared handle.
+    pub fn shared(name: &str, config: BusConfig) -> SharedBus {
+        Rc::new(RefCell::new(Bus::new(name, config)))
+    }
+
+    /// Bus name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers a master; returns its index for payload attribution.
+    pub fn add_master(&mut self, name: &str) -> usize {
+        self.masters.push(MasterStats {
+            name: name.to_owned(),
+            ..MasterStats::default()
+        });
+        self.masters.len() - 1
+    }
+
+    /// Maps an address region to a slave with the given access latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region overlaps an existing one or has zero size.
+    pub fn map_region(&mut self, name: &str, base: u64, size: u64, latency: u64) -> SlaveId {
+        assert!(size > 0, "region must have non-zero size");
+        for r in &self.regions {
+            let disjoint = base + size <= r.base || r.base + r.size <= base;
+            assert!(
+                disjoint,
+                "region `{name}` overlaps `{}` ([{:#x}, {:#x}))",
+                r.name,
+                r.base,
+                r.base + r.size
+            );
+        }
+        self.regions.push(Region {
+            base,
+            size,
+            name: name.to_owned(),
+            latency,
+        });
+        SlaveId(self.regions.len() - 1)
+    }
+
+    /// Routes an address to its slave.
+    pub fn route(&self, addr: u64) -> Option<SlaveId> {
+        self.regions
+            .iter()
+            .position(|r| addr >= r.base && addr < r.base + r.size)
+            .map(SlaveId)
+    }
+
+    /// Name of a slave region.
+    pub fn slave_name(&self, slave: SlaveId) -> &str {
+        &self.regions[slave.0].name
+    }
+
+    /// Reserves bus time for `payload` at simulation time `now`.
+    ///
+    /// The transaction starts when the bus becomes free (FCFS) and occupies
+    /// it for `arbitration + words × cycles_per_word + slave_latency`
+    /// ticks. The caller must sleep until [`Reservation::end`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address routes to no mapped region or the master index
+    /// is unknown.
+    pub fn transfer(&mut self, now: SimTime, payload: &Payload) -> Reservation {
+        let slave = self
+            .route(payload.addr)
+            .unwrap_or_else(|| panic!("address {:#x} routes to no region", payload.addr));
+        let latency = self.regions[slave.0].latency;
+        // Long transfers split into max_burst_words chunks, each paying
+        // arbitration again; slave latency is charged once per transaction.
+        let chunks = (payload.words as u64).div_ceil(self.config.max_burst_words as u64).max(1);
+        let duration = chunks * self.config.arbitration_cycles
+            + payload.words as u64 * self.config.cycles_per_word
+            + latency;
+        let start = self.busy_until.max(now);
+        let end = start.saturating_add_ticks(duration);
+        let waited = start.ticks_since(now);
+        self.busy_until = end;
+        self.total_busy_ticks += duration;
+        let m = self
+            .masters
+            .get_mut(payload.master)
+            .unwrap_or_else(|| panic!("unknown master {}", payload.master));
+        m.transactions += 1;
+        m.words += payload.words as u64;
+        m.wait_ticks += waited;
+        m.occupancy_ticks += duration;
+        Reservation { start, end, waited }
+    }
+
+    /// Occupancy/contention report at time `now`.
+    pub fn report(&self, now: SimTime) -> BusReport {
+        BusReport {
+            bus: self.name.clone(),
+            utilization: if now.ticks() == 0 {
+                0.0
+            } else {
+                self.total_busy_ticks as f64 / now.ticks_since(self.created) as f64
+            },
+            total_busy_ticks: self.total_busy_ticks,
+            masters: self
+                .masters
+                .iter()
+                .map(|m| MasterReport {
+                    name: m.name.clone(),
+                    transactions: m.transactions,
+                    words: m.words,
+                    wait_ticks: m.wait_ticks,
+                    occupancy_ticks: m.occupancy_ticks,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Per-master slice of a [`BusReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MasterReport {
+    /// Master name.
+    pub name: String,
+    /// Transactions issued.
+    pub transactions: u64,
+    /// Words transferred.
+    pub words: u64,
+    /// Ticks spent waiting for the bus.
+    pub wait_ticks: u64,
+    /// Ticks this master occupied the bus.
+    pub occupancy_ticks: u64,
+}
+
+/// Bus-loading summary — the level-2/3 optimization target of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusReport {
+    /// Bus name.
+    pub bus: String,
+    /// Fraction of elapsed time the bus was busy.
+    pub utilization: f64,
+    /// Total busy ticks.
+    pub total_busy_ticks: u64,
+    /// Per-master accounting.
+    pub masters: Vec<MasterReport>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::AccessKind;
+
+    fn t(x: u64) -> SimTime {
+        SimTime::from_ticks(x)
+    }
+
+    #[test]
+    fn routing_respects_regions() {
+        let mut bus = Bus::new("amba", BusConfig::default());
+        let mem = bus.map_region("mem", 0x0000, 0x1000, 2);
+        let fpga = bus.map_region("fpga", 0x1000, 0x100, 0);
+        assert_eq!(bus.route(0x0), Some(mem));
+        assert_eq!(bus.route(0xFFF), Some(mem));
+        assert_eq!(bus.route(0x1000), Some(fpga));
+        assert_eq!(bus.route(0x10FF), Some(fpga));
+        assert_eq!(bus.route(0x2000), None);
+        assert_eq!(bus.slave_name(mem), "mem");
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_regions_panic() {
+        let mut bus = Bus::new("amba", BusConfig::default());
+        bus.map_region("a", 0, 0x100, 0);
+        bus.map_region("b", 0x80, 0x100, 0);
+    }
+
+    #[test]
+    fn transfer_timing_includes_all_components() {
+        let mut bus = Bus::new(
+            "amba",
+            BusConfig {
+                arbitration_cycles: 2,
+                cycles_per_word: 3,
+                ..BusConfig::default()
+            },
+        );
+        bus.map_region("mem", 0, 0x1000, 5);
+        let m = bus.add_master("cpu");
+        let r = bus.transfer(t(10), &Payload::burst(m, 0x0, AccessKind::Read, 4));
+        assert_eq!(r.start, t(10));
+        // 2 + 4*3 + 5 = 19 ticks.
+        assert_eq!(r.end, t(29));
+        assert_eq!(r.waited, 0);
+    }
+
+    #[test]
+    fn contention_serializes_fcfs() {
+        let mut bus = Bus::new("amba", BusConfig::default());
+        bus.map_region("mem", 0, 0x1000, 0);
+        let a = bus.add_master("a");
+        let b = bus.add_master("b");
+        // Both request at t=0: 1 + 8 = 9 ticks each.
+        let ra = bus.transfer(t(0), &Payload::burst(a, 0, AccessKind::Write, 8));
+        let rb = bus.transfer(t(0), &Payload::burst(b, 0, AccessKind::Write, 8));
+        assert_eq!(ra.start, t(0));
+        assert_eq!(ra.end, t(9));
+        assert_eq!(rb.start, t(9));
+        assert_eq!(rb.end, t(18));
+        assert_eq!(rb.waited, 9);
+        let report = bus.report(t(18));
+        assert_eq!(report.total_busy_ticks, 18);
+        assert!((report.utilization - 1.0).abs() < 1e-9);
+        assert_eq!(report.masters[1].wait_ticks, 9);
+    }
+
+    #[test]
+    fn idle_gaps_lower_utilization() {
+        let mut bus = Bus::new("amba", BusConfig::default());
+        bus.map_region("mem", 0, 0x1000, 0);
+        let a = bus.add_master("a");
+        bus.transfer(t(0), &Payload::read(a, 0)); // 2 ticks (1 arb + 1 word)
+        bus.transfer(t(100), &Payload::read(a, 0)); // 2 more
+        let report = bus.report(t(102));
+        assert_eq!(report.total_busy_ticks, 4);
+        assert!((report.utilization - 4.0 / 102.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn burst_splitting_pays_arbitration_per_chunk() {
+        let mut bus = Bus::new("ahb", BusConfig::ahb());
+        bus.map_region("mem", 0, 0x10000, 0);
+        let m = bus.add_master("dma");
+        // 40 words at 16 beats/burst = 3 chunks → 3 arbitrations + 40 beats.
+        let r = bus.transfer(t(0), &Payload::burst(m, 0, AccessKind::Write, 40));
+        assert_eq!(r.end, t(3 + 40));
+        // Unlimited bursts charge arbitration once.
+        let mut bus2 = Bus::new("flat", BusConfig::default());
+        bus2.map_region("mem", 0, 0x10000, 0);
+        let m2 = bus2.add_master("dma");
+        let r2 = bus2.transfer(t(0), &Payload::burst(m2, 0, AccessKind::Write, 40));
+        assert_eq!(r2.end, t(1 + 40));
+    }
+
+    #[test]
+    fn reservation_delay_helper() {
+        let r = Reservation {
+            start: t(5),
+            end: t(12),
+            waited: 5,
+        };
+        assert_eq!(r.delay_from(t(3)), t(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "routes to no region")]
+    fn unmapped_address_panics() {
+        let mut bus = Bus::new("amba", BusConfig::default());
+        let m = bus.add_master("cpu");
+        bus.transfer(t(0), &Payload::read(m, 0xDEAD_0000));
+    }
+}

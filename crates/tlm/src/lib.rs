@@ -1,0 +1,30 @@
+//! Transaction-level modelling: the Vista-library analog.
+//!
+//! Level 2 of the Symbad flow maps the functional model onto an
+//! architecture: a CPU and hardware modules communicating over a shared
+//! bus (AMBA in the case study), with memories behind it. The paper uses
+//! the Vista TL library for "SystemC models of busses, peripherals and
+//! memory elements"; this crate provides the equivalent building blocks on
+//! top of the `sim` kernel:
+//!
+//! * [`payload`] — generic bus transactions (the TLM generic payload),
+//! * [`bus`] — a shared, arbitrated bus with an address map, per-word
+//!   timing, burst transfers and contention accounting (reservation-based:
+//!   deterministic first-come-first-served serialization, which is what
+//!   drives the level-2/3 performance numbers),
+//! * [`memory`] — a word-addressed memory model with access latency.
+//!
+//! Components are *passive shared objects* (`Rc<RefCell<…>>` handles):
+//! simulation processes call into them to reserve bus time and then block
+//! with `Activation::WaitTime` until their reservation completes. This
+//! mirrors how a TL bus charges time without simulating wires, which is
+//! exactly the abstraction gain the paper reports between RTL and TL
+//! simulation speeds.
+
+pub mod bus;
+pub mod memory;
+pub mod payload;
+
+pub use bus::{Bus, BusConfig, BusReport, Reservation, SharedBus, SlaveId};
+pub use memory::{Memory, SharedMemory};
+pub use payload::{AccessKind, Payload};

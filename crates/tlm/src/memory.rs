@@ -1,0 +1,139 @@
+//! Word-addressed memory models.
+//!
+//! Used for the frame buffers and — with a higher access latency — for the
+//! flash device holding the face DATABASE in the case study.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A simple word-addressed memory with uninitialized-read tracking (the
+//  same memory-inspection idea the behavioural level uses).
+#[derive(Debug, Clone)]
+pub struct Memory {
+    name: String,
+    words: Vec<u64>,
+    written: Vec<bool>,
+    reads: u64,
+    writes: u64,
+    uninitialized_reads: u64,
+}
+
+/// Shared handle to a [`Memory`].
+pub type SharedMemory = Rc<RefCell<Memory>>;
+
+impl Memory {
+    /// Creates a zero-filled memory of `size` words.
+    pub fn new(name: &str, size: usize) -> Self {
+        Memory {
+            name: name.to_owned(),
+            words: vec![0; size],
+            written: vec![false; size],
+            reads: 0,
+            writes: 0,
+            uninitialized_reads: 0,
+        }
+    }
+
+    /// Creates a shared handle.
+    pub fn shared(name: &str, size: usize) -> SharedMemory {
+        Rc::new(RefCell::new(Memory::new(name, size)))
+    }
+
+    /// Memory name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Word capacity.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the memory has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Reads a word (out-of-range reads return 0 and count as
+    /// uninitialized).
+    pub fn read(&mut self, index: u64) -> u64 {
+        self.reads += 1;
+        match self.words.get(index as usize) {
+            Some(&w) => {
+                if !self.written[index as usize] {
+                    self.uninitialized_reads += 1;
+                }
+                w
+            }
+            None => {
+                self.uninitialized_reads += 1;
+                0
+            }
+        }
+    }
+
+    /// Writes a word (out-of-range writes are ignored).
+    pub fn write(&mut self, index: u64, value: u64) {
+        self.writes += 1;
+        if let Some(w) = self.words.get_mut(index as usize) {
+            *w = value;
+            self.written[index as usize] = true;
+        }
+    }
+
+    /// Bulk-initializes from a slice starting at `base`.
+    pub fn load(&mut self, base: u64, data: &[u64]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.write(base + i as u64, v);
+        }
+    }
+
+    /// `(reads, writes, uninitialized_reads)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.reads, self.writes, self.uninitialized_reads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = Memory::new("ram", 16);
+        m.write(3, 42);
+        assert_eq!(m.read(3), 42);
+        assert_eq!(m.len(), 16);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn uninitialized_reads_are_counted() {
+        let mut m = Memory::new("ram", 4);
+        m.read(0);
+        m.write(1, 7);
+        m.read(1);
+        m.read(99); // out of range
+        let (r, w, u) = m.stats();
+        assert_eq!(r, 3);
+        assert_eq!(w, 1);
+        assert_eq!(u, 2);
+    }
+
+    #[test]
+    fn bulk_load_initializes() {
+        let mut m = Memory::new("flash", 8);
+        m.load(2, &[10, 11, 12]);
+        assert_eq!(m.read(2), 10);
+        assert_eq!(m.read(4), 12);
+        let (_, _, u) = m.stats();
+        assert_eq!(u, 0);
+    }
+
+    #[test]
+    fn out_of_range_write_is_ignored() {
+        let mut m = Memory::new("ram", 2);
+        m.write(5, 1);
+        assert_eq!(m.read(0), 0);
+    }
+}

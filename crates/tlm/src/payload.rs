@@ -1,0 +1,94 @@
+//! Bus transactions: the generic payload.
+
+use std::fmt;
+
+/// Direction of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Read from a slave.
+    Read,
+    /// Write to a slave.
+    Write,
+}
+
+/// A burst transaction on the bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Payload {
+    /// Target byte address (word-aligned by convention).
+    pub addr: u64,
+    /// Direction.
+    pub kind: AccessKind,
+    /// Burst length in bus words.
+    pub words: u32,
+    /// Issuing master (index assigned by [`crate::Bus::add_master`]).
+    pub master: usize,
+}
+
+impl Payload {
+    /// A single-word read.
+    pub fn read(master: usize, addr: u64) -> Payload {
+        Payload {
+            addr,
+            kind: AccessKind::Read,
+            words: 1,
+            master,
+        }
+    }
+
+    /// A single-word write.
+    pub fn write(master: usize, addr: u64) -> Payload {
+        Payload {
+            addr,
+            kind: AccessKind::Write,
+            words: 1,
+            master,
+        }
+    }
+
+    /// A burst of `words` words.
+    pub fn burst(master: usize, addr: u64, kind: AccessKind, words: u32) -> Payload {
+        Payload {
+            addr,
+            kind,
+            words,
+            master,
+        }
+    }
+}
+
+impl fmt::Display for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kind {
+            AccessKind::Read => "R",
+            AccessKind::Write => "W",
+        };
+        write!(
+            f,
+            "{}[{:#x} x{} m{}]",
+            k, self.addr, self.words, self.master
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let r = Payload::read(0, 0x100);
+        assert_eq!(r.kind, AccessKind::Read);
+        assert_eq!(r.words, 1);
+        let w = Payload::write(1, 0x200);
+        assert_eq!(w.kind, AccessKind::Write);
+        let b = Payload::burst(2, 0x300, AccessKind::Write, 64);
+        assert_eq!(b.words, 64);
+        assert_eq!(b.master, 2);
+    }
+
+    #[test]
+    fn display() {
+        let b = Payload::burst(1, 0x40, AccessKind::Read, 8);
+        assert_eq!(b.to_string(), "R[0x40 x8 m1]");
+    }
+}

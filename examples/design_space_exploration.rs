@@ -1,0 +1,51 @@
+//! Architecture exploration: the level-2 HW/SW partition curve and the
+//! level-3 reconfiguration ablations (context split, call placement).
+//!
+//! ```text
+//! cargo run --release --example design_space_exploration
+//! ```
+
+use symbad_core::explore;
+use symbad_core::partition::ArchConfig;
+use symbad_core::workload::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Workload::small();
+    let arch = ArchConfig::default();
+
+    println!("── HW/SW partition sweep (level 2) ──");
+    println!("{:<28} {:>14} {:>10}", "candidate", "ticks/frame", "bus util");
+    for p in explore::partition_sweep(&workload, &arch)? {
+        println!(
+            "{:<28} {:>14.0} {:>9.1}%",
+            p.name,
+            p.ticks_per_frame,
+            p.bus_utilization * 100.0
+        );
+    }
+
+    println!("\n── Context partitioning (level 3, experiment E9) ──");
+    println!(
+        "{:<36} {:>12} {:>10} {:>12}",
+        "mapping", "ticks/frame", "reconfigs", "bits words"
+    );
+    for p in explore::context_ablation(&workload, &arch)? {
+        println!(
+            "{:<36} {:>12.0} {:>10} {:>12}",
+            p.name, p.ticks_per_frame, p.reconfigurations, p.download_words
+        );
+    }
+
+    println!("\n── Reconfiguration placement (level 3, experiment E10) ──");
+    println!(
+        "{:<36} {:>12} {:>10} {:>12}",
+        "strategy", "ticks/frame", "reconfigs", "bits words"
+    );
+    for p in explore::strategy_ablation(&workload, &arch)? {
+        println!(
+            "{:<36} {:>12.0} {:>10} {:>12}",
+            p.name, p.ticks_per_frame, p.reconfigurations, p.download_words
+        );
+    }
+    Ok(())
+}

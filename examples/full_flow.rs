@@ -1,0 +1,28 @@
+//! The whole methodology in one call: [`symbad_core::flow::run_full_flow`]
+//! executes levels 1–4 with every verification phase and prints the
+//! aggregated evidence.
+//!
+//! ```text
+//! cargo run --release --example full_flow
+//! ```
+
+use symbad_core::flow::run_full_flow;
+use symbad_core::workload::Workload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Workload::small();
+    let report = run_full_flow(&workload)?;
+    println!("Symbad full-flow report\n");
+    for p in &report.phases {
+        println!("[{}] {}", if p.ok { "PASS" } else { "FAIL" }, p.phase);
+        println!("       {}\n", p.detail);
+    }
+    println!(
+        "recognized identities: {:?} (expected {:?})",
+        report.recognized,
+        workload.probes.iter().map(|&(id, _, _)| id).collect::<Vec<_>>()
+    );
+    println!("flow healthy: {}", report.all_ok());
+    assert!(report.all_ok());
+    Ok(())
+}

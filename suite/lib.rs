@@ -1,0 +1,16 @@
+//! Umbrella crate re-exporting every crate of the Symbad reproduction so the
+//! top-level `examples/` and `tests/` can exercise the whole public API.
+pub use atpg;
+pub use bdd;
+pub use behav;
+pub use hdl;
+pub use lp;
+pub use mc;
+pub use media;
+pub use pcc;
+pub use platform;
+pub use sat;
+pub use sim;
+pub use symbad_core;
+pub use symbc;
+pub use tlm;

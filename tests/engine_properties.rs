@@ -1,0 +1,235 @@
+//! Property-based cross-checks of the formal engines against brute force
+//! and against each other — the "two independent reasoning paths must
+//! agree" discipline the repo uses everywhere.
+
+use proptest::prelude::*;
+
+/// A small random CNF as (num_vars, clauses of literal codes).
+fn cnf_strategy() -> impl Strategy<Value = (usize, Vec<Vec<(usize, bool)>>)> {
+    (2usize..=6).prop_flat_map(|n| {
+        let clause = proptest::collection::vec((0..n, any::<bool>()), 1..=3);
+        let clauses = proptest::collection::vec(clause, 1..=12);
+        (Just(n), clauses)
+    })
+}
+
+fn brute_force_sat(n: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
+    (0..(1u32 << n)).any(|bits| {
+        clauses.iter().all(|c| {
+            c.iter()
+                .any(|&(v, pos)| (bits >> v & 1 == 1) == pos)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sat_solver_agrees_with_brute_force((n, clauses) in cnf_strategy()) {
+        let mut solver = sat::Solver::new();
+        let vars: Vec<sat::Var> = (0..n).map(|_| solver.new_var()).collect();
+        for c in &clauses {
+            solver.add_clause(c.iter().map(|&(v, pos)| sat::Lit::with_polarity(vars[v], pos)));
+        }
+        let expected = brute_force_sat(n, &clauses);
+        let got = solver.solve().is_sat();
+        prop_assert_eq!(got, expected);
+        if got {
+            // The model must satisfy every clause.
+            for c in &clauses {
+                let satisfied = c.iter().any(|&(v, pos)| solver.value(vars[v]) == Some(pos));
+                prop_assert!(satisfied);
+            }
+        }
+    }
+
+    #[test]
+    fn bdd_agrees_with_brute_force((n, clauses) in cnf_strategy()) {
+        let mut mgr = bdd::Manager::new();
+        let mut formula = mgr.constant(true);
+        for c in &clauses {
+            let mut clause_bdd = mgr.constant(false);
+            for &(v, pos) in c {
+                let lit = if pos { mgr.var(v as u32) } else { mgr.nvar(v as u32) };
+                clause_bdd = mgr.or(clause_bdd, lit);
+            }
+            formula = mgr.and(formula, clause_bdd);
+        }
+        let expected = brute_force_sat(n, &clauses);
+        prop_assert_eq!(formula != bdd::Ref::FALSE, expected);
+        // Model count cross-check against enumeration.
+        let count = (0..(1u32 << n)).filter(|&bits| {
+            clauses.iter().all(|c| c.iter().any(|&(v, pos)| (bits >> v & 1 == 1) == pos))
+        }).count() as u64;
+        prop_assert_eq!(mgr.sat_count(formula, n as u32), count);
+    }
+
+    #[test]
+    fn sat_and_bdd_agree_with_each_other((n, clauses) in cnf_strategy()) {
+        let mut solver = sat::Solver::new();
+        let vars: Vec<sat::Var> = (0..n).map(|_| solver.new_var()).collect();
+        for c in &clauses {
+            solver.add_clause(c.iter().map(|&(v, pos)| sat::Lit::with_polarity(vars[v], pos)));
+        }
+        let mut mgr = bdd::Manager::new();
+        let mut formula = mgr.constant(true);
+        for c in &clauses {
+            let mut clause_bdd = mgr.constant(false);
+            for &(v, pos) in c {
+                let lit = if pos { mgr.var(v as u32) } else { mgr.nvar(v as u32) };
+                clause_bdd = mgr.or(clause_bdd, lit);
+            }
+            formula = mgr.and(formula, clause_bdd);
+        }
+        prop_assert_eq!(solver.solve().is_sat(), formula != bdd::Ref::FALSE);
+    }
+
+    #[test]
+    fn simplex_optimum_dominates_random_feasible_points(
+        coeffs in proptest::collection::vec(1i128..=9, 3),
+        bounds in proptest::collection::vec(1i128..=50, 3),
+        samples in proptest::collection::vec((0i128..=50, 0i128..=50, 0i128..=50), 10),
+    ) {
+        use lp::{Problem, Rational};
+        // max c·x subject to x_i ≤ b_i (box): optimum = Σ c_i b_i.
+        let mut p = Problem::new(3);
+        let c: Vec<Rational> = coeffs.iter().map(|&v| Rational::integer(v)).collect();
+        p.maximize(&c);
+        for (i, &b) in bounds.iter().enumerate() {
+            let mut row = vec![Rational::ZERO; 3];
+            row[i] = Rational::ONE;
+            p.add_le(&row, Rational::integer(b));
+        }
+        let sol = p.solve();
+        let value = sol.value().expect("bounded box LP");
+        let expected: i128 = coeffs.iter().zip(&bounds).map(|(&c, &b)| c * b).sum();
+        prop_assert_eq!(value, Rational::integer(expected));
+        // And the optimum dominates every feasible sample point.
+        for (x, y, z) in samples {
+            let clamped = [x.min(bounds[0]), y.min(bounds[1]), z.min(bounds[2])];
+            let v: i128 = coeffs.iter().zip(&clamped).map(|(&c, &x)| c * x).sum();
+            prop_assert!(Rational::integer(v) <= value);
+        }
+    }
+
+    #[test]
+    fn rtl_lowering_agrees_with_simulator_on_random_words(
+        a in any::<u16>(),
+        b in any::<u16>(),
+        op_idx in 0usize..10,
+    ) {
+        use behav::BinOp;
+        let ops = [
+            BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Or,
+            BinOp::Xor, BinOp::Eq, BinOp::Lt, BinOp::Le, BinOp::Gt,
+        ];
+        let op = ops[op_idx];
+        let mut rtl = hdl::Rtl::new("prop");
+        let x = rtl.input("x", 16);
+        let y = rtl.input("y", 16);
+        let o = rtl.binary(op, x, y);
+        rtl.output("o", o);
+        let expected = rtl.eval_combinational(&[a as u64, b as u64])[0];
+
+        use hdl::lower::{lower, BitCtx, CnfBackend};
+        let mut ctx = CnfBackend::new();
+        let bits_x: Vec<sat::Lit> = (0..16).map(|_| ctx.bit_fresh()).collect();
+        let bits_y: Vec<sat::Lit> = (0..16).map(|_| ctx.bit_fresh()).collect();
+        let lowered = lower(&rtl, &mut ctx, &[bits_x.clone(), bits_y.clone()], &[]);
+        let out = lowered.outputs(&rtl)[0].1.clone();
+        let mut assumptions = Vec::new();
+        for (i, &l) in bits_x.iter().enumerate() {
+            assumptions.push(sat::Lit::with_polarity(l.var(), a as u64 >> i & 1 == 1));
+        }
+        for (i, &l) in bits_y.iter().enumerate() {
+            assumptions.push(sat::Lit::with_polarity(l.var(), b as u64 >> i & 1 == 1));
+        }
+        let builder = ctx.builder_mut();
+        prop_assert!(builder.solve_with(&assumptions).is_sat());
+        let mut got = 0u64;
+        for (i, &l) in out.iter().enumerate() {
+            if builder.lit_value(l) {
+                got |= 1 << i;
+            }
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn symbc_certificate_implies_no_concrete_violation(
+        branch_count in 1usize..4,
+        reconfig_mask in 0u32..16,
+    ) {
+        // Generate SW with `branch_count` if-blocks; each block reconfigures
+        // to config2 in its then-arm iff the mask bit is set, and always
+        // calls `root` afterwards. SymbC's verdict must be sound: if it
+        // certifies, no concrete branch valuation may hit a missing config.
+        use behav::{Expr, FunctionBuilder};
+        let mut map = symbc::ConfigMap::new();
+        let c1 = map.add_config("config1");
+        let c2 = map.add_config("config2");
+        map.add_function(c1, "distance");
+        map.add_function(c2, "root");
+
+        let mut fb = FunctionBuilder::new("gen", 8);
+        let x = fb.param("x", 8);
+        fb.reconfigure(c1);
+        for i in 0..branch_count {
+            let set = reconfig_mask >> i & 1 == 1;
+            fb.if_else(
+                Expr::eq(
+                    Expr::and(Expr::var(x), Expr::constant(1 << i, 8)),
+                    Expr::constant(0, 8),
+                ),
+                |t| {
+                    if set {
+                        t.reconfigure(c2);
+                    } else {
+                        t.reconfigure(c1);
+                    }
+                },
+                |e| {
+                    e.reconfigure(c2);
+                },
+            );
+            fb.resource_call("root", vec![], None);
+        }
+        fb.ret(Expr::constant(0, 8));
+        let sw = fb.build();
+        let verdict = symbc::check(&sw, &map);
+
+        // Concrete check over all inputs via the interpreter with an FPGA
+        // emulation handler.
+        let mut any_violation = false;
+        for input in 0..=255u64 {
+            let mut current: Option<behav::ConfigId> = None;
+            let mut violated = false;
+            // Re-run the abstract machine concretely by interpreting and
+            // watching the call trace.
+            let out = behav::interp::Interpreter::new(&sw)
+                .run(&[input])
+                .expect("runs");
+            for ev in out.call_trace {
+                match ev {
+                    behav::interp::CallEvent::Reconfigure(c) => current = Some(c),
+                    behav::interp::CallEvent::Resource { func, .. } => {
+                        let ok = matches!(current, Some(c) if map.provides(c, &func));
+                        if !ok {
+                            violated = true;
+                        }
+                    }
+                }
+            }
+            any_violation |= violated;
+        }
+        if verdict.is_consistent() {
+            prop_assert!(!any_violation, "SymbC certified an unsound program");
+        } else {
+            // Conversely the abstract analysis found something; for this
+            // branch-only program family the analysis is exact, so a
+            // concrete violation must exist.
+            prop_assert!(any_violation, "SymbC flagged a clean program of an exact family");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests of the imaging pipeline: algebraic invariants of
+//! every Figure-2 kernel that hold for *any* image, not just faces.
+
+use media::image::{BinaryImage, GrayImage};
+use media::pipeline::{
+    bay, calcdist, calcline, crtbord, crtline, distance, edge, ellipse, erosion, root, winner,
+    FEATURE_LEN,
+};
+use proptest::prelude::*;
+
+fn gray_image(max_dim: usize) -> impl Strategy<Value = GrayImage> {
+    (4..=max_dim, 4..=max_dim).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(0u16..=255, w * h).prop_map(move |data| GrayImage {
+            width: w,
+            height: h,
+            data,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn erosion_never_brightens(img in gray_image(24)) {
+        let e = erosion(&img);
+        for y in 0..img.height {
+            for x in 0..img.width {
+                prop_assert!(e.at(x, y) <= img.at(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn erosion_is_monotone(img in gray_image(16)) {
+        // Eroding a uniformly brightened image dominates eroding the
+        // original (morphological monotonicity).
+        let brighter = GrayImage {
+            width: img.width,
+            height: img.height,
+            data: img.data.iter().map(|&p| (p + 10).min(255)).collect(),
+        };
+        let e1 = erosion(&img);
+        let e2 = erosion(&brighter);
+        for (a, b) in e1.data.iter().zip(&e2.data) {
+            prop_assert!(b >= a);
+        }
+    }
+
+    #[test]
+    fn edge_of_flat_image_is_empty(w in 4usize..20, h in 4usize..20, v in 0u16..=255) {
+        let img = GrayImage { width: w, height: h, data: vec![v; w * h] };
+        let e = edge(&img);
+        prop_assert_eq!(e.count_ones(), 0);
+    }
+
+    #[test]
+    fn ellipse_center_stays_in_bounds(img in gray_image(24)) {
+        let edges = edge(&img);
+        let fit = ellipse(&edges);
+        prop_assert!(fit.cx >= 0 && (fit.cx as usize) < img.width);
+        prop_assert!(fit.cy >= 0 && (fit.cy as usize) < img.height);
+        prop_assert!(fit.a >= 1 && fit.b >= 1);
+        // CRTBORD clamps to the frame.
+        let region = crtbord(img.width, img.height, &fit);
+        prop_assert!(region.x1 <= img.width.max(region.x0 + 1));
+        prop_assert!(region.y1 <= img.height.max(region.y0 + 1));
+        prop_assert!(region.width() >= 1 && region.height() >= 1);
+    }
+
+    #[test]
+    fn feature_extraction_has_fixed_shape_and_range(img in gray_image(24)) {
+        let edges = edge(&img);
+        let fit = ellipse(&edges);
+        let region = crtbord(img.width, img.height, &fit);
+        let raw = crtline(&img, &region);
+        prop_assert_eq!(raw.len(), FEATURE_LEN);
+        let features = calcline(&raw);
+        prop_assert_eq!(features.len(), FEATURE_LEN);
+        prop_assert!(features.iter().all(|&v| v <= 255));
+    }
+
+    #[test]
+    fn distance_is_a_semimetric(
+        a in proptest::collection::vec(0u16..=255, 16),
+        b in proptest::collection::vec(0u16..=255, 16),
+    ) {
+        // Symmetry and identity of the squared distance.
+        let dab = calcdist(&distance(&a, &b));
+        let dba = calcdist(&distance(&b, &a));
+        prop_assert_eq!(dab, dba);
+        prop_assert_eq!(calcdist(&distance(&a, &a)), 0);
+        // Rooted distance agrees with the float norm within rounding.
+        let exact: f64 = a.iter().zip(&b)
+            .map(|(&x, &y)| {
+                let d = x as f64 - y as f64;
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt();
+        let r = root(dab) as f64;
+        prop_assert!((r - exact).abs() <= 1.0, "root {r} vs {exact}");
+    }
+
+    #[test]
+    fn winner_returns_a_global_minimum(d in proptest::collection::vec(any::<u32>(), 1..40)) {
+        let w = winner(&d);
+        prop_assert!(d.iter().all(|&x| d[w] <= x));
+        // Tie-break: no earlier index has the same value.
+        prop_assert!(d[..w].iter().all(|&x| x > d[w]));
+    }
+
+    #[test]
+    fn bay_output_is_8_bit_and_quad_constant(
+        w in 2usize..16, h in 2usize..16,
+        data in proptest::collection::vec(0u16..=255, 16 * 16),
+    ) {
+        let raw = media::image::BayerImage {
+            width: w,
+            height: h,
+            data: data[..w * h].to_vec(),
+        };
+        let g = bay(&raw);
+        prop_assert!(g.data.iter().all(|&p| p <= 255));
+        // Every pixel of an aligned 2×2 quad gets the same demosaiced value.
+        for y in (0..h & !1).step_by(2) {
+            for x in (0..w & !1).step_by(2) {
+                if x + 1 < w && y + 1 < h {
+                    let v = g.at(x, y);
+                    prop_assert_eq!(g.at(x + 1, y), v);
+                    prop_assert_eq!(g.at(x, y + 1), v);
+                    prop_assert_eq!(g.at(x + 1, y + 1), v);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn edge_detects_vertical_step_everywhere() {
+    // Deterministic sanity companion to the proptests.
+    for split in 2..6 {
+        let mut img = GrayImage::new(8, 8);
+        for y in 0..8 {
+            for x in split..8 {
+                *img.at_mut(x, y) = 220;
+            }
+        }
+        let e: BinaryImage = edge(&img);
+        assert!(e.count_ones() > 0, "split at {split}");
+    }
+}
