@@ -193,7 +193,10 @@ fn faulty_value(value: &Expr, fault: BitFault, width: u32) -> Expr {
         } else {
             (1u64 << width) - 1
         };
-        Expr::and(value.clone(), Expr::constant(m & !(1u64 << fault.bit), width))
+        Expr::and(
+            value.clone(),
+            Expr::constant(m & !(1u64 << fault.bit), width),
+        )
     }
 }
 
@@ -402,9 +405,7 @@ mod tests {
         let res = sat_branch_tpg(&f, cond_of(&f, 0), true).expect("synthesizable");
         assert_eq!(res, None, "branch must be proven dead");
         // The false direction is reachable.
-        assert!(sat_branch_tpg(&f, cond_of(&f, 0), false)
-            .unwrap()
-            .is_some());
+        assert!(sat_branch_tpg(&f, cond_of(&f, 0), false).unwrap().is_some());
     }
 
     #[test]

@@ -193,7 +193,10 @@ mod tests {
         let acc = fb.local("acc", 16);
         fb.assign(i, Expr::constant(0, 8));
         fb.while_(Expr::lt(Expr::var(i), Expr::var(n)), |b| {
-            b.assign(acc, Expr::add(Expr::var(acc), Expr::index(buf, Expr::var(i))));
+            b.assign(
+                acc,
+                Expr::add(Expr::var(acc), Expr::index(buf, Expr::var(i))),
+            );
             b.assign(i, Expr::add(Expr::var(i), Expr::constant(1, 8)));
         });
         fb.ret(Expr::var(acc));

@@ -131,9 +131,7 @@ pub fn genetic_tpg(func: &Function, cfg: &GaConfig) -> GaOutcome {
         }
         let mut next: Vec<Testbench> = Vec::with_capacity(cfg.population);
         // Elitism: carry the single best individual over.
-        let best_idx = (0..scores.len())
-            .max_by_key(|&i| scores[i])
-            .unwrap_or(0);
+        let best_idx = (0..scores.len()).max_by_key(|&i| scores[i]).unwrap_or(0);
         next.push(population[best_idx].clone());
         while next.len() < cfg.population {
             let pa = tournament(&scores, cfg.tournament, &mut rng);
@@ -145,9 +143,7 @@ pub fn genetic_tpg(func: &Function, cfg: &GaConfig) -> GaOutcome {
         population = next;
         scores = population.iter().map(&fitness).collect();
     }
-    let best_idx = (0..scores.len())
-        .max_by_key(|&i| scores[i])
-        .unwrap_or(0);
+    let best_idx = (0..scores.len()).max_by_key(|&i| scores[i]).unwrap_or(0);
     history.push(scores[best_idx]);
     GaOutcome {
         best: population[best_idx].clone(),
@@ -229,7 +225,13 @@ mod tests {
             |e| e.ret(Expr::constant(0, 8)),
         );
         let f = fb.build();
-        let tb = random_tpg(&f, &RandomConfig { rounds: 64, seed: 7 });
+        let tb = random_tpg(
+            &f,
+            &RandomConfig {
+                rounds: 64,
+                seed: 7,
+            },
+        );
         let r = metrics::evaluate(&f, &tb.vectors).report();
         assert!(r.is_complete(), "report: {r:?}");
         // Greedy keeps only improving vectors: tiny testbench.
@@ -285,7 +287,11 @@ mod tests {
             },
         );
         for w in outcome.history.windows(2) {
-            assert!(w[1] >= w[0], "history must not regress: {:?}", outcome.history);
+            assert!(
+                w[1] >= w[0],
+                "history must not regress: {:?}",
+                outcome.history
+            );
         }
     }
 }

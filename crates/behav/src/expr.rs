@@ -107,8 +107,8 @@ pub enum Expr {
 }
 
 #[allow(clippy::should_implement_trait)] // the builder API mirrors operator
-// names (`Expr::add`, `Expr::not`, …) deliberately; these are constructors
-// taking two expression trees, not operator overloads.
+                                         // names (`Expr::add`, `Expr::not`, …) deliberately; these are constructors
+                                         // taking two expression trees, not operator overloads.
 impl Expr {
     /// A constant of the given width.
     ///

@@ -311,10 +311,7 @@ impl<'f, 'h> Interpreter<'f, 'h> {
                 Ok(Flow::Continue)
             }
             Stmt::ResourceCall {
-                func,
-                args,
-                target,
-                ..
+                func, args, target, ..
             } => {
                 let arg_vals: Vec<u64> = args.iter().map(|a| self.eval(a, state, out)).collect();
                 out.ops.call += 1;
@@ -775,12 +772,11 @@ mod tests {
         fb.resource_call("root", vec![Expr::constant(49, 16)], Some(x));
         fb.ret(Expr::var(x));
         let f = fb.build();
-        let mut interp = Interpreter::new(&f).with_resource_handler(Box::new(
-            |name: &str, args: &[u64]| {
+        let mut interp =
+            Interpreter::new(&f).with_resource_handler(Box::new(|name: &str, args: &[u64]| {
                 assert_eq!(name, "root");
                 (args[0] as f64).sqrt() as u64
-            },
-        ));
+            }));
         let out = interp.run(&[]).unwrap();
         assert_eq!(out.return_value, Some(7));
         assert_eq!(out.call_trace.len(), 2);

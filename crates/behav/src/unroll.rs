@@ -164,10 +164,7 @@ mod tests {
         let f = fb.build();
         let u = unroll(&f, 4);
         assert!(is_loop_free(&u));
-        assert_eq!(
-            Interpreter::new(&u).run(&[]).unwrap().return_value,
-            Some(6)
-        );
+        assert_eq!(Interpreter::new(&u).run(&[]).unwrap().return_value, Some(6));
     }
 
     #[test]

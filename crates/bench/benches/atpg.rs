@@ -12,7 +12,10 @@ fn atpg_benches(c: &mut Criterion) {
         b.iter(|| {
             atpg::tpg::random_tpg(
                 black_box(&distance),
-                &atpg::tpg::RandomConfig { rounds: 128, seed: 7 },
+                &atpg::tpg::RandomConfig {
+                    rounds: 128,
+                    seed: 7,
+                },
             )
         })
     });
@@ -32,7 +35,13 @@ fn atpg_benches(c: &mut Criterion) {
         })
     });
     group.bench_function("bit_coverage_fault_sim_root", |b| {
-        let tb = atpg::tpg::random_tpg(&root, &atpg::tpg::RandomConfig { rounds: 32, seed: 3 });
+        let tb = atpg::tpg::random_tpg(
+            &root,
+            &atpg::tpg::RandomConfig {
+                rounds: 32,
+                seed: 3,
+            },
+        );
         b.iter(|| atpg::metrics::bit_coverage(black_box(&root), black_box(&tb)))
     });
     group.bench_function("sat_branch_tpg_distance", |b| {

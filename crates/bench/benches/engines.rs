@@ -1,5 +1,6 @@
 //! Micro-benchmarks of the formal engines (SAT, BDD, simplex) — the
 //! substrate costs behind every verification experiment.
+#![allow(clippy::needless_range_loop)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;

@@ -57,10 +57,7 @@ impl CascadeReport {
 /// mis-dimensioning is the classic level-1 deadlock.
 pub fn fig2_petri_net(credits: u64) -> PetriNet {
     let mut net = PetriNet::new();
-    let transitions: Vec<_> = MODULES
-        .iter()
-        .map(|&m| net.add_transition(m))
-        .collect();
+    let transitions: Vec<_> = MODULES.iter().map(|&m| net.add_transition(m)).collect();
     // Chain places along the dataflow order.
     for pair in transitions.windows(2) {
         let from_name = net.transition_name(pair[0]).to_owned();

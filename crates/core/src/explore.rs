@@ -33,16 +33,17 @@ pub struct SweepPoint {
     pub functional: bool,
 }
 
-fn point(
-    name: &str,
-    report: &crate::timed::TimedReport,
-) -> SweepPoint {
+fn point(name: &str, report: &crate::timed::TimedReport) -> SweepPoint {
     SweepPoint {
         name: name.to_owned(),
         total_ticks: report.total_ticks,
         ticks_per_frame: report.ticks_per_frame,
         bus_utilization: report.bus.utilization,
-        reconfigurations: report.fpga.as_ref().map(|f| f.reconfigurations).unwrap_or(0),
+        reconfigurations: report
+            .fpga
+            .as_ref()
+            .map(|f| f.reconfigurations)
+            .unwrap_or(0),
         download_words: report.fpga.as_ref().map(|f| f.download_words).unwrap_or(0),
         functional: report.matches_reference,
     }
@@ -76,7 +77,10 @@ pub fn partition_sweep(
     for (k, module) in ranked.iter().enumerate() {
         partition.assign(module, Domain::Hw);
         let report = level2::run_with(workload, &partition, arch)?;
-        points.push(point(&format!("{} HW modules (+{})", k + 1, module), &report));
+        points.push(point(
+            &format!("{} HW modules (+{})", k + 1, module),
+            &report,
+        ));
     }
     Ok(points)
 }
@@ -139,10 +143,7 @@ pub fn strategy_ablation(
 /// # Errors
 ///
 /// Propagates kernel errors.
-pub fn bus_sweep(
-    workload: &Workload,
-    base: &ArchConfig,
-) -> Result<Vec<SweepPoint>, SimError> {
+pub fn bus_sweep(workload: &Workload, base: &ArchConfig) -> Result<Vec<SweepPoint>, SimError> {
     let mut points = Vec::new();
     for cycles_per_word in [1u64, 2, 4, 8] {
         let mut arch = base.clone();

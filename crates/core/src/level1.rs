@@ -19,7 +19,9 @@ use std::collections::VecDeque;
 /// Packs an ellipse fit into one trace scalar (fields are small and
 /// non-negative for any real frame; the reference model packs identically).
 pub fn pack_ellipse(cx: i32, cy: i32, a: i32, b: i32) -> u64 {
-    (cx as u16 as u64) | ((cy as u16 as u64) << 16) | ((a as u16 as u64) << 32)
+    (cx as u16 as u64)
+        | ((cy as u16 as u64) << 16)
+        | ((a as u16 as u64) << 32)
         | ((b as u16 as u64) << 48)
 }
 
@@ -452,19 +454,11 @@ mod tests {
     fn level1_matches_reference_on_small_workload() {
         let w = Workload::small();
         let report = run(&w).expect("simulation runs");
-        assert!(
-            report.matches_reference,
-            "mismatch: {:?}",
-            report.mismatch
-        );
+        assert!(report.matches_reference, "mismatch: {:?}", report.mismatch);
         // A complete run retires every process: quiescent, not deadlocked.
         assert!(report.outcome.is_quiescent(), "{:?}", report.outcome.result);
         // Winner identities equal the reference's.
-        let expected: Vec<usize> = w
-            .reference_results()
-            .iter()
-            .map(|r| r.identity)
-            .collect();
+        let expected: Vec<usize> = w.reference_results().iter().map(|r| r.identity).collect();
         assert_eq!(report.recognized, expected);
     }
 

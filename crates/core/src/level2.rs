@@ -58,10 +58,12 @@ pub fn dimension_channels(
     // Channel `front→cpu`: producer = HW front-end (camera+bay+erosion per
     // frame), consumer = CPU task (SW front half + match orchestration).
     let front_period: u64 = ["camera", "bay", "erosion"].iter().map(|m| charge(m)).sum();
-    let cpu_period: u64 = ["edge", "ellipse", "crtbord", "crtline", "calcline", "winner"]
-        .iter()
-        .map(|m| charge(m))
-        .sum::<u64>()
+    let cpu_period: u64 = [
+        "edge", "ellipse", "crtbord", "crtline", "calcline", "winner",
+    ]
+    .iter()
+    .map(|m| charge(m))
+    .sum::<u64>()
         + charge("distance")
         + charge("calcdist")
         + charge("root");
@@ -75,8 +77,9 @@ pub fn dimension_channels(
     });
     // Channel `matcher→cpu`: the matcher bursts one response per gallery
     // entry while the CPU drains them one at a time.
-    let match_entry: u64 =
-        (charge("distance") + charge("calcdist")).div_ceil(gallery as u64).max(1);
+    let match_entry: u64 = (charge("distance") + charge("calcdist"))
+        .div_ceil(gallery as u64)
+        .max(1);
     let resp_bound = lp::dimension_fifo(&lp::ChannelRates {
         producer_burst: 1,
         producer_period: match_entry,

@@ -8,9 +8,9 @@
 //! calling into it, and bitstream downloads ride the same bus as the data.
 
 use crate::partition::{ArchConfig, Partition};
-use crate::timed::{self, MatcherKind, ReconfigStrategy, TimedReport};
+use crate::timed::{self, MatcherKind, ReconfigStrategy, RecoveryPolicy, RunError, TimedReport};
 use crate::workload::Workload;
-use sim::SimError;
+use sim::{FaultPlan, SimError};
 
 /// Runs the level-3 model with the paper's context split
 /// (`config1` = DISTANCE, `config2` = ROOT) and hoisted reconfiguration.
@@ -46,6 +46,36 @@ pub fn run_with(
             strategy,
             rtl_cosim: false,
         },
+    )
+}
+
+/// Runs the level-3 model (paper partition, hoisted strategy) with fault
+/// injection under `plan` and the given recovery policy.
+///
+/// With recovery enabled, the run's functional results still match the
+/// reference bit-for-bit — injected faults change timing (retries,
+/// software fallback), never function. With [`RecoveryPolicy::disabled`],
+/// any injected fault surfaces as a typed [`RunError::Platform`].
+///
+/// # Errors
+///
+/// [`RunError::Sim`] on kernel errors, [`RunError::Platform`] on
+/// unrecovered platform faults.
+pub fn run_with_faults(
+    workload: &Workload,
+    plan: FaultPlan,
+    recovery: RecoveryPolicy,
+) -> Result<TimedReport, RunError> {
+    timed::run_faulted(
+        workload,
+        &Partition::paper_level3(),
+        &ArchConfig::default(),
+        MatcherKind::Fpga {
+            strategy: ReconfigStrategy::Hoisted,
+            rtl_cosim: false,
+        },
+        Some(plan),
+        recovery,
     )
 }
 

@@ -234,8 +234,7 @@ pub fn export_vhdl() -> Vec<(String, String)> {
     let dist_rtl = synthesize(&dist).expect("distance step synthesizes");
     artifacts.push(("distance".to_owned(), hdl::vhdl::to_vhdl(&dist_rtl)));
     let root = root_function();
-    let root_rtl =
-        synthesize(&unroll(&root, ROOT_ITERATIONS)).expect("unrolled root synthesizes");
+    let root_rtl = synthesize(&unroll(&root, ROOT_ITERATIONS)).expect("unrolled root synthesizes");
     artifacts.push(("root".to_owned(), hdl::vhdl::to_vhdl(&root_rtl)));
     let wrapper = bus_wrapper_fsm("bus_wrapper");
     artifacts.push(("bus_wrapper".to_owned(), hdl::vhdl::to_vhdl(&wrapper)));

@@ -42,4 +42,5 @@ pub mod workload;
 
 pub use msg::Msg;
 pub use partition::{Domain, Partition};
+pub use timed::{FaultReport, PlatformFault, RecoveryPolicy, RunError};
 pub use workload::Workload;

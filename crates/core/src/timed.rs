@@ -26,13 +26,14 @@ use media::pipeline::{
     FeatureVector,
 };
 use media::profile::module_mix;
-use platform::{Context, ContextId, Fpga, FpgaReport, SharedFpga};
-use sim::{
-    Activation, FifoId, Outcome, Process, ProcessCtx, SimError, SimTime, Simulator, Trace,
-};
-use std::collections::VecDeque;
+use platform::{Context, ContextId, Fpga, FpgaError, FpgaReport, SharedFpga};
+use sim::faults::{FaultLog, FaultPlan, SharedFaultPlan};
+use sim::{Activation, FifoId, Outcome, Process, ProcessCtx, SimError, SimTime, Simulator, Trace};
+use std::cell::RefCell;
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
 use std::rc::Rc;
-use tlm::{AccessKind, Bus, BusReport, Payload, SharedBus};
+use tlm::{AccessKind, Bus, BusError, BusReport, Payload, Reservation, SharedBus};
 
 /// When the SW issues reconfiguration calls (experiment E10).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +65,155 @@ pub enum MatcherKind {
     },
 }
 
+/// How the level-3 driver reacts to platform faults (failed bitstream
+/// downloads, bus error responses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Retry attempts per operation before giving up (0 = fail fast).
+    pub max_retries: u32,
+    /// Ticks to back off after a failed attempt before retrying.
+    pub backoff_ticks: u64,
+    /// When a context download permanently fails, fall back to executing
+    /// its functions in software (slower, functionally identical) instead
+    /// of aborting the run.
+    pub degrade_to_sw: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            backoff_ticks: 256,
+            degrade_to_sw: true,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// No retries, no degradation: every injected fault surfaces as a
+    /// typed [`RunError::Platform`] — never a silent wrong answer.
+    pub fn disabled() -> Self {
+        RecoveryPolicy {
+            max_retries: 0,
+            backoff_ticks: 0,
+            degrade_to_sw: false,
+        }
+    }
+}
+
+/// A platform-level fault that recovery could not (or was not allowed to)
+/// absorb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformFault {
+    /// The reconfigurable device failed (download CRC, timeout, residency).
+    Fpga(FpgaError),
+    /// A data transfer failed on the bus.
+    Bus(BusError),
+}
+
+impl fmt::Display for PlatformFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformFault::Fpga(e) => write!(f, "FPGA fault: {e}"),
+            PlatformFault::Bus(e) => write!(f, "bus fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformFault {}
+
+/// Why a timed run failed: either the simulation kernel itself, or an
+/// unrecovered platform fault (the latter only with fault injection on).
+#[derive(Debug)]
+pub enum RunError {
+    /// Kernel error (deadlock, poll-limit, …).
+    Sim(SimError),
+    /// Unrecovered platform fault.
+    Platform(PlatformFault),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Sim(e) => write!(f, "simulation error: {e}"),
+            RunError::Platform(e) => write!(f, "unrecovered platform fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+/// What fault injection did to a run, and what recovery did about it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Faults the plan injected, by kind.
+    pub injected: FaultLog,
+    /// Retry attempts issued (bus transfers and context downloads).
+    pub retries: u64,
+    /// Operations that succeeded after at least one retry.
+    pub recovered: u64,
+    /// Functions degraded to their software fallback, in sorted order.
+    pub degraded: Vec<String>,
+}
+
+/// Recovery bookkeeping shared by the processes of one run.
+#[derive(Debug, Default)]
+struct RecoveryState {
+    retries: u64,
+    recovered: u64,
+    degraded: BTreeSet<String>,
+    failure: Option<PlatformFault>,
+}
+
+type SharedRecovery = Rc<RefCell<RecoveryState>>;
+
+/// Records the first unrecovered fault and retires the process; the
+/// driver surfaces the fault in preference to the deadlock that follows.
+fn fail(state: &SharedRecovery, fault: PlatformFault) -> Activation {
+    let mut s = state.borrow_mut();
+    if s.failure.is_none() {
+        s.failure = Some(fault);
+    }
+    Activation::Done
+}
+
+/// Issues `payload` at `start`, retrying transient slave errors under
+/// `policy` (each failed attempt still occupies the bus; retries start at
+/// the failed burst's end plus the backoff). Permanent decode/master
+/// errors are never retried.
+fn transfer_with_recovery(
+    bus: &SharedBus,
+    policy: &RecoveryPolicy,
+    state: &SharedRecovery,
+    start: SimTime,
+    payload: &Payload,
+) -> Result<Reservation, PlatformFault> {
+    let mut at = start;
+    let mut attempts = 0u32;
+    loop {
+        match bus.borrow_mut().transfer(at, payload) {
+            Ok(r) => {
+                if attempts > 0 {
+                    state.borrow_mut().recovered += 1;
+                }
+                return Ok(r);
+            }
+            Err(BusError::Slave { at: end, .. }) if attempts < policy.max_retries => {
+                attempts += 1;
+                state.borrow_mut().retries += 1;
+                at = end.saturating_add_ticks(policy.backoff_ticks);
+            }
+            Err(e) => return Err(PlatformFault::Bus(e)),
+        }
+    }
+}
+
 /// Everything a timed run reports.
 #[derive(Debug, Clone)]
 pub struct TimedReport {
@@ -83,6 +233,8 @@ pub struct TimedReport {
     pub bus: BusReport,
     /// FPGA activity (level 3 only).
     pub fpga: Option<FpgaReport>,
+    /// Fault-injection summary (only when a fault plan was installed).
+    pub faults: Option<FaultReport>,
     /// The observation trace.
     pub trace: Trace<Msg>,
 }
@@ -114,6 +266,8 @@ struct HwFront {
     out: FifoId,
     bus: SharedBus,
     master: usize,
+    policy: RecoveryPolicy,
+    recovery: SharedRecovery,
     /// Phase: 0 = charge compute, 1 = bus write, 2 = hand over.
     phase: u8,
     staged: Option<media::image::GrayImage>,
@@ -133,10 +287,16 @@ impl Process<Msg> for HwFront {
             1 => {
                 let img = self.staged.as_ref().expect("staged");
                 let words = (img.data.len() as u32).div_ceil(4);
-                let r = self.bus.borrow_mut().transfer(
+                let r = match transfer_with_recovery(
+                    &self.bus,
+                    &self.policy,
+                    &self.recovery,
                     ctx.now(),
                     &Payload::burst(self.master, addr::RAM_BASE, AccessKind::Write, words),
-                );
+                ) {
+                    Ok(r) => r,
+                    Err(f) => return fail(&self.recovery, f),
+                };
                 self.phase = 2;
                 Activation::WaitTime(r.delay_from(ctx.now()))
             }
@@ -172,7 +332,13 @@ struct Matcher {
     distance_cycles: u64,
     /// Cycles per root evaluation.
     root_cycles: u64,
+    /// Software-fallback cycles per gallery entry (graceful degradation).
+    distance_sw_cycles: u64,
+    /// Software-fallback cycles per root evaluation.
+    root_sw_cycles: u64,
     fpga: Option<SharedFpga>,
+    policy: RecoveryPolicy,
+    recovery: SharedRecovery,
     /// RTL netlist co-simulated for ROOT calls (level 3 co-simulation).
     root_rtl: Option<hdl::Rtl>,
     /// In-flight work: the remaining per-entry distance jobs.
@@ -181,14 +347,29 @@ struct Matcher {
 }
 
 impl Matcher {
-    /// Charges FPGA residency (when configured) and panics on consistency
-    /// violations — which SymbC is supposed to have ruled out beforehand.
-    fn charge_fpga(&self, func: &str) -> Option<u64> {
-        self.fpga.as_ref().map(|f| {
-            f.borrow_mut()
-                .call(func)
-                .unwrap_or_else(|e| panic!("FPGA consistency violation at runtime: {e}"))
-        })
+    /// Cycles to charge for `func`: hardwired cycles (level 2), the
+    /// FPGA's residency-checked cost (level 3), or the software fallback
+    /// when the function was degraded after a permanent download failure.
+    /// A residency violation — the SymbC-class error — surfaces as a
+    /// typed [`PlatformFault::Fpga`], never a silent wrong answer.
+    fn compute_cycles(&self, func: &str) -> Result<u64, PlatformFault> {
+        let (hw, sw) = match func {
+            "distance" => (self.distance_cycles, self.distance_sw_cycles),
+            _ => (self.root_cycles, self.root_sw_cycles),
+        };
+        match &self.fpga {
+            None => Ok(hw),
+            Some(f) => {
+                if self.recovery.borrow().degraded.contains(func) {
+                    return Ok(sw);
+                }
+                f.borrow_mut().call(func).map_err(PlatformFault::Fpga)
+            }
+        }
+    }
+
+    fn transfer(&self, start: SimTime, payload: &Payload) -> Result<Reservation, PlatformFault> {
+        transfer_with_recovery(&self.bus, &self.policy, &self.recovery, start, payload)
     }
 }
 
@@ -207,22 +388,28 @@ impl Process<Msg> for Matcher {
             let (_, _, g) = &self.gallery[entry];
             // Fetch the signature from flash over the bus.
             let words = (g.len() as u32).div_ceil(2);
-            let fetch = self.bus.borrow_mut().transfer(
+            let fetch = match self.transfer(
                 ctx.now(),
                 &Payload::burst(self.master, addr::FLASH_BASE, AccessKind::Read, words),
-            );
+            ) {
+                Ok(r) => r,
+                Err(f) => return fail(&self.recovery, f),
+            };
             let sq = distance(&features, g);
             let sum = calcdist(&sq);
-            // Residency check + cycles (FPGA) or hardwired cycles.
-            let compute = match self.charge_fpga("distance") {
-                Some(c) => c,
-                None => self.distance_cycles,
+            // Residency check + cycles (FPGA, SW fallback, or hardwired).
+            let compute = match self.compute_cycles("distance") {
+                Ok(c) => c,
+                Err(f) => return fail(&self.recovery, f),
             };
             // Write the 2-word response into CPU memory.
-            let resp = self.bus.borrow_mut().transfer(
+            let resp = match self.transfer(
                 fetch.end.saturating_add_ticks(compute),
                 &Payload::burst(self.master, addr::RAM_BASE, AccessKind::Write, 2),
-            );
+            ) {
+                Ok(r) => r,
+                Err(f) => return fail(&self.recovery, f),
+            };
             self.pending.push_back(Msg::SumSq(entry, sum));
             if entry + 1 < self.gallery.len() {
                 self.current = Some((features, entry + 1));
@@ -236,9 +423,9 @@ impl Process<Msg> for Matcher {
                 Activation::Continue
             }
             Some(Msg::SumSq(i, s)) => {
-                let compute = match self.charge_fpga("root") {
-                    Some(c) => c,
-                    None => self.root_cycles,
+                let compute = match self.compute_cycles("root") {
+                    Ok(c) => c,
+                    Err(f) => return fail(&self.recovery, f),
                 };
                 let r = match &self.root_rtl {
                     // Co-simulation: evaluate the synthesized netlist. The
@@ -251,10 +438,13 @@ impl Process<Msg> for Matcher {
                     }
                     None => root(s),
                 };
-                let resp = self.bus.borrow_mut().transfer(
+                let resp = match self.transfer(
                     ctx.now().saturating_add_ticks(compute),
                     &Payload::write(self.master, addr::RAM_BASE),
-                );
+                ) {
+                    Ok(res) => res,
+                    Err(f) => return fail(&self.recovery, f),
+                };
                 self.pending.push_back(Msg::Dist(i, r));
                 Activation::WaitTime(resp.end - ctx.now())
             }
@@ -306,6 +496,8 @@ struct CpuTask {
     bus: SharedBus,
     master: usize,
     fpga: Option<SharedFpga>,
+    policy: RecoveryPolicy,
+    recovery: SharedRecovery,
     strategy: ReconfigStrategy,
     distance_ctx: ContextId,
     root_ctx: ContextId,
@@ -318,11 +510,57 @@ struct CpuTask {
 
 impl CpuTask {
     /// Issues a context load; returns ticks to wait (0 if already loaded).
-    fn reconfigure(&self, ctx_id: ContextId, now: SimTime) -> u64 {
+    ///
+    /// Failed downloads are retried under the recovery policy (each
+    /// attempt consumes real bus time; retries start at the failed
+    /// attempt's `busy_until` plus the backoff). When retries exhaust:
+    /// with `degrade_to_sw` the context's functions are marked degraded —
+    /// the matcher computes them in software from then on and the load is
+    /// never attempted again — otherwise the fault is returned and the
+    /// run aborts with a typed error.
+    fn reconfigure(&self, ctx_id: ContextId, now: SimTime) -> Result<u64, PlatformFault> {
         let fpga = self.fpga.as_ref().expect("reconfigure only at level 3");
-        match fpga.borrow_mut().load(ctx_id, now, &self.bus, self.master) {
-            Some(r) => r.end.ticks_since(now),
-            None => 0,
+        let all_degraded = {
+            let st = self.recovery.borrow();
+            let fb = fpga.borrow();
+            let funcs = &fb.contexts()[ctx_id.0].functions;
+            !funcs.is_empty() && funcs.iter().all(|(n, _)| st.degraded.contains(n))
+        };
+        if all_degraded {
+            return Ok(0);
+        }
+        let mut at = now;
+        let mut attempts = 0u32;
+        loop {
+            let attempt = fpga.borrow_mut().load(ctx_id, at, &self.bus, self.master);
+            match attempt {
+                Ok(Some(r)) => {
+                    if attempts > 0 {
+                        self.recovery.borrow_mut().recovered += 1;
+                    }
+                    return Ok(r.end.ticks_since(now));
+                }
+                Ok(None) => return Ok(0),
+                Err(fault) if attempts < self.policy.max_retries => {
+                    attempts += 1;
+                    self.recovery.borrow_mut().retries += 1;
+                    at = fault
+                        .busy_until
+                        .saturating_add_ticks(self.policy.backoff_ticks);
+                }
+                Err(fault) => {
+                    if self.policy.degrade_to_sw {
+                        let fb = fpga.borrow();
+                        let mut st = self.recovery.borrow_mut();
+                        for (name, _) in &fb.contexts()[ctx_id.0].functions {
+                            st.degraded.insert(name.clone());
+                        }
+                        // The failed attempts consumed real bus time.
+                        return Ok(fault.busy_until.ticks_since(now));
+                    }
+                    return Err(PlatformFault::Fpga(fault.error));
+                }
+            }
         }
     }
 }
@@ -379,7 +617,10 @@ impl Process<Msg> for CpuTask {
                 Activation::Continue
             }
             CpuPhase::LoadContext { context, then } => {
-                let wait = self.reconfigure(context, ctx.now());
+                let wait = match self.reconfigure(context, ctx.now()) {
+                    Ok(w) => w,
+                    Err(f) => return fail(&self.recovery, f),
+                };
                 self.phase = *then;
                 if wait > 0 {
                     Activation::WaitTime(SimTime::from_ticks(wait))
@@ -390,10 +631,16 @@ impl Process<Msg> for CpuTask {
             CpuPhase::SendFeatures { features } => {
                 // Bus-write the signature to the matcher.
                 let words = (features.len() as u32).div_ceil(2);
-                let r = self.bus.borrow_mut().transfer(
+                let r = match transfer_with_recovery(
+                    &self.bus,
+                    &self.policy,
+                    &self.recovery,
                     ctx.now(),
                     &Payload::burst(self.master, addr::MATCH_BASE, AccessKind::Write, words),
-                );
+                ) {
+                    Ok(r) => r,
+                    Err(f) => return fail(&self.recovery, f),
+                };
                 match ctx.try_write(self.to_matcher, Msg::Features(features)) {
                     Ok(()) => {
                         self.phase = CpuPhase::CollectSums { sums: Vec::new() };
@@ -437,11 +684,7 @@ impl Process<Msg> for CpuTask {
                 }
                 Some(other) => panic!("cpu expected sum, got {other:?}"),
             },
-            CpuPhase::SendSum {
-                sums,
-                sent,
-                dists,
-            } => {
+            CpuPhase::SendSum { sums, sent, dists } => {
                 if sent == sums.len() {
                     self.phase = CpuPhase::CollectDists {
                         outstanding: sums.len() - dists.len(),
@@ -454,17 +697,26 @@ impl Process<Msg> for CpuTask {
                 // distance context after each root at the *next* frame; for
                 // the naive ablation we alternate eagerly.
                 if self.fpga.is_some() && self.strategy == ReconfigStrategy::Naive {
-                    let wait = self.reconfigure(self.root_ctx, ctx.now());
+                    let wait = match self.reconfigure(self.root_ctx, ctx.now()) {
+                        Ok(w) => w,
+                        Err(f) => return fail(&self.recovery, f),
+                    };
                     if wait > 0 {
                         self.phase = CpuPhase::SendSum { sums, sent, dists };
                         return Activation::WaitTime(SimTime::from_ticks(wait));
                     }
                 }
                 let (i, s) = sums[sent];
-                let r = self.bus.borrow_mut().transfer(
+                let r = match transfer_with_recovery(
+                    &self.bus,
+                    &self.policy,
+                    &self.recovery,
                     ctx.now(),
                     &Payload::burst(self.master, addr::MATCH_BASE, AccessKind::Write, 2),
-                );
+                ) {
+                    Ok(r) => r,
+                    Err(f) => return fail(&self.recovery, f),
+                };
                 match ctx.try_write(self.to_matcher, Msg::SumSq(i, s)) {
                     Ok(()) => {
                         // In the naive ablation the FPGA is immediately
@@ -474,9 +726,13 @@ impl Process<Msg> for CpuTask {
                             && self.strategy == ReconfigStrategy::Naive
                             && sent + 1 < sums.len()
                         {
-                            self.reconfigure(self.distance_ctx, r.end);
-                            let back = self.reconfigure(self.root_ctx, r.end);
-                            back
+                            let flip = self
+                                .reconfigure(self.distance_ctx, r.end)
+                                .and_then(|_| self.reconfigure(self.root_ctx, r.end));
+                            match flip {
+                                Ok(back) => back,
+                                Err(f) => return fail(&self.recovery, f),
+                            }
                         } else {
                             0
                         };
@@ -485,9 +741,7 @@ impl Process<Msg> for CpuTask {
                             sent: sent + 1,
                             dists,
                         };
-                        Activation::WaitTime(
-                            r.delay_from(ctx.now()).saturating_add_ticks(extra),
-                        )
+                        Activation::WaitTime(r.delay_from(ctx.now()).saturating_add_ticks(extra))
                     }
                     Err(_) => {
                         self.phase = CpuPhase::SendSum { sums, sent, dists };
@@ -537,7 +791,7 @@ impl Process<Msg> for CpuTask {
     }
 }
 
-/// Builds and runs the timed model.
+/// Builds and runs the timed model (no fault injection).
 ///
 /// # Errors
 ///
@@ -546,14 +800,52 @@ impl Process<Msg> for CpuTask {
 /// # Panics
 ///
 /// Panics if the partition maps front-end pixel modules to the FPGA (the
-/// case study only maps the match kernels there) or on runtime FPGA
-/// consistency violations.
+/// case study only maps the match kernels there).
 pub fn run(
     workload: &Workload,
     partition: &Partition,
     arch: &ArchConfig,
     matcher_kind: MatcherKind,
 ) -> Result<TimedReport, SimError> {
+    run_faulted(
+        workload,
+        partition,
+        arch,
+        matcher_kind,
+        None,
+        RecoveryPolicy::default(),
+    )
+    .map_err(|e| match e {
+        RunError::Sim(e) => e,
+        // Without a fault plan nothing injects platform faults, and
+        // decode/master errors are construction bugs this driver rules out.
+        RunError::Platform(f) => unreachable!("platform fault without a fault plan: {f}"),
+    })
+}
+
+/// Builds and runs the timed model with optional fault injection and the
+/// given recovery policy. This is the level-3 robustness driver: the plan
+/// is installed into both the bus and the FPGA, the processes retry and
+/// degrade per `recovery`, and the report carries a [`FaultReport`].
+///
+/// # Errors
+///
+/// [`RunError::Sim`] on kernel errors; [`RunError::Platform`] when an
+/// injected fault exhausts the recovery policy (always a typed error —
+/// injected faults never produce silently wrong results).
+///
+/// # Panics
+///
+/// Panics if the partition maps front-end pixel modules to the FPGA (the
+/// case study only maps the match kernels there).
+pub fn run_faulted(
+    workload: &Workload,
+    partition: &Partition,
+    arch: &ArchConfig,
+    matcher_kind: MatcherKind,
+    faults: Option<FaultPlan>,
+    recovery: RecoveryPolicy,
+) -> Result<TimedReport, RunError> {
     let config = *workload.dataset.config();
     let gallery_len = workload.gallery_len();
 
@@ -571,9 +863,23 @@ pub fn run(
         (charge("distance") + charge("calcdist")).div_ceil(gallery_len as u64);
     let root_entry_cycles = charge("root").div_ceil(gallery_len as u64);
 
+    // Software-fallback matcher costs (per gallery entry), used when a
+    // context download permanently fails and the run degrades gracefully.
+    let sw_charge =
+        |module: &str| -> u64 { arch.cpu.cycles(module_mix(module, &config, gallery_len)) };
+    let distance_sw_entry_cycles =
+        (sw_charge("distance") + sw_charge("calcdist")).div_ceil(gallery_len as u64);
+    let root_sw_entry_cycles = sw_charge("root").div_ceil(gallery_len as u64);
+
+    let plan: Option<SharedFaultPlan> = faults.map(FaultPlan::shared);
+    let recovery_state: SharedRecovery = Rc::new(RefCell::new(RecoveryState::default()));
+
     let mut sim: Simulator<Msg> = Simulator::new();
     sim.set_poll_limit(500_000_000);
     let bus = Bus::shared("amba", arch.bus);
+    if let Some(p) = &plan {
+        bus.borrow_mut().set_fault_plan(p.clone());
+    }
     {
         let mut b = bus.borrow_mut();
         b.map_region("ram", addr::RAM_BASE, addr::RAM_SIZE, 0);
@@ -590,6 +896,9 @@ pub fn run(
         MatcherKind::Hardwired => None,
         MatcherKind::Fpga { .. } => {
             let f = Fpga::shared("efpga", addr::FPGA_CFG_BASE, arch.fpga_switch_cycles);
+            if let Some(p) = &plan {
+                f.borrow_mut().set_fault_plan(p.clone());
+            }
             let num_ctx = partition.num_contexts().max(1);
             let mut per_ctx: Vec<Vec<(String, u64)>> = vec![Vec::new(); num_ctx];
             for (module, c) in partition.fpga_modules() {
@@ -619,8 +928,7 @@ pub fn run(
                     if dist_cycles > 0 {
                         merged.push(("distance".to_owned(), dist_cycles));
                     }
-                    let words =
-                        arch.bitstream_words_per_function * merged.len().max(1) as u32;
+                    let words = arch.bitstream_words_per_function * merged.len().max(1) as u32;
                     fb.add_context(Context {
                         name: format!("config{}", ci + 1),
                         functions: merged,
@@ -633,7 +941,10 @@ pub fn run(
     };
     let (strategy, rtl_cosim) = match matcher_kind {
         MatcherKind::Hardwired => (ReconfigStrategy::Hoisted, false),
-        MatcherKind::Fpga { strategy, rtl_cosim } => (strategy, rtl_cosim),
+        MatcherKind::Fpga {
+            strategy,
+            rtl_cosim,
+        } => (strategy, rtl_cosim),
     };
     let root_rtl = if rtl_cosim {
         let unrolled = behav::unroll::unroll(
@@ -693,6 +1004,8 @@ pub fn run(
         out: ch_frames,
         bus: bus.clone(),
         master: m_front,
+        policy: recovery,
+        recovery: recovery_state.clone(),
         phase: 0,
         staged: None,
     });
@@ -710,6 +1023,8 @@ pub fn run(
         bus: bus.clone(),
         master: m_cpu,
         fpga: fpga.clone(),
+        policy: recovery,
+        recovery: recovery_state.clone(),
         strategy,
         distance_ctx,
         root_ctx,
@@ -731,13 +1046,24 @@ pub fn run(
         gallery: Rc::new(workload.gallery.entries.clone()),
         distance_cycles: distance_entry_cycles,
         root_cycles: root_entry_cycles,
+        distance_sw_cycles: distance_sw_entry_cycles,
+        root_sw_cycles: root_sw_entry_cycles,
         fpga: fpga.clone(),
+        policy: recovery,
+        recovery: recovery_state.clone(),
         root_rtl,
         current: None,
         pending: VecDeque::new(),
     });
 
-    let outcome = sim.run(SimTime::MAX)?;
+    let sim_result = sim.run(SimTime::MAX);
+    // An unrecovered platform fault retires its process and usually
+    // starves the others into a deadlock; report the root cause, not the
+    // symptom.
+    if let Some(fault) = recovery_state.borrow_mut().failure.take() {
+        return Err(RunError::Platform(fault));
+    }
+    let outcome = sim_result?;
     let trace = sim.take_trace();
     let total_ticks = outcome.stats.final_time.ticks();
 
@@ -755,6 +1081,15 @@ pub fn run(
 
     let bus_report = bus.borrow().report(outcome.stats.final_time);
     let fpga_report = fpga.map(|f| f.borrow().report());
+    let fault_report = plan.map(|p| {
+        let st = recovery_state.borrow();
+        FaultReport {
+            injected: *p.borrow().log(),
+            retries: st.retries,
+            recovered: st.recovered,
+            degraded: st.degraded.iter().cloned().collect(),
+        }
+    });
     Ok(TimedReport {
         recognized,
         matches_reference: cmp.is_ok(),
@@ -768,6 +1103,7 @@ pub fn run(
         },
         bus: bus_report,
         fpga: fpga_report,
+        faults: fault_report,
         trace,
     })
 }

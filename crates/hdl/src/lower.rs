@@ -432,8 +432,7 @@ fn lower_binop<C: BitCtx>(ctx: &mut C, op: BinOp, a: &[C::Bit], b: &[C::Bit]) ->
             for (i, &bit) in b.iter().enumerate() {
                 // acc += (a << i) masked by b[i]
                 let shifted = shift_left(ctx, a, i);
-                let masked: Vec<C::Bit> =
-                    shifted.iter().map(|&s| ctx.bit_and(s, bit)).collect();
+                let masked: Vec<C::Bit> = shifted.iter().map(|&s| ctx.bit_and(s, bit)).collect();
                 acc = add(ctx, &acc, &masked);
             }
             acc
@@ -566,11 +565,14 @@ mod tests {
 
             let mut ctx = CnfBackend::new();
             let bits_a: Vec<Lit> = (0..8).map(|_| ctx.bit_fresh()).collect();
-            let lowered = lower(&rtl, &mut ctx, &[bits_a.clone()], &[]);
+            let lowered = lower(&rtl, &mut ctx, std::slice::from_ref(&bits_a), &[]);
             let outs = lowered.outputs(&rtl);
             let mut assumptions = Vec::new();
             for (i, &lit) in bits_a.iter().enumerate() {
-                assumptions.push(sat::Lit::with_polarity(lit.var(), 0b1011_0110u64 >> i & 1 == 1));
+                assumptions.push(sat::Lit::with_polarity(
+                    lit.var(),
+                    0b1011_0110u64 >> i & 1 == 1,
+                ));
             }
             let builder = ctx.builder_mut();
             assert!(builder.solve_with(&assumptions).is_sat());

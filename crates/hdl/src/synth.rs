@@ -222,10 +222,18 @@ impl<'a> SynthState<'a> {
                 }
                 let rt = returned_then.expect("initialized");
                 let re = self.returned.expect("initialized");
-                self.returned = Some(if rt == re { rt } else { self.rtl.mux(c, rt, re) });
+                self.returned = Some(if rt == re {
+                    rt
+                } else {
+                    self.rtl.mux(c, rt, re)
+                });
                 let vt = ret_then.expect("initialized");
                 let ve = self.ret_val.expect("initialized");
-                self.ret_val = Some(if vt == ve { vt } else { self.rtl.mux(c, vt, ve) });
+                self.ret_val = Some(if vt == ve {
+                    vt
+                } else {
+                    self.rtl.mux(c, vt, ve)
+                });
                 Ok(())
             }
         }

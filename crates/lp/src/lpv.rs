@@ -21,6 +21,7 @@
 //! * **FIFO dimensioning (level 2, experiment E6)** — the minimal safe
 //!   channel capacity is the optimum of a backlog LP over arrival/service
 //!   rate bounds.
+#![allow(clippy::needless_range_loop)]
 
 use crate::petri::{PetriNet, PlaceId, TransitionId};
 use crate::rational::Rational;
@@ -299,8 +300,8 @@ impl InvariantCertificate {
         for cons in constraints {
             match cons.relation {
                 MarkingRelation::AtLeast | MarkingRelation::Exactly => {
-                    bound += self.weights[cons.place.index()]
-                        * Rational::integer(cons.tokens as i128);
+                    bound +=
+                        self.weights[cons.place.index()] * Rational::integer(cons.tokens as i128);
                 }
                 MarkingRelation::AtMost => {}
             }
@@ -361,8 +362,7 @@ pub fn unreachability_certificate(
             for cons in constraints {
                 match cons.relation {
                     MarkingRelation::AtLeast | MarkingRelation::Exactly => {
-                        bound += point[cons.place.index()]
-                            * Rational::integer(cons.tokens as i128);
+                        bound += point[cons.place.index()] * Rational::integer(cons.tokens as i128);
                     }
                     MarkingRelation::AtMost => {}
                 }
@@ -448,7 +448,7 @@ impl TaskGraph {
         while head < order.len() {
             let i = order[head];
             head += 1;
-            let f = finish[i].max(0) + self.tasks[i].duration;
+            let f = finish[i] + self.tasks[i].duration;
             finish[i] = f;
             for &j in &succ[i] {
                 if finish[j] < f {
@@ -757,7 +757,7 @@ mod tests {
             tokens: 2,
         }];
         let mut cert = unreachability_certificate(&net, &constraints).expect("cert");
-        cert.weights[0] = cert.weights[0] + Rational::ONE; // break y·C = 0
+        cert.weights[0] += Rational::ONE; // break y·C = 0
         assert!(!cert.verify(&net, &constraints));
         let mut cert2 = unreachability_certificate(&net, &constraints).expect("cert");
         cert2.initial_value = cert2.target_lower_bound; // break the gap

@@ -126,6 +126,7 @@ impl Default for Rational {
     }
 }
 
+#[allow(clippy::suspicious_arithmetic_impl)]
 impl Add for Rational {
     type Output = Rational;
     fn add(self, rhs: Rational) -> Rational {
@@ -180,6 +181,7 @@ impl Mul for Rational {
     }
 }
 
+#[allow(clippy::suspicious_arithmetic_impl)]
 impl Div for Rational {
     type Output = Rational;
     fn div(self, rhs: Rational) -> Rational {

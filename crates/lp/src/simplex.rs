@@ -7,6 +7,7 @@
 //! All decision variables are constrained to `x ≥ 0`, the form every LPV
 //! encoding in this crate naturally produces (markings, firing counts,
 //! backlogs and start times are non-negative).
+#![allow(clippy::needless_range_loop)]
 
 use crate::rational::Rational;
 
@@ -201,11 +202,7 @@ impl Tableau {
 
         for (i, c) in p.constraints.iter().enumerate() {
             let flip = c.rhs.is_negative();
-            let sign = if flip {
-                -Rational::ONE
-            } else {
-                Rational::ONE
-            };
+            let sign = if flip { -Rational::ONE } else { Rational::ONE };
             for (j, &a) in c.coeffs.iter().enumerate() {
                 rows[i][j] = sign * a;
             }
@@ -270,16 +267,16 @@ impl Tableau {
                 continue;
             }
             for (v, pv) in r.iter_mut().zip(&pivot_row) {
-                *v = *v - factor * *pv;
+                *v -= factor * *pv;
             }
         }
         // Cost row.
         let factor = self.cost[col];
         if !factor.is_zero() {
             for j in 0..self.cost.len() {
-                self.cost[j] = self.cost[j] - factor * pivot_row[j];
+                self.cost[j] -= factor * pivot_row[j];
             }
-            self.cost_rhs = self.cost_rhs - factor * pivot_row[self.rhs_col()];
+            self.cost_rhs -= factor * pivot_row[self.rhs_col()];
         }
         self.basis[row] = col;
     }
@@ -289,8 +286,7 @@ impl Tableau {
     fn iterate(&mut self, allowed: &dyn Fn(usize) -> bool) -> bool {
         loop {
             // Bland's rule: smallest index with negative reduced cost.
-            let entering = (0..self.cost.len())
-                .find(|&j| allowed(j) && self.cost[j].is_negative());
+            let entering = (0..self.cost.len()).find(|&j| allowed(j) && self.cost[j].is_negative());
             let Some(col) = entering else {
                 return true; // optimal
             };
@@ -332,9 +328,9 @@ impl Tableau {
                 if self.basis[i] >= self.first_artificial {
                     let row = self.rows[i].clone();
                     for j in 0..self.cost.len() {
-                        self.cost[j] = self.cost[j] - row[j];
+                        self.cost[j] -= row[j];
                     }
-                    self.cost_rhs = self.cost_rhs - row[rhs_col];
+                    self.cost_rhs -= row[rhs_col];
                 }
             }
             let bounded = self.iterate(&|_| true);
@@ -346,8 +342,7 @@ impl Tableau {
             // Drive any remaining artificial variables out of the basis.
             for i in 0..self.rows.len() {
                 if self.basis[i] >= self.first_artificial {
-                    let col = (0..self.first_artificial)
-                        .find(|&j| !self.rows[i][j].is_zero());
+                    let col = (0..self.first_artificial).find(|&j| !self.rows[i][j].is_zero());
                     if let Some(col) = col {
                         self.pivot(i, col);
                     }
@@ -377,9 +372,9 @@ impl Tableau {
             if !cb.is_zero() {
                 let row = self.rows[i].clone();
                 for j in 0..self.cost.len() {
-                    self.cost[j] = self.cost[j] - cb * row[j];
+                    self.cost[j] -= cb * row[j];
                 }
-                self.cost_rhs = self.cost_rhs - cb * row[rhs_col];
+                self.cost_rhs -= cb * row[rhs_col];
             }
         }
         let first_artificial = self.first_artificial;
@@ -541,7 +536,9 @@ mod tests {
         match p.solve() {
             Solution::Optimal { point, .. } => {
                 let dot = |c: &[Rational]| -> Rational {
-                    c.iter().zip(&point).fold(Rational::ZERO, |acc, (&a, &x)| acc + a * x)
+                    c.iter()
+                        .zip(&point)
+                        .fold(Rational::ZERO, |acc, (&a, &x)| acc + a * x)
                 };
                 assert!(dot(&[r(1), r(1), r(1)]) <= r(10));
                 assert!(dot(&[r(2), r(1), r(0)]) <= r(8));

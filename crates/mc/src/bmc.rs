@@ -121,9 +121,10 @@ mod tests {
         match check(&rtl, &p, 8) {
             Verdict::Violated(trace) => {
                 // The witness must keep ack low within the window.
-                assert!(trace.frames.iter().any(|f| f.outputs
+                assert!(trace
+                    .frames
                     .iter()
-                    .any(|(n, v)| n == "bus_req" && *v == 1)));
+                    .any(|f| f.outputs.iter().any(|(n, v)| n == "bus_req" && *v == 1)));
             }
             other => panic!("expected violation, got {other:?}"),
         }

@@ -125,12 +125,7 @@ mod tests {
     #[should_panic(expected = "expects an invariant")]
     fn response_properties_are_rejected() {
         let rtl = mod_counter(3, 5);
-        let p = Property::response(
-            "r",
-            BoolExpr::Const(true),
-            BoolExpr::Const(true),
-            1,
-        );
+        let p = Property::response("r", BoolExpr::Const(true), BoolExpr::Const(true), 1);
         let _ = check(&rtl, &p, 1);
     }
 }

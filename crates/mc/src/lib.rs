@@ -90,7 +90,11 @@ impl std::fmt::Display for CexTrace {
             return writeln!(f, "(no trace — violation reported symbolically)");
         }
         for (cycle, frame) in self.frames.iter().enumerate() {
-            write!(f, "cycle {cycle}: in={:?} state={:?}", frame.inputs, frame.state)?;
+            write!(
+                f,
+                "cycle {cycle}: in={:?} state={:?}",
+                frame.inputs, frame.state
+            )?;
             for (name, value) in &frame.outputs {
                 write!(f, " {name}={value}")?;
             }

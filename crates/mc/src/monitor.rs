@@ -77,7 +77,6 @@ pub fn compile_response_monitor(rtl: &Rtl, property: &Property) -> (Rtl, Propert
     (aug, invariant)
 }
 
-
 /// Compiles a [`BoolExpr`] over the design's named outputs into a 1-bit
 /// signal of the netlist.
 fn compile_bool(rtl: &mut Rtl, expr: &BoolExpr) -> SigId {
@@ -219,8 +218,7 @@ mod tests {
         let rtl = closed_fsm();
         let (aug, _) = compile_response_monitor(&rtl, &busy_done(1));
         // Original outputs simulate identically on the augmented design.
-        let inputs: Vec<Vec<u64>> =
-            vec![vec![1], vec![0], vec![0], vec![1], vec![0], vec![0]];
+        let inputs: Vec<Vec<u64>> = vec![vec![1], vec![0], vec![0], vec![1], vec![0], vec![0]];
         let orig = rtl.simulate(&inputs);
         let augd = aug.simulate(&inputs);
         for (o, a) in orig.iter().zip(&augd) {

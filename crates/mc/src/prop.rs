@@ -239,8 +239,7 @@ impl Property {
                         if window_end >= trace.len() {
                             continue; // incomplete window: not judged
                         }
-                        let answered =
-                            (i..=window_end).any(|j| response.eval(&trace[j]));
+                        let answered = (i..=window_end).any(|j| response.eval(&trace[j]));
                         if !answered {
                             return false;
                         }

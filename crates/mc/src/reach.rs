@@ -121,6 +121,7 @@ pub fn check(rtl: &Rtl, property: &Property) -> Verdict {
     }
 }
 
+#[allow(clippy::only_used_in_recursion)]
 fn compile_expr(
     mgr: &mut bdd::Manager,
     n: usize,

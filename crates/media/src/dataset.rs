@@ -59,7 +59,7 @@ impl FaceParams {
             mouth_w: rng.range(6, 14),
             mouth_y: rng.range(10, 16),
             skin: rng.range(150, 220),
-            brow: rng.next() % 2 == 0,
+            brow: rng.next().is_multiple_of(2),
         }
     }
 }
@@ -156,15 +156,12 @@ impl Dataset {
                             v = 50;
                         }
                         // Brows.
-                        if p.brow
-                            && ddy == -(p.eye_r + 2)
-                            && ddx.abs() <= p.eye_r + 1
-                        {
+                        if p.brow && ddy == -(p.eye_r + 2) && ddx.abs() <= p.eye_r + 1 {
                             v = 70;
                         }
                     }
                     // Nose.
-                    if ex.abs() <= 1 && ey >= -2 && ey <= 4 {
+                    if ex.abs() <= 1 && (-2..=4).contains(&ey) {
                         v -= 30;
                     }
                     // Mouth.

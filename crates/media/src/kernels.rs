@@ -60,7 +60,10 @@ pub fn root_function() -> Function {
     let i = fb.local("i", 8);
     fb.assign(rem, Expr::var(x));
     fb.assign(res, Expr::constant(0, ROOT_IN_WIDTH));
-    fb.assign(bit, Expr::constant(1u64 << (ROOT_IN_WIDTH - 2), ROOT_IN_WIDTH));
+    fb.assign(
+        bit,
+        Expr::constant(1u64 << (ROOT_IN_WIDTH - 2), ROOT_IN_WIDTH),
+    );
     fb.assign(i, Expr::constant(0, 8));
     fb.while_(
         Expr::lt(Expr::var(i), Expr::constant(ROOT_ITERATIONS as u64, 8)),
@@ -80,10 +83,16 @@ pub fn root_function() -> Function {
                     );
                 },
                 |e| {
-                    e.assign(res, Expr::shr(Expr::var(res), Expr::constant(1, ROOT_IN_WIDTH)));
+                    e.assign(
+                        res,
+                        Expr::shr(Expr::var(res), Expr::constant(1, ROOT_IN_WIDTH)),
+                    );
                 },
             );
-            body.assign(bit, Expr::shr(Expr::var(bit), Expr::constant(2, ROOT_IN_WIDTH)));
+            body.assign(
+                bit,
+                Expr::shr(Expr::var(bit), Expr::constant(2, ROOT_IN_WIDTH)),
+            );
             body.assign(i, Expr::add(Expr::var(i), Expr::constant(1, 8)));
         },
     );
@@ -122,7 +131,22 @@ mod tests {
     #[test]
     fn root_kernel_matches_rust_isqrt() {
         let f = root_function();
-        for x in [0u64, 1, 2, 3, 4, 15, 16, 17, 49, 1023, 1024, 65535, 100_000, 4_000_000_000] {
+        for x in [
+            0u64,
+            1,
+            2,
+            3,
+            4,
+            15,
+            16,
+            17,
+            49,
+            1023,
+            1024,
+            65535,
+            100_000,
+            4_000_000_000,
+        ] {
             let out = Interpreter::new(&f)
                 .run(&[x])
                 .expect("runs")

@@ -201,8 +201,7 @@ mod tests {
         assert_eq!(r.trace.features.len(), crate::pipeline::FEATURE_LEN);
         assert_eq!(r.trace.distances.len(), gallery.entries.len());
         assert_eq!(
-            gallery.entries[r.trace.winner_entry].0,
-            r.identity,
+            gallery.entries[r.trace.winner_entry].0, r.identity,
             "winner entry consistent with identity"
         );
     }

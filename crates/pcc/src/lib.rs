@@ -96,7 +96,11 @@ pub fn mutant(rtl: &Rtl, fault: RtlFault) -> Rtl {
             let faulty = stuck(&mut m, next, bit, stuck_at);
             m.set_next(r, faulty);
         }
-        RtlFault::Output { output, bit, stuck_at } => {
+        RtlFault::Output {
+            output,
+            bit,
+            stuck_at,
+        } => {
             let (name, sig) = m.outputs()[output].clone();
             let faulty = stuck(&mut m, sig, bit, stuck_at);
             m.replace_output(&name, faulty);
@@ -184,10 +188,16 @@ fn fails_on(rtl: &Rtl, property: &Property, cfg: &PccConfig) -> bool {
             if aug.state_bits() <= 24 {
                 matches!(reach::check(&aug, &inv), Verdict::Violated(_))
             } else {
-                matches!(bmc::check(rtl, property, cfg.bmc_bound), Verdict::Violated(_))
+                matches!(
+                    bmc::check(rtl, property, cfg.bmc_bound),
+                    Verdict::Violated(_)
+                )
             }
         }
-        _ => matches!(bmc::check(rtl, property, cfg.bmc_bound), Verdict::Violated(_)),
+        _ => matches!(
+            bmc::check(rtl, property, cfg.bmc_bound),
+            Verdict::Violated(_)
+        ),
     }
 }
 

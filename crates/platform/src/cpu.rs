@@ -23,6 +23,7 @@ pub struct OpMix {
 
 impl OpMix {
     /// Elementwise sum.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: OpMix) -> OpMix {
         OpMix {
             alu: self.alu + other.alu,

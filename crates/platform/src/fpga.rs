@@ -7,11 +7,29 @@
 //! exposes reconfiguration counts and download traffic — the quantities
 //! experiments E3/E9/E10 sweep.
 
+use sim::faults::SharedFaultPlan;
 use sim::SimTime;
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
-use tlm::{AccessKind, Payload, Reservation, SharedBus};
+use tlm::{AccessKind, BusError, Payload, Reservation, SharedBus};
+
+/// CRC-32 (reflected, polynomial `0xEDB88320`) over a stream of words,
+/// little-endian byte order. This is the checksum the FPGA verifies after
+/// every bitstream download: a single corrupted word always changes it.
+pub fn crc32_words(words: impl Iterator<Item = u32>) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for word in words {
+        for byte in word.to_le_bytes() {
+            crc ^= byte as u32;
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            }
+        }
+    }
+    !crc
+}
 
 /// Identifier of a context (configuration) of an [`Fpga`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -36,6 +54,22 @@ pub struct Context {
     pub bitstream_words: u32,
 }
 
+impl Context {
+    /// Word `i` of this context's pseudo-bitstream. The stream content is
+    /// synthesized deterministically from the context name so the model
+    /// carries no real configuration data yet still has a well-defined
+    /// CRC that corruption faults can break.
+    pub fn bitstream_word(&self, i: u32) -> u32 {
+        sim::faults::mix64(sim::faults::fnv1a(self.name.as_bytes()) ^ u64::from(i)) as u32
+    }
+
+    /// Reference CRC-32 of the full bitstream, as recorded at "design
+    /// time". Downloads are verified against this value.
+    pub fn crc(&self) -> u32 {
+        crc32_words((0..self.bitstream_words).map(|i| self.bitstream_word(i)))
+    }
+}
+
 /// Runtime errors of the reconfigurable device — exactly the class of bug
 /// SymbC proves absent before this model ever runs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +86,22 @@ pub enum FpgaError {
         /// The requested function.
         func: String,
     },
+    /// A downloaded bitstream failed the post-download CRC check.
+    BitstreamCorrupted {
+        /// The context whose download was corrupted.
+        context: String,
+        /// CRC recorded at design time.
+        expected_crc: u32,
+        /// CRC computed over the received stream.
+        got_crc: u32,
+    },
+    /// A context download did not complete within the watchdog window.
+    LoadTimeout {
+        /// The context being downloaded.
+        context: String,
+    },
+    /// The bitstream download transaction failed on the bus.
+    Bus(BusError),
 }
 
 impl fmt::Display for FpgaError {
@@ -64,11 +114,50 @@ impl fmt::Display for FpgaError {
             FpgaError::UnknownFunction { func } => {
                 write!(f, "function `{func}` exists in no context")
             }
+            FpgaError::BitstreamCorrupted {
+                context,
+                expected_crc,
+                got_crc,
+            } => write!(
+                f,
+                "bitstream for context `{context}` corrupted: \
+                 expected CRC {expected_crc:#010x}, got {got_crc:#010x}"
+            ),
+            FpgaError::LoadTimeout { context } => {
+                write!(f, "download of context `{context}` timed out")
+            }
+            FpgaError::Bus(e) => write!(f, "bitstream download failed on the bus: {e}"),
         }
     }
 }
 
 impl std::error::Error for FpgaError {}
+
+impl From<BusError> for FpgaError {
+    fn from(e: BusError) -> Self {
+        FpgaError::Bus(e)
+    }
+}
+
+/// A failed [`Fpga::load`]: the error plus the simulation time at which
+/// the device (and bus) are free again, so the caller can schedule a retry
+/// deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadFault {
+    /// What went wrong.
+    pub error: FpgaError,
+    /// When the failed attempt's bus/device occupancy ends. Retries must
+    /// not start before this time.
+    pub busy_until: SimTime,
+}
+
+impl fmt::Display for LoadFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (device busy until {})", self.error, self.busy_until)
+    }
+}
+
+impl std::error::Error for LoadFault {}
 
 /// The embedded FPGA model.
 #[derive(Debug)]
@@ -82,9 +171,16 @@ pub struct Fpga {
     switch_cycles: u64,
     reconfigurations: u64,
     download_words: u64,
+    failed_loads: u64,
     calls: u64,
     busy_cycles: u64,
+    faults: Option<SharedFaultPlan>,
 }
+
+/// Watchdog budget for a context download, in multiples of
+/// `switch_cycles`: a timed-out load occupies the device this much longer
+/// than a clean context switch before the CPU gives up.
+const LOAD_TIMEOUT_WATCHDOG_FACTOR: u64 = 4;
 
 /// Shared handle to an [`Fpga`].
 pub type SharedFpga = Rc<RefCell<Fpga>>;
@@ -100,14 +196,27 @@ impl Fpga {
             switch_cycles,
             reconfigurations: 0,
             download_words: 0,
+            failed_loads: 0,
             calls: 0,
             busy_cycles: 0,
+            faults: None,
         }
+    }
+
+    /// Installs a fault plan; bitstream downloads consult it for injected
+    /// corruption and timeouts. Without a plan (or with a zero-rate plan)
+    /// every download succeeds.
+    pub fn set_fault_plan(&mut self, plan: SharedFaultPlan) {
+        self.faults = Some(plan);
     }
 
     /// Creates a shared handle.
     pub fn shared(name: &str, config_port_addr: u64, switch_cycles: u64) -> SharedFpga {
-        Rc::new(RefCell::new(Fpga::new(name, config_port_addr, switch_cycles)))
+        Rc::new(RefCell::new(Fpga::new(
+            name,
+            config_port_addr,
+            switch_cycles,
+        )))
     }
 
     /// Device name.
@@ -140,9 +249,19 @@ impl Fpga {
     }
 
     /// Loads `context`: reserves a bitstream-download burst on `bus` at
-    /// time `now` and returns the reservation (caller sleeps until
-    /// `reservation.end + switch_cycles`). Loading the already-loaded
-    /// context is a no-op costing nothing.
+    /// time `now`, verifies the received stream's CRC against the
+    /// design-time reference, and returns the reservation (caller sleeps
+    /// until `reservation.end`, which already includes `switch_cycles`).
+    /// Loading the already-loaded context is a no-op costing nothing
+    /// (`Ok(None)`).
+    ///
+    /// # Errors
+    ///
+    /// Any failed download leaves the device with **no** loaded context —
+    /// a partially written configuration memory is never trusted — so a
+    /// subsequent `call` surfaces as [`FpgaError::FunctionNotLoaded`]
+    /// rather than a silent wrong answer. The returned [`LoadFault`]
+    /// carries the time at which the failed attempt's occupancy ends.
     ///
     /// # Panics
     ///
@@ -153,24 +272,87 @@ impl Fpga {
         now: SimTime,
         bus: &SharedBus,
         master: usize,
-    ) -> Option<Reservation> {
+    ) -> Result<Option<Reservation>, LoadFault> {
         assert!(context.0 < self.contexts.len(), "unknown context");
         if self.loaded == Some(context) {
-            return None;
+            return Ok(None);
         }
-        let words = self.contexts[context.0].bitstream_words;
-        let reservation = bus.borrow_mut().transfer(
+        let (ctx_name, words, expected_crc) = {
+            let ctx = &self.contexts[context.0];
+            (ctx.name.clone(), ctx.bitstream_words, ctx.crc())
+        };
+        let reservation = match bus.borrow_mut().transfer(
             now,
             &Payload::burst(master, self.config_port_addr, AccessKind::Write, words),
-        );
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                // The burst aborted mid-flight: configuration memory is in
+                // an undefined state, so drop whatever was loaded.
+                self.loaded = None;
+                self.failed_loads += 1;
+                let busy_until = match &e {
+                    BusError::Slave { at, .. } => *at,
+                    _ => now,
+                };
+                return Err(LoadFault {
+                    error: FpgaError::Bus(e),
+                    busy_until,
+                });
+            }
+        };
+        self.download_words += words as u64;
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|p| p.borrow_mut().load_timeout(&ctx_name))
+        {
+            self.loaded = None;
+            self.failed_loads += 1;
+            return Err(LoadFault {
+                error: FpgaError::LoadTimeout { context: ctx_name },
+                busy_until: reservation
+                    .end
+                    .saturating_add_ticks(self.switch_cycles * LOAD_TIMEOUT_WATCHDOG_FACTOR),
+            });
+        }
+        let got_crc = match self
+            .faults
+            .as_ref()
+            .and_then(|p| p.borrow_mut().bitstream_corruption(&ctx_name, words))
+        {
+            Some((index, mask)) => {
+                let ctx = &self.contexts[context.0];
+                crc32_words((0..words).map(|i| {
+                    let w = ctx.bitstream_word(i);
+                    if i == index {
+                        w ^ mask
+                    } else {
+                        w
+                    }
+                }))
+            }
+            None => expected_crc,
+        };
+        if got_crc != expected_crc {
+            self.loaded = None;
+            self.failed_loads += 1;
+            return Err(LoadFault {
+                error: FpgaError::BitstreamCorrupted {
+                    context: ctx_name,
+                    expected_crc,
+                    got_crc,
+                },
+                busy_until: reservation.end.saturating_add_ticks(self.switch_cycles),
+            });
+        }
         self.loaded = Some(context);
         self.reconfigurations += 1;
-        self.download_words += words as u64;
-        Some(Reservation {
+        Ok(Some(Reservation {
             start: reservation.start,
             end: reservation.end.saturating_add_ticks(self.switch_cycles),
             waited: reservation.waited,
-        })
+        }))
     }
 
     /// Invokes `func` on the currently loaded context; returns the
@@ -211,6 +393,7 @@ impl Fpga {
             fpga: self.name.clone(),
             reconfigurations: self.reconfigurations,
             download_words: self.download_words,
+            failed_loads: self.failed_loads,
             calls: self.calls,
             busy_cycles: self.busy_cycles,
         }
@@ -224,8 +407,11 @@ pub struct FpgaReport {
     pub fpga: String,
     /// Context switches performed.
     pub reconfigurations: u64,
-    /// Total bitstream words downloaded over the bus.
+    /// Total bitstream words downloaded over the bus (including words of
+    /// downloads that subsequently failed verification).
     pub download_words: u64,
+    /// Downloads that failed (bus error, timeout, or CRC mismatch).
+    pub failed_loads: u64,
     /// Function invocations served.
     pub calls: u64,
     /// Cycles spent computing.
@@ -296,7 +482,10 @@ mod tests {
     #[test]
     fn loading_charges_the_bus() {
         let (mut fpga, bus, m) = device();
-        let r = fpga.load(ContextId(0), t(0), &bus, m).expect("first load");
+        let r = fpga
+            .load(ContextId(0), t(0), &bus, m)
+            .expect("load succeeds")
+            .expect("first load is not a no-op");
         // 1 arbitration + 256 words + 8 switch cycles.
         assert_eq!(r.end, t(1 + 256 + 8));
         assert_eq!(fpga.loaded(), Some(ContextId(0)));
@@ -307,8 +496,11 @@ mod tests {
     #[test]
     fn reloading_same_context_is_free() {
         let (mut fpga, bus, m) = device();
-        fpga.load(ContextId(1), t(0), &bus, m);
-        assert!(fpga.load(ContextId(1), t(500), &bus, m).is_none());
+        fpga.load(ContextId(1), t(0), &bus, m).expect("load");
+        assert!(fpga
+            .load(ContextId(1), t(500), &bus, m)
+            .expect("reload")
+            .is_none());
         assert_eq!(fpga.report().reconfigurations, 1);
         assert_eq!(fpga.report().download_words, 128);
     }
@@ -324,7 +516,7 @@ mod tests {
                 loaded: None
             })
         );
-        fpga.load(ContextId(0), t(0), &bus, m);
+        fpga.load(ContextId(0), t(0), &bus, m).expect("load");
         assert_eq!(fpga.call("distance"), Ok(16));
         // root lives in config2: calling it now is the SymbC-class error.
         assert_eq!(
@@ -334,7 +526,7 @@ mod tests {
                 loaded: Some(ContextId(0))
             })
         );
-        fpga.load(ContextId(1), t(100), &bus, m);
+        fpga.load(ContextId(1), t(100), &bus, m).expect("load");
         assert_eq!(fpga.call("root"), Ok(24));
         let report = fpga.report();
         assert_eq!(report.calls, 2);
@@ -351,6 +543,77 @@ mod tests {
                 func: "fft".to_owned()
             })
         );
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // CRC-32 of the bytes 01 00 00 00 02 00 00 00 (words 1, 2 LE),
+        // cross-checked against zlib.crc32.
+        assert_eq!(crc32_words([1u32, 2u32].into_iter()), 0x0381_177C);
+        // Flipping a single bit changes the checksum.
+        assert_ne!(
+            crc32_words([1u32 ^ 0x8000, 2u32].into_iter()),
+            crc32_words([1u32, 2u32].into_iter())
+        );
+    }
+
+    #[test]
+    fn corrupted_download_fails_crc_and_unloads() {
+        use sim::FaultPlan;
+        let (mut fpga, bus, m) = device();
+        fpga.load(ContextId(1), t(0), &bus, m).expect("clean load");
+        let plan = FaultPlan::new(7)
+            .with_bitstream_corruption(sim::faults::PPM)
+            .shared();
+        fpga.set_fault_plan(plan);
+        let fault = fpga
+            .load(ContextId(0), t(500), &bus, m)
+            .expect_err("corrupted load must fail");
+        assert!(
+            matches!(fault.error, FpgaError::BitstreamCorrupted { ref context, expected_crc, got_crc }
+                if context == "config1" && expected_crc != got_crc),
+            "unexpected fault: {fault}"
+        );
+        // Partially configured device trusts nothing: even the previously
+        // loaded context is gone, so calls fail loudly instead of silently.
+        assert_eq!(fpga.loaded(), None);
+        assert!(matches!(
+            fpga.call("root"),
+            Err(FpgaError::FunctionNotLoaded { .. })
+        ));
+        assert_eq!(fpga.report().failed_loads, 1);
+        assert_eq!(fpga.report().reconfigurations, 1);
+    }
+
+    #[test]
+    fn load_timeout_charges_watchdog_window() {
+        use sim::FaultPlan;
+        let (mut fpga, bus, m) = device();
+        fpga.set_fault_plan(
+            FaultPlan::new(3)
+                .with_load_timeouts(sim::faults::PPM)
+                .shared(),
+        );
+        let fault = fpga
+            .load(ContextId(0), t(0), &bus, m)
+            .expect_err("timed-out load must fail");
+        assert!(matches!(fault.error, FpgaError::LoadTimeout { .. }));
+        // 1 arbitration + 256 words, then 4 watchdog windows of 8 cycles.
+        assert_eq!(fault.busy_until, t(1 + 256 + 4 * 8));
+        assert_eq!(fpga.loaded(), None);
+    }
+
+    #[test]
+    fn zero_rate_plan_loads_normally() {
+        use sim::FaultPlan;
+        let (mut fpga, bus, m) = device();
+        fpga.set_fault_plan(FaultPlan::new(99).shared());
+        let r = fpga
+            .load(ContextId(0), t(0), &bus, m)
+            .expect("inert plan never fires")
+            .expect("first load");
+        assert_eq!(r.end, t(1 + 256 + 8));
+        assert_eq!(fpga.report().failed_loads, 0);
     }
 
     #[test]

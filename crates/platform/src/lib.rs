@@ -24,5 +24,7 @@ pub mod fpga;
 pub mod profile;
 
 pub use cpu::{CpuModel, OpMix};
-pub use fpga::{Context, ContextId, Fpga, FpgaError, FpgaReport, SharedFpga};
+pub use fpga::{
+    crc32_words, Context, ContextId, Fpga, FpgaError, FpgaReport, LoadFault, SharedFpga,
+};
 pub use profile::Profile;

@@ -37,11 +37,7 @@ impl Profile {
     /// Modules sorted by descending total operation count — the ranking of
     /// "the heaviest computational tasks" that drives HW/SW partitioning.
     pub fn ranking(&self) -> Vec<(&str, OpMix)> {
-        let mut v: Vec<(&str, OpMix)> = self
-            .mixes
-            .iter()
-            .map(|(k, &m)| (k.as_str(), m))
-            .collect();
+        let mut v: Vec<(&str, OpMix)> = self.mixes.iter().map(|(k, &m)| (k.as_str(), m)).collect();
         v.sort_by(|a, b| b.1.total().cmp(&a.1.total()).then(a.0.cmp(b.0)));
         v
     }

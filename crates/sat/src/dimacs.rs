@@ -142,9 +142,9 @@ mod tests {
         assert!(solver.solve().is_sat());
         // Verify the model against the clauses.
         for clause in &cnf.clauses {
-            assert!(clause.iter().any(|&l| {
-                solver.value(vars[(l.unsigned_abs() - 1) as usize]) == Some(l > 0)
-            }));
+            assert!(clause
+                .iter()
+                .any(|&l| { solver.value(vars[(l.unsigned_abs() - 1) as usize]) == Some(l > 0) }));
         }
     }
 

@@ -1,4 +1,5 @@
 //! The CDCL solver core.
+#![allow(clippy::needless_range_loop)]
 
 use crate::types::{Lit, Var};
 
@@ -234,9 +235,9 @@ impl Solver {
                 return true; // tautology: l and ¬l adjacent after sort
             }
             match self.lit_value(l) {
-                1 => return true,          // already satisfied at level 0
-                0 => {}                    // falsified at level 0: drop it
-                _ => simplified.push(l),   // unassigned: keep
+                1 => return true,        // already satisfied at level 0
+                0 => {}                  // falsified at level 0: drop it
+                _ => simplified.push(l), // unassigned: keep
             }
             i += 1;
         }
@@ -604,8 +605,7 @@ impl Solver {
 
     /// Value of a literal in the current assignment.
     pub fn lit_is_true(&self, lit: Lit) -> Option<bool> {
-        self.value(lit.var())
-            .map(|v| v == lit.is_positive())
+        self.value(lit.var()).map(|v| v == lit.is_positive())
     }
 }
 
@@ -738,7 +738,7 @@ mod tests {
         let a = s.new_var();
         let b = s.new_var();
         s.add_clause([Lit::neg(a), Lit::pos(b)]); // a -> b
-        // Under assumption a ∧ ¬b: unsat.
+                                                  // Under assumption a ∧ ¬b: unsat.
         assert!(s.solve_with(&[Lit::pos(a), Lit::neg(b)]).is_unsat());
         // Without assumptions: still sat.
         assert!(s.solve().is_sat());

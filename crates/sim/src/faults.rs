@@ -1,0 +1,348 @@
+//! Deterministic fault injection for the platform substrate.
+//!
+//! Real eFPGA flows lose bus words, corrupt bitstreams and time out
+//! mid-download; the paper's level-3 consistency story ("each time the SW
+//! requires a reconfigurable resource, that resource is actually loaded")
+//! is only interesting when loading can *fail*. A [`FaultPlan`] is a
+//! seeded, reproducible schedule of such failures: every injection site
+//! (a bus region, an FPGA context) draws from a counter-indexed hash of
+//! `(seed, site, occurrence)`, so
+//!
+//! * the same seed always produces the same fault schedule (byte-for-byte
+//!   reproducible runs — the determinism contract experiments rely on), and
+//! * a plan whose rates are all zero performs **no draws at all** and is
+//!   observationally identical to running without a plan.
+//!
+//! Rates are expressed in parts-per-million of *opportunities* (one
+//! opportunity per bus transfer, per context download, …), keeping every
+//! decision in integer arithmetic.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// One in a million: the rate unit of a [`FaultPlan`].
+pub const PPM: u32 = 1_000_000;
+
+/// The kinds of injectable faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// A word of a bitstream flips during download (caught by CRC).
+    BitstreamCorruption,
+    /// A bus transfer fails with a slave error response.
+    BusTransfer,
+    /// A context download times out before the device signals ready.
+    LoadTimeout,
+    /// A slave responds, but `stall_ticks` late (timing-only fault).
+    SlaveStall,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::BitstreamCorruption => "bitstream-corruption",
+            FaultKind::BusTransfer => "bus-transfer-error",
+            FaultKind::LoadTimeout => "load-timeout",
+            FaultKind::SlaveStall => "slave-stall",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Bus faults only fire on transfers targeting a configured address range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrRangeFault {
+    /// First faulty address.
+    pub base: u64,
+    /// Length of the faulty window in addresses.
+    pub size: u64,
+    /// Fault probability per transfer into the window, in ppm.
+    pub rate_ppm: u32,
+}
+
+impl AddrRangeFault {
+    fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr - self.base < self.size
+    }
+}
+
+/// Counts of injected faults, by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// Bitstream words corrupted during downloads.
+    pub bitstream_corruptions: u64,
+    /// Bus transfers failed with a slave error.
+    pub bus_errors: u64,
+    /// Context downloads that timed out.
+    pub load_timeouts: u64,
+    /// Transfers delayed by a transient slave stall.
+    pub slave_stalls: u64,
+}
+
+impl FaultLog {
+    /// Total injected faults of every kind.
+    pub fn total(&self) -> u64 {
+        self.bitstream_corruptions + self.bus_errors + self.load_timeouts + self.slave_stalls
+    }
+}
+
+/// A seeded, deterministic fault schedule (see module docs).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    bitstream_corruption_ppm: u32,
+    load_timeout_ppm: u32,
+    slave_stall_ppm: u32,
+    slave_stall_ticks: u64,
+    bus_error_ranges: Vec<AddrRangeFault>,
+    /// Per-site opportunity counters: `(seed, site, counter)` indexes draws.
+    counters: BTreeMap<String, u64>,
+    log: FaultLog,
+}
+
+/// Shared handle so the bus and the FPGA consult one schedule.
+pub type SharedFaultPlan = Rc<RefCell<FaultPlan>>;
+
+impl FaultPlan {
+    /// A plan with the given seed and all rates zero (injects nothing).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            bitstream_corruption_ppm: 0,
+            load_timeout_ppm: 0,
+            slave_stall_ppm: 0,
+            slave_stall_ticks: 0,
+            bus_error_ranges: Vec::new(),
+            counters: BTreeMap::new(),
+            log: FaultLog::default(),
+        }
+    }
+
+    /// The seed this plan's schedule derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Enables bitstream word corruption at `rate_ppm` per download.
+    pub fn with_bitstream_corruption(mut self, rate_ppm: u32) -> Self {
+        self.bitstream_corruption_ppm = rate_ppm;
+        self
+    }
+
+    /// Enables context-load timeouts at `rate_ppm` per download.
+    pub fn with_load_timeouts(mut self, rate_ppm: u32) -> Self {
+        self.load_timeout_ppm = rate_ppm;
+        self
+    }
+
+    /// Enables transient slave stalls of `stall_ticks` at `rate_ppm` per
+    /// transfer.
+    pub fn with_slave_stalls(mut self, rate_ppm: u32, stall_ticks: u64) -> Self {
+        self.slave_stall_ppm = rate_ppm;
+        self.slave_stall_ticks = stall_ticks;
+        self
+    }
+
+    /// Enables bus transfer errors at `rate_ppm` on `[base, base+size)`.
+    pub fn with_bus_errors(mut self, base: u64, size: u64, rate_ppm: u32) -> Self {
+        self.bus_error_ranges.push(AddrRangeFault {
+            base,
+            size,
+            rate_ppm,
+        });
+        self
+    }
+
+    /// Wraps the plan for sharing between platform components.
+    pub fn shared(self) -> SharedFaultPlan {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// True when no fault kind has a nonzero rate.
+    pub fn is_inert(&self) -> bool {
+        self.bitstream_corruption_ppm == 0
+            && self.load_timeout_ppm == 0
+            && self.slave_stall_ppm == 0
+            && self.bus_error_ranges.iter().all(|r| r.rate_ppm == 0)
+    }
+
+    /// Injected-fault counts so far.
+    pub fn log(&self) -> &FaultLog {
+        &self.log
+    }
+
+    /// Draws the next pseudo-random word for `site`. Each call advances the
+    /// site's occurrence counter, so schedules are independent across sites
+    /// and reproducible within one.
+    fn draw(&mut self, site: &str) -> u64 {
+        let counter = self.counters.entry(site.to_owned()).or_insert(0);
+        let occurrence = *counter;
+        *counter += 1;
+        mix64(self.seed ^ fnv1a(site.as_bytes()) ^ occurrence.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// One Bernoulli trial at `rate_ppm`. Zero-rate trials perform no draw,
+    /// keeping an all-zero plan observationally inert.
+    fn fires(&mut self, site: &str, rate_ppm: u32) -> bool {
+        rate_ppm != 0 && self.draw(site) % (PPM as u64) < rate_ppm as u64
+    }
+
+    /// Should this download of `context` (of `words` words) corrupt?
+    /// Returns `(word_index, xor_mask)` of the corrupted word; the mask is
+    /// never zero, so the corrupted stream always differs.
+    pub fn bitstream_corruption(&mut self, context: &str, words: u32) -> Option<(u32, u32)> {
+        if words == 0 || !self.fires_site("bitstream", context, self.bitstream_corruption_ppm) {
+            return None;
+        }
+        self.log.bitstream_corruptions += 1;
+        let site = format!("bitstream-word@{context}");
+        let index = (self.draw(&site) % words as u64) as u32;
+        let mask = (self.draw(&site) as u32) | 1;
+        Some((index, mask))
+    }
+
+    /// Should this download of `context` time out?
+    pub fn load_timeout(&mut self, context: &str) -> bool {
+        if self.fires_site("load-timeout", context, self.load_timeout_ppm) {
+            self.log.load_timeouts += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Should a transfer to `addr` fail with a slave error?
+    pub fn bus_error(&mut self, addr: u64) -> bool {
+        let hit = self
+            .bus_error_ranges
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.contains(addr) && r.rate_ppm > 0)
+            .map(|(i, r)| (i, r.rate_ppm));
+        match hit {
+            Some((range, ppm)) if self.fires_site("bus-error", &format!("range{range}"), ppm) => {
+                self.log.bus_errors += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Extra latency of a transient stall on `slave`, if one fires.
+    pub fn slave_stall(&mut self, slave: &str) -> Option<u64> {
+        if self.fires_site("slave-stall", slave, self.slave_stall_ppm) {
+            self.log.slave_stalls += 1;
+            Some(self.slave_stall_ticks)
+        } else {
+            None
+        }
+    }
+
+    fn fires_site(&mut self, kind: &str, site: &str, rate_ppm: u32) -> bool {
+        if rate_ppm == 0 {
+            return false;
+        }
+        let key = format!("{kind}@{site}");
+        self.fires(&key, rate_ppm)
+    }
+}
+
+/// SplitMix64 finalizer: the plan's stateless mixing function. Public so
+/// other substrate components (e.g. pseudo-bitstream synthesis) can derive
+/// deterministic data from the same primitive.
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over bytes: stable site-name hashing.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = |seed: u64| {
+            let mut p = FaultPlan::new(seed)
+                .with_bitstream_corruption(400_000)
+                .with_bus_errors(0x1000, 0x100, 300_000)
+                .with_load_timeouts(200_000)
+                .with_slave_stalls(250_000, 16);
+            let mut events = Vec::new();
+            for i in 0..200u64 {
+                events.push((
+                    p.bitstream_corruption("config1", 256),
+                    p.bus_error(0x1000 + (i % 0x100)),
+                    p.load_timeout("config2"),
+                    p.slave_stall("flash"),
+                ));
+            }
+            (events, *p.log())
+        };
+        let (a, la) = run(7);
+        let (b, lb) = run(7);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+        assert!(la.total() > 0, "rates this high must inject something");
+        let (c, _) = run(8);
+        assert_ne!(a, c, "different seeds give different schedules");
+    }
+
+    #[test]
+    fn zero_rate_plan_is_inert_and_draws_nothing() {
+        let mut p = FaultPlan::new(99);
+        assert!(p.is_inert());
+        for _ in 0..50 {
+            assert_eq!(p.bitstream_corruption("config1", 128), None);
+            assert!(!p.bus_error(0x0));
+            assert!(!p.load_timeout("config1"));
+            assert_eq!(p.slave_stall("ram"), None);
+        }
+        assert_eq!(p.log().total(), 0);
+        assert!(p.counters.is_empty(), "zero-rate trials must not draw");
+    }
+
+    #[test]
+    fn bus_errors_respect_address_ranges() {
+        let mut p = FaultPlan::new(3).with_bus_errors(0x2000, 0x10, PPM);
+        assert!(p.bus_error(0x2000), "ppm=1e6 always fires in range");
+        assert!(p.bus_error(0x200F));
+        assert!(!p.bus_error(0x2010), "outside the window");
+        assert!(!p.bus_error(0x1FFF));
+        assert_eq!(p.log().bus_errors, 2);
+    }
+
+    #[test]
+    fn corruption_mask_is_never_zero() {
+        let mut p = FaultPlan::new(11).with_bitstream_corruption(PPM);
+        for _ in 0..100 {
+            let (index, mask) = p.bitstream_corruption("ctx", 64).expect("always fires");
+            assert!(index < 64);
+            assert_ne!(mask, 0);
+        }
+    }
+
+    #[test]
+    fn rates_scale_injection_counts() {
+        let count = |ppm: u32| {
+            let mut p = FaultPlan::new(42).with_load_timeouts(ppm);
+            (0..2000).filter(|_| p.load_timeout("c")).count()
+        };
+        let low = count(50_000); // 5%
+        let high = count(500_000); // 50%
+        assert!(low > 0 && high > low, "low={low} high={high}");
+        assert!((800..1200).contains(&high), "≈50% of 2000, got {high}");
+    }
+}

@@ -361,8 +361,7 @@ impl<T: PartialEq> Simulator<T> {
                         }
                     }
                     Activation::WaitFifoWritable(fifo) => {
-                        let full =
-                            self.fifos[fifo.0].queue.len() >= self.fifos[fifo.0].capacity;
+                        let full = self.fifos[fifo.0].queue.len() >= self.fifos[fifo.0].capacity;
                         if full {
                             self.procs[pid.0].state =
                                 ProcState::Blocked(BlockReason::FifoWrite(fifo));
@@ -424,7 +423,7 @@ impl<T: PartialEq> Simulator<T> {
             }
 
             // Time advance phase.
-            loop {
+            {
                 match self.timed.pop() {
                     None => break 'outer,
                     Some(Reverse((at, _, wake))) => {
@@ -467,7 +466,6 @@ impl<T: PartialEq> Simulator<T> {
                                 }
                             }
                         }
-                        break;
                     }
                 }
             }
@@ -557,7 +555,9 @@ mod tests {
         // Sink never terminates (always waits for more), so the run ends in
         // "deadlock" with only the sink blocked — the expected shape for an
         // open-ended consumer.
-        assert!(matches!(outcome.result, RunResult::Deadlock(ref names) if names == &vec!["sink".to_owned()]));
+        assert!(
+            matches!(outcome.result, RunResult::Deadlock(ref names) if names == &vec!["sink".to_owned()])
+        );
         let items: Vec<u64> = sim.trace().items_for("sink").into_iter().copied().collect();
         assert_eq!(items, (0..10).collect::<Vec<_>>());
     }

@@ -62,6 +62,7 @@
 //! ```
 
 pub mod event;
+pub mod faults;
 pub mod fifo;
 pub mod kernel;
 pub mod process;
@@ -71,6 +72,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::EventId;
+pub use faults::{FaultKind, FaultLog, FaultPlan, SharedFaultPlan};
 pub use fifo::FifoId;
 pub use kernel::{Outcome, RunResult, SimError, Simulator};
 pub use process::{Activation, Process, ProcessCtx, ProcessId};

@@ -123,8 +123,14 @@ mod tests {
             SimTime::from_ticks(3) - SimTime::from_ticks(10),
             SimTime::ZERO
         );
-        assert_eq!(SimTime::from_ticks(10).ticks_since(SimTime::from_ticks(3)), 7);
-        assert_eq!(SimTime::from_ticks(3).ticks_since(SimTime::from_ticks(10)), 0);
+        assert_eq!(
+            SimTime::from_ticks(10).ticks_since(SimTime::from_ticks(3)),
+            7
+        );
+        assert_eq!(
+            SimTime::from_ticks(3).ticks_since(SimTime::from_ticks(10)),
+            0
+        );
     }
 
     #[test]

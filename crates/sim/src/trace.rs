@@ -31,7 +31,9 @@ pub struct Trace<T> {
 
 impl<T> Default for Trace<T> {
     fn default() -> Self {
-        Trace { entries: Vec::new() }
+        Trace {
+            entries: Vec::new(),
+        }
     }
 }
 

@@ -188,7 +188,11 @@ impl Analysis<'_> {
     /// Executes a block abstractly. `state = None` means the block is
     /// unreachable (all paths already returned). Returns the state at the
     /// block's fall-through exit (`None` when every path returns inside).
-    fn block(&mut self, stmts: &[Stmt], mut state: Option<AbstractConfig>) -> Option<AbstractConfig> {
+    fn block(
+        &mut self,
+        stmts: &[Stmt],
+        mut state: Option<AbstractConfig>,
+    ) -> Option<AbstractConfig> {
         for s in stmts {
             state = self.stmt(s, state);
             if state.is_none() {
@@ -292,8 +296,8 @@ fn find_witness(
 /// Executes the continuation `stack` (frames of `(block, next index)`),
 /// branching on every `If`/`While`. Returns `true` when the target call is
 /// reached with its function unavailable; `path` then holds the decisions.
-fn dfs<'a>(
-    stack: &mut Vec<(&'a [Stmt], usize)>,
+fn dfs(
+    stack: &mut Vec<(&[Stmt], usize)>,
     map: &ConfigMap,
     target: StmtId,
     mut config: Option<ConfigId>,
@@ -464,7 +468,7 @@ mod tests {
                 assert!(violations[0].witness.is_some());
                 // The witness takes the then-branch.
                 let w = violations[0].witness.as_ref().unwrap();
-                assert_eq!(w[0].1, true);
+                assert!(w[0].1);
             }
             other => panic!("expected violation, got {other:?}"),
         }

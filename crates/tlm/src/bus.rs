@@ -10,9 +10,58 @@
 //! level 3.
 
 use crate::payload::Payload;
+use sim::faults::SharedFaultPlan;
 use sim::SimTime;
 use std::cell::RefCell;
+use std::fmt;
 use std::rc::Rc;
+
+/// Typed bus transaction failures. The substrate never panics on a bad
+/// transaction: decode misses and error responses are part of the platform
+/// model (and of what the recovery machinery above it must handle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusError {
+    /// The address maps to no slave region (decode error). Detected
+    /// combinationally: consumes no bus time.
+    Decode {
+        /// The unroutable address.
+        addr: u64,
+    },
+    /// The slave returned an error response (injected transfer fault). The
+    /// burst still occupied the bus until `at`, when the error response
+    /// arrived — retry timing starts there.
+    Slave {
+        /// Name of the responding slave region.
+        slave: String,
+        /// The faulted address.
+        addr: u64,
+        /// Completion time of the failed transaction.
+        at: SimTime,
+    },
+    /// The payload names a master index never registered on this bus.
+    UnknownMaster {
+        /// The unknown master index.
+        master: usize,
+    },
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusError::Decode { addr } => {
+                write!(f, "address {addr:#x} routes to no mapped region")
+            }
+            BusError::Slave { slave, addr, .. } => {
+                write!(f, "slave `{slave}` error response at {addr:#x}")
+            }
+            BusError::UnknownMaster { master } => {
+                write!(f, "unknown master index {master}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BusError {}
 
 /// Identifier of a slave region on the bus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -78,6 +127,7 @@ struct MasterStats {
     words: u64,
     wait_ticks: u64,
     occupancy_ticks: u64,
+    errors: u64,
 }
 
 /// A time-reservation on the bus.
@@ -108,6 +158,8 @@ pub struct Bus {
     busy_until: SimTime,
     total_busy_ticks: u64,
     created: SimTime,
+    /// Optional deterministic fault schedule (slave errors, stalls).
+    faults: Option<SharedFaultPlan>,
 }
 
 /// Shared handle to a [`Bus`].
@@ -124,7 +176,15 @@ impl Bus {
             busy_until: SimTime::ZERO,
             total_busy_ticks: 0,
             created: SimTime::ZERO,
+            faults: None,
         }
+    }
+
+    /// Attaches a fault schedule; transfers consult it for injected slave
+    /// errors and transient stalls. A plan with all-zero rates leaves every
+    /// transfer byte-for-byte identical to an unfaulted bus.
+    pub fn set_fault_plan(&mut self, plan: SharedFaultPlan) {
+        self.faults = Some(plan);
     }
 
     /// Creates a shared handle.
@@ -191,35 +251,66 @@ impl Bus {
     /// it for `arbitration + words × cycles_per_word + slave_latency`
     /// ticks. The caller must sleep until [`Reservation::end`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the address routes to no mapped region or the master index
-    /// is unknown.
-    pub fn transfer(&mut self, now: SimTime, payload: &Payload) -> Reservation {
+    /// [`BusError::Decode`] when the address routes to no mapped region and
+    /// [`BusError::UnknownMaster`] for an unregistered master — both
+    /// detected before any bus time is consumed. [`BusError::Slave`] when
+    /// the attached fault plan injects an error response: the burst still
+    /// occupies the bus until [`BusError::Slave::at`], so contention and
+    /// occupancy accounting stay faithful for failed transfers.
+    pub fn transfer(&mut self, now: SimTime, payload: &Payload) -> Result<Reservation, BusError> {
         let slave = self
             .route(payload.addr)
-            .unwrap_or_else(|| panic!("address {:#x} routes to no region", payload.addr));
+            .ok_or(BusError::Decode { addr: payload.addr })?;
+        if payload.master >= self.masters.len() {
+            return Err(BusError::UnknownMaster {
+                master: payload.master,
+            });
+        }
         let latency = self.regions[slave.0].latency;
+        // Injected transient stall: the slave answers, but late.
+        let stall = self
+            .faults
+            .as_ref()
+            .and_then(|p| {
+                let slave_name = &self.regions[slave.0].name;
+                p.borrow_mut().slave_stall(slave_name)
+            })
+            .unwrap_or(0);
         // Long transfers split into max_burst_words chunks, each paying
         // arbitration again; slave latency is charged once per transaction.
-        let chunks = (payload.words as u64).div_ceil(self.config.max_burst_words as u64).max(1);
+        let chunks = (payload.words as u64)
+            .div_ceil(self.config.max_burst_words as u64)
+            .max(1);
         let duration = chunks * self.config.arbitration_cycles
             + payload.words as u64 * self.config.cycles_per_word
-            + latency;
+            + latency
+            + stall;
         let start = self.busy_until.max(now);
         let end = start.saturating_add_ticks(duration);
         let waited = start.ticks_since(now);
         self.busy_until = end;
         self.total_busy_ticks += duration;
-        let m = self
-            .masters
-            .get_mut(payload.master)
-            .unwrap_or_else(|| panic!("unknown master {}", payload.master));
+        // Injected slave error: the error response arrives at burst end.
+        let failed = self
+            .faults
+            .as_ref()
+            .is_some_and(|p| p.borrow_mut().bus_error(payload.addr));
+        let m = &mut self.masters[payload.master];
         m.transactions += 1;
         m.words += payload.words as u64;
         m.wait_ticks += waited;
         m.occupancy_ticks += duration;
-        Reservation { start, end, waited }
+        if failed {
+            m.errors += 1;
+            return Err(BusError::Slave {
+                slave: self.regions[slave.0].name.clone(),
+                addr: payload.addr,
+                at: end,
+            });
+        }
+        Ok(Reservation { start, end, waited })
     }
 
     /// Occupancy/contention report at time `now`.
@@ -241,6 +332,7 @@ impl Bus {
                     words: m.words,
                     wait_ticks: m.wait_ticks,
                     occupancy_ticks: m.occupancy_ticks,
+                    errors: m.errors,
                 })
                 .collect(),
         }
@@ -260,6 +352,8 @@ pub struct MasterReport {
     pub wait_ticks: u64,
     /// Ticks this master occupied the bus.
     pub occupancy_ticks: u64,
+    /// Transactions that ended in a slave error response.
+    pub errors: u64,
 }
 
 /// Bus-loading summary — the level-2/3 optimization target of the paper.
@@ -317,7 +411,9 @@ mod tests {
         );
         bus.map_region("mem", 0, 0x1000, 5);
         let m = bus.add_master("cpu");
-        let r = bus.transfer(t(10), &Payload::burst(m, 0x0, AccessKind::Read, 4));
+        let r = bus
+            .transfer(t(10), &Payload::burst(m, 0x0, AccessKind::Read, 4))
+            .expect("mapped transfer succeeds");
         assert_eq!(r.start, t(10));
         // 2 + 4*3 + 5 = 19 ticks.
         assert_eq!(r.end, t(29));
@@ -331,8 +427,12 @@ mod tests {
         let a = bus.add_master("a");
         let b = bus.add_master("b");
         // Both request at t=0: 1 + 8 = 9 ticks each.
-        let ra = bus.transfer(t(0), &Payload::burst(a, 0, AccessKind::Write, 8));
-        let rb = bus.transfer(t(0), &Payload::burst(b, 0, AccessKind::Write, 8));
+        let ra = bus
+            .transfer(t(0), &Payload::burst(a, 0, AccessKind::Write, 8))
+            .expect("transfer");
+        let rb = bus
+            .transfer(t(0), &Payload::burst(b, 0, AccessKind::Write, 8))
+            .expect("transfer");
         assert_eq!(ra.start, t(0));
         assert_eq!(ra.end, t(9));
         assert_eq!(rb.start, t(9));
@@ -349,8 +449,9 @@ mod tests {
         let mut bus = Bus::new("amba", BusConfig::default());
         bus.map_region("mem", 0, 0x1000, 0);
         let a = bus.add_master("a");
-        bus.transfer(t(0), &Payload::read(a, 0)); // 2 ticks (1 arb + 1 word)
-        bus.transfer(t(100), &Payload::read(a, 0)); // 2 more
+        bus.transfer(t(0), &Payload::read(a, 0)).expect("transfer"); // 2 ticks (1 arb + 1 word)
+        bus.transfer(t(100), &Payload::read(a, 0))
+            .expect("transfer"); // 2 more
         let report = bus.report(t(102));
         assert_eq!(report.total_busy_ticks, 4);
         assert!((report.utilization - 4.0 / 102.0).abs() < 1e-9);
@@ -362,13 +463,17 @@ mod tests {
         bus.map_region("mem", 0, 0x10000, 0);
         let m = bus.add_master("dma");
         // 40 words at 16 beats/burst = 3 chunks → 3 arbitrations + 40 beats.
-        let r = bus.transfer(t(0), &Payload::burst(m, 0, AccessKind::Write, 40));
+        let r = bus
+            .transfer(t(0), &Payload::burst(m, 0, AccessKind::Write, 40))
+            .expect("transfer");
         assert_eq!(r.end, t(3 + 40));
         // Unlimited bursts charge arbitration once.
         let mut bus2 = Bus::new("flat", BusConfig::default());
         bus2.map_region("mem", 0, 0x10000, 0);
         let m2 = bus2.add_master("dma");
-        let r2 = bus2.transfer(t(0), &Payload::burst(m2, 0, AccessKind::Write, 40));
+        let r2 = bus2
+            .transfer(t(0), &Payload::burst(m2, 0, AccessKind::Write, 40))
+            .expect("transfer");
         assert_eq!(r2.end, t(1 + 40));
     }
 
@@ -383,10 +488,107 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "routes to no region")]
-    fn unmapped_address_panics() {
+    fn unmapped_address_is_a_decode_error() {
         let mut bus = Bus::new("amba", BusConfig::default());
         let m = bus.add_master("cpu");
-        bus.transfer(t(0), &Payload::read(m, 0xDEAD_0000));
+        let err = bus
+            .transfer(t(0), &Payload::read(m, 0xDEAD_0000))
+            .expect_err("no region mapped");
+        assert_eq!(err, BusError::Decode { addr: 0xDEAD_0000 });
+        // Decode errors consume no bus time.
+        assert_eq!(bus.report(t(10)).total_busy_ticks, 0);
+    }
+
+    #[test]
+    fn unknown_master_is_a_typed_error() {
+        let mut bus = Bus::new("amba", BusConfig::default());
+        bus.map_region("mem", 0, 0x1000, 0);
+        let err = bus
+            .transfer(t(0), &Payload::read(7, 0x0))
+            .expect_err("master 7 never registered");
+        assert_eq!(err, BusError::UnknownMaster { master: 7 });
+    }
+
+    #[test]
+    fn injected_slave_error_still_occupies_the_bus() {
+        use sim::faults::{FaultPlan, PPM};
+        let mut bus = Bus::new("amba", BusConfig::default());
+        bus.map_region("mem", 0, 0x1000, 0);
+        let m = bus.add_master("cpu");
+        bus.set_fault_plan(FaultPlan::new(1).with_bus_errors(0, 0x100, PPM).shared());
+        let err = bus
+            .transfer(t(0), &Payload::burst(m, 0, AccessKind::Write, 8))
+            .expect_err("rate 1e6 always fires");
+        match err {
+            BusError::Slave { slave, addr, at } => {
+                assert_eq!(slave, "mem");
+                assert_eq!(addr, 0);
+                // The failed burst occupied the bus for 1 + 8 ticks.
+                assert_eq!(at, t(9));
+            }
+            other => panic!("expected slave error, got {other:?}"),
+        }
+        let report = bus.report(t(9));
+        assert_eq!(report.total_busy_ticks, 9);
+        assert_eq!(report.masters[m].errors, 1);
+        // The next transfer queues behind the failed one.
+        let r = bus
+            .transfer(t(0), &Payload::read(m, 0x800))
+            .expect("out of fault range");
+        assert_eq!(r.start, t(9));
+    }
+
+    #[test]
+    fn injected_stall_delays_completion() {
+        use sim::faults::{FaultPlan, PPM};
+        let mut bus = Bus::new("amba", BusConfig::default());
+        bus.map_region("mem", 0, 0x1000, 0);
+        let m = bus.add_master("cpu");
+        bus.set_fault_plan(FaultPlan::new(1).with_slave_stalls(PPM, 25).shared());
+        let r = bus
+            .transfer(t(0), &Payload::read(m, 0))
+            .expect("stall is not an error");
+        // 1 arbitration + 1 word + 25 stall ticks.
+        assert_eq!(r.end, t(27));
+    }
+
+    #[test]
+    fn zero_rate_plan_changes_nothing() {
+        let mut plain = Bus::new("amba", BusConfig::default());
+        plain.map_region("mem", 0, 0x1000, 2);
+        let mp = plain.add_master("cpu");
+        let mut faulted = Bus::new("amba", BusConfig::default());
+        faulted.map_region("mem", 0, 0x1000, 2);
+        let mf = faulted.add_master("cpu");
+        faulted.set_fault_plan(sim::faults::FaultPlan::new(1234).shared());
+        for i in 0..20u64 {
+            let p = Payload::burst(mp, (i * 8) % 0x1000, AccessKind::Write, 4 + i as u32);
+            let q = Payload::burst(mf, (i * 8) % 0x1000, AccessKind::Write, 4 + i as u32);
+            let a = plain.transfer(t(i * 3), &p).expect("ok");
+            let b = faulted.transfer(t(i * 3), &q).expect("ok");
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.report(t(100)), faulted.report(t(100)));
+    }
+
+    #[test]
+    fn bus_error_display() {
+        assert_eq!(
+            BusError::Decode { addr: 0x42 }.to_string(),
+            "address 0x42 routes to no mapped region"
+        );
+        assert_eq!(
+            BusError::Slave {
+                slave: "flash".into(),
+                addr: 0x100,
+                at: t(9)
+            }
+            .to_string(),
+            "slave `flash` error response at 0x100"
+        );
+        assert_eq!(
+            BusError::UnknownMaster { master: 3 }.to_string(),
+            "unknown master index 3"
+        );
     }
 }

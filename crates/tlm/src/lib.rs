@@ -25,6 +25,6 @@ pub mod bus;
 pub mod memory;
 pub mod payload;
 
-pub use bus::{Bus, BusConfig, BusReport, Reservation, SharedBus, SlaveId};
+pub use bus::{Bus, BusConfig, BusError, BusReport, Reservation, SharedBus, SlaveId};
 pub use memory::{Memory, SharedMemory};
 pub use payload::{AccessKind, Payload};

@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let arch = ArchConfig::default();
 
     println!("── HW/SW partition sweep (level 2) ──");
-    println!("{:<28} {:>14} {:>10}", "candidate", "ticks/frame", "bus util");
+    println!(
+        "{:<28} {:>14} {:>10}",
+        "candidate", "ticks/frame", "bus util"
+    );
     for p in explore::partition_sweep(&workload, &arch)? {
         println!(
             "{:<28} {:>14.0} {:>9.1}%",

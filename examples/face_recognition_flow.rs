@@ -67,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── Level 4 ────────────────────────────────────────────────────────
     let t = Instant::now();
     let l4 = level4::run();
-    println!("level 4 (RTL + formal): {:.2}s wall", t.elapsed().as_secs_f64());
+    println!(
+        "level 4 (RTL + formal): {:.2}s wall",
+        t.elapsed().as_secs_f64()
+    );
     for (name, nodes, equivalent) in &l4.kernels {
         println!("  kernel {name}: {nodes} nodes, RTL ≡ behavioural: {equivalent}");
     }

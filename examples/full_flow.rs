@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "recognized identities: {:?} (expected {:?})",
         report.recognized,
-        workload.probes.iter().map(|&(id, _, _)| id).collect::<Vec<_>>()
+        workload
+            .probes
+            .iter()
+            .map(|&(id, _, _)| id)
+            .collect::<Vec<_>>()
     );
     println!("flow healthy: {}", report.all_ok());
     assert!(report.all_ok());

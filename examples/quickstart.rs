@@ -24,11 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("simulation outcome: {:?}", report.outcome.result);
     assert!(report.outcome.is_quiescent());
     println!("kernel polls: {}", report.outcome.stats.polls);
-    for (i, (&(id, pose, seed), recognized)) in workload
-        .probes
-        .iter()
-        .zip(&report.recognized)
-        .enumerate()
+    for (i, (&(id, pose, seed), recognized)) in
+        workload.probes.iter().zip(&report.recognized).enumerate()
     {
         println!(
             "probe {i}: identity {id} pose {pose} (noise seed {seed}) → recognized as {recognized}"

@@ -57,7 +57,10 @@ fn main() {
     fb.ret(Expr::var(acc));
     let buggy = fb.build();
 
-    println!("\nsoftware under check:\n{}", behav::pretty::function_to_string(&buggy, true));
+    println!(
+        "\nsoftware under check:\n{}",
+        behav::pretty::function_to_string(&buggy, true)
+    );
     match check(&buggy, &map) {
         Verdict::Consistent(_) => println!("buggy SW: MISSED (should not happen)"),
         Verdict::Inconsistent(violations) => {

@@ -83,7 +83,6 @@ fn bus_and_fpga_reports_are_consistent() {
         .words;
     assert!(cpu_words >= fpga.download_words);
     // The FPGA computed every distance and root evaluation.
-    let expected_calls =
-        (workload.probes.len() * workload.gallery_len() * 2) as u64;
+    let expected_calls = (workload.probes.len() * workload.gallery_len() * 2) as u64;
     assert_eq!(fpga.calls, expected_calls);
 }

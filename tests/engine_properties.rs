@@ -15,10 +15,9 @@ fn cnf_strategy() -> impl Strategy<Value = (usize, Vec<Vec<(usize, bool)>>)> {
 
 fn brute_force_sat(n: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
     (0..(1u32 << n)).any(|bits| {
-        clauses.iter().all(|c| {
-            c.iter()
-                .any(|&(v, pos)| (bits >> v & 1 == 1) == pos)
-        })
+        clauses
+            .iter()
+            .all(|c| c.iter().any(|&(v, pos)| (bits >> v & 1 == 1) == pos))
     })
 }
 

@@ -40,7 +40,18 @@ fn root_three_way_equivalence_sampled() {
     let func = root_function();
     let unrolled = unroll(&func, ROOT_ITERATIONS);
     let rtl = synthesize(&unrolled).expect("synthesizable");
-    for x in [0u64, 1, 2, 48, 49, 50, 65535, 65536, 1 << 31, u32::MAX as u64] {
+    for x in [
+        0u64,
+        1,
+        2,
+        48,
+        49,
+        50,
+        65535,
+        65536,
+        1 << 31,
+        u32::MAX as u64,
+    ] {
         let rust = rust_root(x) as u64 & 0xFFFF;
         let interp = Interpreter::new(&func)
             .run(&[x])

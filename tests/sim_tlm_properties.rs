@@ -156,7 +156,9 @@ proptest! {
         let mut last_end = sim::SimTime::ZERO;
         for (words, advance) in bursts {
             clock = clock.saturating_add_ticks(advance);
-            let r = bus.transfer(clock, &Payload::burst(m, 0, AccessKind::Write, words));
+            let r = bus
+                .transfer(clock, &Payload::burst(m, 0, AccessKind::Write, words))
+                .expect("mapped write from a valid master cannot fail");
             // Transactions never overlap and never start before `now`.
             prop_assert!(r.start >= clock);
             prop_assert!(r.start >= last_end);

@@ -84,10 +84,17 @@ fn ahb_burst_preset_slows_long_downloads_in_level3() {
     use symbad_core::{level3, Partition, Workload};
     let w = Workload::small();
     let flat = level3::run(&w).expect("flat bus");
-    let mut arch = ArchConfig::default();
-    arch.bus = tlm::BusConfig::ahb();
-    let ahb = level3::run_with(&w, &Partition::paper_level3(), &arch, ReconfigStrategy::Hoisted)
-        .expect("ahb bus");
+    let arch = ArchConfig {
+        bus: tlm::BusConfig::ahb(),
+        ..ArchConfig::default()
+    };
+    let ahb = level3::run_with(
+        &w,
+        &Partition::paper_level3(),
+        &arch,
+        ReconfigStrategy::Hoisted,
+    )
+    .expect("ahb bus");
     // 16-beat bursts re-arbitrate during the 4096-word bitstreams: more
     // simulated time, same functionality.
     assert!(ahb.total_ticks > flat.total_ticks);
