@@ -109,6 +109,18 @@ pub struct GaOutcome {
 /// tournament selection, single-point crossover over the vector list, and
 /// per-word mutation.
 pub fn genetic_tpg(func: &Function, cfg: &GaConfig) -> GaOutcome {
+    genetic_tpg_instrumented(func, cfg, &telemetry::noop())
+}
+
+/// [`genetic_tpg`] with telemetry: emits the best-fitness-so-far coverage
+/// curve as an `atpg.ga.best` gauge (time axis = generation number) plus
+/// generation and evaluation counters — the convergence data of
+/// experiment E4, live rather than post-hoc.
+pub fn genetic_tpg_instrumented(
+    func: &Function,
+    cfg: &GaConfig,
+    instrument: &telemetry::SharedInstrument,
+) -> GaOutcome {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let target = max_score(func);
     let fitness = |tb: &Testbench| -> usize { coverage_score(&evaluate(func, &tb.vectors)) };
@@ -123,9 +135,12 @@ pub fn genetic_tpg(func: &Function, cfg: &GaConfig) -> GaOutcome {
     let mut scores: Vec<usize> = population.iter().map(&fitness).collect();
     let mut history = Vec::with_capacity(cfg.generations as usize);
 
-    for _gen in 0..cfg.generations {
+    for gen in 0..cfg.generations {
         let best_now = scores.iter().copied().max().unwrap_or(0);
         history.push(best_now);
+        instrument.gauge_set("atpg.ga.best", gen as u64, best_now as i64);
+        instrument.counter_add("atpg.ga.generations", 1);
+        instrument.counter_add("atpg.ga.evaluations", scores.len() as u64);
         if best_now == target {
             break;
         }
@@ -246,6 +261,32 @@ mod tests {
             seed: 42,
         };
         assert_eq!(random_tpg(&f, &cfg), random_tpg(&f, &cfg));
+    }
+
+    #[test]
+    fn instrumented_ga_emits_coverage_curve() {
+        let collector = telemetry::Collector::shared();
+        let instr: telemetry::SharedInstrument = collector.clone();
+        let f = narrow_branch();
+        let cfg = GaConfig {
+            population: 10,
+            vectors_per_individual: 4,
+            generations: 5,
+            mutation_per_mille: 80,
+            tournament: 3,
+            seed: 11,
+        };
+        let outcome = genetic_tpg_instrumented(&f, &cfg, &instr);
+        // Instrumentation must not perturb the search.
+        assert_eq!(outcome, genetic_tpg(&f, &cfg));
+        let curve = collector.gauge_series("atpg.ga.best");
+        assert!(!curve.is_empty());
+        // The gauge mirrors the outcome's history (minus the final push).
+        for (i, &(gen, best)) in curve.iter().enumerate() {
+            assert_eq!(gen, i as u64);
+            assert_eq!(best, outcome.history[i] as i64);
+        }
+        assert_eq!(collector.counter("atpg.ga.generations"), curve.len() as u64);
     }
 
     #[test]

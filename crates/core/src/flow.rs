@@ -25,6 +25,29 @@ pub struct PhaseSummary {
     pub detail: String,
 }
 
+/// Key quantitative results of a flow run, pulled out of the phase
+/// summaries for programmatic consumption (benchmark harnesses, the CI
+/// `BENCH_flow.json` artifact).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowMetrics {
+    /// Probe frames processed per level.
+    pub frames: u64,
+    /// Level-2 total simulated ticks.
+    pub l2_total_ticks: u64,
+    /// Level-2 ticks per frame.
+    pub l2_ticks_per_frame: f64,
+    /// Level-3 total simulated ticks.
+    pub l3_total_ticks: u64,
+    /// Level-3 ticks per frame.
+    pub l3_ticks_per_frame: f64,
+    /// Level-3 bus utilization (0..1).
+    pub l3_bus_utilization: f64,
+    /// Level-3 context downloads.
+    pub fpga_reconfigurations: u64,
+    /// Level-3 bitstream words moved over the bus.
+    pub fpga_download_words: u64,
+}
+
 /// Aggregated evidence of a full flow run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowReport {
@@ -33,12 +56,51 @@ pub struct FlowReport {
     /// Recognized identity per probe (identical across all levels when
     /// the flow is healthy).
     pub recognized: Vec<usize>,
+    /// Quantitative summary across the levels.
+    pub metrics: FlowMetrics,
 }
 
 impl FlowReport {
     /// Whether every phase passed.
     pub fn all_ok(&self) -> bool {
         self.phases.iter().all(|p| p.ok)
+    }
+
+    /// Builds the structured report (phases, metrics, recognition).
+    pub fn to_report(&self) -> telemetry::Report {
+        let mut phases = telemetry::Section::new("phases");
+        for p in &self.phases {
+            phases.push(
+                p.phase,
+                format!("[{}] {}", if p.ok { "PASS" } else { "FAIL" }, p.detail),
+            );
+        }
+        let metrics = telemetry::Section::new("metrics")
+            .entry("frames", self.metrics.frames)
+            .entry("l2_total_ticks", self.metrics.l2_total_ticks)
+            .entry("l2_ticks_per_frame", self.metrics.l2_ticks_per_frame)
+            .entry("l3_total_ticks", self.metrics.l3_total_ticks)
+            .entry("l3_ticks_per_frame", self.metrics.l3_ticks_per_frame)
+            .entry("l3_bus_utilization", self.metrics.l3_bus_utilization)
+            .entry("fpga_reconfigurations", self.metrics.fpga_reconfigurations)
+            .entry("fpga_download_words", self.metrics.fpga_download_words);
+        let recognition = telemetry::Section::new("recognition")
+            .entry("recognized", format!("{:?}", self.recognized))
+            .entry("all_ok", self.all_ok());
+        telemetry::Report::new("Symbad full-flow report")
+            .section(phases)
+            .section(metrics)
+            .section(recognition)
+    }
+
+    /// Renders as aligned human-readable text.
+    pub fn to_text(&self) -> String {
+        self.to_report().to_text()
+    }
+
+    /// Renders as deterministic pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        self.to_report().to_json()
     }
 }
 
@@ -48,100 +110,155 @@ impl FlowReport {
 ///
 /// Propagates kernel errors from the simulations.
 pub fn run_full_flow(workload: &Workload) -> Result<FlowReport, SimError> {
-    let mut phases = Vec::new();
+    run_full_flow_instrumented(workload, &telemetry::noop())
+}
+
+/// [`run_full_flow`] with telemetry: every level runs with the given
+/// instrument (bus spans, FPGA activity, engine counters accumulate into
+/// one collector), and the flow itself adds a `flow` track whose time axis
+/// is the *phase index* — one span per Figure-1 phase plus a
+/// `flow.phase_ok` gauge. Simulation levels each restart their own
+/// sim-time axis at 0; the phase index keeps the flow's ordering explicit.
+///
+/// # Errors
+///
+/// Propagates kernel errors from the simulations.
+pub fn run_full_flow_instrumented(
+    workload: &Workload,
+    instrument: &telemetry::SharedInstrument,
+) -> Result<FlowReport, SimError> {
+    let mut phases: Vec<PhaseSummary> = Vec::new();
+    let note_phase = |phases: &mut Vec<PhaseSummary>, summary: PhaseSummary| {
+        let idx = phases.len() as u64;
+        instrument.span("flow", summary.phase, idx, idx + 1);
+        instrument.gauge_set("flow.phase_ok", idx, i64::from(summary.ok));
+        phases.push(summary);
+    };
 
     // ── Level 1: functional model vs reference ────────────────────────
-    let l1 = level1::run(workload)?;
-    phases.push(PhaseSummary {
-        phase: "level 1: functional model",
-        ok: l1.matches_reference && l1.outcome.is_quiescent(),
-        detail: format!(
-            "trace vs C reference: {}; clean completion: {}",
-            l1.matches_reference,
-            l1.outcome.is_quiescent()
-        ),
-    });
+    let l1 = level1::run_instrumented(workload, instrument)?;
+    note_phase(
+        &mut phases,
+        PhaseSummary {
+            phase: "level 1: functional model",
+            ok: l1.matches_reference && l1.outcome.is_quiescent(),
+            detail: format!(
+                "trace vs C reference: {}; clean completion: {}",
+                l1.matches_reference,
+                l1.outcome.is_quiescent()
+            ),
+        },
+    );
 
     // ── Level 1 verification: LPV deadlock freeness ────────────────────
     let net = cascade::fig2_petri_net(1);
     let liveness = lp::check_liveness(&net);
-    phases.push(PhaseSummary {
-        phase: "level 1: LPV deadlock freeness",
-        ok: liveness.is_live(),
-        detail: match &liveness {
-            LivenessVerdict::Live { min_cycle_tokens } => {
-                format!("live; min cycle tokens {min_cycle_tokens}")
-            }
-            other => format!("{other:?}"),
+    note_phase(
+        &mut phases,
+        PhaseSummary {
+            phase: "level 1: LPV deadlock freeness",
+            ok: liveness.is_live(),
+            detail: match &liveness {
+                LivenessVerdict::Live { min_cycle_tokens } => {
+                    format!("live; min cycle tokens {min_cycle_tokens}")
+                }
+                other => format!("{other:?}"),
+            },
         },
-    });
+    );
 
     // ── Level 2: architecture mapping ──────────────────────────────────
     let arch = ArchConfig::default();
-    let l2 = level2::run(workload)?;
+    let l2 = level2::run_instrumented(workload, instrument)?;
     let l2_matches_l1 = l1.trace.matches_untimed(&l2.trace).is_ok();
-    phases.push(PhaseSummary {
-        phase: "level 2: timed TL mapping",
-        ok: l2.matches_reference && l2_matches_l1,
-        detail: format!(
-            "{:.0} ticks/frame; bus {:.1}%; trace ≡ level 1: {l2_matches_l1}",
-            l2.ticks_per_frame,
-            l2.bus.utilization * 100.0
-        ),
-    });
+    note_phase(
+        &mut phases,
+        PhaseSummary {
+            phase: "level 2: timed TL mapping",
+            ok: l2.matches_reference && l2_matches_l1,
+            detail: format!(
+                "{:.0} ticks/frame; bus {:.1}%; trace ≡ level 1: {l2_matches_l1}",
+                l2.ticks_per_frame,
+                l2.bus.utilization * 100.0
+            ),
+        },
+    );
 
     // ── Level 2 verification: deadline LP ──────────────────────────────
     let bounds = level2::dimension_channels(workload, &crate::Partition::paper_level2(), &arch);
-    phases.push(PhaseSummary {
-        phase: "level 2: LPV FIFO dimensioning",
-        ok: bounds.iter().all(|(_, b)| b.capacity >= 1),
-        detail: bounds
-            .iter()
-            .map(|(n, b)| format!("{n}: {} tokens", b.capacity))
-            .collect::<Vec<_>>()
-            .join(", "),
-    });
+    note_phase(
+        &mut phases,
+        PhaseSummary {
+            phase: "level 2: LPV FIFO dimensioning",
+            ok: bounds.iter().all(|(_, b)| b.capacity >= 1),
+            detail: bounds
+                .iter()
+                .map(|(n, b)| format!("{n}: {} tokens", b.capacity))
+                .collect::<Vec<_>>()
+                .join(", "),
+        },
+    );
 
     // ── Level 3: reconfigurable platform ───────────────────────────────
-    let l3 = level3::run(workload)?;
+    let l3 = level3::run_instrumented(workload, instrument)?;
     let l3_matches_l2 = l2.trace.matches_untimed(&l3.trace).is_ok();
     let fpga = l3.fpga.clone().expect("level 3 has an FPGA");
-    phases.push(PhaseSummary {
-        phase: "level 3: reconfigurable platform",
-        ok: l3.matches_reference && l3_matches_l2,
-        detail: format!(
+    note_phase(
+        &mut phases,
+        PhaseSummary {
+            phase: "level 3: reconfigurable platform",
+            ok: l3.matches_reference && l3_matches_l2,
+            detail: format!(
             "{:.0} ticks/frame; {} reconfigs, {} bitstream words; trace ≡ level 2: {l3_matches_l2}",
             l3.ticks_per_frame, fpga.reconfigurations, fpga.download_words
         ),
-    });
+        },
+    );
 
     // ── Level 3 verification: SymbC ────────────────────────────────────
     let (sw, map) = cascade::instrumented_sw(true);
     let symbc_verdict = symbc::check(&sw, &map);
-    phases.push(PhaseSummary {
-        phase: "level 3: SymbC consistency",
-        ok: symbc_verdict.is_consistent(),
-        detail: format!("{symbc_verdict:?}"),
-    });
+    note_phase(
+        &mut phases,
+        PhaseSummary {
+            phase: "level 3: SymbC consistency",
+            ok: symbc_verdict.is_consistent(),
+            detail: format!("{symbc_verdict:?}"),
+        },
+    );
 
     // ── Level 4: RTL + formal ──────────────────────────────────────────
-    let l4 = level4::run();
+    let l4 = level4::run_instrumented(instrument);
     let kernels_ok = l4.kernels.iter().all(|(_, _, eq)| *eq);
     let props_ok = l4.properties.iter().all(|(_, _, p)| *p);
-    phases.push(PhaseSummary {
-        phase: "level 4: RTL, model checking, PCC",
-        ok: kernels_ok && props_ok && l4.pcc_extended.pct() > l4.pcc_initial.pct(),
-        detail: format!(
-            "kernels equivalent: {kernels_ok}; {} properties proven; PCC {:.0}% → {:.0}%",
-            l4.properties.len(),
-            l4.pcc_initial.pct(),
-            l4.pcc_extended.pct()
-        ),
-    });
+    note_phase(
+        &mut phases,
+        PhaseSummary {
+            phase: "level 4: RTL, model checking, PCC",
+            ok: kernels_ok && props_ok && l4.pcc_extended.pct() > l4.pcc_initial.pct(),
+            detail: format!(
+                "kernels equivalent: {kernels_ok}; {} properties proven; PCC {:.0}% → {:.0}%",
+                l4.properties.len(),
+                l4.pcc_initial.pct(),
+                l4.pcc_extended.pct()
+            ),
+        },
+    );
 
+    let metrics = FlowMetrics {
+        frames: workload.probes.len() as u64,
+        l2_total_ticks: l2.total_ticks,
+        l2_ticks_per_frame: l2.ticks_per_frame,
+        l3_total_ticks: l3.total_ticks,
+        l3_ticks_per_frame: l3.ticks_per_frame,
+        l3_bus_utilization: l3.bus.utilization,
+        fpga_reconfigurations: fpga.reconfigurations,
+        fpga_download_words: fpga.download_words,
+    };
     Ok(FlowReport {
         phases,
         recognized: l1.recognized,
+        metrics,
     })
 }
 
@@ -152,12 +269,43 @@ mod tests {
     #[test]
     fn full_flow_passes_on_small_workload() {
         let w = Workload::small();
-        let report = run_full_flow(&w).expect("flow runs");
+        let collector = telemetry::Collector::shared();
+        let instr: telemetry::SharedInstrument = collector.clone();
+        let report = run_full_flow_instrumented(&w, &instr).expect("flow runs");
         assert_eq!(report.phases.len(), 7);
         for p in &report.phases {
             assert!(p.ok, "{} failed: {}", p.phase, p.detail);
         }
         assert!(report.all_ok());
         assert_eq!(report.recognized.len(), w.probes.len());
+
+        // Metrics mirror the phase evidence.
+        assert!(report.metrics.l3_total_ticks > report.metrics.l2_total_ticks);
+        assert!(report.metrics.fpga_reconfigurations > 0);
+        assert_eq!(report.metrics.frames, w.probes.len() as u64);
+
+        // The flow track carries one span per phase, in order.
+        let flow_spans: Vec<_> = collector
+            .spans()
+            .into_iter()
+            .filter(|s| s.track == "flow")
+            .collect();
+        assert_eq!(flow_spans.len(), 7);
+        for (i, s) in flow_spans.iter().enumerate() {
+            assert_eq!((s.start, s.end), (i as u64, i as u64 + 1));
+            assert_eq!(s.name, report.phases[i].phase);
+        }
+        // Substrate and engine signals from every level accumulated.
+        assert!(collector.counter("bus.transactions") > 0);
+        assert!(collector.counter("fpga.reconfigurations") > 0);
+        assert!(collector.counter("sat.solve_calls") > 0);
+        assert!(collector.counter("sim.polls") > 0);
+
+        // Both renderings carry the phase verdicts.
+        let text = report.to_text();
+        assert!(text.contains("level 3: reconfigurable platform"));
+        assert!(text.contains("[PASS]"));
+        let json = report.to_json();
+        assert!(json.contains("\"fpga_reconfigurations\""));
     }
 }

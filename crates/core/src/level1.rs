@@ -227,8 +227,24 @@ pub fn reference_trace(results: &[RecognitionResult]) -> Trace<Msg> {
 ///
 /// Propagates kernel errors (the livelock guard).
 pub fn run(workload: &Workload) -> Result<Level1Report, SimError> {
+    run_instrumented(workload, &telemetry::noop())
+}
+
+/// [`run`] with telemetry: the kernel reports its scheduling counters and
+/// FIFO depth/watermark gauges through `instrument`. The level-1 model is
+/// untimed, so all gauges sit at tick 0 — the interesting signals here are
+/// the poll and FIFO statistics.
+///
+/// # Errors
+///
+/// Propagates kernel errors (the livelock guard).
+pub fn run_instrumented(
+    workload: &Workload,
+    instrument: &telemetry::SharedInstrument,
+) -> Result<Level1Report, SimError> {
     let mut sim: Simulator<Msg> = Simulator::new();
     sim.set_poll_limit(200_000_000);
+    sim.set_instrument(instrument.clone());
 
     // Point-to-point channels, capacity 1 (pure dataflow), except the
     // database stream which gets a little slack.

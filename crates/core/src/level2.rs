@@ -20,6 +20,33 @@ pub fn run(workload: &Workload) -> Result<TimedReport, SimError> {
     run_with(workload, &Partition::paper_level2(), &ArchConfig::default())
 }
 
+/// [`run`] with telemetry: bus spans, FIFO gauges, and kernel counters are
+/// reported through `instrument`.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+pub fn run_instrumented(
+    workload: &Workload,
+    instrument: &telemetry::SharedInstrument,
+) -> Result<TimedReport, SimError> {
+    timed::run_faulted_instrumented(
+        workload,
+        &Partition::paper_level2(),
+        &ArchConfig::default(),
+        MatcherKind::Hardwired,
+        None,
+        crate::timed::RecoveryPolicy::default(),
+        instrument,
+    )
+    .map_err(|e| match e {
+        crate::timed::RunError::Sim(e) => e,
+        crate::timed::RunError::Platform(f) => {
+            unreachable!("platform fault without a fault plan: {f}")
+        }
+    })
+}
+
 /// Runs the level-2 model with an explicit partition and platform
 /// configuration (the architecture-exploration entry point).
 ///

@@ -27,6 +27,35 @@ pub fn run(workload: &Workload) -> Result<TimedReport, SimError> {
     )
 }
 
+/// [`run`] with telemetry: bus spans, per-frame CPU spans, FPGA
+/// reconfiguration spans and latency histograms, and kernel counters are
+/// reported through `instrument`.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+pub fn run_instrumented(
+    workload: &Workload,
+    instrument: &telemetry::SharedInstrument,
+) -> Result<TimedReport, SimError> {
+    timed::run_faulted_instrumented(
+        workload,
+        &Partition::paper_level3(),
+        &ArchConfig::default(),
+        MatcherKind::Fpga {
+            strategy: ReconfigStrategy::Hoisted,
+            rtl_cosim: false,
+        },
+        None,
+        RecoveryPolicy::default(),
+        instrument,
+    )
+    .map_err(|e| match e {
+        RunError::Sim(e) => e,
+        RunError::Platform(f) => unreachable!("platform fault without a fault plan: {f}"),
+    })
+}
+
 /// Runs the level-3 model with explicit partition/platform/strategy.
 ///
 /// # Errors
@@ -66,7 +95,23 @@ pub fn run_with_faults(
     plan: FaultPlan,
     recovery: RecoveryPolicy,
 ) -> Result<TimedReport, RunError> {
-    timed::run_faulted(
+    run_with_faults_instrumented(workload, plan, recovery, &telemetry::noop())
+}
+
+/// [`run_with_faults`] with telemetry: in addition to the regular level-3
+/// signals, injected faults and recovery actions surface as `faults.*` and
+/// `recovery.*` counters.
+///
+/// # Errors
+///
+/// Same as [`run_with_faults`].
+pub fn run_with_faults_instrumented(
+    workload: &Workload,
+    plan: FaultPlan,
+    recovery: RecoveryPolicy,
+    instrument: &telemetry::SharedInstrument,
+) -> Result<TimedReport, RunError> {
+    timed::run_faulted_instrumented(
         workload,
         &Partition::paper_level3(),
         &ArchConfig::default(),
@@ -76,6 +121,7 @@ pub fn run_with_faults(
         },
         Some(plan),
         recovery,
+        instrument,
     )
 }
 

@@ -43,7 +43,20 @@ pub struct Level4Report {
 ///
 /// Returns `true` when no distinguishing input exists.
 pub fn prove_equivalence(func: &Function, rtl: &Rtl) -> bool {
+    prove_equivalence_instrumented(func, rtl, &telemetry::noop())
+}
+
+/// [`prove_equivalence`] with telemetry: the miter's SAT solver reports
+/// its decision/conflict/propagation counters through `instrument`.
+pub fn prove_equivalence_instrumented(
+    func: &Function,
+    rtl: &Rtl,
+    instrument: &telemetry::SharedInstrument,
+) -> bool {
     let mut ctx = CnfBackend::new();
+    if instrument.enabled() {
+        ctx.builder_mut().set_instrument(instrument.clone());
+    }
     let input_bits: Vec<Vec<sat::Lit>> = rtl
         .inputs()
         .iter()
@@ -163,6 +176,17 @@ fn provable_on_open_model(p: &Property) -> bool {
 /// Panics if a kernel unexpectedly fails to synthesize (a programming
 /// error, not an input condition).
 pub fn run() -> Level4Report {
+    run_instrumented(&telemetry::noop())
+}
+
+/// [`run`] with telemetry: the equivalence miters and BMC runs report
+/// their SAT statistics, depth progress, and verdict counters through
+/// `instrument`.
+///
+/// # Panics
+///
+/// Same as [`run`].
+pub fn run_instrumented(instrument: &telemetry::SharedInstrument) -> Level4Report {
     // 1–2: synthesize the kernels and prove equivalence.
     let mut kernels = Vec::new();
     let dist = distance_step_function();
@@ -170,7 +194,7 @@ pub fn run() -> Level4Report {
     kernels.push((
         "distance".to_owned(),
         dist_rtl.num_nodes(),
-        prove_equivalence(&dist, &dist_rtl),
+        prove_equivalence_instrumented(&dist, &dist_rtl, instrument),
     ));
     let root = root_function();
     let root_unrolled = unroll(&root, ROOT_ITERATIONS);
@@ -178,7 +202,7 @@ pub fn run() -> Level4Report {
     kernels.push((
         "root".to_owned(),
         root_rtl.num_nodes(),
-        prove_equivalence(&root_unrolled, &root_rtl),
+        prove_equivalence_instrumented(&root_unrolled, &root_rtl, instrument),
     ));
 
     // 3–4: wrapper FSM and its properties.
@@ -194,10 +218,14 @@ pub fn run() -> Level4Report {
             }
             Property::Response { .. } => (
                 "bmc",
-                matches!(bmc::check(&wrapper, &p, 12), Verdict::NoViolationUpTo(_)),
+                matches!(
+                    bmc::check_instrumented(&wrapper, &p, 12, instrument),
+                    Verdict::NoViolationUpTo(_)
+                ),
             ),
         };
         properties.push((p.name().to_owned(), engine, proven));
+        instrument.counter_add("level4.properties_checked", 1);
     }
 
     // 5: PCC before/after the property-set refinement.

@@ -575,6 +575,10 @@ impl Process<Msg> for CpuTask {
                 match ctx.try_read(self.inp_frames) {
                     None => Activation::WaitFifoReadable(self.inp_frames),
                     Some(Msg::Frame(f)) => {
+                        let instr = ctx.instrument();
+                        if instr.enabled() {
+                            instr.span_begin("cpu", "frame", ctx.now().ticks());
+                        }
                         let gray = crate::level1::frame_as_gray(f);
                         // Execute the SW front half natively (edge …
                         // calcline), recording the same checkpoints as the
@@ -780,6 +784,10 @@ impl Process<Msg> for CpuTask {
                 let values: Vec<u32> = dists.iter().map(|&(_, d)| d).collect();
                 let best = winner(&values);
                 ctx.trace("winner", Msg::Winner(best));
+                let instr = ctx.instrument();
+                if instr.enabled() {
+                    instr.span_end("cpu", ctx.now().ticks());
+                }
                 self.frames_left -= 1;
                 self.phase = CpuPhase::AwaitFrame;
                 Activation::Continue
@@ -846,6 +854,42 @@ pub fn run_faulted(
     faults: Option<FaultPlan>,
     recovery: RecoveryPolicy,
 ) -> Result<TimedReport, RunError> {
+    run_faulted_instrumented(
+        workload,
+        partition,
+        arch,
+        matcher_kind,
+        faults,
+        recovery,
+        &telemetry::noop(),
+    )
+}
+
+/// [`run_faulted`] with telemetry: the instrument is installed into the
+/// kernel, the bus, and (at level 3) the FPGA, the CPU task opens a
+/// `cpu`-track span per frame, and the fault/recovery summary is flushed
+/// as `faults.*` / `recovery.*` counters at the end of the run.
+///
+/// With the no-op instrument this is exactly [`run_faulted`]: telemetry
+/// never perturbs scheduling, timing, or functional results.
+///
+/// # Errors
+///
+/// Same as [`run_faulted`].
+///
+/// # Panics
+///
+/// Same as [`run_faulted`].
+#[allow(clippy::too_many_lines)]
+pub fn run_faulted_instrumented(
+    workload: &Workload,
+    partition: &Partition,
+    arch: &ArchConfig,
+    matcher_kind: MatcherKind,
+    faults: Option<FaultPlan>,
+    recovery: RecoveryPolicy,
+    instrument: &telemetry::SharedInstrument,
+) -> Result<TimedReport, RunError> {
     let config = *workload.dataset.config();
     let gallery_len = workload.gallery_len();
 
@@ -876,7 +920,9 @@ pub fn run_faulted(
 
     let mut sim: Simulator<Msg> = Simulator::new();
     sim.set_poll_limit(500_000_000);
+    sim.set_instrument(instrument.clone());
     let bus = Bus::shared("amba", arch.bus);
+    bus.borrow_mut().set_instrument(instrument.clone());
     if let Some(p) = &plan {
         bus.borrow_mut().set_fault_plan(p.clone());
     }
@@ -896,6 +942,7 @@ pub fn run_faulted(
         MatcherKind::Hardwired => None,
         MatcherKind::Fpga { .. } => {
             let f = Fpga::shared("efpga", addr::FPGA_CFG_BASE, arch.fpga_switch_cycles);
+            f.borrow_mut().set_instrument(instrument.clone());
             if let Some(p) = &plan {
                 f.borrow_mut().set_fault_plan(p.clone());
             }
@@ -1090,6 +1137,21 @@ pub fn run_faulted(
             degraded: st.degraded.iter().cloned().collect(),
         }
     });
+    if instrument.enabled() {
+        instrument.counter_add("run.frames", workload.probes.len() as u64);
+        if let Some(fr) = &fault_report {
+            instrument.counter_add(
+                "faults.bitstream_corruptions",
+                fr.injected.bitstream_corruptions,
+            );
+            instrument.counter_add("faults.bus_errors", fr.injected.bus_errors);
+            instrument.counter_add("faults.load_timeouts", fr.injected.load_timeouts);
+            instrument.counter_add("faults.slave_stalls", fr.injected.slave_stalls);
+            instrument.counter_add("recovery.retries", fr.retries);
+            instrument.counter_add("recovery.recovered", fr.recovered);
+            instrument.counter_add("recovery.degraded_functions", fr.degraded.len() as u64);
+        }
+    }
     Ok(TimedReport {
         recognized,
         matches_reference: cmp.is_ok(),

@@ -159,7 +159,18 @@ impl Problem {
 
     /// Solves the program with two-phase simplex.
     pub fn solve(&self) -> Solution {
-        Tableau::build(self).solve()
+        Tableau::build(self).solve().0
+    }
+
+    /// [`Problem::solve`] with telemetry: emits the pivot count of this
+    /// solve (`lp.pivots` counter, `lp.pivots_per_solve` histogram) and an
+    /// `lp.solve_calls` counter through `instrument`.
+    pub fn solve_instrumented(&self, instrument: &telemetry::SharedInstrument) -> Solution {
+        let (solution, pivots) = Tableau::build(self).solve();
+        instrument.counter_add("lp.solve_calls", 1);
+        instrument.counter_add("lp.pivots", pivots);
+        instrument.record("lp.pivots_per_solve", pivots);
+        solution
     }
 }
 
@@ -177,6 +188,8 @@ struct Tableau {
     total_cols: usize, // includes RHS column
     maximize: bool,
     objective: Vec<Rational>,
+    /// Pivot operations performed (both phases) — the solver's work metric.
+    pivots: u64,
 }
 
 impl Tableau {
@@ -243,6 +256,7 @@ impl Tableau {
             total_cols,
             maximize: p.maximize,
             objective: p.objective.clone(),
+            pivots: 0,
         }
     }
 
@@ -251,6 +265,7 @@ impl Tableau {
     }
 
     fn pivot(&mut self, row: usize, col: usize) {
+        self.pivots += 1;
         let pivot_val = self.rows[row][col];
         debug_assert!(!pivot_val.is_zero());
         let inv = pivot_val.recip();
@@ -314,7 +329,12 @@ impl Tableau {
         }
     }
 
-    fn solve(mut self) -> Solution {
+    fn solve(mut self) -> (Solution, u64) {
+        let solution = self.solve_inner();
+        (solution, self.pivots)
+    }
+
+    fn solve_inner(&mut self) -> Solution {
         let rhs_col = self.rhs_col();
         let has_artificials = self.basis.iter().any(|&b| b >= self.first_artificial);
 
@@ -406,6 +426,22 @@ mod tests {
 
     fn rq(n: i128, d: i128) -> Rational {
         Rational::new(n, d)
+    }
+
+    #[test]
+    fn instrumented_solve_reports_pivots() {
+        let collector = telemetry::Collector::shared();
+        let instr: telemetry::SharedInstrument = collector.clone();
+        let mut p = Problem::new(2);
+        p.maximize(&[r(3), r(5)]);
+        p.add_le(&[r(1), r(0)], r(4));
+        p.add_le(&[r(0), r(2)], r(12));
+        p.add_le(&[r(3), r(2)], r(18));
+        let sol = p.solve_instrumented(&instr);
+        assert_eq!(sol, p.solve());
+        assert_eq!(collector.counter("lp.solve_calls"), 1);
+        assert!(collector.counter("lp.pivots") >= 1);
+        assert_eq!(collector.histogram("lp.pivots_per_solve").count(), 1);
     }
 
     #[test]

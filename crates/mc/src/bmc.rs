@@ -15,13 +15,35 @@ use hdl::Rtl;
 /// For response properties only complete windows inside the bound are
 /// checked, mirroring [`Property::holds_on_trace`].
 pub fn check(rtl: &Rtl, property: &Property, bound: u32) -> Verdict {
+    check_instrumented(rtl, property, bound, &telemetry::noop())
+}
+
+/// [`check`] with telemetry: emits a `bmc.depth` gauge as unrolling
+/// progresses (the gauge's time axis is the depth itself), a
+/// `bmc.sat_calls` counter, and per-depth SAT solver statistics through
+/// the instrument attached to the underlying solver.
+pub fn check_instrumented(
+    rtl: &Rtl,
+    property: &Property,
+    bound: u32,
+    instrument: &telemetry::SharedInstrument,
+) -> Verdict {
     let mut unroller = Unroller::new(rtl, InitMode::Reset);
+    if instrument.enabled() {
+        unroller
+            .ctx
+            .builder_mut()
+            .set_instrument(instrument.clone());
+    }
     match property {
         Property::Invariant { expr, .. } => {
             for k in 0..=bound {
                 unroller.ensure_frames(k as usize);
                 let phi = unroller.compile_expr(expr, k as usize);
+                instrument.gauge_set("bmc.depth", k as u64, k as i64);
+                instrument.counter_add("bmc.sat_calls", 1);
                 if unroller.ctx.builder_mut().solve_with(&[!phi]).is_sat() {
+                    instrument.counter_add("bmc.violations", 1);
                     let trace = unroller.extract_trace(k as usize);
                     return Verdict::Violated(trace);
                 }
@@ -47,7 +69,10 @@ pub fn check(rtl: &Rtl, property: &Property, bound: u32) -> Verdict {
                     let resp = unroller.compile_expr(response, j);
                     assumptions.push(!resp);
                 }
+                instrument.gauge_set("bmc.depth", i as u64, window_end as i64);
+                instrument.counter_add("bmc.sat_calls", 1);
                 if unroller.ctx.builder_mut().solve_with(&assumptions).is_sat() {
+                    instrument.counter_add("bmc.violations", 1);
                     let trace = unroller.extract_trace(window_end);
                     return Verdict::Violated(trace);
                 }
@@ -92,6 +117,23 @@ mod tests {
             }
             other => panic!("expected violation, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn instrumented_check_reports_depth_progress() {
+        let collector = telemetry::Collector::shared();
+        let instr: telemetry::SharedInstrument = collector.clone();
+        let p = Property::invariant("never5", BoolExpr::ne("q", 5));
+        let verdict = check_instrumented(&counter(), &p, 10, &instr);
+        assert!(matches!(verdict, Verdict::Violated(_)));
+        // Depths 0..=5 were explored, one SAT call each.
+        assert_eq!(collector.counter("bmc.sat_calls"), 6);
+        assert_eq!(collector.counter("bmc.violations"), 1);
+        let depths = collector.gauge_series("bmc.depth");
+        assert_eq!(depths.len(), 6);
+        assert_eq!(depths.last(), Some(&(5, 5)));
+        // The underlying SAT solver flushed its own counters too.
+        assert_eq!(collector.counter("sat.solve_calls"), 6);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use sim::SimTime;
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
+use telemetry::SharedInstrument;
 use tlm::{AccessKind, BusError, Payload, Reservation, SharedBus};
 
 /// CRC-32 (reflected, polynomial `0xEDB88320`) over a stream of words,
@@ -175,6 +176,7 @@ pub struct Fpga {
     calls: u64,
     busy_cycles: u64,
     faults: Option<SharedFaultPlan>,
+    instrument: SharedInstrument,
 }
 
 /// Watchdog budget for a context download, in multiples of
@@ -200,7 +202,15 @@ impl Fpga {
             calls: 0,
             busy_cycles: 0,
             faults: None,
+            instrument: telemetry::noop(),
         }
+    }
+
+    /// Attaches a telemetry instrument: context downloads then emit spans
+    /// on the `fpga` track, reconfiguration-latency histogram samples and
+    /// a loaded-context gauge (0 = nothing loaded, `i + 1` = context `i`).
+    pub fn set_instrument(&mut self, instrument: SharedInstrument) {
+        self.instrument = instrument;
     }
 
     /// Installs a fault plan; bitstream downloads consult it for injected
@@ -295,6 +305,7 @@ impl Fpga {
                     BusError::Slave { at, .. } => *at,
                     _ => now,
                 };
+                self.note_failed_load(&ctx_name, now, busy_until);
                 return Err(LoadFault {
                     error: FpgaError::Bus(e),
                     busy_until,
@@ -309,11 +320,13 @@ impl Fpga {
         {
             self.loaded = None;
             self.failed_loads += 1;
+            let busy_until = reservation
+                .end
+                .saturating_add_ticks(self.switch_cycles * LOAD_TIMEOUT_WATCHDOG_FACTOR);
+            self.note_failed_load(&ctx_name, now, busy_until);
             return Err(LoadFault {
                 error: FpgaError::LoadTimeout { context: ctx_name },
-                busy_until: reservation
-                    .end
-                    .saturating_add_ticks(self.switch_cycles * LOAD_TIMEOUT_WATCHDOG_FACTOR),
+                busy_until,
             });
         }
         let got_crc = match self
@@ -337,22 +350,55 @@ impl Fpga {
         if got_crc != expected_crc {
             self.loaded = None;
             self.failed_loads += 1;
+            let busy_until = reservation.end.saturating_add_ticks(self.switch_cycles);
+            self.note_failed_load(&ctx_name, now, busy_until);
             return Err(LoadFault {
                 error: FpgaError::BitstreamCorrupted {
                     context: ctx_name,
                     expected_crc,
                     got_crc,
                 },
-                busy_until: reservation.end.saturating_add_ticks(self.switch_cycles),
+                busy_until,
             });
         }
         self.loaded = Some(context);
         self.reconfigurations += 1;
+        let end = reservation.end.saturating_add_ticks(self.switch_cycles);
+        if self.instrument.enabled() {
+            let i = &self.instrument;
+            i.span(
+                "fpga",
+                &format!("load {ctx_name}"),
+                now.ticks(),
+                end.ticks(),
+            );
+            i.counter_add("fpga.reconfigurations", 1);
+            i.counter_add("fpga.download_words", words as u64);
+            i.record("fpga.reconfig_latency", end.ticks_since(now));
+            i.gauge_set("fpga.context", end.ticks(), context.0 as i64 + 1);
+        }
         Ok(Some(Reservation {
             start: reservation.start,
-            end: reservation.end.saturating_add_ticks(self.switch_cycles),
+            end,
             waited: reservation.waited,
         }))
+    }
+
+    /// Telemetry for a failed download: a span covering the occupied
+    /// window, a failure counter and the context gauge dropping to 0
+    /// (nothing loaded).
+    fn note_failed_load(&self, ctx_name: &str, now: SimTime, busy_until: SimTime) {
+        if self.instrument.enabled() {
+            let i = &self.instrument;
+            i.span(
+                "fpga",
+                &format!("load {ctx_name} (failed)"),
+                now.ticks(),
+                busy_until.ticks(),
+            );
+            i.counter_add("fpga.failed_loads", 1);
+            i.gauge_set("fpga.context", busy_until.ticks(), 0);
+        }
     }
 
     /// Invokes `func` on the currently loaded context; returns the
@@ -384,6 +430,9 @@ impl Fpga {
             })?;
         self.calls += 1;
         self.busy_cycles += cycles;
+        if self.instrument.enabled() {
+            self.instrument.counter_add("fpga.calls", 1);
+        }
         Ok(cycles)
     }
 
@@ -614,6 +663,44 @@ mod tests {
             .expect("first load");
         assert_eq!(r.end, t(1 + 256 + 8));
         assert_eq!(fpga.report().failed_loads, 0);
+    }
+
+    #[test]
+    fn collector_tracks_reconfigurations_and_failures() {
+        use sim::FaultPlan;
+        let collector = telemetry::Collector::shared();
+        let (mut fpga, bus, m) = device();
+        fpga.set_instrument(collector.clone());
+        fpga.load(ContextId(0), t(0), &bus, m).expect("load 1");
+        fpga.load(ContextId(1), t(500), &bus, m).expect("load 2");
+        fpga.call("root").expect("resident");
+        assert_eq!(collector.counter("fpga.reconfigurations"), 2);
+        assert_eq!(collector.counter("fpga.download_words"), 256 + 128);
+        assert_eq!(collector.counter("fpga.calls"), 1);
+        // First load: 1 arbitration + 256 words + 8 switch cycles.
+        assert_eq!(collector.histogram("fpga.reconfig_latency").min(), 137);
+        assert_eq!(
+            collector.gauge_series("fpga.context"),
+            vec![(265, 1), (500 + 137, 2)]
+        );
+        let spans = collector.spans();
+        assert_eq!(spans[0].track, "fpga");
+        assert_eq!(spans[0].name, "load config1");
+
+        // A corrupted download shows up as a failure and gauge drop.
+        fpga.set_fault_plan(
+            FaultPlan::new(7)
+                .with_bitstream_corruption(sim::faults::PPM)
+                .shared(),
+        );
+        fpga.load(ContextId(0), t(1000), &bus, m)
+            .expect_err("corrupted");
+        assert_eq!(collector.counter("fpga.failed_loads"), 1);
+        assert_eq!(collector.gauge_series("fpga.context").last().unwrap().1, 0);
+        assert!(collector
+            .spans()
+            .iter()
+            .any(|s| s.name == "load config1 (failed)"));
     }
 
     #[test]

@@ -252,6 +252,12 @@ impl CnfBuilder {
         &self.solver
     }
 
+    /// Attaches a telemetry instrument to the underlying solver (see
+    /// [`Solver::set_instrument`]).
+    pub fn set_instrument(&mut self, instrument: telemetry::SharedInstrument) {
+        self.solver.set_instrument(instrument);
+    }
+
     /// Extracts the underlying solver.
     pub fn into_solver(self) -> Solver {
         self.solver

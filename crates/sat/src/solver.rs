@@ -147,6 +147,12 @@ pub struct Solver {
     conflicts: u64,
     decisions: u64,
     propagations: u64,
+    /// Optional telemetry sink; `None` (the default) keeps the search loop
+    /// free of any instrumentation cost.
+    instrument: Option<telemetry::SharedInstrument>,
+    /// Counter values already flushed to the instrument, so incremental
+    /// solve calls emit per-call deltas.
+    flushed: (u64, u64, u64),
 }
 
 impl Solver {
@@ -201,6 +207,13 @@ impl Solver {
     /// Unit propagations performed so far (across all solve calls).
     pub fn propagations(&self) -> u64 {
         self.propagations
+    }
+
+    /// Attaches a telemetry instrument. After every [`Solver::solve_with`]
+    /// the solver emits decision/conflict/propagation counter deltas and a
+    /// conflicts-per-call histogram sample.
+    pub fn set_instrument(&mut self, instrument: telemetry::SharedInstrument) {
+        self.instrument = Some(instrument);
     }
 
     #[inline]
@@ -482,10 +495,12 @@ impl Solver {
     /// call only). Learnt clauses are kept for later calls.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
         if self.unsat {
+            self.flush_telemetry();
             return SolveResult::Unsat;
         }
         if self.propagate().is_some() {
             self.unsat = true;
+            self.flush_telemetry();
             return SolveResult::Unsat;
         }
         let result = self.search(assumptions);
@@ -495,7 +510,26 @@ impl Solver {
         }
         // Leave level-0 state only.
         self.backtrack_to(0);
+        self.flush_telemetry();
         result
+    }
+
+    /// Emits counter deltas accumulated since the previous flush plus one
+    /// conflicts-per-call histogram sample.
+    fn flush_telemetry(&mut self) {
+        let Some(i) = self.instrument.as_ref().filter(|i| i.enabled()) else {
+            return;
+        };
+        let (dec, con, prop) = self.flushed;
+        i.counter_add("sat.solve_calls", 1);
+        i.counter_add("sat.decisions", self.decisions.saturating_sub(dec));
+        i.counter_add("sat.conflicts", self.conflicts.saturating_sub(con));
+        i.counter_add("sat.propagations", self.propagations.saturating_sub(prop));
+        i.record(
+            "sat.conflicts_per_solve",
+            self.conflicts.saturating_sub(con),
+        );
+        self.flushed = (self.decisions, self.conflicts, self.propagations);
     }
 
     fn luby(i: u64) -> u64 {
@@ -621,6 +655,25 @@ mod tests {
     fn empty_formula_is_sat() {
         let mut s = Solver::new();
         assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn instrument_sees_per_call_deltas() {
+        let collector = telemetry::Collector::shared();
+        let mut s = Solver::new();
+        s.set_instrument(collector.clone());
+        let v = vars(&mut s, 3);
+        s.add_clause([Lit::pos(v[0]), Lit::pos(v[1])]);
+        s.add_clause([Lit::neg(v[0]), Lit::pos(v[2])]);
+        assert!(s.solve().is_sat());
+        assert!(s.solve_with(&[Lit::neg(v[1])]).is_sat());
+        assert_eq!(collector.counter("sat.solve_calls"), 2);
+        // Two flushes means two histogram samples, and the counter matches
+        // the solver's own running total (deltas, not double-counted sums).
+        assert_eq!(collector.histogram("sat.conflicts_per_solve").count(), 2);
+        assert_eq!(collector.counter("sat.decisions"), s.decisions());
+        assert_eq!(collector.counter("sat.conflicts"), s.conflicts());
+        assert_eq!(collector.counter("sat.propagations"), s.propagations());
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::signal::{SignalId, SignalSlot};
 use crate::stats::Stats;
 use crate::time::SimTime;
 use crate::trace::Trace;
+use telemetry::SharedInstrument;
 
 /// Why a blocked process is parked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +120,10 @@ pub struct Simulator<T = u64> {
     poll_limit: u64,
     stats: Stats,
     trace: Trace<T>,
+    instrument: SharedInstrument,
+    /// Stats already flushed to the instrument, so repeated `run` calls on
+    /// the same simulator emit deltas rather than double-counting.
+    stats_flushed: Stats,
 }
 
 impl<T> Default for Simulator<T> {
@@ -143,7 +148,57 @@ impl<T> Simulator<T> {
             poll_limit: u64::MAX,
             stats: Stats::default(),
             trace: Trace::new(),
+            instrument: telemetry::noop(),
+            stats_flushed: Stats::default(),
         }
+    }
+
+    /// Attaches a telemetry instrument. The default is the no-op
+    /// instrument, which costs nothing on the kernel's hot paths; attach a
+    /// [`telemetry::Collector`] to record kernel counters, per-FIFO depth
+    /// gauges and occupancy watermarks.
+    pub fn set_instrument(&mut self, instrument: SharedInstrument) {
+        self.instrument = instrument;
+    }
+
+    /// Emits kernel counters and FIFO watermarks accumulated since the last
+    /// flush. Called automatically at the end of every [`Simulator::run`].
+    fn flush_telemetry(&mut self) {
+        if !self.instrument.enabled() {
+            return;
+        }
+        let d = |new: u64, old: u64| new.saturating_sub(old);
+        let i = &self.instrument;
+        i.counter_add("sim.polls", d(self.stats.polls, self.stats_flushed.polls));
+        i.counter_add(
+            "sim.delta_cycles",
+            d(self.stats.delta_cycles, self.stats_flushed.delta_cycles),
+        );
+        i.counter_add(
+            "sim.time_steps",
+            d(self.stats.time_steps, self.stats_flushed.time_steps),
+        );
+        i.counter_add(
+            "sim.timed_wakeups",
+            d(self.stats.timed_wakeups, self.stats_flushed.timed_wakeups),
+        );
+        i.counter_add(
+            "sim.notifications",
+            d(self.stats.notifications, self.stats_flushed.notifications),
+        );
+        i.counter_add(
+            "sim.signal_changes",
+            d(self.stats.signal_changes, self.stats_flushed.signal_changes),
+        );
+        for fifo in &self.fifos {
+            i.gauge_set(
+                &format!("fifo.watermark.{}", fifo.name),
+                self.now.ticks(),
+                fifo.high_watermark as i64,
+            );
+            i.record("fifo.high_watermark", fifo.high_watermark as u64);
+        }
+        self.stats_flushed = self.stats.clone();
     }
 
     /// Sets the livelock guard: [`Simulator::run`] fails with
@@ -328,6 +383,7 @@ impl<T: PartialEq> Simulator<T> {
                         trace: &mut self.trace,
                         fifo_activity: &mut fifo_activity,
                         signal_activity: &mut signal_activity,
+                        instrument: &*self.instrument,
                     };
                     body.poll(&mut ctx)
                 };
@@ -429,6 +485,7 @@ impl<T: PartialEq> Simulator<T> {
                     Some(Reverse((at, _, wake))) => {
                         if at > horizon {
                             self.now = horizon;
+                            self.flush_telemetry();
                             return Ok(Outcome {
                                 result: RunResult::HorizonReached,
                                 stats: self.stats.clone(),
@@ -476,6 +533,7 @@ impl<T: PartialEq> Simulator<T> {
         }
 
         self.stats.final_time = self.now;
+        self.flush_telemetry();
         let blocked = self.blocked_process_names();
         let result = if blocked.is_empty() {
             RunResult::Quiescent
@@ -788,6 +846,45 @@ mod tests {
         assert!(stats.high_watermark >= 1);
         assert!(stats.high_watermark <= 4);
         assert_eq!(stats.occupancy, 0);
+    }
+
+    #[test]
+    fn collector_records_kernel_counters_and_fifo_gauges() {
+        let collector = telemetry::Collector::shared();
+        let mut sim = Simulator::new();
+        sim.set_instrument(collector.clone());
+        let ch = sim.add_fifo("ch", 2);
+        sim.add_process(Source {
+            out: ch,
+            count: 10,
+            sent: 0,
+        });
+        sim.add_process(Sink {
+            inp: ch,
+            got: Vec::new(),
+        });
+        let outcome = sim.run(SimTime::MAX).expect("run");
+        assert_eq!(collector.counter("sim.polls"), outcome.stats.polls);
+        assert_eq!(
+            collector.counter("sim.time_steps"),
+            outcome.stats.time_steps
+        );
+        // 10 writes + 10 reads touched the depth gauge each time.
+        assert_eq!(collector.gauge_series("fifo.depth.ch").len(), 20);
+        assert!(!collector.gauge_series("fifo.watermark.ch").is_empty());
+        assert_eq!(collector.histogram("fifo.high_watermark").count(), 1);
+    }
+
+    #[test]
+    fn repeated_runs_flush_counter_deltas_not_totals() {
+        let collector = telemetry::Collector::shared();
+        let mut sim: Simulator<u64> = Simulator::new();
+        sim.set_instrument(collector.clone());
+        sim.add_process(Nop);
+        sim.run(SimTime::MAX).expect("first run");
+        sim.run(SimTime::MAX).expect("second run");
+        // The second run performed no polls, so the counter must not grow.
+        assert_eq!(collector.counter("sim.polls"), 1);
     }
 
     #[test]

@@ -86,6 +86,7 @@ pub struct ProcessCtx<'a, T> {
     pub(crate) trace: &'a mut crate::trace::Trace<T>,
     pub(crate) fifo_activity: &'a mut Vec<FifoId>,
     pub(crate) signal_activity: &'a mut Vec<SignalId>,
+    pub(crate) instrument: &'a dyn telemetry::Instrument,
 }
 
 impl<'a, T> ProcessCtx<'a, T> {
@@ -97,6 +98,13 @@ impl<'a, T> ProcessCtx<'a, T> {
     /// Identifier of the polled process.
     pub fn pid(&self) -> ProcessId {
         self.pid
+    }
+
+    /// The telemetry instrument attached to the running simulator (the
+    /// no-op instrument unless one was set). Processes use this to emit
+    /// their own spans and counters on the shared timeline.
+    pub fn instrument(&self) -> &dyn telemetry::Instrument {
+        self.instrument
     }
 
     /// Attempts to pop a token from `fifo`.
@@ -112,6 +120,13 @@ impl<'a, T> ProcessCtx<'a, T> {
         let v = slot.queue.pop_front();
         if v.is_some() {
             slot.total_reads += 1;
+            if self.instrument.enabled() {
+                self.instrument.gauge_set(
+                    &format!("fifo.depth.{}", slot.name),
+                    self.now.ticks(),
+                    slot.queue.len() as i64,
+                );
+            }
             self.fifo_activity.push(fifo);
         }
         v
@@ -135,6 +150,13 @@ impl<'a, T> ProcessCtx<'a, T> {
         slot.queue.push_back(value);
         slot.total_writes += 1;
         slot.high_watermark = slot.high_watermark.max(slot.queue.len());
+        if self.instrument.enabled() {
+            self.instrument.gauge_set(
+                &format!("fifo.depth.{}", slot.name),
+                self.now.ticks(),
+                slot.queue.len() as i64,
+            );
+        }
         self.fifo_activity.push(fifo);
         Ok(())
     }

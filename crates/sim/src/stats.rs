@@ -48,9 +48,126 @@ impl Stats {
     }
 }
 
+/// A sample series with total (never-panicking) summary statistics.
+///
+/// The bench harness and the flow reports fold per-frame latencies and
+/// FIFO occupancies through this; empty and single-sample series are
+/// legitimate inputs (a run can finish before any frame completes), so
+/// every statistic is defined for them instead of panicking or dividing
+/// by zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Series {
+    samples: Vec<u64>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new() -> Self {
+        Series::default()
+    }
+
+    /// A series seeded from existing samples.
+    pub fn from_samples(samples: Vec<u64>) -> Self {
+        Series { samples }
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, value: u64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
+    /// Arithmetic mean; 0.0 on an empty series (no division by zero).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum() as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// Nearest-rank percentile for `p` in `0..=100` (values above 100
+    /// clamp to the maximum). Returns 0 on an empty series and the sample
+    /// itself on a single-sample one — never panics.
+    pub fn percentile(&self, p: u64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        let idx = (p.min(100) * (n - 1) + 50) / 100;
+        sorted[idx as usize]
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.samples.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn empty_series_statistics_are_defined() {
+        let s = Series::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.sum(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(0), 0);
+        assert_eq!(s.percentile(50), 0);
+        assert_eq!(s.percentile(100), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_series_statistics_are_defined() {
+        let s = Series::from_samples(vec![9]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.mean(), 9.0);
+        assert_eq!(s.percentile(0), 9);
+        assert_eq!(s.percentile(50), 9);
+        assert_eq!(s.percentile(100), 9);
+        // p > 100 clamps instead of indexing out of bounds.
+        assert_eq!(s.percentile(999), 9);
+    }
+
+    #[test]
+    fn series_percentile_uses_nearest_rank() {
+        let mut s = Series::new();
+        for v in [50, 10, 40, 20, 30] {
+            s.push(v);
+        }
+        assert_eq!(s.percentile(0), 10);
+        assert_eq!(s.percentile(50), 30);
+        assert_eq!(s.percentile(100), 50);
+        assert_eq!(s.mean(), 30.0);
+        assert_eq!(s.min(), 10);
+        assert_eq!(s.max(), 50);
+    }
 
     #[test]
     fn ticks_per_poll_handles_zero_polls() {

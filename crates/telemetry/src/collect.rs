@@ -1,0 +1,285 @@
+//! The recording [`Collector`].
+
+use crate::instrument::Instrument;
+use crate::metrics::Histogram;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// One recorded span: a named interval on a track, nested by `depth`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Track (timeline row): e.g. `bus:cpu`, `fpga`, `cpu`.
+    pub track: String,
+    /// Span label.
+    pub name: String,
+    /// Simulation-time start (ticks, or the engine's progress axis).
+    pub start: u64,
+    /// Simulation-time end.
+    pub end: u64,
+    /// Nesting depth under enclosing spans on the same track.
+    pub depth: u32,
+    /// Wall-clock microseconds since collector creation at record time.
+    /// Zero unless the collector was built with
+    /// [`Collector::with_wall_clock`] — golden-testable exports keep it 0.
+    pub wall_us: u64,
+    /// Collector-local sequence number (total order over all records).
+    pub seq: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    seq: u64,
+    spans: Vec<Span>,
+    /// Per-track stacks of open spans: `(name, start, wall_us, seq)`.
+    open: BTreeMap<String, Vec<(String, u64, u64, u64)>>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, Vec<(u64, i64)>>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The recording instrument.
+///
+/// Interior-mutable so the whole single-threaded flow can share one
+/// handle ([`Collector::shared`] returns an `Rc<Collector>`, which
+/// coerces to [`crate::SharedInstrument`]).
+#[derive(Debug)]
+pub struct Collector {
+    inner: RefCell<Inner>,
+    /// Wall-clock origin; `None` keeps every `wall_us` field at 0 so
+    /// exports are bit-reproducible.
+    wall_origin: Option<Instant>,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector::new()
+    }
+}
+
+impl Collector {
+    /// A collector with wall-time capture **off** (deterministic exports).
+    pub fn new() -> Self {
+        Collector {
+            inner: RefCell::new(Inner::default()),
+            wall_origin: None,
+        }
+    }
+
+    /// A collector that also stamps spans with wall-clock microseconds.
+    /// Exports of such a collector are *not* byte-reproducible.
+    pub fn with_wall_clock() -> Self {
+        Collector {
+            inner: RefCell::new(Inner::default()),
+            wall_origin: Some(Instant::now()),
+        }
+    }
+
+    /// A shared handle (usable directly as a [`crate::SharedInstrument`]).
+    pub fn shared() -> Rc<Collector> {
+        Rc::new(Collector::new())
+    }
+
+    fn wall_us(&self) -> u64 {
+        self.wall_origin
+            .map(|t0| t0.elapsed().as_micros() as u64)
+            .unwrap_or(0)
+    }
+
+    /// All completed spans, in record order.
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner.borrow().spans.clone()
+    }
+
+    /// Value of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.borrow().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.inner
+            .borrow()
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// The time-series of a gauge (empty when never set).
+    pub fn gauge_series(&self, name: &str) -> Vec<(u64, i64)> {
+        self.inner
+            .borrow()
+            .gauges
+            .get(name)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Names of all gauges, sorted.
+    pub fn gauge_names(&self) -> Vec<String> {
+        self.inner.borrow().gauges.keys().cloned().collect()
+    }
+
+    /// All gauge series, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, Vec<(u64, i64)>)> {
+        self.inner
+            .borrow()
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Snapshot of a histogram (empty when never recorded).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.inner
+            .borrow()
+            .histograms
+            .get(name)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
+        self.inner
+            .borrow()
+            .histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+}
+
+impl Instrument for Collector {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_begin(&self, track: &str, name: &str, start: u64) {
+        let wall = self.wall_us();
+        let mut i = self.inner.borrow_mut();
+        i.seq += 1;
+        let seq = i.seq;
+        i.open
+            .entry(track.to_owned())
+            .or_default()
+            .push((name.to_owned(), start, wall, seq));
+    }
+
+    fn span_end(&self, track: &str, end: u64) {
+        let mut i = self.inner.borrow_mut();
+        let Some((name, start, wall_us, seq)) = i.open.get_mut(track).and_then(|stack| stack.pop())
+        else {
+            // Unbalanced end: ignore rather than poison the run.
+            return;
+        };
+        let depth = i.open.get(track).map(|s| s.len() as u32).unwrap_or(0);
+        i.spans.push(Span {
+            track: track.to_owned(),
+            name,
+            start,
+            end: end.max(start),
+            depth,
+            wall_us,
+            seq,
+        });
+    }
+
+    fn span(&self, track: &str, name: &str, start: u64, end: u64) {
+        let wall = self.wall_us();
+        let mut i = self.inner.borrow_mut();
+        i.seq += 1;
+        let seq = i.seq;
+        let depth = i.open.get(track).map(|s| s.len() as u32).unwrap_or(0);
+        i.spans.push(Span {
+            track: track.to_owned(),
+            name: name.to_owned(),
+            start,
+            end: end.max(start),
+            depth,
+            wall_us: wall,
+            seq,
+        });
+    }
+
+    fn counter_add(&self, name: &str, delta: u64) {
+        let mut i = self.inner.borrow_mut();
+        *i.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    fn gauge_set(&self, name: &str, at: u64, value: i64) {
+        let mut i = self.inner.borrow_mut();
+        i.gauges
+            .entry(name.to_owned())
+            .or_default()
+            .push((at, value));
+    }
+
+    fn record(&self, name: &str, value: u64) {
+        let mut i = self.inner.borrow_mut();
+        i.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_counters_gauges_histograms() {
+        let c = Collector::new();
+        assert!(c.enabled());
+        c.counter_add("x", 2);
+        c.counter_add("x", 3);
+        assert_eq!(c.counter("x"), 5);
+        assert_eq!(c.counter("missing"), 0);
+        c.gauge_set("g", 10, -1);
+        c.gauge_set("g", 20, 4);
+        assert_eq!(c.gauge_series("g"), vec![(10, -1), (20, 4)]);
+        c.record("h", 9);
+        assert_eq!(c.histogram("h").count(), 1);
+        assert_eq!(c.counters(), vec![("x".to_owned(), 5)]);
+    }
+
+    #[test]
+    fn nested_spans_carry_depth() {
+        let c = Collector::new();
+        c.span_begin("cpu", "frame 0", 0);
+        c.span_begin("cpu", "front", 1);
+        c.span_end("cpu", 5);
+        c.span("cpu", "winner", 6, 8);
+        c.span_end("cpu", 9);
+        let spans = c.spans();
+        assert_eq!(spans.len(), 3);
+        // Inner spans close first.
+        assert_eq!(spans[0].name, "front");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[1].name, "winner");
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[2].name, "frame 0");
+        assert_eq!(spans[2].depth, 0);
+        assert_eq!((spans[2].start, spans[2].end), (0, 9));
+        // Without wall clock every wall_us is exactly zero.
+        assert!(spans.iter().all(|s| s.wall_us == 0));
+    }
+
+    #[test]
+    fn unbalanced_span_end_is_ignored() {
+        let c = Collector::new();
+        c.span_end("cpu", 3);
+        assert!(c.spans().is_empty());
+    }
+
+    #[test]
+    fn span_end_before_start_clamps() {
+        let c = Collector::new();
+        c.span("t", "s", 10, 4);
+        assert_eq!(c.spans()[0].end, 10);
+    }
+}

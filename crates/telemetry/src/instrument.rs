@@ -1,0 +1,79 @@
+//! The [`Instrument`] hook trait and its no-op default.
+//!
+//! Substrate components (`sim` kernel, `tlm` bus, `platform` FPGA, the
+//! verification engines) hold a [`SharedInstrument`] and report activity
+//! through it. The default is [`Noop`]: every method is an empty default
+//! body, so disabled telemetry costs one devirtualizable call and zero
+//! allocations. Components must guard any string formatting behind
+//! [`Instrument::enabled`] so the disabled path allocates nothing.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// Telemetry sink interface. All methods take `&self` (implementations use
+/// interior mutability) and default to no-ops.
+///
+/// Time arguments are *simulation* ticks (or another deterministic
+/// progress axis, e.g. BMC depth for the formal engines) — never wall
+/// time; the [`crate::Collector`] records wall time separately and only
+/// when explicitly enabled.
+pub trait Instrument: fmt::Debug {
+    /// Whether records are actually kept. Callers use this to skip
+    /// building labels (which allocate) when telemetry is off.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Opens a nested span on `track` at time `start`.
+    fn span_begin(&self, _track: &str, _name: &str, _start: u64) {}
+
+    /// Closes the innermost open span on `track` at time `end`.
+    fn span_end(&self, _track: &str, _end: u64) {}
+
+    /// Records a complete span in one call (nested under any span
+    /// currently open on `track`).
+    fn span(&self, _track: &str, _name: &str, _start: u64, _end: u64) {}
+
+    /// Adds `delta` to the monotonic counter `name`.
+    fn counter_add(&self, _name: &str, _delta: u64) {}
+
+    /// Appends `(at, value)` to the gauge time-series `name`.
+    fn gauge_set(&self, _name: &str, _at: u64, _value: i64) {}
+
+    /// Records one sample into the histogram `name`.
+    fn record(&self, _name: &str, _value: u64) {}
+}
+
+/// The do-nothing instrument: the default everywhere.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Noop;
+
+impl Instrument for Noop {}
+
+/// Cheaply cloneable handle to an instrument. The whole flow is
+/// single-threaded (`Rc`-based shared objects), so `Rc` is the right
+/// sharing primitive.
+pub type SharedInstrument = Rc<dyn Instrument>;
+
+/// A fresh handle to the no-op instrument.
+pub fn noop() -> SharedInstrument {
+    Rc::new(Noop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled_and_inert() {
+        let i = noop();
+        assert!(!i.enabled());
+        // None of these panic or record anything.
+        i.span_begin("t", "s", 0);
+        i.span_end("t", 1);
+        i.span("t", "s", 0, 1);
+        i.counter_add("c", 3);
+        i.gauge_set("g", 0, -1);
+        i.record("h", 42);
+    }
+}

@@ -1,0 +1,213 @@
+//! A minimal, deterministic JSON writer (the build is offline — no serde).
+//!
+//! Object keys keep insertion order, floats render through one fixed
+//! format, strings escape per RFC 8259. Identical input values always
+//! produce identical bytes, which is what the golden tests rely on.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer (rendered without decimal point).
+    UInt(u64),
+    /// Signed integer.
+    Int(i64),
+    /// Finite float, rendered via [`fmt_f64`]. Non-finite values render
+    /// as `null` (JSON has no NaN/Inf).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object members.
+    pub fn obj(members: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Serializes with 2-space indentation and a trailing newline —
+    /// the layout used for committed golden files and reports.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Num(v) => out.push_str(&fmt_f64(*v)),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(members) if !members.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Deterministic float formatting: six decimal places, trailing zeros
+/// trimmed down to at least one decimal digit (so `5.0` stays visibly a
+/// float). Non-finite values render as `null`.
+pub fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_owned();
+    }
+    let mut s = format!("{v:.6}");
+    while s.ends_with('0') && !s.ends_with(".0") {
+        s.pop();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::UInt(42).render(), "42");
+        assert_eq!(Json::Int(-7).render(), "-7");
+        assert_eq!(Json::Num(0.276).render(), "0.276");
+        assert_eq!(Json::Num(5.0).render(), "5.0");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Str("a\"b\nc".into()).render(), "\"a\\\"b\\nc\"");
+    }
+
+    #[test]
+    fn renders_compound_values_in_order() {
+        let v = Json::obj(vec![
+            ("b", Json::UInt(1)),
+            ("a", Json::Arr(vec![Json::UInt(2), Json::Null])),
+        ]);
+        // Insertion order is preserved — not sorted.
+        assert_eq!(v.render(), "{\"b\":1,\"a\":[2,null]}");
+    }
+
+    #[test]
+    fn pretty_rendering_is_stable() {
+        let v = Json::obj(vec![("k", Json::Arr(vec![Json::UInt(1)]))]);
+        assert_eq!(v.render_pretty(), "{\n  \"k\": [\n    1\n  ]\n}\n");
+        assert_eq!(Json::obj(vec![]).render_pretty(), "{}\n");
+    }
+
+    #[test]
+    fn control_characters_escape_as_unicode() {
+        assert_eq!(Json::Str("\u{1}".into()).render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn float_format_is_deterministic() {
+        assert_eq!(fmt_f64(1.0 / 3.0), "0.333333");
+        assert_eq!(fmt_f64(0.5), "0.5");
+        assert_eq!(fmt_f64(-2.25), "-2.25");
+        assert_eq!(fmt_f64(0.0), "0.0");
+    }
+}

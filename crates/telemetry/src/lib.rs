@@ -1,0 +1,54 @@
+//! Flow-wide telemetry: spans, metrics and exportable traces.
+//!
+//! The paper's level-2/3 models exist to *measure* — bus loading, FIFO
+//! dimensioning, reconfiguration overhead are the quantities the
+//! architecture exploration optimizes. This crate is the instrumentation
+//! layer those measurements flow through:
+//!
+//! * [`Instrument`] — the hook trait every substrate component talks to.
+//!   All methods default to no-ops, so a component holding the [`Noop`]
+//!   instrument (the default everywhere) pays one virtual call to an empty
+//!   function on its hot path and allocates nothing.
+//! * [`Collector`] — the recording implementation: hierarchical spans
+//!   keyed by simulation time (wall time is an optional, off-by-default
+//!   field so exports stay deterministic), monotonic counters, gauge
+//!   time-series and histograms.
+//! * Exporters — [`chrome::chrome_trace`] (open in `chrome://tracing` or
+//!   [ui.perfetto.dev](https://ui.perfetto.dev)), [`vcd::vcd_dump`]
+//!   (gauge series as a VCD waveform) and [`report::Report`] (structured
+//!   human text + JSON, hand-rolled — no serde, the build is offline).
+//!
+//! Everything is deterministic under a fixed seed: records are keyed by
+//! sim-time and a collector-local sequence number, exports sort by those
+//! keys, and the JSON writer formats numbers reproducibly. That is what
+//! makes the exports golden-testable.
+//!
+//! # Example
+//!
+//! ```
+//! use telemetry::{Collector, Instrument};
+//!
+//! let collector = Collector::shared();
+//! let instr: telemetry::SharedInstrument = collector.clone();
+//! instr.span("bus:cpu", "ram:W8", 10, 19);
+//! instr.counter_add("bus.transactions", 1);
+//! instr.record("bus.wait_ticks", 0);
+//! let trace = telemetry::chrome::chrome_trace(&collector);
+//! assert!(trace.contains("\"ram:W8\""));
+//! ```
+
+pub mod chrome;
+pub mod collect;
+pub mod instrument;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod vcd;
+
+pub use chrome::chrome_trace;
+pub use collect::{Collector, Span};
+pub use instrument::{noop, Instrument, Noop, SharedInstrument};
+pub use json::Json;
+pub use metrics::{Histogram, HistogramSummary};
+pub use report::{Report, Section, Value};
+pub use vcd::vcd_dump;

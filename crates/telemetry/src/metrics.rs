@@ -1,0 +1,159 @@
+//! Counter, gauge and histogram primitives.
+//!
+//! Histograms keep raw samples (the flows instrumented here record at most
+//! a few thousand per run) so percentiles are exact. Every statistic is
+//! total — defined for empty and single-sample series — because exporters
+//! run unconditionally at the end of a run.
+
+/// An exact-sample histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    samples: Vec<u64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.samples.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Arithmetic mean (0.0 when empty — never a division by zero).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum() as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// Nearest-rank percentile for `p` in `0..=100`. Total: returns 0 on
+    /// an empty histogram and the sample itself on a single-sample one.
+    /// Values of `p` above 100 clamp to the maximum.
+    pub fn percentile(&self, p: u64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        // Round-half-up linear rank over [0, n-1]; integer math keeps the
+        // result platform-independent for golden tests.
+        let idx = (p.min(100) * (n - 1) + 50) / 100;
+        sorted[idx as usize]
+    }
+
+    /// Deterministic summary snapshot.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.percentile(50),
+            p95: self.percentile(95),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Median (nearest rank).
+    pub p50: u64,
+    /// 95th percentile (nearest rank).
+    pub p95: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0), 0);
+        assert_eq!(h.percentile(50), 0);
+        assert_eq!(h.percentile(100), 0);
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn single_sample_defines_every_statistic() {
+        let mut h = Histogram::new();
+        h.record(7);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 7.0);
+        assert_eq!(h.percentile(0), 7);
+        assert_eq!(h.percentile(50), 7);
+        assert_eq!(h.percentile(100), 7);
+        assert_eq!(h.min(), 7);
+        assert_eq!(h.max(), 7);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 50] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0), 10);
+        assert_eq!(h.percentile(50), 30);
+        assert_eq!(h.percentile(100), 50);
+        // p above 100 clamps instead of indexing out of range.
+        assert_eq!(h.percentile(250), 50);
+        assert_eq!(h.mean(), 30.0);
+    }
+
+    #[test]
+    fn summary_matches_parts() {
+        let mut h = Histogram::new();
+        for v in [3u64, 1, 2] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 6);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.p50, 2);
+        assert_eq!(s.p95, 3);
+    }
+}

@@ -1,0 +1,118 @@
+//! VCD-style exporter: gauge time-series as a value-change dump.
+//!
+//! The level-3 signals worth eyeballing in a waveform viewer — bus grant,
+//! loaded FPGA context, FIFO depths — are recorded as gauges; this
+//! exporter writes them as a standard VCD file (64-bit two's-complement
+//! vectors, 1 tick = 1 ns). Output is deterministic: signals are sorted
+//! by name, changes by `(time, signal)`, and consecutive duplicate values
+//! are elided as a real dump would.
+
+use crate::collect::Collector;
+use std::fmt::Write as _;
+
+/// VCD identifier for signal `i`: printable ASCII, multi-character when
+/// more than 94 signals exist.
+fn ident(mut i: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((33 + (i % 94)) as u8 as char);
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    s
+}
+
+fn binary64(v: i64) -> String {
+    format!("{:b}", v as u64)
+}
+
+/// Serializes every gauge series as a VCD waveform.
+pub fn vcd_dump(collector: &Collector) -> String {
+    let gauges = collector.gauges();
+    let mut out = String::new();
+    out.push_str("$comment symbad telemetry gauge dump $end\n");
+    out.push_str("$timescale 1ns $end\n");
+    out.push_str("$scope module symbad $end\n");
+    for (i, (name, _)) in gauges.iter().enumerate() {
+        // VCD identifiers may not contain whitespace; gauge names are
+        // dotted already.
+        let _ = writeln!(out, "$var integer 64 {} {} $end", ident(i), name);
+    }
+    out.push_str("$upscope $end\n");
+    out.push_str("$enddefinitions $end\n");
+
+    // Flatten to (time, signal index, value), keeping per-signal record
+    // order for same-time updates (last write wins in a VCD anyway).
+    let mut changes: Vec<(u64, usize, i64)> = Vec::new();
+    for (i, (_, series)) in gauges.iter().enumerate() {
+        let mut last: Option<i64> = None;
+        for &(at, value) in series {
+            if last == Some(value) {
+                continue;
+            }
+            last = Some(value);
+            changes.push((at, i, value));
+        }
+    }
+    changes.sort_by_key(|&(at, i, _)| (at, i));
+
+    let mut current_time: Option<u64> = None;
+    for (at, i, value) in changes {
+        if current_time != Some(at) {
+            let _ = writeln!(out, "#{at}");
+            current_time = Some(at);
+        }
+        let _ = writeln!(out, "b{} {}", binary64(value), ident(i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::Instrument;
+
+    #[test]
+    fn dump_contains_declarations_and_changes() {
+        let c = Collector::new();
+        c.gauge_set("bus.grant", 0, 0);
+        c.gauge_set("bus.grant", 5, 2);
+        c.gauge_set("bus.grant", 9, 0);
+        c.gauge_set("fpga.context", 265, 1);
+        let vcd = vcd_dump(&c);
+        assert!(vcd.contains("$var integer 64 ! bus.grant $end"));
+        assert!(vcd.contains("$var integer 64 \" fpga.context $end"));
+        assert!(vcd.contains("#5\nb10 !"));
+        assert!(vcd.contains("#265\nb1 \""));
+    }
+
+    #[test]
+    fn consecutive_duplicates_are_elided() {
+        let c = Collector::new();
+        c.gauge_set("g", 0, 7);
+        c.gauge_set("g", 3, 7);
+        c.gauge_set("g", 6, 8);
+        let vcd = vcd_dump(&c);
+        assert!(!vcd.contains("#3"));
+        assert!(vcd.contains("#6"));
+    }
+
+    #[test]
+    fn negative_values_use_twos_complement() {
+        let c = Collector::new();
+        c.gauge_set("g", 1, -1);
+        let vcd = vcd_dump(&c);
+        // -1 as u64 = 64 ones.
+        assert!(vcd.contains(&format!("b{} !", "1".repeat(64))));
+    }
+
+    #[test]
+    fn identifiers_stay_printable_past_94_signals() {
+        assert_eq!(ident(0), "!");
+        assert_eq!(ident(93), "~");
+        assert_eq!(ident(94), "!\"");
+        assert!(ident(94 * 94 + 5).chars().all(|c| ('!'..='~').contains(&c)));
+    }
+}

@@ -9,12 +9,13 @@
 //! making the cost of FPGA bitstream downloads (long bursts) visible at
 //! level 3.
 
-use crate::payload::Payload;
+use crate::payload::{AccessKind, Payload};
 use sim::faults::SharedFaultPlan;
 use sim::SimTime;
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
+use telemetry::SharedInstrument;
 
 /// Typed bus transaction failures. The substrate never panics on a bad
 /// transaction: decode misses and error responses are part of the platform
@@ -160,6 +161,7 @@ pub struct Bus {
     created: SimTime,
     /// Optional deterministic fault schedule (slave errors, stalls).
     faults: Option<SharedFaultPlan>,
+    instrument: SharedInstrument,
 }
 
 /// Shared handle to a [`Bus`].
@@ -177,7 +179,16 @@ impl Bus {
             total_busy_ticks: 0,
             created: SimTime::ZERO,
             faults: None,
+            instrument: telemetry::noop(),
         }
+    }
+
+    /// Attaches a telemetry instrument. Every reservation then emits a span
+    /// on the `bus:<master>` track plus transaction/word/error counters, a
+    /// wait-tick histogram and a grant gauge. The default no-op instrument
+    /// keeps [`Bus::transfer`] allocation-free.
+    pub fn set_instrument(&mut self, instrument: SharedInstrument) {
+        self.instrument = instrument;
     }
 
     /// Attaches a fault schedule; transfers consult it for injected slave
@@ -304,6 +315,31 @@ impl Bus {
         m.occupancy_ticks += duration;
         if failed {
             m.errors += 1;
+        }
+        if self.instrument.enabled() {
+            let i = &self.instrument;
+            let master = &self.masters[payload.master].name;
+            let slave_name = &self.regions[slave.0].name;
+            let kind = match payload.kind {
+                AccessKind::Read => "R",
+                AccessKind::Write => "W",
+            };
+            i.span(
+                &format!("bus:{master}"),
+                &format!("{slave_name}:{kind}{}w", payload.words),
+                start.ticks(),
+                end.ticks(),
+            );
+            i.counter_add("bus.transactions", 1);
+            i.counter_add("bus.words", payload.words as u64);
+            i.record("bus.wait_ticks", waited);
+            i.gauge_set("bus.grant", start.ticks(), payload.master as i64 + 1);
+            i.gauge_set("bus.grant", end.ticks(), 0);
+            if failed {
+                i.counter_add("bus.errors", 1);
+            }
+        }
+        if failed {
             return Err(BusError::Slave {
                 slave: self.regions[slave.0].name.clone(),
                 addr: payload.addr,
@@ -569,6 +605,46 @@ mod tests {
             assert_eq!(a, b);
         }
         assert_eq!(plain.report(t(100)), faulted.report(t(100)));
+    }
+
+    #[test]
+    fn collector_sees_spans_and_counters() {
+        let collector = telemetry::Collector::shared();
+        let mut bus = Bus::new("amba", BusConfig::default());
+        bus.set_instrument(collector.clone());
+        bus.map_region("mem", 0, 0x1000, 0);
+        let m = bus.add_master("cpu");
+        bus.transfer(t(0), &Payload::burst(m, 0, AccessKind::Write, 8))
+            .expect("transfer");
+        bus.transfer(t(0), &Payload::read(m, 0x10)).expect("queued");
+        assert_eq!(collector.counter("bus.transactions"), 2);
+        assert_eq!(collector.counter("bus.words"), 9);
+        assert_eq!(collector.counter("bus.errors"), 0);
+        let spans = collector.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].track, "bus:cpu");
+        assert_eq!(spans[0].name, "mem:W8w");
+        assert_eq!((spans[0].start, spans[0].end), (0, 9));
+        assert_eq!(spans[1].name, "mem:R1w");
+        // The queued read waited out the first burst.
+        assert_eq!(collector.histogram("bus.wait_ticks").max(), 9);
+        assert!(!collector.gauge_series("bus.grant").is_empty());
+    }
+
+    #[test]
+    fn injected_error_counts_through_collector() {
+        use sim::faults::{FaultPlan, PPM};
+        let collector = telemetry::Collector::shared();
+        let mut bus = Bus::new("amba", BusConfig::default());
+        bus.set_instrument(collector.clone());
+        bus.map_region("mem", 0, 0x1000, 0);
+        let m = bus.add_master("cpu");
+        bus.set_fault_plan(FaultPlan::new(1).with_bus_errors(0, 0x100, PPM).shared());
+        bus.transfer(t(0), &Payload::read(m, 0))
+            .expect_err("always faults");
+        assert_eq!(collector.counter("bus.errors"), 1);
+        // The failed burst still produced its span.
+        assert_eq!(collector.spans().len(), 1);
     }
 
     #[test]

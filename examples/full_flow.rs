@@ -1,24 +1,119 @@
 //! The whole methodology in one call: [`symbad_core::flow::run_full_flow`]
-//! executes levels 1–4 with every verification phase and prints the
-//! aggregated evidence.
+//! executes levels 1–4 with every verification phase, prints the
+//! aggregated evidence, and exports the flow's telemetry:
+//!
+//! * `report_output.txt` / `report_output.json` — the structured
+//!   [`symbad_core::flow::FlowReport`], as text and JSON,
+//! * `flow_trace.json` — Chrome-trace spans (open in `chrome://tracing`
+//!   or <https://ui.perfetto.dev>),
+//! * `flow_signals.vcd` — gauge time-series as a VCD waveform,
+//! * `BENCH_flow.json` — the benchmark summary (kernel cycle counts, bus
+//!   utilisation, reconfiguration latency) consumed by CI.
 //!
 //! ```text
 //! cargo run --release --example full_flow
 //! ```
 
-use symbad_core::flow::run_full_flow;
+use std::fs;
+use symbad_core::flow::{run_full_flow_instrumented, FlowReport};
 use symbad_core::workload::Workload;
+use telemetry::{chrome_trace, vcd_dump, Collector, Json, SharedInstrument};
+
+/// Builds the `BENCH_flow.json` payload. Everything except `host.wall_ms`
+/// is deterministic (simulated cycles, counters, histogram summaries);
+/// wall time is confined to the `host` section so regressions in the
+/// deterministic sections are attributable to model changes alone.
+fn bench_json(report: &FlowReport, collector: &Collector, wall_ms: f64) -> String {
+    let latency = collector.histogram("fpga.reconfig_latency").summary();
+    Json::obj(vec![
+        (
+            "kernel",
+            Json::obj(vec![
+                ("polls", Json::UInt(collector.counter("sim.polls"))),
+                (
+                    "delta_cycles",
+                    Json::UInt(collector.counter("sim.delta_cycles")),
+                ),
+                (
+                    "time_steps",
+                    Json::UInt(collector.counter("sim.time_steps")),
+                ),
+                ("l2_total_ticks", Json::UInt(report.metrics.l2_total_ticks)),
+                ("l3_total_ticks", Json::UInt(report.metrics.l3_total_ticks)),
+                (
+                    "l3_ticks_per_frame",
+                    Json::Num(report.metrics.l3_ticks_per_frame),
+                ),
+            ]),
+        ),
+        (
+            "bus",
+            Json::obj(vec![
+                (
+                    "transactions",
+                    Json::UInt(collector.counter("bus.transactions")),
+                ),
+                ("words", Json::UInt(collector.counter("bus.words"))),
+                (
+                    "l3_utilization",
+                    Json::Num(report.metrics.l3_bus_utilization),
+                ),
+                (
+                    "wait_ticks_p95",
+                    Json::UInt(collector.histogram("bus.wait_ticks").percentile(95)),
+                ),
+            ]),
+        ),
+        (
+            "fpga",
+            Json::obj(vec![
+                (
+                    "reconfigurations",
+                    Json::UInt(report.metrics.fpga_reconfigurations),
+                ),
+                (
+                    "download_words",
+                    Json::UInt(report.metrics.fpga_download_words),
+                ),
+                ("reconfig_latency_min", Json::UInt(latency.min)),
+                ("reconfig_latency_p50", Json::UInt(latency.p50)),
+                ("reconfig_latency_max", Json::UInt(latency.max)),
+            ]),
+        ),
+        (
+            "engines",
+            Json::obj(vec![
+                (
+                    "sat_solve_calls",
+                    Json::UInt(collector.counter("sat.solve_calls")),
+                ),
+                (
+                    "sat_conflicts",
+                    Json::UInt(collector.counter("sat.conflicts")),
+                ),
+                (
+                    "bmc_sat_calls",
+                    Json::UInt(collector.counter("bmc.sat_calls")),
+                ),
+            ]),
+        ),
+        ("host", Json::obj(vec![("wall_ms", Json::Num(wall_ms))])),
+    ])
+    .render_pretty()
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let start = std::time::Instant::now();
     let workload = Workload::small();
-    let report = run_full_flow(&workload)?;
-    println!("Symbad full-flow report\n");
-    for p in &report.phases {
-        println!("[{}] {}", if p.ok { "PASS" } else { "FAIL" }, p.phase);
-        println!("       {}\n", p.detail);
-    }
+    let collector = Collector::shared();
+    let instr: SharedInstrument = collector.clone();
+    let report = run_full_flow_instrumented(&workload, &instr)?;
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let text = report.to_text();
+    print!("{text}");
     println!(
-        "recognized identities: {:?} (expected {:?})",
+        "\nrecognized identities: {:?} (expected {:?})",
         report.recognized,
         workload
             .probes
@@ -27,6 +122,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect::<Vec<_>>()
     );
     println!("flow healthy: {}", report.all_ok());
+
+    fs::write("report_output.txt", &text)?;
+    fs::write("report_output.json", report.to_json())?;
+    fs::write("flow_trace.json", chrome_trace(&collector))?;
+    fs::write("flow_signals.vcd", vcd_dump(&collector))?;
+    fs::write("BENCH_flow.json", bench_json(&report, &collector, wall_ms))?;
+    println!(
+        "wrote report_output.txt, report_output.json, flow_trace.json, \
+         flow_signals.vcd, BENCH_flow.json"
+    );
+
     assert!(report.all_ok());
     Ok(())
 }

@@ -13,4 +13,5 @@ pub use sat;
 pub use sim;
 pub use symbad_core;
 pub use symbc;
+pub use telemetry;
 pub use tlm;
