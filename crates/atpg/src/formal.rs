@@ -295,11 +295,29 @@ pub fn complete_faults_with_sat(
     func: &Function,
     tb: &Testbench,
 ) -> Result<(Testbench, u32), FormalError> {
+    complete_faults_with_sat_mode(func, tb, exec::ExecMode::Sequential)
+}
+
+/// [`complete_faults_with_sat`] with each undetected fault generated as an
+/// independent obligation, optionally across worker threads. Obligations
+/// share nothing (each builds its own miter and solver) and results are
+/// merged in fault order, so the extended testbench is bit-identical to
+/// the sequential one for every mode.
+///
+/// # Errors
+///
+/// Propagates synthesis failures (the first, in fault order).
+pub fn complete_faults_with_sat_mode(
+    func: &Function,
+    tb: &Testbench,
+    mode: exec::ExecMode,
+) -> Result<(Testbench, u32), FormalError> {
     let cov = crate::metrics::bit_coverage(func, tb);
+    let results = exec::map(mode, cov.undetected, |_, fault| sat_fault_tpg(func, fault));
     let mut out = tb.clone();
     let mut untestable = 0u32;
-    for fault in cov.undetected {
-        match sat_fault_tpg(func, fault)? {
+    for r in results {
+        match r? {
             Some(v) => out.vectors.push(v),
             None => untestable += 1,
         }
@@ -331,12 +349,31 @@ fn read_model(builder: &sat::CnfBuilder, input_bits: &[Vec<Lit>]) -> Vec<u64> {
 ///
 /// Propagates synthesis failures.
 pub fn complete_with_sat(func: &Function, tb: &Testbench) -> Result<(Testbench, u32), FormalError> {
+    complete_with_sat_mode(func, tb, exec::ExecMode::Sequential)
+}
+
+/// [`complete_with_sat`] with each uncovered branch targeted as an
+/// independent obligation, optionally across worker threads. Vectors are
+/// merged in branch order, so the extended testbench is bit-identical to
+/// the sequential one for every mode.
+///
+/// # Errors
+///
+/// Propagates synthesis failures (the first, in branch order).
+pub fn complete_with_sat_mode(
+    func: &Function,
+    tb: &Testbench,
+    mode: exec::ExecMode,
+) -> Result<(Testbench, u32), FormalError> {
     let merged = crate::metrics::evaluate(func, &tb.vectors);
     let report = merged.report();
+    let results = exec::map(mode, report.uncovered_branches, |_, (cond, dir)| {
+        sat_branch_tpg(func, cond, dir)
+    });
     let mut out = tb.clone();
     let mut unreachable = 0u32;
-    for (cond, dir) in report.uncovered_branches {
-        match sat_branch_tpg(func, cond, dir)? {
+    for r in results {
+        match r? {
             Some(v) => {
                 // Cross-check with the interpreter before trusting SAT.
                 let run = Interpreter::new(func).run(&v);
@@ -488,6 +525,25 @@ mod tests {
             "every fault either detected or proven untestable: {after:?}"
         );
         assert!(after.detected > before.detected);
+    }
+
+    #[test]
+    fn parallel_completion_is_bit_identical() {
+        let f = needle();
+        let tb = Testbench {
+            vectors: vec![vec![0]],
+        };
+        let branch_ref = complete_with_sat(&f, &tb).expect("works");
+        let fault_ref = complete_faults_with_sat(&f, &tb).expect("works");
+        for workers in [2, 8] {
+            let mode = exec::ExecMode::Parallel { workers };
+            let branches = complete_with_sat_mode(&f, &tb, mode).expect("works");
+            assert_eq!(branches.0.vectors, branch_ref.0.vectors);
+            assert_eq!(branches.1, branch_ref.1);
+            let faults = complete_faults_with_sat_mode(&f, &tb, mode).expect("works");
+            assert_eq!(faults.0.vectors, fault_ref.0.vectors);
+            assert_eq!(faults.1, fault_ref.1);
+        }
     }
 
     /// Helper: the `i`-th condition id of a function.

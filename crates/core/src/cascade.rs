@@ -154,140 +154,154 @@ pub fn wrapper(correct: bool) -> hdl::Rtl {
 /// Runs the whole cascade: each stage on its buggy artifact (must catch)
 /// and on the corrected artifact (must certify).
 pub fn run() -> CascadeReport {
-    let mut stages = Vec::new();
+    run_mode(exec::ExecMode::Sequential)
+}
 
-    // ── Stage 1: ATPG (Laerte++) at level 1 ────────────────────────────
-    {
-        let buggy = buggy_lut_kernel(false);
-        let clean = buggy_lut_kernel(true);
-        // Coverage metrics cannot distinguish LUT indices (no branch depends
-        // on them), so a coverage-greedy testbench may keep a single vector.
-        // Memory inspection therefore runs on the full generated testbench:
-        // the greedy survivors plus a directed index sweep — exactly how
-        // Laerte++ pairs generated patterns with its memory inspector.
-        let mut tb = atpg::tpg::random_tpg(
-            &buggy,
-            &atpg::tpg::RandomConfig {
-                rounds: 64,
-                seed: 5,
-            },
-        );
-        tb.vectors.extend((0..16u64).map(|i| vec![i]));
-        let findings = atpg::metrics::memory_inspection(&buggy, &tb);
-        let clean_findings = atpg::metrics::memory_inspection(&clean, &tb);
-        stages.push(StageResult {
-            stage: "ATPG (memory inspection)",
-            level: 1,
-            seeded_error: "uninitialized LUT entries read by the kernel",
-            caught: !findings.is_empty(),
-            clean_passes: clean_findings.is_empty(),
-            detail: format!(
-                "{} uninitialized reads on the buggy kernel, {} on the fixed one",
-                findings.len(),
-                clean_findings.len()
-            ),
-        });
-    }
-
-    // ── Stage 2a: LPV deadlock freeness at level 1 ─────────────────────
-    {
-        let buggy = fig2_petri_net(0);
-        let clean = fig2_petri_net(1);
-        let buggy_verdict = check_liveness(&buggy);
-        let clean_verdict = check_liveness(&clean);
-        let caught = matches!(buggy_verdict, LivenessVerdict::TokenFreeCycle { .. });
-        stages.push(StageResult {
-            stage: "LPV (deadlock freeness)",
-            level: 1,
-            seeded_error: "frame-credit loop dimensioned with zero credits",
-            caught,
-            clean_passes: clean_verdict.is_live(),
-            detail: format!("buggy: {buggy_verdict:?}; clean: {clean_verdict:?}"),
-        });
-    }
-
-    // ── Stage 2b: LPV deadline achievement at level 2 ──────────────────
-    {
-        // Annotated task graph of the paper partition on the default
-        // platform; the "bug" is an over-optimistic frame deadline.
-        let config = media::dataset::DatasetConfig::default();
-        let profile = build_profile(&config, 80);
-        let cpu = platform::CpuModel::arm7tdmi();
-        let arch = crate::partition::ArchConfig::default();
-        let partition = crate::Partition::paper_level2();
-        let mut g = TaskGraph::new();
-        let mut prev = None;
-        for m in MODULES {
-            let mix = profile.mix(m);
-            let cycles = match partition.domain(m) {
-                crate::Domain::Sw => cpu.cycles(mix),
-                _ => arch.hw_cycles(mix.total()),
-            };
-            let t = g.add_task(m, cycles);
-            if let Some(p) = prev {
-                g.add_dep(p, t);
-            }
-            prev = Some(t);
-        }
-        let latency = g.latency_lp();
-        let too_tight = (latency.to_f64() * 0.5) as u64;
-        let achievable = (latency.to_f64() * 1.2) as u64;
-        let tight_verdict = check_deadline(&g, too_tight);
-        let ok_verdict = check_deadline(&g, achievable);
-        stages.push(StageResult {
-            stage: "LPV (deadline achievement)",
-            level: 2,
-            seeded_error: "frame deadline set below the provable latency",
-            caught: matches!(tight_verdict, DeadlineVerdict::Violated { .. }),
-            clean_passes: ok_verdict.is_met(),
-            detail: format!("worst-case latency {latency} cycles"),
-        });
-    }
-
-    // ── Stage 3: SymbC at level 3 ──────────────────────────────────────
-    {
-        let (buggy_sw, map) = instrumented_sw(false);
-        let (clean_sw, _) = instrumented_sw(true);
-        let buggy_verdict = check(&buggy_sw, &map);
-        let clean_verdict = check(&clean_sw, &map);
-        stages.push(StageResult {
-            stage: "SymbC (reconfiguration consistency)",
-            level: 3,
-            seeded_error: "missing reconfigure(config2) before the ROOT calls",
-            caught: !buggy_verdict.is_consistent(),
-            clean_passes: clean_verdict.is_consistent(),
-            detail: match &buggy_verdict {
-                SymbcVerdict::Inconsistent(v) => {
-                    format!("{} violation(s), first: {}", v.len(), v[0])
-                }
-                SymbcVerdict::Consistent(_) => "unexpected certificate".to_owned(),
-            },
-        });
-    }
-
-    // ── Stage 4: model checking at level 4 ─────────────────────────────
-    {
-        let buggy = wrapper(false);
-        let clean = wrapper(true);
-        let p = Property::response(
-            "done_returns_to_idle",
-            BoolExpr::eq("state", 3),
-            BoolExpr::eq("state", 0),
-            1,
-        );
-        let buggy_verdict = bmc::check(&buggy, &p, 10);
-        let clean_verdict = bmc::check(&clean, &p, 10);
-        stages.push(StageResult {
-            stage: "Model checking (BMC)",
-            level: 4,
-            seeded_error: "DONE state latches instead of returning to IDLE",
-            caught: buggy_verdict.is_violated(),
-            clean_passes: matches!(clean_verdict, Verdict::NoViolationUpTo(_)),
-            detail: format!("buggy verdict: {buggy_verdict:?}"),
-        });
-    }
-
+/// [`run`] with each stage executed as an independent obligation,
+/// optionally across worker threads. Every stage builds its own artifacts
+/// and engines, and each is deterministic, so the report is bit-identical
+/// to the sequential run (stages stay in flow order).
+pub fn run_mode(mode: exec::ExecMode) -> CascadeReport {
+    let jobs: Vec<usize> = (0..5).collect();
+    let stages = exec::map(mode, jobs, |_, i| match i {
+        0 => stage_atpg(),
+        1 => stage_lpv_liveness(),
+        2 => stage_lpv_deadline(),
+        3 => stage_symbc(),
+        _ => stage_model_checking(),
+    });
     CascadeReport { stages }
+}
+
+/// Stage 1: ATPG (Laerte++) at level 1.
+fn stage_atpg() -> StageResult {
+    let buggy = buggy_lut_kernel(false);
+    let clean = buggy_lut_kernel(true);
+    // Coverage metrics cannot distinguish LUT indices (no branch depends
+    // on them), so a coverage-greedy testbench may keep a single vector.
+    // Memory inspection therefore runs on the full generated testbench:
+    // the greedy survivors plus a directed index sweep — exactly how
+    // Laerte++ pairs generated patterns with its memory inspector.
+    let mut tb = atpg::tpg::random_tpg(
+        &buggy,
+        &atpg::tpg::RandomConfig {
+            rounds: 64,
+            seed: 5,
+        },
+    );
+    tb.vectors.extend((0..16u64).map(|i| vec![i]));
+    let findings = atpg::metrics::memory_inspection(&buggy, &tb);
+    let clean_findings = atpg::metrics::memory_inspection(&clean, &tb);
+    StageResult {
+        stage: "ATPG (memory inspection)",
+        level: 1,
+        seeded_error: "uninitialized LUT entries read by the kernel",
+        caught: !findings.is_empty(),
+        clean_passes: clean_findings.is_empty(),
+        detail: format!(
+            "{} uninitialized reads on the buggy kernel, {} on the fixed one",
+            findings.len(),
+            clean_findings.len()
+        ),
+    }
+}
+
+/// Stage 2a: LPV deadlock freeness at level 1.
+fn stage_lpv_liveness() -> StageResult {
+    let buggy = fig2_petri_net(0);
+    let clean = fig2_petri_net(1);
+    let buggy_verdict = check_liveness(&buggy);
+    let clean_verdict = check_liveness(&clean);
+    let caught = matches!(buggy_verdict, LivenessVerdict::TokenFreeCycle { .. });
+    StageResult {
+        stage: "LPV (deadlock freeness)",
+        level: 1,
+        seeded_error: "frame-credit loop dimensioned with zero credits",
+        caught,
+        clean_passes: clean_verdict.is_live(),
+        detail: format!("buggy: {buggy_verdict:?}; clean: {clean_verdict:?}"),
+    }
+}
+
+/// Stage 2b: LPV deadline achievement at level 2. The seeded "bug" is an
+/// over-optimistic frame deadline on the paper partition's annotated task
+/// graph.
+fn stage_lpv_deadline() -> StageResult {
+    let config = media::dataset::DatasetConfig::default();
+    let profile = build_profile(&config, 80);
+    let cpu = platform::CpuModel::arm7tdmi();
+    let arch = crate::partition::ArchConfig::default();
+    let partition = crate::Partition::paper_level2();
+    let mut g = TaskGraph::new();
+    let mut prev = None;
+    for m in MODULES {
+        let mix = profile.mix(m);
+        let cycles = match partition.domain(m) {
+            crate::Domain::Sw => cpu.cycles(mix),
+            _ => arch.hw_cycles(mix.total()),
+        };
+        let t = g.add_task(m, cycles);
+        if let Some(p) = prev {
+            g.add_dep(p, t);
+        }
+        prev = Some(t);
+    }
+    let latency = g.latency_lp();
+    let too_tight = (latency.to_f64() * 0.5) as u64;
+    let achievable = (latency.to_f64() * 1.2) as u64;
+    let tight_verdict = check_deadline(&g, too_tight);
+    let ok_verdict = check_deadline(&g, achievable);
+    StageResult {
+        stage: "LPV (deadline achievement)",
+        level: 2,
+        seeded_error: "frame deadline set below the provable latency",
+        caught: matches!(tight_verdict, DeadlineVerdict::Violated { .. }),
+        clean_passes: ok_verdict.is_met(),
+        detail: format!("worst-case latency {latency} cycles"),
+    }
+}
+
+/// Stage 3: SymbC at level 3.
+fn stage_symbc() -> StageResult {
+    let (buggy_sw, map) = instrumented_sw(false);
+    let (clean_sw, _) = instrumented_sw(true);
+    let buggy_verdict = check(&buggy_sw, &map);
+    let clean_verdict = check(&clean_sw, &map);
+    StageResult {
+        stage: "SymbC (reconfiguration consistency)",
+        level: 3,
+        seeded_error: "missing reconfigure(config2) before the ROOT calls",
+        caught: !buggy_verdict.is_consistent(),
+        clean_passes: clean_verdict.is_consistent(),
+        detail: match &buggy_verdict {
+            SymbcVerdict::Inconsistent(v) => {
+                format!("{} violation(s), first: {}", v.len(), v[0])
+            }
+            SymbcVerdict::Consistent(_) => "unexpected certificate".to_owned(),
+        },
+    }
+}
+
+/// Stage 4: model checking at level 4.
+fn stage_model_checking() -> StageResult {
+    let buggy = wrapper(false);
+    let clean = wrapper(true);
+    let p = Property::response(
+        "done_returns_to_idle",
+        BoolExpr::eq("state", 3),
+        BoolExpr::eq("state", 0),
+        1,
+    );
+    let buggy_verdict = bmc::check(&buggy, &p, 10);
+    let clean_verdict = bmc::check(&clean, &p, 10);
+    StageResult {
+        stage: "Model checking (BMC)",
+        level: 4,
+        seeded_error: "DONE state latches instead of returning to IDLE",
+        caught: buggy_verdict.is_violated(),
+        clean_passes: matches!(clean_verdict, Verdict::NoViolationUpTo(_)),
+        detail: format!("buggy verdict: {buggy_verdict:?}"),
+    }
 }
 
 #[cfg(test)]
@@ -325,6 +339,14 @@ mod tests {
         assert_eq!(net.num_transitions(), MODULES.len());
         // Chain places + the credit loop.
         assert_eq!(net.num_places(), MODULES.len());
+    }
+
+    #[test]
+    fn parallel_cascade_is_bit_identical() {
+        let reference = run();
+        for workers in [2, 8] {
+            assert_eq!(run_mode(exec::ExecMode::Parallel { workers }), reference);
+        }
     }
 
     #[test]

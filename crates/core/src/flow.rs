@@ -113,6 +113,23 @@ pub fn run_full_flow(workload: &Workload) -> Result<FlowReport, SimError> {
     run_full_flow_instrumented(workload, &telemetry::noop())
 }
 
+/// [`run_full_flow`] with the verification obligations dispatched across
+/// worker threads when `mode` is parallel. The simulations of levels 1–3
+/// stay sequential (they are single trajectories); the LPV dimensioning,
+/// the level-4 miters/model checking/PCC, and the SAT portfolio fan out.
+/// The report — verdicts, counterexamples, coverage, and JSON rendering —
+/// is bit-identical to the sequential run for any worker count.
+///
+/// # Errors
+///
+/// Propagates kernel errors from the simulations.
+pub fn run_full_flow_mode(
+    workload: &Workload,
+    mode: exec::ExecMode,
+) -> Result<FlowReport, SimError> {
+    run_full_flow_instrumented_mode(workload, &telemetry::noop(), mode)
+}
+
 /// [`run_full_flow`] with telemetry: every level runs with the given
 /// instrument (bus spans, FPGA activity, engine counters accumulate into
 /// one collector), and the flow itself adds a `flow` track whose time axis
@@ -126,6 +143,25 @@ pub fn run_full_flow(workload: &Workload) -> Result<FlowReport, SimError> {
 pub fn run_full_flow_instrumented(
     workload: &Workload,
     instrument: &telemetry::SharedInstrument,
+) -> Result<FlowReport, SimError> {
+    run_full_flow_instrumented_mode(workload, instrument, exec::ExecMode::Sequential)
+}
+
+/// [`run_full_flow_instrumented`] with an explicit [`exec::ExecMode`] —
+/// see [`run_full_flow_mode`] for what parallelizes. On the sequential
+/// path the telemetry stream is byte-identical to
+/// [`run_full_flow_instrumented`]; on parallel paths the per-obligation
+/// collectors are merged back in obligation order (the SAT portfolio
+/// contestants stay uninstrumented because their winner is
+/// wall-clock-dependent).
+///
+/// # Errors
+///
+/// Propagates kernel errors from the simulations.
+pub fn run_full_flow_instrumented_mode(
+    workload: &Workload,
+    instrument: &telemetry::SharedInstrument,
+    mode: exec::ExecMode,
 ) -> Result<FlowReport, SimError> {
     let mut phases: Vec<PhaseSummary> = Vec::new();
     let note_phase = |phases: &mut Vec<PhaseSummary>, summary: PhaseSummary| {
@@ -185,7 +221,8 @@ pub fn run_full_flow_instrumented(
     );
 
     // ── Level 2 verification: deadline LP ──────────────────────────────
-    let bounds = level2::dimension_channels(workload, &crate::Partition::paper_level2(), &arch);
+    let bounds =
+        level2::dimension_channels_mode(workload, &crate::Partition::paper_level2(), &arch, mode);
     note_phase(
         &mut phases,
         PhaseSummary {
@@ -228,7 +265,7 @@ pub fn run_full_flow_instrumented(
     );
 
     // ── Level 4: RTL + formal ──────────────────────────────────────────
-    let l4 = level4::run_instrumented(instrument);
+    let l4 = level4::run_mode(mode, instrument);
     let kernels_ok = l4.kernels.iter().all(|(_, _, eq)| *eq);
     let props_ok = l4.properties.iter().all(|(_, _, p)| *p);
     note_phase(

@@ -72,6 +72,19 @@ pub fn dimension_channels(
     partition: &Partition,
     arch: &ArchConfig,
 ) -> Vec<(String, lp::FifoBound)> {
+    dimension_channels_mode(workload, partition, arch, exec::ExecMode::Sequential)
+}
+
+/// [`dimension_channels`] with each channel dimensioned as an independent
+/// LP obligation, optionally across worker threads. Bounds are
+/// bit-identical to the sequential run (the rate derivation is pure and
+/// the batch preserves channel order).
+pub fn dimension_channels_mode(
+    workload: &Workload,
+    partition: &Partition,
+    arch: &ArchConfig,
+    mode: exec::ExecMode,
+) -> Vec<(String, lp::FifoBound)> {
     use media::profile::module_mix;
     let config = workload.dataset.config();
     let gallery = workload.gallery_len();
@@ -95,29 +108,33 @@ pub fn dimension_channels(
         + charge("calcdist")
         + charge("root");
     let horizon = (front_period + cpu_period) * workload.probes.len() as u64;
-    let frames_bound = lp::dimension_fifo(&lp::ChannelRates {
-        producer_burst: 1,
-        producer_period: front_period.max(1),
-        consumer_period: cpu_period.max(1),
-        consumer_latency: 0,
-        horizon: horizon.max(1),
-    });
     // Channel `matcher→cpu`: the matcher bursts one response per gallery
     // entry while the CPU drains them one at a time.
     let match_entry: u64 = (charge("distance") + charge("calcdist"))
         .div_ceil(gallery as u64)
         .max(1);
-    let resp_bound = lp::dimension_fifo(&lp::ChannelRates {
-        producer_burst: 1,
-        producer_period: match_entry,
-        consumer_period: 1,
-        consumer_latency: match_entry * gallery as u64,
-        horizon: horizon.max(1),
-    });
-    vec![
-        ("front→cpu".to_owned(), frames_bound),
-        ("matcher→cpu".to_owned(), resp_bound),
-    ]
+    let rates = [
+        lp::ChannelRates {
+            producer_burst: 1,
+            producer_period: front_period.max(1),
+            consumer_period: cpu_period.max(1),
+            consumer_latency: 0,
+            horizon: horizon.max(1),
+        },
+        lp::ChannelRates {
+            producer_burst: 1,
+            producer_period: match_entry,
+            consumer_period: 1,
+            consumer_latency: match_entry * gallery as u64,
+            horizon: horizon.max(1),
+        },
+    ];
+    let bounds = lp::dimension_fifo_batch(&rates, mode);
+    ["front→cpu", "matcher→cpu"]
+        .iter()
+        .map(|n| (*n).to_owned())
+        .zip(bounds)
+        .collect()
 }
 
 #[cfg(test)]
@@ -174,6 +191,25 @@ mod tests {
         // The slow-consumer response channel needs more slack than the
         // frame channel (the matcher bursts a whole gallery's worth).
         assert!(bounds[1].1.capacity >= bounds[0].1.capacity);
+    }
+
+    #[test]
+    fn parallel_dimensioning_is_bit_identical() {
+        let w = Workload::small();
+        let partition = Partition::paper_level2();
+        let arch = ArchConfig::default();
+        let reference = dimension_channels(&w, &partition, &arch);
+        for workers in [2, 8] {
+            assert_eq!(
+                dimension_channels_mode(
+                    &w,
+                    &partition,
+                    &arch,
+                    exec::ExecMode::Parallel { workers }
+                ),
+                reference
+            );
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ use hdl::Rtl;
 use mc::prop::{BoolExpr, Property};
 use mc::{bmc, reach, Verdict};
 use media::kernels::{distance_step_function, root_function, ROOT_ITERATIONS};
-use pcc::{check_coverage, PccConfig, PccReport};
+use pcc::{check_coverage, check_coverage_mode, PccConfig, PccReport};
 
 /// Outcome of the level-4 phase.
 #[derive(Debug, Clone)]
@@ -57,12 +57,33 @@ pub fn prove_equivalence_instrumented(
     if instrument.enabled() {
         ctx.builder_mut().set_instrument(instrument.clone());
     }
+    assert_miter(func, rtl, &mut ctx);
+    ctx.builder_mut().solve().is_unsat()
+}
+
+/// [`prove_equivalence`] with the miter solved by a SAT portfolio: the
+/// CNF is built once (deterministically), exported, and raced across
+/// divergent solver configurations. The UNSAT/SAT verdict is objective,
+/// so the result is bit-identical to the single-solver path; the
+/// portfolio contestants are uninstrumented (the winner is
+/// wall-clock-dependent, so their counters are diagnostic-only and are
+/// not merged).
+pub fn prove_equivalence_portfolio(func: &Function, rtl: &Rtl, mode: exec::ExecMode) -> bool {
+    let mut ctx = CnfBackend::new();
+    assert_miter(func, rtl, &mut ctx);
+    let cnf = ctx.builder_mut().solver().export_cnf();
+    sat::solve_portfolio(&cnf, mode).result.is_unsat()
+}
+
+/// Builds the RTL-vs-resynthesized-source miter in `ctx` and asserts the
+/// "any output bit differs" literal.
+fn assert_miter(func: &Function, rtl: &Rtl, ctx: &mut CnfBackend) {
     let input_bits: Vec<Vec<sat::Lit>> = rtl
         .inputs()
         .iter()
         .map(|&i| (0..rtl.width(i)).map(|_| ctx.bit_fresh()).collect())
         .collect();
-    let lowered = lower(rtl, &mut ctx, &input_bits, &[]);
+    let lowered = lower(rtl, ctx, &input_bits, &[]);
     let rtl_out = lowered.outputs(rtl)[0].1.clone();
 
     // Synthesize a second copy from the behavioural source and compare.
@@ -71,7 +92,7 @@ pub fn prove_equivalence_instrumented(
     // extensive simulation in `hdl::synth` tests, and the miter here
     // guards every later transformation of the netlist.)
     let golden = synthesize(func).expect("kernel is synthesizable");
-    let lowered_g = lower(&golden, &mut ctx, &input_bits, &[]);
+    let lowered_g = lower(&golden, ctx, &input_bits, &[]);
     let golden_out = lowered_g.outputs(&golden)[0].1.clone();
 
     let mut diffs = Vec::new();
@@ -87,7 +108,6 @@ pub fn prove_equivalence_instrumented(
         })
         .expect("at least one output bit");
     builder.assert_lit(any);
-    builder.solve().is_unsat()
 }
 
 /// The initial (incomplete) wrapper property set the designer writes first:
@@ -253,6 +273,99 @@ fn provable_on_open_model_ref(p: &Property) -> bool {
     provable_on_open_model(p)
 }
 
+/// [`run_instrumented`] with the level's obligations dispatched across
+/// worker threads when `mode` is parallel:
+///
+/// * each kernel miter is built deterministically and raced by the SAT
+///   portfolio ([`prove_equivalence_portfolio`]),
+/// * each wrapper property is an independent obligation with its own
+///   private [`telemetry::Collector`], replayed into `instrument` in
+///   property order so the merged telemetry matches the sequential run,
+/// * PCC fault obligations fan out via [`check_coverage_mode`].
+///
+/// With `ExecMode::Sequential` this is exactly [`run_instrumented`] —
+/// same code path, byte-identical telemetry.
+///
+/// # Panics
+///
+/// Same as [`run`].
+pub fn run_mode(mode: exec::ExecMode, instrument: &telemetry::SharedInstrument) -> Level4Report {
+    if !mode.is_parallel() {
+        return run_instrumented(instrument);
+    }
+
+    // 1–2: synthesize the kernels; miters go through the portfolio.
+    let mut kernels = Vec::new();
+    let dist = distance_step_function();
+    let dist_rtl = synthesize(&dist).expect("distance step synthesizes");
+    kernels.push((
+        "distance".to_owned(),
+        dist_rtl.num_nodes(),
+        prove_equivalence_portfolio(&dist, &dist_rtl, mode),
+    ));
+    let root = root_function();
+    let root_unrolled = unroll(&root, ROOT_ITERATIONS);
+    let root_rtl = synthesize(&root_unrolled).expect("unrolled root synthesizes");
+    kernels.push((
+        "root".to_owned(),
+        root_rtl.num_nodes(),
+        prove_equivalence_portfolio(&root_unrolled, &root_rtl, mode),
+    ));
+
+    // 3–4: wrapper properties as independent obligations.
+    let wrapper = bus_wrapper_fsm("bus_wrapper");
+    let props: Vec<Property> = extended_properties()
+        .into_iter()
+        .filter(provable_on_open_model_ref)
+        .collect();
+    let jobs: Vec<usize> = (0..props.len()).collect();
+    let checked = exec::map(mode, jobs, |_, pi| {
+        let p = &props[pi];
+        let local = std::rc::Rc::new(telemetry::Collector::new());
+        let shared: telemetry::SharedInstrument = local.clone();
+        let (engine, proven): (&'static str, bool) = match p {
+            Property::Invariant { .. } => {
+                ("bdd-reach", reach::check(&wrapper, p) == Verdict::Proven)
+            }
+            Property::Response { .. } => (
+                "bmc",
+                matches!(
+                    bmc::check_instrumented(&wrapper, p, 12, &shared),
+                    Verdict::NoViolationUpTo(_)
+                ),
+            ),
+        };
+        shared.counter_add("level4.properties_checked", 1);
+        drop(shared);
+        let collector =
+            std::rc::Rc::try_unwrap(local).expect("obligation dropped every instrument handle");
+        (p.name().to_owned(), engine, proven, collector)
+    });
+    let mut properties = Vec::new();
+    for (name, engine, proven, collector) in checked {
+        collector.replay_into(instrument.as_ref());
+        properties.push((name, engine, proven));
+    }
+
+    // 5: PCC before/after the refinement, fault obligations in parallel.
+    let cfg = PccConfig { bmc_bound: 10 };
+    let initial: Vec<Property> = initial_properties()
+        .into_iter()
+        .filter(provable_on_open_model_ref)
+        .collect();
+    let pcc_initial =
+        check_coverage_mode(&wrapper, &initial, &cfg, mode).expect("initial set holds");
+    let pcc_extended =
+        check_coverage_mode(&wrapper, &props, &cfg, mode).expect("extended set holds");
+
+    Level4Report {
+        kernels,
+        properties,
+        pcc_initial,
+        pcc_extended,
+    }
+}
+
 /// Emits the level-4 VHDL deliverables: both synthesized kernels and the
 /// bus wrapper, as `(entity name, vhdl source)` pairs — the "FPGA RTL
 /// VHDL" box of Figure 1.
@@ -280,6 +393,20 @@ mod tests {
         for (name, nodes, equivalent) in &report.kernels {
             assert!(*nodes > 0, "{name} has an empty netlist");
             assert!(*equivalent, "{name} RTL is not equivalent to source");
+        }
+    }
+
+    #[test]
+    fn parallel_level4_matches_sequential() {
+        let reference = run();
+        for workers in [2, 8] {
+            let par = run_mode(exec::ExecMode::Parallel { workers }, &telemetry::noop());
+            assert_eq!(par.kernels, reference.kernels);
+            assert_eq!(par.properties, reference.properties);
+            assert_eq!(par.pcc_initial.covered, reference.pcc_initial.covered);
+            assert_eq!(par.pcc_initial.uncovered, reference.pcc_initial.uncovered);
+            assert_eq!(par.pcc_extended.covered, reference.pcc_extended.covered);
+            assert_eq!(par.pcc_extended.uncovered, reference.pcc_extended.uncovered);
         }
     }
 

@@ -1,0 +1,297 @@
+//! Zero-dependency worker-pool execution layer.
+//!
+//! The verification cascade is embarrassingly parallel at the obligation
+//! level: per-property BMC runs, per-fault ATPG queries, per-configuration
+//! LPV checks, and SAT portfolio races share no mutable state. This crate
+//! provides the two primitives those engines need — an order-preserving
+//! parallel [`map`] and a first-verdict-wins [`race`] — built on
+//! `std::thread::scope` and channels only (the workspace builds offline,
+//! so no rayon/crossbeam).
+//!
+//! Determinism contract: [`map`] returns results in *item order*
+//! regardless of completion order, so a caller that merges per-obligation
+//! outputs sequentially observes exactly the sequential schedule. [`race`]
+//! is reserved for obligations whose *verdict* is objective (e.g. SAT vs
+//! UNSAT of one CNF) — any winner yields the same answer.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// How a flow or engine schedules its independent obligations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One obligation at a time, on the calling thread. The reference
+    /// schedule: parallel modes must reproduce its outputs bit for bit.
+    #[default]
+    Sequential,
+    /// A pool of `workers` OS threads. `workers <= 1` degenerates to
+    /// the sequential schedule.
+    Parallel {
+        /// Number of worker threads.
+        workers: usize,
+    },
+}
+
+impl ExecMode {
+    /// A parallel mode sized to the host (`std::thread::available_parallelism`).
+    pub fn host_parallel() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ExecMode::Parallel { workers }
+    }
+
+    /// Effective worker count (always at least 1).
+    pub fn workers(&self) -> usize {
+        match *self {
+            ExecMode::Sequential => 1,
+            ExecMode::Parallel { workers } => workers.max(1),
+        }
+    }
+
+    /// True when this mode actually spawns worker threads.
+    pub fn is_parallel(&self) -> bool {
+        self.workers() > 1
+    }
+
+    /// Parses the `SYMBAD_WORKERS` environment variable: unset, empty,
+    /// `0`, or `1` mean sequential; `N > 1` means `Parallel { N }`.
+    pub fn from_env() -> Self {
+        match std::env::var("SYMBAD_WORKERS") {
+            Ok(v) => Self::from_workers(v.trim().parse().unwrap_or(1)),
+            Err(_) => ExecMode::Sequential,
+        }
+    }
+
+    /// `0` or `1` workers mean sequential; more mean parallel.
+    pub fn from_workers(workers: usize) -> Self {
+        if workers <= 1 {
+            ExecMode::Sequential
+        } else {
+            ExecMode::Parallel { workers }
+        }
+    }
+}
+
+/// Cooperative cancellation token shared by the contestants of a [`race`].
+#[derive(Debug, Default)]
+pub struct Cancel {
+    flag: AtomicBool,
+}
+
+impl Cancel {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Cancel::default()
+    }
+
+    /// Signals every observer to stop at its next check.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`Cancel::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// The raw flag, for engines that poll an `&AtomicBool` directly.
+    pub fn flag(&self) -> &AtomicBool {
+        &self.flag
+    }
+}
+
+/// Applies `f` to every item and returns the results **in item order**.
+///
+/// Sequential mode (and `workers <= 1`) runs on the calling thread.
+/// Parallel mode spawns up to `workers` scoped threads that pull
+/// `(index, item)` pairs from a shared queue; results are slotted back by
+/// index, so the output order is independent of the completion order.
+/// `f` receives the item index alongside the item.
+///
+/// Panics in a worker propagate to the caller (the scope joins all
+/// threads before returning).
+pub fn map<T, R, F>(mode: ExecMode, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let workers = mode.workers().min(items.len().max(1));
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let n = items.len();
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            let f = &f;
+            scope.spawn(move || loop {
+                let job = queue.lock().unwrap().pop_front();
+                let Some((idx, item)) = job else { break };
+                let out = f(idx, item);
+                if tx.send((idx, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (idx, out) in rx {
+            slots[idx] = Some(out);
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker delivered every slot"))
+        .collect()
+}
+
+/// Runs the contestant closures until the first one produces a result;
+/// the winner's `(index, result)` is returned and every other contestant
+/// is told to stop via the shared [`Cancel`] token.
+///
+/// Contestants must treat cancellation as "abandon, answer unused" —
+/// which is only sound when every contestant that *does* finish would
+/// produce an equivalent verdict (e.g. a SAT portfolio on one CNF).
+///
+/// Sequential mode runs **only item 0** (the canonical configuration) to
+/// completion — this keeps the sequential schedule independent of the
+/// portfolio size. Returns `None` when `items` is empty or no contestant
+/// produced a result.
+pub fn race<T, R, F>(mode: ExecMode, items: Vec<T>, f: F) -> Option<(usize, R)>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T, &Cancel) -> Option<R> + Sync,
+{
+    if items.is_empty() {
+        return None;
+    }
+    let cancel = Cancel::new();
+    if !mode.is_parallel() {
+        let item = items.into_iter().next().unwrap();
+        return f(0, item, &cancel).map(|r| (0, r));
+    }
+
+    let contestants = items.len().min(mode.workers());
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut winner = None;
+    std::thread::scope(|scope| {
+        for (idx, item) in items.into_iter().take(contestants).enumerate() {
+            let tx = tx.clone();
+            let cancel = &cancel;
+            let f = &f;
+            scope.spawn(move || {
+                if let Some(r) = f(idx, item, cancel) {
+                    // First sender wins; later sends land in a channel
+                    // nobody reads past the first message.
+                    let _ = tx.send((idx, r));
+                }
+                cancel.cancel();
+            });
+        }
+        drop(tx);
+        winner = rx.recv().ok();
+        cancel.cancel();
+        // Scope exit joins the losers; they observe the cancel flag.
+    });
+    winner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_worker_counts() {
+        assert_eq!(ExecMode::Sequential.workers(), 1);
+        assert!(!ExecMode::Sequential.is_parallel());
+        assert_eq!(ExecMode::Parallel { workers: 0 }.workers(), 1);
+        assert_eq!(ExecMode::Parallel { workers: 4 }.workers(), 4);
+        assert!(ExecMode::Parallel { workers: 4 }.is_parallel());
+        assert_eq!(ExecMode::from_workers(1), ExecMode::Sequential);
+        assert_eq!(ExecMode::from_workers(8), ExecMode::Parallel { workers: 8 });
+    }
+
+    #[test]
+    fn map_preserves_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq = map(ExecMode::Sequential, items.clone(), |i, x| {
+            (i as u64) * 1000 + x * x
+        });
+        for workers in [2, 3, 8] {
+            let par = map(ExecMode::Parallel { workers }, items.clone(), |i, x| {
+                // Stagger completion so late items often finish first.
+                if x % 7 == 0 {
+                    std::thread::yield_now();
+                }
+                (i as u64) * 1000 + x * x
+            });
+            assert_eq!(par, seq, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(map(ExecMode::Parallel { workers: 4 }, empty, |_, x: u32| x).is_empty());
+        assert_eq!(
+            map(ExecMode::Parallel { workers: 4 }, vec![9], |i, x| (i, x)),
+            vec![(0, 9)]
+        );
+    }
+
+    #[test]
+    fn sequential_race_runs_canonical_item_only() {
+        use std::sync::atomic::AtomicUsize;
+        let touched = AtomicUsize::new(0);
+        let won = race(ExecMode::Sequential, vec![10, 20, 30], |idx, item, _| {
+            touched.fetch_add(1, Ordering::Relaxed);
+            Some((idx, item))
+        });
+        assert_eq!(won, Some((0, (0, 10))));
+        assert_eq!(touched.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn parallel_race_returns_a_winner_and_cancels_losers() {
+        let won = race(
+            ExecMode::Parallel { workers: 4 },
+            vec![0u64, 1, 2, 3],
+            |_, item, cancel| {
+                if item == 2 {
+                    return Some("fast");
+                }
+                // Losers spin until cancelled.
+                while !cancel.is_cancelled() {
+                    std::thread::yield_now();
+                }
+                None
+            },
+        );
+        let (_, verdict) = won.expect("one contestant finishes");
+        assert_eq!(verdict, "fast");
+    }
+
+    #[test]
+    fn race_on_empty_is_none() {
+        let r: Option<(usize, u32)> = race(
+            ExecMode::Parallel { workers: 2 },
+            Vec::<u32>::new(),
+            |_, x, _| Some(x),
+        );
+        assert!(r.is_none());
+    }
+}

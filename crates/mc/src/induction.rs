@@ -58,6 +58,20 @@ pub fn check(rtl: &Rtl, property: &Property, k: u32) -> Verdict {
     }
 }
 
+/// Attempts each invariant as an independent k-induction obligation,
+/// optionally across worker threads. Verdicts are bit-identical to
+/// mapping [`check`] over the slice sequentially (each obligation builds
+/// its own unroller and solver).
+pub fn check_many(
+    rtl: &Rtl,
+    properties: &[Property],
+    k: u32,
+    mode: exec::ExecMode,
+) -> Vec<Verdict> {
+    let jobs: Vec<usize> = (0..properties.len()).collect();
+    exec::map(mode, jobs, |_, pi| check(rtl, &properties[pi], k))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +132,24 @@ mod tests {
                 v == Verdict::Proven || v == Verdict::Unknown,
                 "unsound verdict {v:?} at k={k}"
             );
+        }
+    }
+
+    #[test]
+    fn check_many_agrees_with_sequential() {
+        let rtl = mod_counter(3, 5);
+        let properties = vec![
+            Property::invariant("lt5", BoolExpr::lt("q", 5)),
+            Property::invariant("ne6", BoolExpr::ne("q", 6)),
+            Property::invariant("lt3", BoolExpr::lt("q", 3)),
+        ];
+        let reference: Vec<Verdict> = properties.iter().map(|p| check(&rtl, p, 2)).collect();
+        for mode in [
+            exec::ExecMode::Sequential,
+            exec::ExecMode::Parallel { workers: 2 },
+            exec::ExecMode::Parallel { workers: 8 },
+        ] {
+            assert_eq!(check_many(&rtl, &properties, 2, mode), reference);
         }
     }
 

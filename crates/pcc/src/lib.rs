@@ -213,22 +213,47 @@ pub fn check_coverage(
     properties: &[Property],
     cfg: &PccConfig,
 ) -> Result<PccReport, PccError> {
-    for p in properties {
-        if fails_on(rtl, p, cfg) {
-            return Err(PccError::PropertyFailsOnGoodDesign {
-                property: p.name().to_owned(),
-            });
-        }
+    check_coverage_mode(rtl, properties, cfg, exec::ExecMode::Sequential)
+}
+
+/// [`check_coverage`] with per-fault obligations optionally spread across
+/// worker threads. Each fault builds its own mutant and engines, so the
+/// report — covered count, uncovered fault list (in enumeration order),
+/// per-property kill counts — is bit-identical to the sequential run for
+/// every mode.
+///
+/// # Errors
+///
+/// As [`check_coverage`]; the *first* failing property (in declaration
+/// order) is reported, matching the sequential behaviour.
+pub fn check_coverage_mode(
+    rtl: &Rtl,
+    properties: &[Property],
+    cfg: &PccConfig,
+    mode: exec::ExecMode,
+) -> Result<PccReport, PccError> {
+    // Pre-check every property on the fault-free design in parallel, but
+    // report the first failure in declaration order (the sequential answer).
+    let good_jobs: Vec<usize> = (0..properties.len()).collect();
+    let good = exec::map(mode, good_jobs, |_, pi| fails_on(rtl, &properties[pi], cfg));
+    if let Some(pi) = good.iter().position(|&fails| fails) {
+        return Err(PccError::PropertyFailsOnGoodDesign {
+            property: properties[pi].name().to_owned(),
+        });
     }
     let faults = enumerate_faults(rtl);
+    // One obligation per fault: which properties kill its mutant.
+    let kills: Vec<Vec<bool>> = exec::map(mode, faults.clone(), |_, fault| {
+        let m = mutant(rtl, fault);
+        properties.iter().map(|p| fails_on(&m, p, cfg)).collect()
+    });
     let mut uncovered = Vec::new();
     let mut covered = 0usize;
     let mut per_property = vec![0usize; properties.len()];
-    for &fault in &faults {
-        let m = mutant(rtl, fault);
+    for (&fault, killed_by) in faults.iter().zip(&kills) {
         let mut killed = false;
-        for (pi, p) in properties.iter().enumerate() {
-            if fails_on(&m, p, cfg) {
+        for (pi, &kill) in killed_by.iter().enumerate() {
+            if kill {
                 per_property[pi] += 1;
                 killed = true;
             }
@@ -333,6 +358,27 @@ mod tests {
         // Per-property kill counts are reported.
         assert_eq!(strong_report.per_property.len(), 6);
         assert!(strong_report.per_property.iter().any(|(_, c)| *c > 0));
+    }
+
+    #[test]
+    fn parallel_coverage_report_is_bit_identical() {
+        let rtl = counter();
+        let cfg = PccConfig { bmc_bound: 12 };
+        let properties = vec![
+            Property::invariant("range", BoolExpr::le("q", 3)),
+            Property::response("step_0", BoolExpr::eq("q", 0), BoolExpr::eq("q", 1), 1),
+        ];
+        let reference = check_coverage(&rtl, &properties, &cfg).expect("good design");
+        for workers in [2, 8] {
+            let report = check_coverage_mode(
+                &rtl,
+                &properties,
+                &cfg,
+                exec::ExecMode::Parallel { workers },
+            )
+            .expect("good design");
+            assert_eq!(report, reference);
+        }
     }
 
     #[test]

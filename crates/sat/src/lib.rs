@@ -33,10 +33,12 @@
 
 pub mod cnf;
 pub mod dimacs;
+pub mod portfolio;
 pub mod solver;
 pub mod types;
 
 pub use cnf::CnfBuilder;
 pub use dimacs::Dimacs;
-pub use solver::{SolveResult, Solver};
+pub use portfolio::{solve_portfolio, PortfolioConfig, PortfolioOutcome};
+pub use solver::{Cnf, SolveResult, Solver};
 pub use types::{Lit, Var};

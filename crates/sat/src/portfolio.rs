@@ -1,0 +1,183 @@
+//! Portfolio solving: one CNF, divergently configured solvers, first
+//! verdict wins.
+//!
+//! SAT/UNSAT for a fixed CNF is objective — every correctly configured
+//! solver that finishes returns the same verdict — so racing diversified
+//! solvers and cancelling the losers preserves bit-identical *verdicts*
+//! while letting the luckiest configuration set the pace. Two caveats
+//! keep the flow deterministic:
+//!
+//! * **Models are not part of the contract.** A SAT winner's model
+//!   depends on which configuration finished first, which is wall-clock
+//!   nondeterministic. Flow code only uses the portfolio where the
+//!   *verdict alone* feeds the report (e.g. equivalence miters, which
+//!   prove UNSAT); obligations whose models escape as counterexamples
+//!   or test vectors run a single canonical solver instead.
+//! * **Portfolio solvers are uninstrumented.** Which contestant's
+//!   conflicts would be counted depends on the race outcome, so the
+//!   contestants emit nothing; callers record deterministic facts only
+//!   (how many races ran, their verdicts).
+
+use crate::solver::{Cnf, SolveResult, Solver};
+use exec::ExecMode;
+
+/// One diversified solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortfolioConfig {
+    /// Saved-phase default for fresh variables.
+    pub polarity: bool,
+    /// Luby restart multiplier (conflicts before first restart).
+    pub restart_scale: u64,
+    /// Random-branching seed (0 = pure VSIDS, the canonical setting).
+    pub seed: u64,
+}
+
+impl PortfolioConfig {
+    /// The canonical configuration — identical to a plain [`Solver::new`],
+    /// and the only contestant that runs in sequential mode.
+    pub fn canonical() -> Self {
+        PortfolioConfig {
+            polarity: false,
+            restart_scale: 100,
+            seed: 0,
+        }
+    }
+
+    /// Applies this configuration to a fresh solver (before clauses are
+    /// loaded, so the polarity default reaches every variable).
+    pub fn apply(&self, solver: &mut Solver) {
+        solver.set_default_polarity(self.polarity);
+        solver.set_restart_scale(self.restart_scale);
+        solver.set_decision_seed(self.seed);
+    }
+}
+
+/// A diversified portfolio of `n` configurations. Index 0 is always the
+/// canonical configuration; later entries vary polarity, restart cadence,
+/// and random branching.
+pub fn default_configs(n: usize) -> Vec<PortfolioConfig> {
+    let diversified = [
+        PortfolioConfig::canonical(),
+        PortfolioConfig {
+            polarity: true,
+            restart_scale: 100,
+            seed: 0,
+        },
+        PortfolioConfig {
+            polarity: false,
+            restart_scale: 32,
+            seed: 0x9E3779B97F4A7C15,
+        },
+        PortfolioConfig {
+            polarity: true,
+            restart_scale: 400,
+            seed: 0xD1B54A32D192ED03,
+        },
+    ];
+    (0..n.max(1))
+        .map(|i| {
+            let base = diversified[i % diversified.len()];
+            PortfolioConfig {
+                // Past the fixed table, keep diversifying via the seed.
+                seed: base.seed.wrapping_add((i / diversified.len()) as u64),
+                ..base
+            }
+        })
+        .collect()
+}
+
+/// Outcome of a portfolio race.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortfolioOutcome {
+    /// The verdict — identical across modes and worker counts.
+    pub result: SolveResult,
+    /// Which configuration finished first. Diagnostic only: wall-clock
+    /// nondeterministic in parallel mode (always 0 sequentially).
+    pub winner: usize,
+    /// The winner's model when SAT (`model[v]` for variable index `v`).
+    /// Diagnostic only in parallel mode — see the module docs.
+    pub model: Option<Vec<bool>>,
+}
+
+/// Races `mode.workers()` (at most 4) diversified solvers on `cnf`.
+/// Sequential mode runs only the canonical configuration, so a
+/// sequential portfolio call is exactly one plain solver run.
+pub fn solve_portfolio(cnf: &Cnf, mode: ExecMode) -> PortfolioOutcome {
+    let configs = default_configs(mode.workers().min(4));
+    let (winner, (result, model)) = exec::race(mode, configs, |_, config, cancel| {
+        let mut solver = Solver::new();
+        config.apply(&mut solver);
+        cnf.load_into(&mut solver);
+        let verdict = solver.solve_cancellable(&[], cancel.flag())?;
+        let model = verdict.is_sat().then(|| {
+            (0..cnf.num_vars)
+                .map(|i| solver.value(crate::Var(i as u32)) == Some(true))
+                .collect()
+        });
+        Some((verdict, model))
+    })
+    .expect("at least the canonical contestant finishes");
+    PortfolioOutcome {
+        result,
+        winner,
+        model,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lit;
+
+    fn php_cnf(pigeons: usize, holes: usize) -> Cnf {
+        let mut s = Solver::new();
+        let x: Vec<Vec<crate::Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &x {
+            s.add_clause(row.iter().map(|&v| Lit::pos(v)));
+        }
+        for h in 0..holes {
+            for (p1, row1) in x.iter().enumerate() {
+                for row2 in x.iter().skip(p1 + 1) {
+                    s.add_clause([Lit::neg(row1[h]), Lit::neg(row2[h])]);
+                }
+            }
+        }
+        s.export_cnf()
+    }
+
+    #[test]
+    fn canonical_config_heads_every_portfolio() {
+        for n in [1, 2, 4, 9] {
+            let configs = default_configs(n);
+            assert_eq!(configs.len(), n);
+            assert_eq!(configs[0], PortfolioConfig::canonical());
+        }
+        // Configs past the table differ from their base via the seed.
+        let many = default_configs(8);
+        assert_ne!(many[4], many[0]);
+    }
+
+    #[test]
+    fn portfolio_verdict_is_mode_independent() {
+        let unsat = php_cnf(5, 4);
+        let sat = php_cnf(4, 4);
+        for mode in [
+            ExecMode::Sequential,
+            ExecMode::Parallel { workers: 2 },
+            ExecMode::Parallel { workers: 8 },
+        ] {
+            assert!(solve_portfolio(&unsat, mode).result.is_unsat());
+            let outcome = solve_portfolio(&sat, mode);
+            assert!(outcome.result.is_sat());
+            // Whatever configuration won, its model satisfies the CNF.
+            let model = outcome.model.expect("sat outcome carries a model");
+            for clause in &sat.clauses {
+                assert!(clause
+                    .iter()
+                    .any(|l| model[l.var().index()] == l.is_positive()));
+            }
+        }
+    }
+}

@@ -2,6 +2,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::types::{Lit, Var};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,7 +129,7 @@ impl VarOrder {
 /// Supports incremental use: clauses persist across [`solve`](Solver::solve)
 /// calls, and [`solve_with`](Solver::solve_with) solves under temporary
 /// assumptions.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Solver {
     clauses: Vec<Clause>,
     watches: Vec<Vec<Watch>>,
@@ -147,12 +148,61 @@ pub struct Solver {
     conflicts: u64,
     decisions: u64,
     propagations: u64,
+    /// Learnt-clause count, maintained incrementally on attach (there is
+    /// no clause-deletion path) so telemetry reads are O(1) instead of a
+    /// full clause-database scan.
+    num_learnt: usize,
+    /// Saved-phase default for freshly allocated variables (portfolio
+    /// diversification knob; `false` is the canonical configuration).
+    default_polarity: bool,
+    /// Luby restart multiplier (conflicts before restart = scale × luby).
+    restart_scale: u64,
+    /// Xorshift state for occasional random decisions; 0 disables them
+    /// (the canonical configuration).
+    rng: u64,
     /// Optional telemetry sink; `None` (the default) keeps the search loop
     /// free of any instrumentation cost.
     instrument: Option<telemetry::SharedInstrument>,
     /// Counter values already flushed to the instrument, so incremental
     /// solve calls emit per-call deltas.
     flushed: (u64, u64, u64),
+    /// Solve calls flushed so far (the gauge axis for per-call series).
+    flush_calls: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            queue_head: 0,
+            activity: Vec::new(),
+            // Historical quirk kept for reproducibility: default-constructed
+            // solvers (e.g. inside `CnfBuilder::default`) bump activities by
+            // 0, so their decision order is allocation order. `Solver::new`
+            // enables real VSIDS via `var_inc = 1.0`.
+            var_inc: 0.0,
+            order: VarOrder::default(),
+            polarity: Vec::new(),
+            unsat: false,
+            model: Vec::new(),
+            conflicts: 0,
+            decisions: 0,
+            propagations: 0,
+            num_learnt: 0,
+            default_polarity: false,
+            restart_scale: 100,
+            rng: 0,
+            instrument: None,
+            flushed: (0, 0, 0),
+            flush_calls: 0,
+        }
+    }
 }
 
 impl Solver {
@@ -164,6 +214,24 @@ impl Solver {
         }
     }
 
+    /// Sets the saved-phase default for variables allocated *after* this
+    /// call (portfolio diversification; canonical default is `false`).
+    pub fn set_default_polarity(&mut self, polarity: bool) {
+        self.default_polarity = polarity;
+    }
+
+    /// Sets the Luby restart multiplier (default 100 conflicts).
+    pub fn set_restart_scale(&mut self, scale: u64) {
+        self.restart_scale = scale.max(1);
+    }
+
+    /// Enables occasional pseudo-random branching seeded with `seed`
+    /// (`0` disables it — the canonical configuration). Diversifies a
+    /// portfolio; any seed still yields a deterministic solver.
+    pub fn set_decision_seed(&mut self, seed: u64) {
+        self.rng = seed;
+    }
+
     /// Allocates a fresh variable.
     pub fn new_var(&mut self) -> Var {
         let v = Var(self.assign.len() as u32);
@@ -171,7 +239,7 @@ impl Solver {
         self.level.push(0);
         self.reason.push(None);
         self.activity.push(0.0);
-        self.polarity.push(false);
+        self.polarity.push(self.default_polarity);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.order.grow(self.assign.len());
@@ -190,8 +258,10 @@ impl Solver {
     }
 
     /// Number of learnt (conflict-derived) clauses currently stored.
+    /// O(1): maintained incrementally by the attach path, not recomputed
+    /// by scanning the clause database.
     pub fn num_learnt(&self) -> usize {
-        self.clauses.iter().filter(|c| c.learnt).count()
+        self.num_learnt
     }
 
     /// Conflicts encountered so far (across all solve calls).
@@ -289,6 +359,7 @@ impl Solver {
             clause: idx,
             blocker: w0,
         });
+        self.num_learnt += learnt as usize;
         self.clauses.push(Clause { lits, learnt });
         idx
     }
@@ -474,7 +545,11 @@ impl Solver {
                 self.order.push(v, &self.activity);
             }
         }
-        self.queue_head = self.trail.len();
+        // Never advance past unpropagated literals: when the solver is
+        // already at (or below) `level` — e.g. a restart right after a
+        // backjump to level 0 enqueued an asserting unit — the pending
+        // tail of the trail must still be propagated, not skipped.
+        self.queue_head = self.queue_head.min(self.trail.len());
     }
 
     fn pick_branch(&mut self) -> Option<Var> {
@@ -494,23 +569,48 @@ impl Solver {
     /// Solves under temporary `assumptions` (literals forced true for this
     /// call only). Learnt clauses are kept for later calls.
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_inner(assumptions, None)
+            .expect("uninterrupted solve always reaches a verdict")
+    }
+
+    /// Like [`Solver::solve_with`], but abandons the search (returning
+    /// `None`) once `interrupt` becomes true — the cancellation hook for
+    /// portfolio races. The solver is left at decision level 0 and stays
+    /// usable; no telemetry is flushed for an abandoned call.
+    pub fn solve_cancellable(
+        &mut self,
+        assumptions: &[Lit],
+        interrupt: &AtomicBool,
+    ) -> Option<SolveResult> {
+        self.solve_inner(assumptions, Some(interrupt))
+    }
+
+    fn solve_inner(
+        &mut self,
+        assumptions: &[Lit],
+        interrupt: Option<&AtomicBool>,
+    ) -> Option<SolveResult> {
         if self.unsat {
             self.flush_telemetry();
-            return SolveResult::Unsat;
+            return Some(SolveResult::Unsat);
         }
         if self.propagate().is_some() {
             self.unsat = true;
             self.flush_telemetry();
-            return SolveResult::Unsat;
+            return Some(SolveResult::Unsat);
         }
-        let result = self.search(assumptions);
-        if result.is_sat() {
-            // Snapshot the model before clearing search state.
-            self.model = self.assign.clone();
+        let result = self.search(assumptions, interrupt);
+        if let Some(r) = result {
+            if r.is_sat() {
+                // Snapshot the model before clearing search state.
+                self.model = self.assign.clone();
+            }
         }
         // Leave level-0 state only.
         self.backtrack_to(0);
-        self.flush_telemetry();
+        if result.is_some() {
+            self.flush_telemetry();
+        }
         result
     }
 
@@ -521,6 +621,7 @@ impl Solver {
             return;
         };
         let (dec, con, prop) = self.flushed;
+        self.flush_calls += 1;
         i.counter_add("sat.solve_calls", 1);
         i.counter_add("sat.decisions", self.decisions.saturating_sub(dec));
         i.counter_add("sat.conflicts", self.conflicts.saturating_sub(con));
@@ -528,6 +629,13 @@ impl Solver {
         i.record(
             "sat.conflicts_per_solve",
             self.conflicts.saturating_sub(con),
+        );
+        // Clause-database growth per call; O(1) thanks to the incremental
+        // learnt count (gauge axis = solve-call ordinal).
+        i.gauge_set(
+            "sat.learnt_clauses",
+            self.flush_calls,
+            self.num_learnt as i64,
         );
         self.flushed = (self.decisions, self.conflicts, self.propagations);
     }
@@ -546,12 +654,48 @@ impl Solver {
         }
     }
 
-    fn search(&mut self, assumptions: &[Lit]) -> SolveResult {
+    /// Draws the next pseudo-random word (xorshift64; `rng != 0` always).
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// Occasionally (1 in 8 decisions, when seeded) proposes a uniformly
+    /// scanned unassigned variable instead of the activity-heap choice.
+    fn pick_random_branch(&mut self) -> Option<Var> {
+        if self.rng == 0 || self.num_vars() == 0 || !self.next_rand().is_multiple_of(8) {
+            return None;
+        }
+        let n = self.num_vars();
+        let start = (self.next_rand() % n as u64) as usize;
+        for off in 0..n {
+            let i = (start + off) % n;
+            if self.assign[i] == UNASSIGNED {
+                return Some(Var(i as u32));
+            }
+        }
+        None
+    }
+
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        interrupt: Option<&AtomicBool>,
+    ) -> Option<SolveResult> {
         let mut restart_count = 1u64;
-        let mut conflict_budget = 100 * Self::luby(restart_count);
+        let mut conflict_budget = self.restart_scale * Self::luby(restart_count);
         let mut conflicts_here = 0u64;
 
         loop {
+            if let Some(flag) = interrupt {
+                if flag.load(Ordering::Relaxed) {
+                    return None;
+                }
+            }
             if let Some(conflict) = self.propagate() {
                 self.conflicts += 1;
                 conflicts_here += 1;
@@ -568,7 +712,7 @@ impl Solver {
                     .unwrap_or(0);
                 if conflict_level == 0 {
                     self.unsat = true;
-                    return SolveResult::Unsat;
+                    return Some(SolveResult::Unsat);
                 }
                 if conflict_level < self.trail_lim.len() as u32 {
                     self.backtrack_to(conflict_level);
@@ -578,13 +722,13 @@ impl Solver {
                 if learnt.len() == 1 {
                     if !self.enqueue(learnt[0], None) {
                         self.unsat = true;
-                        return SolveResult::Unsat;
+                        return Some(SolveResult::Unsat);
                     }
                 } else {
                     let ci = self.attach_clause(learnt.clone(), true);
                     if !self.enqueue(learnt[0], Some(ci)) {
                         self.unsat = true;
-                        return SolveResult::Unsat;
+                        return Some(SolveResult::Unsat);
                     }
                 }
                 self.decay_activities();
@@ -592,7 +736,7 @@ impl Solver {
                     // Restart.
                     conflicts_here = 0;
                     restart_count += 1;
-                    conflict_budget = 100 * Self::luby(restart_count);
+                    conflict_budget = self.restart_scale * Self::luby(restart_count);
                     self.backtrack_to(0);
                 }
             } else {
@@ -606,7 +750,7 @@ impl Solver {
                             // level/assumption correspondence simple.
                             self.trail_lim.push(self.trail.len());
                         }
-                        0 => return SolveResult::Unsat,
+                        0 => return Some(SolveResult::Unsat),
                         _ => {
                             self.trail_lim.push(self.trail.len());
                             self.enqueue(a, None);
@@ -614,8 +758,9 @@ impl Solver {
                     }
                     continue;
                 }
-                match self.pick_branch() {
-                    None => return SolveResult::Sat,
+                let choice = self.pick_random_branch().or_else(|| self.pick_branch());
+                match choice {
+                    None => return Some(SolveResult::Sat),
                     Some(v) => {
                         self.decisions += 1;
                         self.trail_lim.push(self.trail.len());
@@ -640,6 +785,56 @@ impl Solver {
     /// Value of a literal in the current assignment.
     pub fn lit_is_true(&self, lit: Lit) -> Option<bool> {
         self.value(lit.var()).map(|v| v == lit.is_positive())
+    }
+
+    /// Snapshots the *original* problem as a standalone CNF: every
+    /// non-learnt clause, plus the level-0 forced literals as unit
+    /// clauses (units are enqueued on the trail at add time, never stored
+    /// in the clause database), plus the empty clause when the formula is
+    /// already known unsatisfiable. Call between solve calls (the solver
+    /// rests at decision level 0 then). This is how a portfolio hands the
+    /// same problem to independently configured solvers.
+    pub fn export_cnf(&self) -> Cnf {
+        let mut clauses: Vec<Vec<Lit>> = Vec::new();
+        if self.unsat {
+            clauses.push(Vec::new());
+        }
+        for &l in &self.trail {
+            if self.level[l.var().index()] == 0 {
+                clauses.push(vec![l]);
+            }
+        }
+        for c in &self.clauses {
+            if !c.learnt {
+                clauses.push(c.lits.clone());
+            }
+        }
+        Cnf {
+            num_vars: self.num_vars(),
+            clauses,
+        }
+    }
+}
+
+/// A standalone CNF snapshot (see [`Solver::export_cnf`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables the clauses range over.
+    pub num_vars: usize,
+    /// Clauses; an empty inner vector is the empty (unsatisfiable) clause.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Loads this CNF into a fresh or compatible solver (allocates
+    /// variables up to `num_vars` first, preserving variable identity).
+    pub fn load_into(&self, solver: &mut Solver) {
+        while solver.num_vars() < self.num_vars {
+            solver.new_var();
+        }
+        for clause in &self.clauses {
+            solver.add_clause(clause.iter().copied());
+        }
     }
 }
 
@@ -811,6 +1006,148 @@ mod tests {
         assert_eq!(s.value(v[1]), Some(true));
         s.add_clause([Lit::neg(v[1])]);
         assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn learnt_count_is_maintained_incrementally() {
+        let pigeons = 5;
+        let holes = 4;
+        let mut s = Solver::new();
+        let mut x = vec![vec![Var(0); holes]; pigeons];
+        for p in 0..pigeons {
+            for h in 0..holes {
+                x[p][h] = s.new_var();
+            }
+        }
+        for p in 0..pigeons {
+            s.add_clause((0..holes).map(|h| Lit::pos(x[p][h])));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause([Lit::neg(x[p1][h]), Lit::neg(x[p2][h])]);
+                }
+            }
+        }
+        assert_eq!(s.num_learnt(), 0);
+        assert!(s.solve().is_unsat());
+        // The incremental count matches a fresh scan of the database.
+        let scanned = s.clauses.iter().filter(|c| c.learnt).count();
+        assert!(scanned > 0, "PHP(5,4) must learn clauses");
+        assert_eq!(s.num_learnt(), scanned);
+    }
+
+    #[test]
+    fn divergent_configurations_agree_on_the_verdict() {
+        // The same UNSAT instance under every diversification knob.
+        let build = |s: &mut Solver| {
+            let v = vars(s, 4);
+            s.add_clause([Lit::pos(v[0]), Lit::pos(v[1])]);
+            s.add_clause([Lit::pos(v[0]), Lit::neg(v[1])]);
+            s.add_clause([Lit::neg(v[0]), Lit::pos(v[2])]);
+            s.add_clause([Lit::neg(v[0]), Lit::neg(v[2]), Lit::pos(v[3])]);
+            s.add_clause([Lit::neg(v[0]), Lit::neg(v[3])]);
+            s.add_clause([Lit::neg(v[0]), Lit::pos(v[3]), Lit::neg(v[2])]);
+        };
+        for (pol, scale, seed) in [
+            (false, 100, 0),
+            (true, 100, 0),
+            (false, 32, 0xDEADBEEF),
+            (true, 400, 7),
+        ] {
+            let mut s = Solver::new();
+            s.set_default_polarity(pol);
+            s.set_restart_scale(scale);
+            s.set_decision_seed(seed);
+            build(&mut s);
+            assert!(
+                s.solve().is_unsat(),
+                "config pol={pol} scale={scale} seed={seed}"
+            );
+        }
+    }
+
+    /// Regression: a restart firing right after a backjump to level 0 must
+    /// not skip propagation of the just-enqueued asserting unit (the old
+    /// `backtrack_to` advanced `queue_head` past it, which could yield
+    /// models violating clauses). Restarting on every conflict
+    /// (`restart_scale(1)`) makes that window the common case.
+    #[test]
+    fn aggressive_restarts_never_produce_invalid_models() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _round in 0..10 {
+            let n = 30usize;
+            let m = 110usize; // near the 3-SAT phase transition: conflicts abound
+            let mut s = Solver::new();
+            s.set_restart_scale(1);
+            let v = vars(&mut s, n);
+            let mut clauses = Vec::new();
+            for _ in 0..m {
+                let mut lits = Vec::new();
+                for _ in 0..3 {
+                    let var = v[(next() % n as u64) as usize];
+                    let neg = next() % 2 == 0;
+                    lits.push(Lit::with_polarity(var, !neg));
+                }
+                clauses.push(lits.clone());
+                s.add_clause(lits);
+            }
+            if s.solve().is_sat() {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&l| s.lit_is_true(l) == Some(true)),
+                        "model violates clause under aggressive restarts"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_solve_returns_none_and_leaves_solver_usable() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause([Lit::pos(v[0]), Lit::pos(v[1])]);
+        let cancelled = AtomicBool::new(true);
+        assert_eq!(s.solve_cancellable(&[], &cancelled), None);
+        // The abandoned call left level-0 state only; solving again works.
+        let live = AtomicBool::new(false);
+        assert_eq!(s.solve_cancellable(&[], &live), Some(SolveResult::Sat));
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn exported_cnf_reproduces_the_problem() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause([Lit::pos(v[0])]); // unit → lands on the trail
+        s.add_clause([Lit::neg(v[0]), Lit::pos(v[1]), Lit::pos(v[2])]);
+        s.add_clause([Lit::neg(v[1]), Lit::neg(v[2])]);
+        assert!(s.solve().is_sat());
+        let cnf = s.export_cnf();
+        // The exported problem contains the unit (trail) and both stored
+        // clauses, but no learnt clauses.
+        assert_eq!(cnf.num_vars, 3);
+        assert!(cnf.clauses.contains(&vec![Lit::pos(v[0])]));
+        // A fresh solver loaded from the export agrees, and keeps agreeing
+        // after the original formula is strengthened to UNSAT.
+        let mut fresh = Solver::new();
+        cnf.load_into(&mut fresh);
+        assert!(fresh.solve().is_sat());
+        assert_eq!(fresh.value(v[0]), Some(true));
+
+        s.add_clause([Lit::pos(v[1])]);
+        s.add_clause([Lit::pos(v[2])]);
+        assert!(s.solve().is_unsat());
+        let mut fresh2 = Solver::new();
+        s.export_cnf().load_into(&mut fresh2);
+        assert!(fresh2.solve().is_unsat());
     }
 
     #[test]

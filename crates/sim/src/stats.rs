@@ -57,6 +57,9 @@ impl Stats {
 /// by zero.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Series {
+    /// Kept sorted ascending at all times, so every percentile query is a
+    /// single index instead of a clone-and-sort (`Histogram::snapshot`
+    /// style reporting queries three percentiles per series per report).
     samples: Vec<u64>,
 }
 
@@ -67,13 +70,16 @@ impl Series {
     }
 
     /// A series seeded from existing samples.
-    pub fn from_samples(samples: Vec<u64>) -> Self {
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        samples.sort_unstable();
         Series { samples }
     }
 
-    /// Appends one sample.
+    /// Adds one sample (insertion order is not observable; the series
+    /// maintains its sorted representation incrementally).
     pub fn push(&mut self, value: u64) {
-        self.samples.push(value);
+        let at = self.samples.partition_point(|&s| s <= value);
+        self.samples.insert(at, value);
     }
 
     /// Number of samples.
@@ -101,27 +107,27 @@ impl Series {
     }
 
     /// Nearest-rank percentile for `p` in `0..=100` (values above 100
-    /// clamp to the maximum). Returns 0 on an empty series and the sample
-    /// itself on a single-sample one — never panics.
+    /// clamp to the maximum): the smallest sample such that at least
+    /// `p`% of the samples are `<=` it — `sorted[ceil(p/100 · n) - 1]`,
+    /// with `p = 0` mapping to the minimum. Returns 0 on an empty series
+    /// and the sample itself on a single-sample one — never panics.
     pub fn percentile(&self, p: u64) -> u64 {
         if self.samples.is_empty() {
             return 0;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let n = sorted.len() as u64;
-        let idx = (p.min(100) * (n - 1) + 50) / 100;
-        sorted[idx as usize]
+        let n = self.samples.len() as u64;
+        let rank = (p.min(100) * n).div_ceil(100);
+        self.samples[rank.saturating_sub(1) as usize]
     }
 
     /// Smallest sample (0 when empty).
     pub fn min(&self) -> u64 {
-        self.samples.iter().copied().min().unwrap_or(0)
+        self.samples.first().copied().unwrap_or(0)
     }
 
     /// Largest sample (0 when empty).
     pub fn max(&self) -> u64 {
-        self.samples.iter().copied().max().unwrap_or(0)
+        self.samples.last().copied().unwrap_or(0)
     }
 }
 
@@ -167,6 +173,49 @@ mod tests {
         assert_eq!(s.mean(), 30.0);
         assert_eq!(s.min(), 10);
         assert_eq!(s.max(), 50);
+    }
+
+    #[test]
+    fn nearest_rank_boundaries_are_exact() {
+        // Even length: the 50th percentile is the *lower* middle sample
+        // under nearest-rank (ceil(0.5 · 4) = rank 2), not the upper one
+        // that the old rounded-linear formula returned.
+        let s = Series::from_samples(vec![40, 10, 30, 20]);
+        assert_eq!(s.percentile(50), 20);
+        // Rank boundaries: p·n/100 exactly integral keeps the same rank;
+        // one percent more crosses to the next sample.
+        assert_eq!(s.percentile(25), 10);
+        assert_eq!(s.percentile(26), 20);
+        assert_eq!(s.percentile(75), 30);
+        assert_eq!(s.percentile(76), 40);
+        // Extremes: p=0 is the minimum, tiny p already rank 1, p=100 and
+        // anything above clamp to the maximum.
+        assert_eq!(s.percentile(0), 10);
+        assert_eq!(s.percentile(1), 10);
+        assert_eq!(s.percentile(100), 40);
+        assert_eq!(s.percentile(101), 40);
+        // p95 on 100 equal-spaced samples lands exactly on sample 95.
+        let big = Series::from_samples((1..=100).collect());
+        assert_eq!(big.percentile(95), 95);
+        assert_eq!(big.percentile(96), 96);
+    }
+
+    #[test]
+    fn push_maintains_sorted_representation() {
+        let mut s = Series::new();
+        for v in [5, 1, 9, 1, 7, 3] {
+            s.push(v);
+        }
+        assert_eq!(s.min(), 1);
+        assert_eq!(s.max(), 9);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.sum(), 26);
+        // Duplicates stay: rank 2 of [1,1,3,5,7,9] is the second 1.
+        assert_eq!(s.percentile(34), 3);
+        assert_eq!(s.percentile(33), 1);
+        // Same statistics as the batch constructor.
+        let batch = Series::from_samples(vec![5, 1, 9, 1, 7, 3]);
+        assert_eq!(s, batch);
     }
 
     #[test]

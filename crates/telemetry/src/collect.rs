@@ -151,6 +151,38 @@ impl Collector {
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect()
     }
+
+    /// Replays every record of this collector into `target`, in this
+    /// collector's deterministic order: completed spans in record order,
+    /// then counters by name, gauge points per gauge in record order, and
+    /// histogram samples per histogram in record order.
+    ///
+    /// This is the merge primitive for parallel verification: each worker
+    /// records into a private `Collector` (obligations are instrumented
+    /// in isolation and record no *nested* spans), and the coordinator
+    /// replays the per-obligation collectors back into the main
+    /// instrument in obligation order — so the merged keyed state
+    /// (counters, gauges, histograms) matches the sequential schedule
+    /// exactly, independent of which worker finished first.
+    pub fn replay_into(&self, target: &dyn Instrument) {
+        let i = self.inner.borrow();
+        for s in &i.spans {
+            target.span(&s.track, &s.name, s.start, s.end);
+        }
+        for (name, value) in &i.counters {
+            target.counter_add(name, *value);
+        }
+        for (name, series) in &i.gauges {
+            for (at, value) in series {
+                target.gauge_set(name, *at, *value);
+            }
+        }
+        for (name, h) in &i.histograms {
+            for v in h.samples() {
+                target.record(name, *v);
+            }
+        }
+    }
 }
 
 impl Instrument for Collector {
@@ -267,6 +299,45 @@ mod tests {
         assert_eq!((spans[2].start, spans[2].end), (0, 9));
         // Without wall clock every wall_us is exactly zero.
         assert!(spans.iter().all(|s| s.wall_us == 0));
+    }
+
+    #[test]
+    fn replay_reproduces_keyed_state_in_obligation_order() {
+        // Two "workers" record into private collectors; replaying them in
+        // obligation order produces the same keyed state as if one
+        // collector had seen the sequential schedule.
+        let w0 = Collector::new();
+        w0.counter_add("sat.solve_calls", 2);
+        w0.gauge_set("bmc.depth", 1, 1);
+        w0.record("conflicts", 5);
+        w0.span("mc", "prop0", 0, 4);
+        let w1 = Collector::new();
+        w1.counter_add("sat.solve_calls", 3);
+        w1.gauge_set("bmc.depth", 1, 2);
+        w1.record("conflicts", 9);
+        w1.span("mc", "prop1", 0, 7);
+
+        let merged = Collector::new();
+        w0.replay_into(&merged);
+        w1.replay_into(&merged);
+
+        let sequential = Collector::new();
+        sequential.counter_add("sat.solve_calls", 2);
+        sequential.gauge_set("bmc.depth", 1, 1);
+        sequential.record("conflicts", 5);
+        sequential.span("mc", "prop0", 0, 4);
+        sequential.counter_add("sat.solve_calls", 3);
+        sequential.gauge_set("bmc.depth", 1, 2);
+        sequential.record("conflicts", 9);
+        sequential.span("mc", "prop1", 0, 7);
+
+        assert_eq!(merged.counters(), sequential.counters());
+        assert_eq!(merged.gauges(), sequential.gauges());
+        assert_eq!(
+            merged.histogram("conflicts").samples(),
+            sequential.histogram("conflicts").samples()
+        );
+        assert_eq!(merged.spans(), sequential.spans());
     }
 
     #[test]

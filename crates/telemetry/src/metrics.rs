@@ -67,15 +67,30 @@ impl Histogram {
         sorted[idx as usize]
     }
 
-    /// Deterministic summary snapshot.
+    /// Raw samples in record order (exposed so collectors can be merged
+    /// by replaying one into another).
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Deterministic summary snapshot. Sorts the samples once and derives
+    /// every order statistic from the same sorted copy (the naive form
+    /// re-sorted per percentile, three times per reported series).
     pub fn summary(&self) -> HistogramSummary {
+        if self.samples.is_empty() {
+            return HistogramSummary::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        let rank = |p: u64| sorted[((p * (n - 1) + 50) / 100) as usize];
         HistogramSummary {
-            count: self.count(),
-            sum: self.sum(),
-            min: self.min(),
-            max: self.max(),
-            p50: self.percentile(50),
-            p95: self.percentile(95),
+            count: n,
+            sum: sorted.iter().sum(),
+            min: sorted[0],
+            max: sorted[n as usize - 1],
+            p50: rank(50),
+            p95: rank(95),
         }
     }
 }

@@ -15,15 +15,34 @@
 //! ```
 
 use std::fs;
-use symbad_core::flow::{run_full_flow_instrumented, FlowReport};
+use std::time::Instant;
+use symbad_core::cascade;
+use symbad_core::flow::{run_full_flow_instrumented, run_full_flow_mode, FlowReport};
 use symbad_core::workload::Workload;
 use telemetry::{chrome_trace, vcd_dump, Collector, Json, SharedInstrument};
+
+/// Sequential-vs-parallel wall times of the verification work, recorded
+/// in the `exec` section of `BENCH_flow.json`. Wall time is
+/// host-dependent (CI machine, core count); the verdict bit-identity
+/// asserted in `main` is not.
+struct ExecBench {
+    workers: usize,
+    flow_seq_ms: f64,
+    flow_par_ms: f64,
+    cascade_seq_ms: f64,
+    cascade_par_ms: f64,
+}
 
 /// Builds the `BENCH_flow.json` payload. Everything except `host.wall_ms`
 /// is deterministic (simulated cycles, counters, histogram summaries);
 /// wall time is confined to the `host` section so regressions in the
 /// deterministic sections are attributable to model changes alone.
-fn bench_json(report: &FlowReport, collector: &Collector, wall_ms: f64) -> String {
+fn bench_json(
+    report: &FlowReport,
+    collector: &Collector,
+    wall_ms: f64,
+    exec: &ExecBench,
+) -> String {
     let latency = collector.histogram("fpga.reconfig_latency").summary();
     Json::obj(vec![
         (
@@ -98,17 +117,79 @@ fn bench_json(report: &FlowReport, collector: &Collector, wall_ms: f64) -> Strin
             ]),
         ),
         ("host", Json::obj(vec![("wall_ms", Json::Num(wall_ms))])),
+        (
+            "exec",
+            Json::obj(vec![
+                ("workers", Json::UInt(exec.workers as u64)),
+                ("flow_sequential_ms", Json::Num(exec.flow_seq_ms)),
+                ("flow_parallel_ms", Json::Num(exec.flow_par_ms)),
+                (
+                    "flow_speedup",
+                    Json::Num(exec.flow_seq_ms / exec.flow_par_ms.max(1e-9)),
+                ),
+                ("cascade_sequential_ms", Json::Num(exec.cascade_seq_ms)),
+                ("cascade_parallel_ms", Json::Num(exec.cascade_par_ms)),
+                (
+                    "cascade_speedup",
+                    Json::Num(exec.cascade_seq_ms / exec.cascade_par_ms.max(1e-9)),
+                ),
+            ]),
+        ),
     ])
     .render_pretty()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let start = std::time::Instant::now();
+    let start = Instant::now();
     let workload = Workload::small();
     let collector = Collector::shared();
     let instr: SharedInstrument = collector.clone();
     let report = run_full_flow_instrumented(&workload, &instr)?;
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // Re-run the flow with the verification obligations fanned out across
+    // worker threads (SYMBAD_WORKERS, defaulting to the host's cores) and
+    // check the invariant the parallel backbone promises: the report —
+    // every verdict, metric, and its JSON rendering — is bit-identical.
+    let mode = if std::env::var_os("SYMBAD_WORKERS").is_some() {
+        exec::ExecMode::from_env()
+    } else {
+        exec::ExecMode::host_parallel()
+    };
+    let seq_start = Instant::now();
+    let seq_report = run_full_flow_mode(&workload, exec::ExecMode::Sequential)?;
+    let flow_seq_ms = seq_start.elapsed().as_secs_f64() * 1e3;
+    let par_start = Instant::now();
+    let par_report = run_full_flow_mode(&workload, mode)?;
+    let flow_par_ms = par_start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        par_report.to_json(),
+        seq_report.to_json(),
+        "parallel flow report must be bit-identical to the sequential one"
+    );
+    assert_eq!(par_report.to_json(), report.to_json());
+
+    // The verification cascade alone (the level-1..4 checking stages with
+    // no simulation in between) is where the fan-out pays off most.
+    let cas_start = Instant::now();
+    let cas_seq = cascade::run();
+    let cascade_seq_ms = cas_start.elapsed().as_secs_f64() * 1e3;
+    let cas_start = Instant::now();
+    let cas_par = cascade::run_mode(mode);
+    let cascade_par_ms = cas_start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(cas_par, cas_seq, "parallel cascade must be bit-identical");
+    let exec_bench = ExecBench {
+        workers: mode.workers(),
+        flow_seq_ms,
+        flow_par_ms,
+        cascade_seq_ms,
+        cascade_par_ms,
+    };
+    println!(
+        "exec: {} workers; flow {flow_seq_ms:.0} ms → {flow_par_ms:.0} ms; \
+         cascade {cascade_seq_ms:.0} ms → {cascade_par_ms:.0} ms",
+        exec_bench.workers
+    );
 
     let text = report.to_text();
     print!("{text}");
@@ -127,7 +208,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     fs::write("report_output.json", report.to_json())?;
     fs::write("flow_trace.json", chrome_trace(&collector))?;
     fs::write("flow_signals.vcd", vcd_dump(&collector))?;
-    fs::write("BENCH_flow.json", bench_json(&report, &collector, wall_ms))?;
+    fs::write(
+        "BENCH_flow.json",
+        bench_json(&report, &collector, wall_ms, &exec_bench),
+    )?;
     println!(
         "wrote report_output.txt, report_output.json, flow_trace.json, \
          flow_signals.vcd, BENCH_flow.json"

@@ -1,0 +1,150 @@
+//! The parallel backbone's contract: verdicts, counterexamples, coverage,
+//! and rendered reports are bit-identical across worker counts.
+//!
+//! Every verification obligation (SAT portfolio race excepted — its
+//! verdict is objective but its winner is wall-clock-dependent and its
+//! model is therefore diagnostic-only) builds its own engine state, so
+//! fan-out must not change a single bit of any result. These tests pin
+//! that invariant for workers ∈ {1, 2, 8} against the sequential run.
+
+use mc::prop::{BoolExpr, Property};
+use symbad_core::cascade;
+use symbad_core::flow::run_full_flow_mode;
+use symbad_core::workload::Workload;
+
+const MODES: [exec::ExecMode; 3] = [
+    exec::ExecMode::Parallel { workers: 1 },
+    exec::ExecMode::Parallel { workers: 2 },
+    exec::ExecMode::Parallel { workers: 8 },
+];
+
+#[test]
+fn flow_report_json_is_bit_identical_across_worker_counts() {
+    let w = Workload::small();
+    let reference = run_full_flow_mode(&w, exec::ExecMode::Sequential)
+        .expect("sequential flow runs")
+        .to_json();
+    for mode in MODES {
+        let report = run_full_flow_mode(&w, mode).expect("parallel flow runs");
+        assert_eq!(
+            report.to_json(),
+            reference,
+            "flow report diverged at {mode:?}"
+        );
+    }
+}
+
+#[test]
+fn bmc_counterexamples_are_bit_identical_across_worker_counts() {
+    // The buggy wrapper refutes `done_returns_to_idle`; the refutation
+    // trace (not just the verdict) must be the same from every worker.
+    let buggy = cascade::wrapper(false);
+    let properties = vec![
+        Property::response(
+            "done_returns_to_idle",
+            BoolExpr::eq("state", 3),
+            BoolExpr::eq("state", 0),
+            1,
+        ),
+        Property::invariant("state_in_range", BoolExpr::le("state", 3)),
+        Property::invariant("never_done", BoolExpr::ne("done", 1)),
+    ];
+    let reference: Vec<mc::Verdict> = properties
+        .iter()
+        .map(|p| mc::bmc::check(&buggy, p, 10))
+        .collect();
+    assert!(
+        reference.iter().any(|v| v.is_violated()),
+        "the seeded bug must produce at least one counterexample"
+    );
+    for mode in MODES {
+        let verdicts = mc::bmc::check_many(&buggy, &properties, 10, mode, &telemetry::noop());
+        assert_eq!(verdicts, reference, "BMC verdicts diverged at {mode:?}");
+    }
+}
+
+#[test]
+fn atpg_completion_is_bit_identical_across_worker_counts() {
+    // SAT-driven testbench completion: generated vectors and the
+    // resulting coverage must match the sequential run exactly.
+    let func = cascade::buggy_lut_kernel(true);
+    let seed_tb = atpg::Testbench {
+        vectors: vec![vec![0]],
+    };
+    let (ref_tb, ref_unreachable) =
+        atpg::formal::complete_with_sat(&func, &seed_tb).expect("completion runs");
+    let ref_cov = atpg::metrics::bit_coverage(&func, &ref_tb);
+    for mode in MODES {
+        let (tb, unreachable) =
+            atpg::formal::complete_with_sat_mode(&func, &seed_tb, mode).expect("completion runs");
+        assert_eq!(tb.vectors, ref_tb.vectors, "vectors diverged at {mode:?}");
+        assert_eq!(unreachable, ref_unreachable);
+        let cov = atpg::metrics::bit_coverage(&func, &tb);
+        assert_eq!(cov.detected, ref_cov.detected);
+        assert_eq!(cov.total, ref_cov.total);
+        assert_eq!(cov.undetected, ref_cov.undetected);
+    }
+}
+
+#[test]
+fn cascade_report_is_bit_identical_across_worker_counts() {
+    let reference = cascade::run();
+    for mode in MODES {
+        assert_eq!(
+            cascade::run_mode(mode),
+            reference,
+            "cascade diverged at {mode:?}"
+        );
+    }
+}
+
+#[test]
+fn instrumented_flow_telemetry_matches_sequential_key_state() {
+    // Parallel obligations record into private collectors that are
+    // replayed in obligation order; the merged keyed state (counters,
+    // gauges) must equal the sequential instrument's.
+    let w = Workload::small();
+    let seq = telemetry::Collector::shared();
+    let seq_instr: telemetry::SharedInstrument = seq.clone();
+    symbad_core::flow::run_full_flow_instrumented_mode(&w, &seq_instr, exec::ExecMode::Sequential)
+        .expect("sequential flow runs");
+    for workers in [2, 8] {
+        let par = telemetry::Collector::shared();
+        let par_instr: telemetry::SharedInstrument = par.clone();
+        symbad_core::flow::run_full_flow_instrumented_mode(
+            &w,
+            &par_instr,
+            exec::ExecMode::Parallel { workers },
+        )
+        .expect("parallel flow runs");
+        // Counter totals must agree exactly for the engine-independent
+        // keys; the miter SAT counters move to the (uninstrumented)
+        // portfolio in parallel mode, so sat.* totals legitimately
+        // differ and are excluded here.
+        for key in [
+            "sim.polls",
+            "bus.transactions",
+            "fpga.reconfigurations",
+            "bmc.sat_calls",
+            "level4.properties_checked",
+        ] {
+            assert_eq!(
+                par.counter(key),
+                seq.counter(key),
+                "counter {key} diverged at {workers} workers"
+            );
+        }
+        // The flow track (one span per phase) is identical.
+        let seq_spans: Vec<_> = seq
+            .spans()
+            .into_iter()
+            .filter(|s| s.track == "flow")
+            .collect();
+        let par_spans: Vec<_> = par
+            .spans()
+            .into_iter()
+            .filter(|s| s.track == "flow")
+            .collect();
+        assert_eq!(par_spans, seq_spans);
+    }
+}
