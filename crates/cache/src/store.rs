@@ -1,0 +1,207 @@
+//! The in-memory obligation store: lock-striped, shared across worker
+//! threads, with hit/miss accounting.
+
+use crate::Fingerprint;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independently locked shards. Obligations hash uniformly
+/// across shards, so contention between [`exec`-style] worker pools stays
+/// negligible at the workspace's worker counts (≤ 16).
+const SHARDS: usize = 16;
+
+/// Cache traffic counters, snapshot by [`ObligationCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a payload.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Payloads stored (re-insertions under the same fingerprint count
+    /// too, but do not grow `entries`).
+    pub inserts: u64,
+    /// Distinct fingerprints currently stored.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A concurrent map from obligation [`Fingerprint`]s to engine-encoded
+/// verdict payloads.
+///
+/// Lookups and inserts take one shard lock each; the instance is shared
+/// by reference across `exec::map` workers and SAT-portfolio winners.
+/// A [`ObligationCache::disabled`] instance (see [`crate::noop`]) ignores
+/// all traffic, keeping un-cached entry points byte-identical to the
+/// pre-cache code paths.
+#[derive(Debug)]
+pub struct ObligationCache {
+    enabled: bool,
+    shards: Vec<Mutex<HashMap<u128, String>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl Default for ObligationCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObligationCache {
+    /// An empty, enabled cache.
+    pub fn new() -> Self {
+        ObligationCache {
+            enabled: true,
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache that ignores all traffic (see [`crate::noop`]).
+    pub fn disabled() -> Self {
+        ObligationCache {
+            enabled: false,
+            ..ObligationCache::new()
+        }
+    }
+
+    /// Whether lookups/inserts are live (false only for [`crate::noop`]).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn shard(&self, fp: Fingerprint) -> &Mutex<HashMap<u128, String>> {
+        // High bits select the shard; the full value keys the map.
+        &self.shards[(fp.0 >> 124) as usize % SHARDS]
+    }
+
+    /// Returns the payload stored for `fp`, counting a hit or miss.
+    /// Disabled caches always return `None` without counting.
+    pub fn lookup(&self, fp: Fingerprint) -> Option<String> {
+        if !self.enabled {
+            return None;
+        }
+        let found = self.shard(fp).lock().unwrap().get(&fp.0).cloned();
+        match found {
+            Some(p) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(p)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `payload` under `fp` (last writer wins — callers only ever
+    /// race identical payloads, since equal fingerprints mean equal
+    /// obligations decided by a deterministic engine).
+    pub fn insert(&self, fp: Fingerprint, payload: String) {
+        if !self.enabled {
+            return;
+        }
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.shard(fp).lock().unwrap().insert(fp.0, payload);
+    }
+
+    /// Number of distinct entries stored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the traffic counters and entry count.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+
+    /// All entries as `(fingerprint, payload)` pairs, sorted by
+    /// fingerprint — the deterministic order used by persistence.
+    pub fn entries_sorted(&self) -> Vec<(Fingerprint, String)> {
+        let mut out: Vec<(Fingerprint, String)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            for (&fp, payload) in shard.lock().unwrap().iter() {
+                out.push((Fingerprint(fp), payload.clone()));
+            }
+        }
+        out.sort_unstable_by_key(|(fp, _)| *fp);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FingerprintBuilder;
+
+    fn fp(i: u64) -> Fingerprint {
+        FingerprintBuilder::new("t").param(i).finish()
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let c = ObligationCache::new();
+        assert_eq!(c.lookup(fp(1)), None);
+        c.insert(fp(1), "P".into());
+        assert_eq!(c.lookup(fp(1)), Some("P".into()));
+        assert_eq!(c.lookup(fp(2)), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.inserts, s.entries), (1, 2, 1, 1));
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entries_sorted_is_deterministic() {
+        let c = ObligationCache::new();
+        for i in (0..50).rev() {
+            c.insert(fp(i), format!("v{i}"));
+        }
+        let e = c.entries_sorted();
+        assert_eq!(e.len(), 50);
+        assert!(e.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn concurrent_traffic_is_safe_and_complete() {
+        let c = ObligationCache::new();
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let c = &c;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        let k = fp(t * 1000 + i);
+                        c.insert(k, "x".into());
+                        assert_eq!(c.lookup(k), Some("x".into()));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 800);
+        assert_eq!(c.stats().hits, 800);
+    }
+}

@@ -162,13 +162,22 @@ pub fn run() -> CascadeReport {
 /// and engines, and each is deterministic, so the report is bit-identical
 /// to the sequential run (stages stay in flow order).
 pub fn run_mode(mode: exec::ExecMode) -> CascadeReport {
+    run_cached(mode, cache::noop())
+}
+
+/// [`run_mode`] backed by the obligation cache. Only the model-checking
+/// stage poses cacheable obligations (the other stages' engines — fault
+/// simulation, LP, abstract interpretation — decide in microseconds and
+/// are not content-addressed); its two BMC verdicts replay from the cache
+/// on warm runs.
+pub fn run_cached(mode: exec::ExecMode, cache: &cache::ObligationCache) -> CascadeReport {
     let jobs: Vec<usize> = (0..5).collect();
     let stages = exec::map(mode, jobs, |_, i| match i {
         0 => stage_atpg(),
         1 => stage_lpv_liveness(),
         2 => stage_lpv_deadline(),
         3 => stage_symbc(),
-        _ => stage_model_checking(),
+        _ => stage_model_checking(cache),
     });
     CascadeReport { stages }
 }
@@ -283,7 +292,7 @@ fn stage_symbc() -> StageResult {
 }
 
 /// Stage 4: model checking at level 4.
-fn stage_model_checking() -> StageResult {
+fn stage_model_checking(cache: &cache::ObligationCache) -> StageResult {
     let buggy = wrapper(false);
     let clean = wrapper(true);
     let p = Property::response(
@@ -292,8 +301,8 @@ fn stage_model_checking() -> StageResult {
         BoolExpr::eq("state", 0),
         1,
     );
-    let buggy_verdict = bmc::check(&buggy, &p, 10);
-    let clean_verdict = bmc::check(&clean, &p, 10);
+    let buggy_verdict = bmc::check_cached(&buggy, &p, 10, &telemetry::noop(), cache);
+    let clean_verdict = bmc::check_cached(&clean, &p, 10, &telemetry::noop(), cache);
     StageResult {
         stage: "Model checking (BMC)",
         level: 4,

@@ -106,6 +106,14 @@ impl FlowReport {
 
 /// Runs the complete four-level flow on a workload.
 ///
+/// ```
+/// let workload = symbad_core::Workload::small();
+/// let report = symbad_core::flow::run_full_flow(&workload).expect("flow runs");
+/// // Every phase of Figure 1 passes and the probes are recognized.
+/// assert!(report.all_ok());
+/// assert_eq!(report.recognized, vec![0, 1]);
+/// ```
+///
 /// # Errors
 ///
 /// Propagates kernel errors from the simulations.
@@ -162,6 +170,50 @@ pub fn run_full_flow_instrumented_mode(
     workload: &Workload,
     instrument: &telemetry::SharedInstrument,
     mode: exec::ExecMode,
+) -> Result<FlowReport, SimError> {
+    run_full_flow_cached(workload, instrument, mode, cache::noop())
+}
+
+/// [`run_full_flow_instrumented_mode`] backed by the obligation cache:
+/// every SAT/BDD verification obligation of the flow — the level-4 kernel
+/// miters, wrapper model checking, and PCC kill checks — consults `cache`
+/// before running an engine and stores its verdict after. On a warm cache
+/// the verification phases replay from stored verdicts, and the
+/// [`FlowReport`] (phases, metrics, recognition, JSON rendering) is
+/// bit-identical to the cold run — cached payloads are the engines' own
+/// encoded verdicts, decoded exactly.
+///
+/// The cache is in-memory; persist it across processes with
+/// [`cache::ObligationCache::save`] / [`cache::ObligationCache::load_or_empty`]
+/// (see `examples/full_flow.rs`, which keeps it under
+/// `target/symbad-cache/`).
+///
+/// ```
+/// use symbad_core::flow::run_full_flow_cached;
+///
+/// let workload = symbad_core::Workload::small();
+/// let obligations = cache::ObligationCache::new();
+/// let cold = run_full_flow_cached(
+///     &workload, &telemetry::noop(), exec::ExecMode::Sequential, &obligations,
+/// ).expect("cold flow runs");
+/// let warm = run_full_flow_cached(
+///     &workload, &telemetry::noop(), exec::ExecMode::Sequential, &obligations,
+/// ).expect("warm flow runs");
+/// // The warm run replays every obligation from the cache…
+/// let stats = obligations.stats();
+/// assert!(stats.hits > 0);
+/// // …and the report is bit-identical to the cold one.
+/// assert_eq!(warm.to_json(), cold.to_json());
+/// ```
+///
+/// # Errors
+///
+/// Propagates kernel errors from the simulations.
+pub fn run_full_flow_cached(
+    workload: &Workload,
+    instrument: &telemetry::SharedInstrument,
+    mode: exec::ExecMode,
+    cache: &cache::ObligationCache,
 ) -> Result<FlowReport, SimError> {
     let mut phases: Vec<PhaseSummary> = Vec::new();
     let note_phase = |phases: &mut Vec<PhaseSummary>, summary: PhaseSummary| {
@@ -265,7 +317,7 @@ pub fn run_full_flow_instrumented_mode(
     );
 
     // ── Level 4: RTL + formal ──────────────────────────────────────────
-    let l4 = level4::run_mode(mode, instrument);
+    let l4 = level4::run_cached(mode, instrument, cache);
     let kernels_ok = l4.kernels.iter().all(|(_, _, eq)| *eq);
     let props_ok = l4.properties.iter().all(|(_, _, p)| *p);
     note_phase(

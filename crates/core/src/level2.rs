@@ -13,6 +13,15 @@ use sim::SimError;
 
 /// Runs the level-2 model with the paper's default partition.
 ///
+/// ```
+/// let workload = symbad_core::Workload::small();
+/// let report = symbad_core::level2::run(&workload).expect("level-2 simulation");
+/// // The timed mapping must preserve level-1 functionality and yield a
+/// // measurable throughput — the quantities §3.2 simulates for.
+/// assert!(report.matches_reference);
+/// assert!(report.ticks_per_frame > 0.0);
+/// ```
+///
 /// # Errors
 ///
 /// Propagates kernel errors.

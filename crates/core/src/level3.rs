@@ -15,6 +15,17 @@ use sim::{FaultPlan, SimError};
 /// Runs the level-3 model with the paper's context split
 /// (`config1` = DISTANCE, `config2` = ROOT) and hoisted reconfiguration.
 ///
+/// ```
+/// let workload = symbad_core::Workload::small();
+/// let report = symbad_core::level3::run(&workload).expect("level-3 simulation");
+/// assert!(report.matches_reference);
+/// // Level 3 instantiates the FPGA: kernels now live in contexts, so the
+/// // run must have reconfigured and downloaded bitstreams over the bus.
+/// let fpga = report.fpga.expect("level 3 reports FPGA activity");
+/// assert!(fpga.reconfigurations > 0);
+/// assert!(fpga.download_words > 0);
+/// ```
+///
 /// # Errors
 ///
 /// Propagates kernel errors.

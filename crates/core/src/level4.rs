@@ -24,7 +24,7 @@ use hdl::Rtl;
 use mc::prop::{BoolExpr, Property};
 use mc::{bmc, reach, Verdict};
 use media::kernels::{distance_step_function, root_function, ROOT_ITERATIONS};
-use pcc::{check_coverage, check_coverage_mode, PccConfig, PccReport};
+use pcc::{check_coverage_cached, PccConfig, PccReport};
 
 /// Outcome of the level-4 phase.
 #[derive(Debug, Clone)]
@@ -53,12 +53,47 @@ pub fn prove_equivalence_instrumented(
     rtl: &Rtl,
     instrument: &telemetry::SharedInstrument,
 ) -> bool {
+    prove_equivalence_cached(func, rtl, instrument, cache::noop())
+}
+
+/// [`prove_equivalence_instrumented`] backed by the obligation cache
+/// (engine tag `"level4.miter"`): the fingerprint covers the full miter
+/// CNF, the shared input literal layout, and the "any output bit differs"
+/// root, so a hit returns the stored equivalence verdict without solving.
+/// The same fingerprint recipe is used by
+/// [`prove_equivalence_portfolio_cached`], so portfolio winners populate
+/// entries this path can replay (and vice versa).
+pub fn prove_equivalence_cached(
+    func: &Function,
+    rtl: &Rtl,
+    instrument: &telemetry::SharedInstrument,
+    cache: &cache::ObligationCache,
+) -> bool {
     let mut ctx = CnfBackend::new();
     if instrument.enabled() {
         ctx.builder_mut().set_instrument(instrument.clone());
     }
-    assert_miter(func, rtl, &mut ctx);
-    ctx.builder_mut().solve().is_unsat()
+    let (input_bits, any) = build_miter(func, rtl, &mut ctx);
+    let fp = if cache.is_enabled() {
+        let fp = miter_fingerprint(&mut ctx, &input_bits, any);
+        if let Some(payload) = cache.lookup(fp) {
+            if let Some(equivalent) = cache::decode_bool(&payload) {
+                instrument.counter_add("cache.hits", 1);
+                return equivalent;
+            }
+        }
+        instrument.counter_add("cache.misses", 1);
+        Some(fp)
+    } else {
+        None
+    };
+    let builder = ctx.builder_mut();
+    builder.assert_lit(any);
+    let equivalent = builder.solve().is_unsat();
+    if let Some(fp) = fp {
+        cache.insert(fp, cache::encode_bool(equivalent));
+    }
+    equivalent
 }
 
 /// [`prove_equivalence`] with the miter solved by a SAT portfolio: the
@@ -69,15 +104,62 @@ pub fn prove_equivalence_instrumented(
 /// wall-clock-dependent, so their counters are diagnostic-only and are
 /// not merged).
 pub fn prove_equivalence_portfolio(func: &Function, rtl: &Rtl, mode: exec::ExecMode) -> bool {
-    let mut ctx = CnfBackend::new();
-    assert_miter(func, rtl, &mut ctx);
-    let cnf = ctx.builder_mut().solver().export_cnf();
-    sat::solve_portfolio(&cnf, mode).result.is_unsat()
+    prove_equivalence_portfolio_cached(func, rtl, mode, cache::noop())
 }
 
-/// Builds the RTL-vs-resynthesized-source miter in `ctx` and asserts the
-/// "any output bit differs" literal.
-fn assert_miter(func: &Function, rtl: &Rtl, ctx: &mut CnfBackend) {
+/// [`prove_equivalence_portfolio`] backed by the obligation cache. Shares
+/// its fingerprint recipe with [`prove_equivalence_cached`] — the two
+/// entry points fill and drain the same cache entries, so a sequential
+/// warm run replays a verdict a portfolio race decided (the verdict is
+/// objective, so the replay is exact).
+pub fn prove_equivalence_portfolio_cached(
+    func: &Function,
+    rtl: &Rtl,
+    mode: exec::ExecMode,
+    cache: &cache::ObligationCache,
+) -> bool {
+    let mut ctx = CnfBackend::new();
+    let (input_bits, any) = build_miter(func, rtl, &mut ctx);
+    let fp = if cache.is_enabled() {
+        let fp = miter_fingerprint(&mut ctx, &input_bits, any);
+        if let Some(payload) = cache.lookup(fp) {
+            if let Some(equivalent) = cache::decode_bool(&payload) {
+                return equivalent;
+            }
+        }
+        Some(fp)
+    } else {
+        None
+    };
+    ctx.builder_mut().assert_lit(any);
+    let cnf = ctx.builder_mut().solver().export_cnf();
+    let equivalent = sat::solve_portfolio(&cnf, mode).result.is_unsat();
+    if let Some(fp) = fp {
+        cache.insert(fp, cache::encode_bool(equivalent));
+    }
+    equivalent
+}
+
+/// Content-addresses a built (un-asserted) miter: input literal layout,
+/// difference root, canonicalised clauses.
+fn miter_fingerprint(
+    ctx: &mut CnfBackend,
+    input_bits: &[Vec<sat::Lit>],
+    root: sat::Lit,
+) -> cache::Fingerprint {
+    let flat: Vec<sat::Lit> = input_bits.iter().flatten().copied().collect();
+    let cnf = ctx.builder_mut().solver().export_cnf();
+    cache::FingerprintBuilder::new("level4.miter")
+        .lits(&flat)
+        .lits(&[root])
+        .cnf(&cnf)
+        .finish()
+}
+
+/// Builds the RTL-vs-resynthesized-source miter in `ctx`, returning the
+/// input literals and the *un-asserted* "any output bit differs" literal
+/// (callers assert it after any cache fingerprinting).
+fn build_miter(func: &Function, rtl: &Rtl, ctx: &mut CnfBackend) -> (Vec<Vec<sat::Lit>>, sat::Lit) {
     let input_bits: Vec<Vec<sat::Lit>> = rtl
         .inputs()
         .iter()
@@ -107,7 +189,7 @@ fn assert_miter(func: &Function, rtl: &Rtl, ctx: &mut CnfBackend) {
             Some(x) => Some(builder.or_gate(x, d)),
         })
         .expect("at least one output bit");
-    builder.assert_lit(any);
+    (input_bits, any)
 }
 
 /// The initial (incomplete) wrapper property set the designer writes first:
@@ -191,6 +273,14 @@ fn provable_on_open_model(p: &Property) -> bool {
 
 /// Runs the complete level-4 phase.
 ///
+/// ```
+/// let report = symbad_core::level4::run();
+/// // Both FPGA kernels synthesize to RTL and prove equivalent to their
+/// // behavioural source; extending the property set lifts PCC coverage.
+/// assert!(report.kernels.iter().all(|&(_, _, equivalent)| equivalent));
+/// assert!(report.pcc_extended.covered >= report.pcc_initial.covered);
+/// ```
+///
 /// # Panics
 ///
 /// Panics if a kernel unexpectedly fails to synthesize (a programming
@@ -207,6 +297,15 @@ pub fn run() -> Level4Report {
 ///
 /// Same as [`run`].
 pub fn run_instrumented(instrument: &telemetry::SharedInstrument) -> Level4Report {
+    run_sequential_cached(instrument, cache::noop())
+}
+
+/// The sequential level-4 body, parameterized by the obligation cache
+/// ([`cache::noop()`] reproduces [`run_instrumented`] byte for byte).
+fn run_sequential_cached(
+    instrument: &telemetry::SharedInstrument,
+    cache: &cache::ObligationCache,
+) -> Level4Report {
     // 1–2: synthesize the kernels and prove equivalence.
     let mut kernels = Vec::new();
     let dist = distance_step_function();
@@ -214,7 +313,7 @@ pub fn run_instrumented(instrument: &telemetry::SharedInstrument) -> Level4Repor
     kernels.push((
         "distance".to_owned(),
         dist_rtl.num_nodes(),
-        prove_equivalence_instrumented(&dist, &dist_rtl, instrument),
+        prove_equivalence_cached(&dist, &dist_rtl, instrument, cache),
     ));
     let root = root_function();
     let root_unrolled = unroll(&root, ROOT_ITERATIONS);
@@ -222,7 +321,7 @@ pub fn run_instrumented(instrument: &telemetry::SharedInstrument) -> Level4Repor
     kernels.push((
         "root".to_owned(),
         root_rtl.num_nodes(),
-        prove_equivalence_instrumented(&root_unrolled, &root_rtl, instrument),
+        prove_equivalence_cached(&root_unrolled, &root_rtl, instrument, cache),
     ));
 
     // 3–4: wrapper FSM and its properties.
@@ -233,13 +332,14 @@ pub fn run_instrumented(instrument: &telemetry::SharedInstrument) -> Level4Repor
             continue;
         }
         let (engine, proven): (&'static str, bool) = match &p {
-            Property::Invariant { .. } => {
-                ("bdd-reach", reach::check(&wrapper, &p) == Verdict::Proven)
-            }
+            Property::Invariant { .. } => (
+                "bdd-reach",
+                reach::check_cached(&wrapper, &p, instrument, cache) == Verdict::Proven,
+            ),
             Property::Response { .. } => (
                 "bmc",
                 matches!(
-                    bmc::check_instrumented(&wrapper, &p, 12, instrument),
+                    bmc::check_cached(&wrapper, &p, 12, instrument, cache),
                     Verdict::NoViolationUpTo(_)
                 ),
             ),
@@ -258,8 +358,12 @@ pub fn run_instrumented(instrument: &telemetry::SharedInstrument) -> Level4Repor
         .into_iter()
         .filter(provable_on_open_model_ref)
         .collect();
-    let pcc_initial = check_coverage(&wrapper, &initial, &cfg).expect("initial set holds");
-    let pcc_extended = check_coverage(&wrapper, &extended, &cfg).expect("extended set holds");
+    let pcc_initial =
+        check_coverage_cached(&wrapper, &initial, &cfg, exec::ExecMode::Sequential, cache)
+            .expect("initial set holds");
+    let pcc_extended =
+        check_coverage_cached(&wrapper, &extended, &cfg, exec::ExecMode::Sequential, cache)
+            .expect("extended set holds");
 
     Level4Report {
         kernels,
@@ -281,7 +385,7 @@ fn provable_on_open_model_ref(p: &Property) -> bool {
 /// * each wrapper property is an independent obligation with its own
 ///   private [`telemetry::Collector`], replayed into `instrument` in
 ///   property order so the merged telemetry matches the sequential run,
-/// * PCC fault obligations fan out via [`check_coverage_mode`].
+/// * PCC fault obligations fan out via [`pcc::check_coverage_mode`].
 ///
 /// With `ExecMode::Sequential` this is exactly [`run_instrumented`] —
 /// same code path, byte-identical telemetry.
@@ -290,8 +394,25 @@ fn provable_on_open_model_ref(p: &Property) -> bool {
 ///
 /// Same as [`run`].
 pub fn run_mode(mode: exec::ExecMode, instrument: &telemetry::SharedInstrument) -> Level4Report {
+    run_cached(mode, instrument, cache::noop())
+}
+
+/// [`run_mode`] backed by the obligation cache: every SAT/BDD obligation
+/// of the level — kernel miters, wrapper properties, PCC kill checks —
+/// is looked up before an engine runs and stored after. With a warm
+/// cache the whole level replays from stored verdicts; the report is
+/// bit-identical to the uncached run either way.
+///
+/// # Panics
+///
+/// Same as [`run`].
+pub fn run_cached(
+    mode: exec::ExecMode,
+    instrument: &telemetry::SharedInstrument,
+    cache: &cache::ObligationCache,
+) -> Level4Report {
     if !mode.is_parallel() {
-        return run_instrumented(instrument);
+        return run_sequential_cached(instrument, cache);
     }
 
     // 1–2: synthesize the kernels; miters go through the portfolio.
@@ -301,7 +422,7 @@ pub fn run_mode(mode: exec::ExecMode, instrument: &telemetry::SharedInstrument) 
     kernels.push((
         "distance".to_owned(),
         dist_rtl.num_nodes(),
-        prove_equivalence_portfolio(&dist, &dist_rtl, mode),
+        prove_equivalence_portfolio_cached(&dist, &dist_rtl, mode, cache),
     ));
     let root = root_function();
     let root_unrolled = unroll(&root, ROOT_ITERATIONS);
@@ -309,7 +430,7 @@ pub fn run_mode(mode: exec::ExecMode, instrument: &telemetry::SharedInstrument) 
     kernels.push((
         "root".to_owned(),
         root_rtl.num_nodes(),
-        prove_equivalence_portfolio(&root_unrolled, &root_rtl, mode),
+        prove_equivalence_portfolio_cached(&root_unrolled, &root_rtl, mode, cache),
     ));
 
     // 3–4: wrapper properties as independent obligations.
@@ -324,13 +445,14 @@ pub fn run_mode(mode: exec::ExecMode, instrument: &telemetry::SharedInstrument) 
         let local = std::rc::Rc::new(telemetry::Collector::new());
         let shared: telemetry::SharedInstrument = local.clone();
         let (engine, proven): (&'static str, bool) = match p {
-            Property::Invariant { .. } => {
-                ("bdd-reach", reach::check(&wrapper, p) == Verdict::Proven)
-            }
+            Property::Invariant { .. } => (
+                "bdd-reach",
+                reach::check_cached(&wrapper, p, &shared, cache) == Verdict::Proven,
+            ),
             Property::Response { .. } => (
                 "bmc",
                 matches!(
-                    bmc::check_instrumented(&wrapper, p, 12, &shared),
+                    bmc::check_cached(&wrapper, p, 12, &shared, cache),
                     Verdict::NoViolationUpTo(_)
                 ),
             ),
@@ -354,9 +476,9 @@ pub fn run_mode(mode: exec::ExecMode, instrument: &telemetry::SharedInstrument) 
         .filter(provable_on_open_model_ref)
         .collect();
     let pcc_initial =
-        check_coverage_mode(&wrapper, &initial, &cfg, mode).expect("initial set holds");
+        check_coverage_cached(&wrapper, &initial, &cfg, mode, cache).expect("initial set holds");
     let pcc_extended =
-        check_coverage_mode(&wrapper, &props, &cfg, mode).expect("extended set holds");
+        check_coverage_cached(&wrapper, &props, &cfg, mode, cache).expect("extended set holds");
 
     Level4Report {
         kernels,

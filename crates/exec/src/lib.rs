@@ -14,6 +14,8 @@
 //! is reserved for obligations whose *verdict* is objective (e.g. SAT vs
 //! UNSAT of one CNF) — any winner yields the same answer.
 
+#![warn(missing_docs)]
+
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Mutex};

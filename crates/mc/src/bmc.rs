@@ -20,14 +20,22 @@ pub fn check(rtl: &Rtl, property: &Property, bound: u32) -> Verdict {
 
 /// [`check`] with telemetry: emits a `bmc.depth` gauge as unrolling
 /// progresses (the gauge's time axis is the depth itself), a
-/// `bmc.sat_calls` counter, and per-depth SAT solver statistics through
-/// the instrument attached to the underlying solver.
+/// `bmc.sat_calls` counter, a `bmc.solver_constructions` counter (one per
+/// obligation — all depths share one incrementally extended solver), and
+/// per-depth SAT solver statistics through the instrument attached to the
+/// underlying solver.
 pub fn check_instrumented(
     rtl: &Rtl,
     property: &Property,
     bound: u32,
     instrument: &telemetry::SharedInstrument,
 ) -> Verdict {
+    // One solver serves every depth: deepening from k to k+1 only adds
+    // clauses for the new frame, and `solve_under_assumptions` keeps the
+    // learnt clauses and activity from depth k's run. The counter makes
+    // the contrast with a per-depth rebuild (bound + 1 constructions)
+    // observable in benchmarks.
+    instrument.counter_add("bmc.solver_constructions", 1);
     let mut unroller = Unroller::new(rtl, InitMode::Reset);
     if instrument.enabled() {
         unroller
@@ -82,6 +90,37 @@ pub fn check_instrumented(
     }
 }
 
+/// [`check_instrumented`] backed by the obligation cache: a hit returns
+/// the stored verdict (counterexample trace included) without building a
+/// solver; a miss runs the engine and stores the result. Hits and misses
+/// are surfaced both on the cache's own [`cache::CacheStats`] and as
+/// `cache.hits` / `cache.misses` telemetry counters.
+///
+/// Passing [`cache::noop()`] makes this byte-identical to
+/// [`check_instrumented`] — the fingerprint is not even computed.
+pub fn check_cached(
+    rtl: &Rtl,
+    property: &Property,
+    bound: u32,
+    instrument: &telemetry::SharedInstrument,
+    cache: &cache::ObligationCache,
+) -> Verdict {
+    if !cache.is_enabled() {
+        return check_instrumented(rtl, property, bound, instrument);
+    }
+    let fp = crate::obligation::fingerprint("bmc", rtl, property, &[u64::from(bound)]);
+    if let Some(payload) = cache.lookup(fp) {
+        if let Some(verdict) = crate::cachefmt::decode_verdict(rtl, &payload) {
+            instrument.counter_add("cache.hits", 1);
+            return verdict;
+        }
+    }
+    instrument.counter_add("cache.misses", 1);
+    let verdict = check_instrumented(rtl, property, bound, instrument);
+    cache.insert(fp, crate::cachefmt::encode_verdict(&verdict));
+    verdict
+}
+
 /// Checks each property as an independent obligation, optionally across
 /// worker threads ([`exec::ExecMode::Parallel`]). Verdicts — including
 /// counterexample traces — are bit-identical to running
@@ -101,16 +140,35 @@ pub fn check_many(
     mode: exec::ExecMode,
     instrument: &telemetry::SharedInstrument,
 ) -> Vec<Verdict> {
+    check_many_cached(rtl, properties, bound, mode, instrument, cache::noop())
+}
+
+/// [`check_many`] backed by the obligation cache shared across workers
+/// (the store is lock-striped, so parallel obligations look up and insert
+/// concurrently). Within one call every obligation is distinct, so the
+/// hit/miss split is deterministic for a given starting cache regardless
+/// of the worker schedule.
+pub fn check_many_cached(
+    rtl: &Rtl,
+    properties: &[Property],
+    bound: u32,
+    mode: exec::ExecMode,
+    instrument: &telemetry::SharedInstrument,
+    cache: &cache::ObligationCache,
+) -> Vec<Verdict> {
     let enabled = instrument.enabled();
     let jobs: Vec<usize> = (0..properties.len()).collect();
     let results = exec::map(mode, jobs, |_, pi| {
         let property = &properties[pi];
         if !enabled {
-            return (check(rtl, property, bound), None);
+            return (
+                check_cached(rtl, property, bound, &telemetry::noop(), cache),
+                None,
+            );
         }
         let local = std::rc::Rc::new(telemetry::Collector::new());
         let shared: telemetry::SharedInstrument = local.clone();
-        let verdict = check_instrumented(rtl, property, bound, &shared);
+        let verdict = check_cached(rtl, property, bound, &shared, cache);
         drop(shared);
         let collector =
             std::rc::Rc::try_unwrap(local).expect("obligation dropped every instrument handle");

@@ -1,0 +1,155 @@
+//! Verdict payload encoding for the obligation cache.
+//!
+//! Compact, JSON-string-safe, and exact: a decoded verdict — including a
+//! full counterexample trace — is `==` to the one that was encoded, which
+//! is what makes warm flow reruns bit-identical to cold ones. Output
+//! *names* are not stored; they are reconstructed from the netlist's
+//! output declaration order at decode time (the same order the unroller
+//! used to extract the trace). Any malformed payload decodes to `None`
+//! and the caller treats it as a cache miss.
+
+use crate::{CexFrame, CexTrace, Verdict};
+use hdl::Rtl;
+
+/// Encodes a verdict:
+/// `P` (proven) · `U` (unknown) · `N:<bound>` (no violation up to) ·
+/// `V:<frame>;<frame>;…` with each frame `in1,in2|st1,st2|out1,out2`.
+pub fn encode_verdict(verdict: &Verdict) -> String {
+    match verdict {
+        Verdict::Proven => "P".to_owned(),
+        Verdict::Unknown => "U".to_owned(),
+        Verdict::NoViolationUpTo(bound) => format!("N:{bound}"),
+        Verdict::Violated(trace) => {
+            let frames: Vec<String> = trace
+                .frames
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{}|{}|{}",
+                        join(&f.inputs),
+                        join(&f.state),
+                        join_named(&f.outputs)
+                    )
+                })
+                .collect();
+            format!("V:{}", frames.join(";"))
+        }
+    }
+}
+
+/// Decodes [`encode_verdict`] output; `rtl` supplies the output names for
+/// trace frames (declaration order, exactly as the unroller extracts
+/// them).
+pub fn decode_verdict(rtl: &Rtl, payload: &str) -> Option<Verdict> {
+    match payload {
+        "P" => return Some(Verdict::Proven),
+        "U" => return Some(Verdict::Unknown),
+        _ => {}
+    }
+    if let Some(bound) = payload.strip_prefix("N:") {
+        return bound.parse().ok().map(Verdict::NoViolationUpTo);
+    }
+    let body = payload.strip_prefix("V:")?;
+    if body.is_empty() {
+        // BDD reachability reports violations without a trace.
+        return Some(Verdict::Violated(CexTrace { frames: Vec::new() }));
+    }
+    let names: Vec<String> = rtl.outputs().iter().map(|(n, _)| n.clone()).collect();
+    let mut frames = Vec::new();
+    for frame in body.split(';') {
+        let mut parts = frame.split('|');
+        let inputs = split(parts.next()?)?;
+        let state = split(parts.next()?)?;
+        let outputs = split(parts.next()?)?;
+        if parts.next().is_some() || outputs.len() != names.len() {
+            return None;
+        }
+        frames.push(CexFrame {
+            inputs,
+            state,
+            outputs: names.iter().cloned().zip(outputs).collect(),
+        });
+    }
+    Some(Verdict::Violated(CexTrace { frames }))
+}
+
+fn join(values: &[u64]) -> String {
+    values
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn join_named(values: &[(String, u64)]) -> String {
+    values
+        .iter()
+        .map(|(_, v)| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn split(text: &str) -> Option<Vec<u64>> {
+    if text.is_empty() {
+        return Some(Vec::new());
+    }
+    text.split(',').map(|v| v.parse().ok()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use behav::BinOp;
+
+    fn rtl_with_outputs() -> Rtl {
+        let mut rtl = Rtl::new("m");
+        let q = rtl.reg("q", 3, 0);
+        let one = rtl.constant(1, 3);
+        let inc = rtl.binary(BinOp::Add, q, one);
+        rtl.set_next(q, inc);
+        rtl.output("q", q);
+        rtl.output("q2", inc);
+        rtl
+    }
+
+    #[test]
+    fn scalar_verdicts_round_trip() {
+        let rtl = rtl_with_outputs();
+        for v in [
+            Verdict::Proven,
+            Verdict::Unknown,
+            Verdict::NoViolationUpTo(12),
+            Verdict::Violated(CexTrace { frames: Vec::new() }),
+        ] {
+            assert_eq!(decode_verdict(&rtl, &encode_verdict(&v)), Some(v));
+        }
+    }
+
+    #[test]
+    fn traces_round_trip_exactly() {
+        let rtl = rtl_with_outputs();
+        let v = Verdict::Violated(CexTrace {
+            frames: vec![
+                CexFrame {
+                    inputs: vec![3, u64::MAX],
+                    state: vec![0],
+                    outputs: vec![("q".into(), 0), ("q2".into(), 1)],
+                },
+                CexFrame {
+                    inputs: vec![],
+                    state: vec![1],
+                    outputs: vec![("q".into(), 1), ("q2".into(), 2)],
+                },
+            ],
+        });
+        assert_eq!(decode_verdict(&rtl, &encode_verdict(&v)), Some(v));
+    }
+
+    #[test]
+    fn malformed_payloads_are_misses() {
+        let rtl = rtl_with_outputs();
+        for bad in ["", "X", "N:", "N:x", "V:1|2", "V:1|2|3|4", "V:a|b|c,d"] {
+            assert_eq!(decode_verdict(&rtl, bad), None, "payload {bad:?}");
+        }
+    }
+}

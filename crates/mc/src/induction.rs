@@ -7,7 +7,6 @@
 //! [`Verdict::Unknown`] and a larger `k` (or the exact BDD engine) is
 //! needed.
 
-use crate::bmc;
 use crate::prop::Property;
 use crate::unrolling::{InitMode, Unroller};
 use crate::Verdict;
@@ -21,31 +20,68 @@ use hdl::Rtl;
 /// inductively checkable here; compile response properties to monitors
 /// first).
 pub fn check(rtl: &Rtl, property: &Property, k: u32) -> Verdict {
+    check_instrumented(rtl, property, k, &telemetry::noop())
+}
+
+/// [`check`] with telemetry: `induction.sat_calls`, one
+/// `induction.solver_constructions` per obligation, and the underlying
+/// SAT solver's per-call statistics.
+///
+/// Base and step cases share one solver over one `InitMode::Free`
+/// unrolling: the base case pins frame 0 to the reset state with
+/// assumption literals (see `Unroller::reset_assumptions`), the step case
+/// drops them and assumes φ on frames `0..k` instead. The
+/// transition-relation clauses — and every clause learnt from them while
+/// discharging the base case — carry over to the step query, because
+/// assumptions are scoped decisions and never contaminate the learnt
+/// clause database.
+///
+/// # Panics
+///
+/// Panics if called with a response property or `k == 0`.
+pub fn check_instrumented(
+    rtl: &Rtl,
+    property: &Property,
+    k: u32,
+    instrument: &telemetry::SharedInstrument,
+) -> Verdict {
     let expr = match property {
         Property::Invariant { expr, .. } => expr,
         Property::Response { .. } => {
             panic!("k-induction expects an invariant property")
         }
     };
-
     assert!(k >= 1, "k-induction requires k >= 1");
+
+    instrument.counter_add("induction.solver_constructions", 1);
+    let mut unroller = Unroller::new(rtl, InitMode::Free);
+    if instrument.enabled() {
+        unroller
+            .ctx
+            .builder_mut()
+            .set_instrument(instrument.clone());
+    }
+    unroller.ensure_frames(k as usize);
+    let phis: Vec<sat::Lit> = (0..=k as usize)
+        .map(|i| unroller.compile_expr(expr, i))
+        .collect();
+    let reset = unroller.reset_assumptions();
+
     // Base case: no violation in the first k cycles from reset.
-    match bmc::check(rtl, property, k - 1) {
-        Verdict::Violated(trace) => return Verdict::Violated(trace),
-        Verdict::NoViolationUpTo(_) => {}
-        other => return other,
+    for (d, &phi) in phis.iter().enumerate().take(k as usize) {
+        let mut assumptions = reset.clone();
+        assumptions.push(!phi);
+        instrument.counter_add("induction.sat_calls", 1);
+        if unroller.ctx.builder_mut().solve_with(&assumptions).is_sat() {
+            let trace = unroller.extract_trace(d);
+            return Verdict::Violated(trace);
+        }
     }
 
     // Step case: φ(s_0) ∧ … ∧ φ(s_{k-1}) ∧ ¬φ(s_k) unsatisfiable?
-    let mut unroller = Unroller::new(rtl, InitMode::Free);
-    unroller.ensure_frames(k as usize);
-    let mut assumptions = Vec::new();
-    for i in 0..k as usize {
-        let phi = unroller.compile_expr(expr, i);
-        assumptions.push(phi);
-    }
-    let bad = unroller.compile_expr(expr, k as usize);
-    assumptions.push(!bad);
+    let mut assumptions: Vec<sat::Lit> = phis[..k as usize].to_vec();
+    assumptions.push(!phis[k as usize]);
+    instrument.counter_add("induction.sat_calls", 1);
     if unroller
         .ctx
         .builder_mut()
@@ -56,6 +92,33 @@ pub fn check(rtl: &Rtl, property: &Property, k: u32) -> Verdict {
     } else {
         Verdict::Unknown
     }
+}
+
+/// [`check_instrumented`] backed by the obligation cache (engine tag
+/// `"induction"`, parameter `k`). A hit replays the stored verdict —
+/// including a base-case counterexample trace — without constructing a
+/// solver; [`cache::noop()`] short-circuits to the uncached path.
+pub fn check_cached(
+    rtl: &Rtl,
+    property: &Property,
+    k: u32,
+    instrument: &telemetry::SharedInstrument,
+    cache: &cache::ObligationCache,
+) -> Verdict {
+    if !cache.is_enabled() {
+        return check_instrumented(rtl, property, k, instrument);
+    }
+    let fp = crate::obligation::fingerprint("induction", rtl, property, &[u64::from(k)]);
+    if let Some(payload) = cache.lookup(fp) {
+        if let Some(verdict) = crate::cachefmt::decode_verdict(rtl, &payload) {
+            instrument.counter_add("cache.hits", 1);
+            return verdict;
+        }
+    }
+    instrument.counter_add("cache.misses", 1);
+    let verdict = check_instrumented(rtl, property, k, instrument);
+    cache.insert(fp, crate::cachefmt::encode_verdict(&verdict));
+    verdict
 }
 
 /// Attempts each invariant as an independent k-induction obligation,
@@ -70,6 +133,46 @@ pub fn check_many(
 ) -> Vec<Verdict> {
     let jobs: Vec<usize> = (0..properties.len()).collect();
     exec::map(mode, jobs, |_, pi| check(rtl, &properties[pi], k))
+}
+
+/// [`check_many`] with a shared obligation cache and per-obligation
+/// telemetry collectors replayed in property order (the same merging
+/// discipline as [`bmc::check_many_cached`](crate::bmc::check_many_cached)).
+pub fn check_many_cached(
+    rtl: &Rtl,
+    properties: &[Property],
+    k: u32,
+    mode: exec::ExecMode,
+    instrument: &telemetry::SharedInstrument,
+    cache: &cache::ObligationCache,
+) -> Vec<Verdict> {
+    let enabled = instrument.enabled();
+    let jobs: Vec<usize> = (0..properties.len()).collect();
+    let results = exec::map(mode, jobs, |_, pi| {
+        let property = &properties[pi];
+        if !enabled {
+            return (
+                check_cached(rtl, property, k, &telemetry::noop(), cache),
+                None,
+            );
+        }
+        let local = std::rc::Rc::new(telemetry::Collector::new());
+        let shared: telemetry::SharedInstrument = local.clone();
+        let verdict = check_cached(rtl, property, k, &shared, cache);
+        drop(shared);
+        let collector =
+            std::rc::Rc::try_unwrap(local).expect("obligation dropped every instrument handle");
+        (verdict, Some(collector))
+    });
+    results
+        .into_iter()
+        .map(|(verdict, collector)| {
+            if let Some(c) = collector {
+                c.replay_into(instrument.as_ref());
+            }
+            verdict
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -151,6 +254,48 @@ mod tests {
         ] {
             assert_eq!(check_many(&rtl, &properties, 2, mode), reference);
         }
+    }
+
+    #[test]
+    fn base_and_step_share_one_solver() {
+        let rtl = mod_counter(3, 5);
+        let p = Property::invariant("ne6", BoolExpr::ne("q", 6));
+        let collector = telemetry::Collector::shared();
+        let instr: telemetry::SharedInstrument = collector.clone();
+        assert_eq!(check_instrumented(&rtl, &p, 2, &instr), Verdict::Proven);
+        // One solver serves two base-case queries and the step query.
+        assert_eq!(collector.counter("induction.solver_constructions"), 1);
+        assert_eq!(collector.counter("induction.sat_calls"), 3);
+        assert_eq!(collector.counter("sat.solve_calls"), 3);
+        // Calls after the first on the same solver are incremental.
+        assert_eq!(collector.counter("sat.incremental_solve_calls"), 2);
+    }
+
+    #[test]
+    fn cached_verdicts_replay_without_solving() {
+        let rtl = mod_counter(3, 5);
+        let properties = [
+            Property::invariant("ne6", BoolExpr::ne("q", 6)),
+            Property::invariant("lt3", BoolExpr::lt("q", 3)),
+        ];
+        let cache = cache::ObligationCache::new();
+        let cold: Vec<Verdict> = properties
+            .iter()
+            .map(|p| check_cached(&rtl, p, 2, &telemetry::noop(), &cache))
+            .collect();
+        assert_eq!(cache.stats().misses, 2);
+
+        let collector = telemetry::Collector::shared();
+        let instr: telemetry::SharedInstrument = collector.clone();
+        let warm: Vec<Verdict> = properties
+            .iter()
+            .map(|p| check_cached(&rtl, p, 2, &instr, &cache))
+            .collect();
+        assert_eq!(warm, cold);
+        assert_eq!(cache.stats().hits, 2);
+        // No solver was built for the warm pass.
+        assert_eq!(collector.counter("induction.solver_constructions"), 0);
+        assert_eq!(collector.counter("cache.hits"), 2);
     }
 
     #[test]

@@ -43,9 +43,13 @@
 //! assert_eq!(reach::check(&rtl, &prop), Verdict::Proven);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bmc;
+mod cachefmt;
 pub mod induction;
 pub mod monitor;
+pub mod obligation;
 pub mod prop;
 pub mod reach;
 mod unrolling;

@@ -121,6 +121,48 @@ pub fn check(rtl: &Rtl, property: &Property) -> Verdict {
     }
 }
 
+/// [`check`] backed by the obligation cache (engine tag `"reach"`, no
+/// numeric parameters — the engine is exact). A hit replays the stored
+/// verdict without building a BDD manager; [`cache::noop()`]
+/// short-circuits to the uncached path. Hits and misses are surfaced as
+/// `cache.hits` / `cache.misses` counters on `instrument`.
+///
+/// # Panics
+///
+/// As [`check`]: response properties and state spaces wider than 28 bits
+/// are rejected (before any cache lookup, so cached and uncached paths
+/// reject identically).
+pub fn check_cached(
+    rtl: &Rtl,
+    property: &Property,
+    instrument: &telemetry::SharedInstrument,
+    cache: &cache::ObligationCache,
+) -> Verdict {
+    assert!(
+        matches!(property, Property::Invariant { .. }),
+        "reachability expects an invariant property"
+    );
+    assert!(
+        rtl.state_bits() <= 28,
+        "state space too wide for the naive BDD order ({} bits)",
+        rtl.state_bits()
+    );
+    if !cache.is_enabled() {
+        return check(rtl, property);
+    }
+    let fp = crate::obligation::fingerprint("reach", rtl, property, &[]);
+    if let Some(payload) = cache.lookup(fp) {
+        if let Some(verdict) = crate::cachefmt::decode_verdict(rtl, &payload) {
+            instrument.counter_add("cache.hits", 1);
+            return verdict;
+        }
+    }
+    instrument.counter_add("cache.misses", 1);
+    let verdict = check(rtl, property);
+    cache.insert(fp, crate::cachefmt::encode_verdict(&verdict));
+    verdict
+}
+
 #[allow(clippy::only_used_in_recursion)]
 fn compile_expr(
     mgr: &mut bdd::Manager,

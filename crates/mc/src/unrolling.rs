@@ -98,6 +98,27 @@ impl<'r> Unroller<'r> {
         }
     }
 
+    /// Assumption literals pinning frame 0's state bits to the reset
+    /// values, so one [`InitMode::Free`] unrolling can serve both a
+    /// from-reset query (pass these to `solve_under_assumptions`) and an
+    /// any-state query (omit them) over the same transition-relation
+    /// clauses. Only meaningful for `Free` unrollings — under
+    /// [`InitMode::Reset`] the frame-0 state bits are constants, not
+    /// assumable variables.
+    pub fn reset_assumptions(&self) -> Vec<Lit> {
+        let reset = self.rtl.reset_state();
+        self.frames[0]
+            .state_lits
+            .iter()
+            .zip(&reset)
+            .flat_map(|(bits, &v)| {
+                bits.iter()
+                    .enumerate()
+                    .map(move |(i, &l)| if v >> i & 1 == 1 { l } else { !l })
+            })
+            .collect()
+    }
+
     /// Builds a literal equal to `expr` evaluated on frame `fi`.
     pub fn compile_expr(&mut self, expr: &BoolExpr, fi: usize) -> Lit {
         use hdl::lower::BitCtx;

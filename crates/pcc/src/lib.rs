@@ -178,6 +178,34 @@ impl PccReport {
 /// configured bound is the fallback for wide designs — conservative in the
 /// uncovered direction (a violation deeper than the bound counts as "not
 /// killed").
+/// [`fails_on`] backed by the obligation cache (engine tag
+/// `"pcc.fails_on"`, parameter `bmc_bound`). Caching at this granularity
+/// — one boolean per `(mutant, property)` pair — lets a rerun of the
+/// coverage loop skip every already-decided mutant, and lets the initial
+/// property set's obligations be reused verbatim when coverage is
+/// re-measured with an extended set (the extension only adds *new*
+/// `(mutant, property)` pairs).
+fn fails_on_cached(
+    rtl: &Rtl,
+    property: &Property,
+    cfg: &PccConfig,
+    cache: &cache::ObligationCache,
+) -> bool {
+    if !cache.is_enabled() {
+        return fails_on(rtl, property, cfg);
+    }
+    let fp =
+        mc::obligation::fingerprint("pcc.fails_on", rtl, property, &[u64::from(cfg.bmc_bound)]);
+    if let Some(payload) = cache.lookup(fp) {
+        if let Some(fails) = cache::decode_bool(&payload) {
+            return fails;
+        }
+    }
+    let fails = fails_on(rtl, property, cfg);
+    cache.insert(fp, cache::encode_bool(fails));
+    fails
+}
+
 fn fails_on(rtl: &Rtl, property: &Property, cfg: &PccConfig) -> bool {
     match property {
         Property::Invariant { .. } if rtl.state_bits() <= 24 => {
@@ -232,10 +260,31 @@ pub fn check_coverage_mode(
     cfg: &PccConfig,
     mode: exec::ExecMode,
 ) -> Result<PccReport, PccError> {
+    check_coverage_cached(rtl, properties, cfg, mode, cache::noop())
+}
+
+/// [`check_coverage_mode`] backed by the obligation cache: every
+/// `(design, property)` decision — good-design pre-check and per-mutant
+/// kill checks alike — is looked up before an engine runs and stored
+/// after. The report stays bit-identical to the uncached run for any
+/// starting cache, because cached payloads are the engines' own verdicts.
+///
+/// # Errors
+///
+/// As [`check_coverage`].
+pub fn check_coverage_cached(
+    rtl: &Rtl,
+    properties: &[Property],
+    cfg: &PccConfig,
+    mode: exec::ExecMode,
+    cache: &cache::ObligationCache,
+) -> Result<PccReport, PccError> {
     // Pre-check every property on the fault-free design in parallel, but
     // report the first failure in declaration order (the sequential answer).
     let good_jobs: Vec<usize> = (0..properties.len()).collect();
-    let good = exec::map(mode, good_jobs, |_, pi| fails_on(rtl, &properties[pi], cfg));
+    let good = exec::map(mode, good_jobs, |_, pi| {
+        fails_on_cached(rtl, &properties[pi], cfg, cache)
+    });
     if let Some(pi) = good.iter().position(|&fails| fails) {
         return Err(PccError::PropertyFailsOnGoodDesign {
             property: properties[pi].name().to_owned(),
@@ -245,7 +294,10 @@ pub fn check_coverage_mode(
     // One obligation per fault: which properties kill its mutant.
     let kills: Vec<Vec<bool>> = exec::map(mode, faults.clone(), |_, fault| {
         let m = mutant(rtl, fault);
-        properties.iter().map(|p| fails_on(&m, p, cfg)).collect()
+        properties
+            .iter()
+            .map(|p| fails_on_cached(&m, p, cfg, cache))
+            .collect()
     });
     let mut uncovered = Vec::new();
     let mut covered = 0usize;
@@ -379,6 +431,39 @@ mod tests {
             .expect("good design");
             assert_eq!(report, reference);
         }
+    }
+
+    #[test]
+    fn cached_coverage_reruns_without_new_engine_work() {
+        let rtl = counter();
+        let cfg = PccConfig { bmc_bound: 12 };
+        let properties = vec![
+            Property::invariant("range", BoolExpr::le("q", 3)),
+            Property::response("step_0", BoolExpr::eq("q", 0), BoolExpr::eq("q", 1), 1),
+        ];
+        let cache = cache::ObligationCache::new();
+        let cold =
+            check_coverage_cached(&rtl, &properties, &cfg, exec::ExecMode::Sequential, &cache)
+                .expect("good design");
+        // The cached run decides exactly what the uncached one decides.
+        let reference = check_coverage(&rtl, &properties, &cfg).expect("good design");
+        assert_eq!(cold, reference);
+
+        let after_cold = cache.stats();
+        let obligations = properties.len() * (1 + enumerate_faults(&rtl).len());
+        let warm = check_coverage_cached(
+            &rtl,
+            &properties,
+            &cfg,
+            exec::ExecMode::Parallel { workers: 4 },
+            &cache,
+        )
+        .expect("good design");
+        assert_eq!(warm, cold);
+        let after_warm = cache.stats();
+        // Every warm obligation hit; none escaped to an engine.
+        assert_eq!(after_warm.misses, after_cold.misses);
+        assert_eq!(after_warm.hits - after_cold.hits, obligations as u64);
     }
 
     #[test]

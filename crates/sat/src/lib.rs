@@ -31,6 +31,8 @@
 //! assert_eq!(s.value(b), Some(true));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cnf;
 pub mod dimacs;
 pub mod portfolio;

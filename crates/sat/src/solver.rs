@@ -563,14 +563,29 @@ impl Solver {
 
     /// Solves the formula with no assumptions.
     pub fn solve(&mut self) -> SolveResult {
-        self.solve_with(&[])
+        self.solve_under_assumptions(&[])
     }
 
-    /// Solves under temporary `assumptions` (literals forced true for this
-    /// call only). Learnt clauses are kept for later calls.
-    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+    /// Solves under temporary `assumptions` — literals forced true for
+    /// this call only, retracted afterwards. This is the incremental
+    /// entry point: everything the previous calls paid for — learnt
+    /// clauses, variable activities, saved phases — is retained, so a
+    /// caller that keeps one solver alive (the BMC unroller adding frame
+    /// k+1 on top of frame k, or k-induction sharing the transition
+    /// relation between base and step cases) re-solves only what the new
+    /// clauses add. Keeping learnt clauses across calls is sound because
+    /// each one is a resolvent of the *permanent* clause set: assumptions
+    /// enter the search as scoped decisions, never as clauses, so no
+    /// learnt clause can depend on a retracted assumption.
+    pub fn solve_under_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.solve_inner(assumptions, None)
             .expect("uninterrupted solve always reaches a verdict")
+    }
+
+    /// Alias of [`Solver::solve_under_assumptions`] kept for the
+    /// workspace's historical call sites.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_under_assumptions(assumptions)
     }
 
     /// Like [`Solver::solve_with`], but abandons the search (returning
@@ -623,6 +638,11 @@ impl Solver {
         let (dec, con, prop) = self.flushed;
         self.flush_calls += 1;
         i.counter_add("sat.solve_calls", 1);
+        // Calls after the first on the same solver reuse its learnt
+        // clauses and activities — the incremental-solving payoff.
+        if self.flush_calls > 1 {
+            i.counter_add("sat.incremental_solve_calls", 1);
+        }
         i.counter_add("sat.decisions", self.decisions.saturating_sub(dec));
         i.counter_add("sat.conflicts", self.conflicts.saturating_sub(con));
         i.counter_add("sat.propagations", self.propagations.saturating_sub(prop));

@@ -37,6 +37,8 @@
 //! assert!(trace.contains("\"ram:W8\""));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod chrome;
 pub mod collect;
 pub mod instrument;

@@ -8,42 +8,123 @@
 //!   or <https://ui.perfetto.dev>),
 //! * `flow_signals.vcd` — gauge time-series as a VCD waveform,
 //! * `BENCH_flow.json` — the benchmark summary (kernel cycle counts, bus
-//!   utilisation, reconfiguration latency) consumed by CI.
+//!   utilisation, reconfiguration latency, obligation-cache hit rates)
+//!   consumed by CI.
+//!
+//! The example also exercises the obligation cache end to end: the
+//! instrumented primary run is cold (fresh cache, so the engine counters
+//! reflect real solver work), a warm rerun on the populated cache must
+//! reproduce the report bit for bit, and the cache is persisted to
+//! `target/symbad-cache/` for the next invocation.
 //!
 //! ```text
 //! cargo run --release --example full_flow
 //! ```
 
 use std::fs;
+use std::path::Path;
 use std::time::Instant;
 use symbad_core::cascade;
-use symbad_core::flow::{run_full_flow_instrumented, run_full_flow_mode, FlowReport};
+use symbad_core::flow::{run_full_flow_cached, run_full_flow_mode, FlowReport};
 use symbad_core::workload::Workload;
 use telemetry::{chrome_trace, vcd_dump, Collector, Json, SharedInstrument};
 
-/// Sequential-vs-parallel wall times of the verification work, recorded
-/// in the `exec` section of `BENCH_flow.json`. Wall time is
-/// host-dependent (CI machine, core count); the verdict bit-identity
-/// asserted in `main` is not.
-struct ExecBench {
-    workers: usize,
+/// Sequential-vs-parallel wall times of the verification work. Wall time
+/// is host-dependent (CI machine, core count); the verdict bit-identity
+/// asserted in `main` is not. `None` when the host runs with a single
+/// worker — a "parallel" run would be the sequential one relabelled, so
+/// the bench reports the mode instead of a vacuous speedup of 1.0.
+struct ExecCompare {
     flow_seq_ms: f64,
     flow_par_ms: f64,
     cascade_seq_ms: f64,
     cascade_par_ms: f64,
 }
 
+/// Obligation-cache behaviour across the cold primary run and the warm
+/// rerun, plus the incremental-solving counters that show one solver
+/// served every BMC depth (`bmc_solver_constructions` ≪ `bmc_sat_calls`).
+struct CacheBench {
+    entries_loaded: usize,
+    entries_saved: usize,
+    cold_hits: u64,
+    cold_misses: u64,
+    inserts: u64,
+    warm_hits: u64,
+    warm_misses: u64,
+    warm_hit_rate: f64,
+}
+
 /// Builds the `BENCH_flow.json` payload. Everything except `host.wall_ms`
-/// is deterministic (simulated cycles, counters, histogram summaries);
-/// wall time is confined to the `host` section so regressions in the
-/// deterministic sections are attributable to model changes alone.
+/// and the `exec` wall times is deterministic (simulated cycles, counters,
+/// histogram summaries), so regressions in the deterministic sections are
+/// attributable to model changes alone.
 fn bench_json(
     report: &FlowReport,
     collector: &Collector,
     wall_ms: f64,
-    exec: &ExecBench,
+    workers: usize,
+    compare: &Option<ExecCompare>,
+    cache_bench: &CacheBench,
 ) -> String {
     let latency = collector.histogram("fpga.reconfig_latency").summary();
+    let cache_section = Json::obj(vec![
+        (
+            "entries_loaded",
+            Json::UInt(cache_bench.entries_loaded as u64),
+        ),
+        (
+            "entries_saved",
+            Json::UInt(cache_bench.entries_saved as u64),
+        ),
+        ("cold_hits", Json::UInt(cache_bench.cold_hits)),
+        ("cold_misses", Json::UInt(cache_bench.cold_misses)),
+        ("inserts", Json::UInt(cache_bench.inserts)),
+        ("warm_hits", Json::UInt(cache_bench.warm_hits)),
+        ("warm_misses", Json::UInt(cache_bench.warm_misses)),
+        ("warm_hit_rate", Json::Num(cache_bench.warm_hit_rate)),
+        (
+            "bmc_solver_constructions",
+            Json::UInt(collector.counter("bmc.solver_constructions")),
+        ),
+        (
+            "bmc_sat_calls",
+            Json::UInt(collector.counter("bmc.sat_calls")),
+        ),
+        (
+            "sat_incremental_solve_calls",
+            Json::UInt(collector.counter("sat.incremental_solve_calls")),
+        ),
+    ]);
+    let mut exec_section = vec![
+        ("workers", Json::UInt(workers as u64)),
+        (
+            "mode",
+            Json::Str(
+                if compare.is_some() {
+                    "parallel"
+                } else {
+                    "sequential"
+                }
+                .into(),
+            ),
+        ),
+    ];
+    if let Some(c) = compare {
+        exec_section.push(("flow_sequential_ms", Json::Num(c.flow_seq_ms)));
+        exec_section.push(("flow_parallel_ms", Json::Num(c.flow_par_ms)));
+        exec_section.push((
+            "flow_speedup",
+            Json::Num(c.flow_seq_ms / c.flow_par_ms.max(1e-9)),
+        ));
+        exec_section.push(("cascade_sequential_ms", Json::Num(c.cascade_seq_ms)));
+        exec_section.push(("cascade_parallel_ms", Json::Num(c.cascade_par_ms)));
+        exec_section.push((
+            "cascade_speedup",
+            Json::Num(c.cascade_seq_ms / c.cascade_par_ms.max(1e-9)),
+        ));
+    }
+    exec_section.push(("cache", cache_section));
     Json::obj(vec![
         (
             "kernel",
@@ -117,24 +198,7 @@ fn bench_json(
             ]),
         ),
         ("host", Json::obj(vec![("wall_ms", Json::Num(wall_ms))])),
-        (
-            "exec",
-            Json::obj(vec![
-                ("workers", Json::UInt(exec.workers as u64)),
-                ("flow_sequential_ms", Json::Num(exec.flow_seq_ms)),
-                ("flow_parallel_ms", Json::Num(exec.flow_par_ms)),
-                (
-                    "flow_speedup",
-                    Json::Num(exec.flow_seq_ms / exec.flow_par_ms.max(1e-9)),
-                ),
-                ("cascade_sequential_ms", Json::Num(exec.cascade_seq_ms)),
-                ("cascade_parallel_ms", Json::Num(exec.cascade_par_ms)),
-                (
-                    "cascade_speedup",
-                    Json::Num(exec.cascade_seq_ms / exec.cascade_par_ms.max(1e-9)),
-                ),
-            ]),
-        ),
+        ("exec", Json::obj(exec_section)),
     ])
     .render_pretty()
 }
@@ -144,52 +208,113 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = Workload::small();
     let collector = Collector::shared();
     let instr: SharedInstrument = collector.clone();
-    let report = run_full_flow_instrumented(&workload, &instr)?;
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
-    // Re-run the flow with the verification obligations fanned out across
-    // worker threads (SYMBAD_WORKERS, defaulting to the host's cores) and
-    // check the invariant the parallel backbone promises: the report —
-    // every verdict, metric, and its JSON rendering — is bit-identical.
+    // Obligation cache lifecycle. A previous invocation may have persisted
+    // proved obligations under target/symbad-cache/ — report how many we
+    // would inherit — but run the instrumented primary flow against a
+    // FRESH cache: a warm cache replays verdicts without touching the
+    // solvers, which would zero the engine counters benchmarked below.
+    let cache_dir = Path::new("target/symbad-cache");
+    let entries_loaded = cache::ObligationCache::load_or_empty(cache_dir).len();
+    let obligations = cache::ObligationCache::new();
+
+    let report = run_full_flow_cached(&workload, &instr, exec::ExecMode::Sequential, &obligations)?;
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let cold = obligations.stats();
+
+    // Warm rerun on the now-populated cache: every verification obligation
+    // is replayed from its cached verdict, and the report — verdicts,
+    // counterexamples, coverage, JSON rendering — must be bit-identical.
+    let warm_report = run_full_flow_cached(
+        &workload,
+        &telemetry::noop(),
+        exec::ExecMode::Sequential,
+        &obligations,
+    )?;
+    assert_eq!(
+        warm_report.to_json(),
+        report.to_json(),
+        "warm (cached) flow report must be bit-identical to the cold one"
+    );
+    let total = obligations.stats();
+    let cache_bench = CacheBench {
+        entries_loaded,
+        entries_saved: obligations.len(),
+        cold_hits: cold.hits,
+        cold_misses: cold.misses,
+        inserts: total.inserts,
+        warm_hits: total.hits - cold.hits,
+        warm_misses: total.misses - cold.misses,
+        warm_hit_rate: {
+            let warm_total = (total.hits - cold.hits) + (total.misses - cold.misses);
+            if warm_total == 0 {
+                0.0
+            } else {
+                (total.hits - cold.hits) as f64 / warm_total as f64
+            }
+        },
+    };
+    obligations.save(cache_dir)?;
+    println!(
+        "cache: {} entries loaded from disk; cold run {} hits / {} misses; \
+         warm rerun {} hits / {} misses ({:.0}% hit rate); {} entries saved",
+        cache_bench.entries_loaded,
+        cache_bench.cold_hits,
+        cache_bench.cold_misses,
+        cache_bench.warm_hits,
+        cache_bench.warm_misses,
+        cache_bench.warm_hit_rate * 100.0,
+        cache_bench.entries_saved,
+    );
+
+    // Sequential-vs-parallel comparison of the verification work, on an
+    // UNCACHED flow so both sides do the same solver work (SYMBAD_WORKERS
+    // overrides the default of the host's core count). With one worker the
+    // comparison is vacuous, so it is skipped and the bench labels the run
+    // sequential instead of reporting a speedup of 1.0.
     let mode = if std::env::var_os("SYMBAD_WORKERS").is_some() {
         exec::ExecMode::from_env()
     } else {
         exec::ExecMode::host_parallel()
     };
-    let seq_start = Instant::now();
-    let seq_report = run_full_flow_mode(&workload, exec::ExecMode::Sequential)?;
-    let flow_seq_ms = seq_start.elapsed().as_secs_f64() * 1e3;
-    let par_start = Instant::now();
-    let par_report = run_full_flow_mode(&workload, mode)?;
-    let flow_par_ms = par_start.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(
-        par_report.to_json(),
-        seq_report.to_json(),
-        "parallel flow report must be bit-identical to the sequential one"
-    );
-    assert_eq!(par_report.to_json(), report.to_json());
+    let compare = if mode.is_parallel() {
+        let seq_start = Instant::now();
+        let seq_report = run_full_flow_mode(&workload, exec::ExecMode::Sequential)?;
+        let flow_seq_ms = seq_start.elapsed().as_secs_f64() * 1e3;
+        let par_start = Instant::now();
+        let par_report = run_full_flow_mode(&workload, mode)?;
+        let flow_par_ms = par_start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            par_report.to_json(),
+            seq_report.to_json(),
+            "parallel flow report must be bit-identical to the sequential one"
+        );
+        assert_eq!(par_report.to_json(), report.to_json());
 
-    // The verification cascade alone (the level-1..4 checking stages with
-    // no simulation in between) is where the fan-out pays off most.
-    let cas_start = Instant::now();
-    let cas_seq = cascade::run();
-    let cascade_seq_ms = cas_start.elapsed().as_secs_f64() * 1e3;
-    let cas_start = Instant::now();
-    let cas_par = cascade::run_mode(mode);
-    let cascade_par_ms = cas_start.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(cas_par, cas_seq, "parallel cascade must be bit-identical");
-    let exec_bench = ExecBench {
-        workers: mode.workers(),
-        flow_seq_ms,
-        flow_par_ms,
-        cascade_seq_ms,
-        cascade_par_ms,
+        // The verification cascade alone (the level-1..4 checking stages
+        // with no simulation in between) is where the fan-out pays off most.
+        let cas_start = Instant::now();
+        let cas_seq = cascade::run();
+        let cascade_seq_ms = cas_start.elapsed().as_secs_f64() * 1e3;
+        let cas_start = Instant::now();
+        let cas_par = cascade::run_mode(mode);
+        let cascade_par_ms = cas_start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(cas_par, cas_seq, "parallel cascade must be bit-identical");
+        println!(
+            "exec: {} workers; flow {flow_seq_ms:.0} ms → {flow_par_ms:.0} ms; \
+             cascade {cascade_seq_ms:.0} ms → {cascade_par_ms:.0} ms",
+            mode.workers()
+        );
+        Some(ExecCompare {
+            flow_seq_ms,
+            flow_par_ms,
+            cascade_seq_ms,
+            cascade_par_ms,
+        })
+    } else {
+        println!("exec: 1 worker; sequential run (speedup comparison skipped)");
+        None
     };
-    println!(
-        "exec: {} workers; flow {flow_seq_ms:.0} ms → {flow_par_ms:.0} ms; \
-         cascade {cascade_seq_ms:.0} ms → {cascade_par_ms:.0} ms",
-        exec_bench.workers
-    );
 
     let text = report.to_text();
     print!("{text}");
@@ -210,7 +335,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     fs::write("flow_signals.vcd", vcd_dump(&collector))?;
     fs::write(
         "BENCH_flow.json",
-        bench_json(&report, &collector, wall_ms, &exec_bench),
+        bench_json(
+            &report,
+            &collector,
+            wall_ms,
+            mode.workers(),
+            &compare,
+            &cache_bench,
+        ),
     )?;
     println!(
         "wrote report_output.txt, report_output.json, flow_trace.json, \

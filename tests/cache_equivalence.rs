@@ -1,0 +1,163 @@
+//! The obligation cache's contract: a warm rerun of the flow replays
+//! cached verdicts instead of re-running the engines, and the replayed
+//! results — verdicts, counterexamples, coverage, and the rendered
+//! [`symbad_core::flow::FlowReport`] JSON — are bit-identical to the
+//! cold run's, for sequential and parallel execution alike.
+//!
+//! Also pins the incremental-solving claim the cache composes with: BMC
+//! constructs one solver per obligation and extends it depth by depth,
+//! so solver constructions stay strictly below SAT calls.
+
+use std::fs;
+use std::path::PathBuf;
+use symbad_core::flow::run_full_flow_cached;
+use symbad_core::workload::Workload;
+
+/// A scratch directory under `target/` for persistence round-trips,
+/// unique per test so parallel test threads never collide.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("test-cache")
+        .join(name);
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn warm_rerun_hits_at_least_half_of_obligations() {
+    let w = Workload::small();
+    let obligations = cache::ObligationCache::new();
+    let cold = run_full_flow_cached(
+        &w,
+        &telemetry::noop(),
+        exec::ExecMode::Sequential,
+        &obligations,
+    )
+    .expect("cold flow runs");
+    let after_cold = obligations.stats();
+    assert!(after_cold.misses > 0, "cold run must populate the cache");
+
+    let warm = run_full_flow_cached(
+        &w,
+        &telemetry::noop(),
+        exec::ExecMode::Sequential,
+        &obligations,
+    )
+    .expect("warm flow runs");
+    let after_warm = obligations.stats();
+    let warm_hits = after_warm.hits - after_cold.hits;
+    let warm_misses = after_warm.misses - after_cold.misses;
+    let warm_total = warm_hits + warm_misses;
+    assert!(
+        warm_hits * 2 >= warm_total,
+        "warm rerun must hit at least half of its obligations \
+         ({warm_hits} hits / {warm_misses} misses)"
+    );
+    assert_eq!(
+        warm.to_json(),
+        cold.to_json(),
+        "warm flow report must be bit-identical to the cold one"
+    );
+}
+
+#[test]
+fn cold_and_warm_reports_are_bit_identical_across_worker_counts() {
+    let w = Workload::small();
+    let reference = run_full_flow_cached(
+        &w,
+        &telemetry::noop(),
+        exec::ExecMode::Sequential,
+        &cache::ObligationCache::new(),
+    )
+    .expect("reference flow runs")
+    .to_json();
+    for workers in [1usize, 8] {
+        let mode = exec::ExecMode::Parallel { workers };
+        let obligations = cache::ObligationCache::new();
+        let cold = run_full_flow_cached(&w, &telemetry::noop(), mode, &obligations)
+            .expect("cold flow runs");
+        let warm = run_full_flow_cached(&w, &telemetry::noop(), mode, &obligations)
+            .expect("warm flow runs");
+        assert_eq!(
+            cold.to_json(),
+            reference,
+            "cold cached report diverged from sequential at {workers} workers"
+        );
+        assert_eq!(
+            warm.to_json(),
+            reference,
+            "warm cached report diverged from sequential at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn cache_persistence_round_trips_through_disk() {
+    let w = Workload::small();
+    let dir = scratch_dir("round-trip");
+    let obligations = cache::ObligationCache::new();
+    let cold = run_full_flow_cached(
+        &w,
+        &telemetry::noop(),
+        exec::ExecMode::Sequential,
+        &obligations,
+    )
+    .expect("cold flow runs");
+    obligations.save(&dir).expect("cache saves");
+
+    let reloaded = cache::ObligationCache::load_or_empty(&dir);
+    assert_eq!(reloaded.len(), obligations.len());
+    assert_eq!(
+        reloaded.entries_sorted(),
+        obligations.entries_sorted(),
+        "persisted entries must survive the save/load round trip verbatim"
+    );
+
+    // A flow run against the reloaded cache is fully warm: zero misses,
+    // and the report is still bit-identical.
+    let warm = run_full_flow_cached(
+        &w,
+        &telemetry::noop(),
+        exec::ExecMode::Sequential,
+        &reloaded,
+    )
+    .expect("warm flow runs");
+    let stats = reloaded.stats();
+    assert_eq!(
+        stats.misses, 0,
+        "every obligation must hit after the disk round trip"
+    );
+    assert!(stats.hits > 0);
+    assert_eq!(warm.to_json(), cold.to_json());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bmc_constructs_strictly_fewer_solvers_than_it_makes_sat_calls() {
+    // One solver per obligation, extended incrementally across depths:
+    // the flow's BMC work must show constructions < SAT calls, which is
+    // exactly what a per-depth rebuild cannot.
+    let w = Workload::small();
+    let collector = telemetry::Collector::shared();
+    let instr: telemetry::SharedInstrument = collector.clone();
+    run_full_flow_cached(
+        &w,
+        &instr,
+        exec::ExecMode::Sequential,
+        &cache::ObligationCache::new(),
+    )
+    .expect("instrumented flow runs");
+    let constructions = collector.counter("bmc.solver_constructions");
+    let sat_calls = collector.counter("bmc.sat_calls");
+    assert!(constructions > 0, "the flow must run BMC");
+    assert!(
+        constructions < sat_calls,
+        "incremental BMC must construct fewer solvers ({constructions}) \
+         than it makes SAT calls ({sat_calls})"
+    );
+    assert!(
+        collector.counter("sat.incremental_solve_calls") > 0,
+        "reusing a solver across depths must register incremental solve calls"
+    );
+}

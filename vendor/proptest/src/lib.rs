@@ -232,7 +232,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specification for [`vec`]: exact, half-open, or inclusive.
+    /// Length specification for [`vec()`](fn@vec): exact, half-open, or inclusive.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
