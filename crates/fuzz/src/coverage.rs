@@ -1,0 +1,76 @@
+//! Coverage-steered generation from telemetry-style counters.
+//!
+//! The engines already count the work they do (SAT conflicts and
+//! propagations, BMC SAT calls, bus waits). The fuzzer uses those
+//! counters as cheap coverage feedback: each iteration's counters are
+//! bucketed to a signature, and a signature never seen before means the
+//! input reached new engine behaviour. The driver keeps the current
+//! generator profile while signatures stay fresh and re-randomizes it
+//! when they go stale — an AFL-style bias with zero instrumentation cost.
+
+use sim::faults::{fnv1a, mix64};
+use std::collections::HashSet;
+
+/// Log-scale bucket of a counter value (0, 1, 2, 4-7, 8-15, … collapse).
+pub fn bucket(value: u64) -> u64 {
+    64 - u64::from(value.leading_zeros())
+}
+
+/// The set of behaviour signatures observed so far in one run.
+#[derive(Debug, Default)]
+pub struct CoverageMap {
+    seen: HashSet<u64>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        CoverageMap::default()
+    }
+
+    /// Folds bucketed counters into one signature hash.
+    pub fn signature(counters: &[u64]) -> u64 {
+        let mut h = fnv1a(b"symbad-fuzz-coverage");
+        for &c in counters {
+            h = mix64(h ^ bucket(c));
+        }
+        h
+    }
+
+    /// Records the signature of `counters`; true when it is new.
+    pub fn observe(&mut self, counters: &[u64]) -> bool {
+        self.seen.insert(Self::signature(counters))
+    }
+
+    /// Number of distinct signatures observed.
+    pub fn distinct(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_collapse_magnitudes() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(4), 3);
+        assert_eq!(bucket(7), 3);
+        assert_eq!(bucket(1 << 40), 41);
+    }
+
+    #[test]
+    fn novelty_is_first_sighting_only() {
+        let mut map = CoverageMap::new();
+        assert!(map.observe(&[0, 5, 9]));
+        assert!(!map.observe(&[0, 5, 9]));
+        // Same buckets, same signature: 4..=7 collapse.
+        assert!(!map.observe(&[0, 6, 10]));
+        assert!(map.observe(&[1, 5, 9]));
+        assert_eq!(map.distinct(), 2);
+    }
+}

@@ -1,0 +1,283 @@
+//! The DIMACS oracle family: malformed, truncated, and mutated CNF text
+//! thrown at the parser, with a no-panic guarantee.
+//!
+//! Each iteration renders a small valid instance, then applies a random
+//! stack of mutations — truncation, token injection, line duplication,
+//! byte substitution, range deletion. The oracle requires that
+//! [`sat::dimacs::parse`] either returns `Ok` with a self-consistent
+//! instance (validated invariants, panic-free solver load, stable
+//! re-render round trip) or a typed [`sat::dimacs::ParseDimacsError`] —
+//! never a panic. Parser hardening driven by this family: truncated and
+//! duplicated `p` headers are rejected, and declared variable counts are
+//! capped (`MAX_VARS`) before `into_solver` can attempt the allocation.
+
+use crate::rng::FuzzRng;
+use crate::shrink;
+use crate::{Evaluation, FamilyOutcome};
+use sat::dimacs::{self, MAX_VARS};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Tokens the mutator splices in: header fragments, giant numbers,
+/// non-numeric junk, comment and terminator edge cases.
+const INJECT: &[&str] = &[
+    "p",
+    "cnf",
+    "p cnf",
+    "p cnf 3",
+    "p cnf 2 2",
+    "p cnf 999999999999 1",
+    "p cnf 18446744073709551616 1",
+    "p dnf 2 1",
+    "c junk comment",
+    "0",
+    "-0",
+    "--1",
+    "99999999999999999999999",
+    "-9223372036854775808",
+    "x",
+    "%",
+    "1 -1 0",
+];
+
+/// Generates one mutated DIMACS text.
+pub fn generate(rng: &mut FuzzRng, bias: u64) -> String {
+    // Seed text: a small valid instance (reuses the SAT family generator).
+    let seed_case = crate::sat_fuzz::generate(rng, bias);
+    let mut text = sat::Dimacs {
+        num_vars: seed_case.num_vars,
+        clauses: seed_case.clauses,
+    }
+    .render();
+    let mutations = rng.range(0, 4);
+    for _ in 0..mutations {
+        text = mutate(rng, text);
+    }
+    text
+}
+
+fn mutate(rng: &mut FuzzRng, text: String) -> String {
+    let bytes = text.into_bytes();
+    let len = bytes.len();
+    let mutated = match rng.below(5) {
+        0 => {
+            // Truncate (also models a torn read).
+            let at = rng.range_usize(0, len);
+            bytes[..at].to_vec()
+        }
+        1 => {
+            // Inject a token at a random position.
+            let at = rng.range_usize(0, len);
+            let tok = INJECT[rng.range_usize(0, INJECT.len() - 1)];
+            let mut out = bytes[..at].to_vec();
+            out.extend_from_slice(b" ");
+            out.extend_from_slice(tok.as_bytes());
+            out.extend_from_slice(b" ");
+            out.extend_from_slice(&bytes[at..]);
+            out
+        }
+        2 => {
+            // Delete a random range.
+            let a = rng.range_usize(0, len);
+            let b = rng.range_usize(a, len);
+            let mut out = bytes[..a].to_vec();
+            out.extend_from_slice(&bytes[b..]);
+            out
+        }
+        3 => {
+            // Duplicate a random line.
+            let text = String::from_utf8(bytes).expect("ascii");
+            let lines: Vec<&str> = text.lines().collect();
+            if lines.is_empty() {
+                return text;
+            }
+            let i = rng.range_usize(0, lines.len() - 1);
+            let mut out: Vec<&str> = lines.clone();
+            out.insert(i, lines[i]);
+            return out.join("\n");
+        }
+        _ => {
+            // Replace one byte with structured junk.
+            if len == 0 {
+                return String::new();
+            }
+            let mut out = bytes;
+            let at = rng.range_usize(0, len - 1);
+            const JUNK: &[u8] = b" -0123456789pcnf\nx%";
+            out[at] = JUNK[rng.range_usize(0, JUNK.len() - 1)];
+            out
+        }
+    };
+    // All inputs and injections are ASCII, so this cannot fail.
+    String::from_utf8(mutated).expect("ascii")
+}
+
+/// The oracle: parsing must never panic, successes must be
+/// self-consistent, failures must be typed errors.
+pub fn check(text: &str) -> (Option<String>, Vec<u64>) {
+    let parsed = catch_unwind(AssertUnwindSafe(|| dimacs::parse(text)));
+    let mut counters = vec![text.len() as u64];
+    let parsed = match parsed {
+        Err(_) => return (Some("parse panicked".into()), counters),
+        Ok(r) => r,
+    };
+    match parsed {
+        Err(e) => {
+            // Typed failure: fine by contract. Feed the error class back
+            // as coverage so mutation explores every failure path.
+            counters.extend([
+                1,
+                match e {
+                    dimacs::ParseDimacsError::MissingHeader => 1,
+                    dimacs::ParseDimacsError::BadHeader(_) => 2,
+                    dimacs::ParseDimacsError::BadLiteral(_) => 3,
+                    dimacs::ParseDimacsError::LiteralOutOfRange(_) => 4,
+                    dimacs::ParseDimacsError::TooManyVariables(_) => 5,
+                },
+            ]);
+            (None, counters)
+        }
+        Ok(d) => {
+            counters.extend([2, d.num_vars as u64, d.clauses.len() as u64]);
+            if d.num_vars > MAX_VARS {
+                return (
+                    Some(format!(
+                        "accepted variable count {} above MAX_VARS",
+                        d.num_vars
+                    )),
+                    counters,
+                );
+            }
+            for clause in &d.clauses {
+                for &l in clause {
+                    if l == 0 || l.unsigned_abs() as usize > d.num_vars {
+                        return (
+                            Some(format!("accepted out-of-contract literal {l}")),
+                            counters,
+                        );
+                    }
+                }
+            }
+            // A parsed instance must load into a solver without panicking
+            // (bounded so a legitimately huge accepted header cannot make
+            // the smoke run allocate forever).
+            if d.num_vars <= 10_000 {
+                let loaded = catch_unwind(AssertUnwindSafe(|| {
+                    let (mut solver, _) = d.into_solver();
+                    solver.solve().is_sat() as u64
+                }));
+                match loaded {
+                    Err(_) => return (Some("into_solver/solve panicked".into()), counters),
+                    Ok(sat) => counters.push(sat),
+                }
+            }
+            // Round trip: rendering a parsed instance must reparse to it.
+            match dimacs::parse(&d.render()) {
+                Ok(again) if again == d => (None, counters),
+                Ok(_) => (
+                    Some("render/reparse round trip altered the instance".into()),
+                    counters,
+                ),
+                Err(e) => (
+                    Some(format!("render of a parsed instance fails to reparse: {e}")),
+                    counters,
+                ),
+            }
+        }
+    }
+}
+
+fn shrink_candidates(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = text.lines().collect();
+    for i in 0..lines.len() {
+        let mut keep = lines.clone();
+        keep.remove(i);
+        out.push(keep.join("\n"));
+    }
+    for (i, line) in lines.iter().enumerate() {
+        let tokens: Vec<&str> = line.split(' ').collect();
+        if tokens.len() <= 1 {
+            continue;
+        }
+        for j in 0..tokens.len() {
+            let mut keep_tokens = tokens.clone();
+            keep_tokens.remove(j);
+            let mut keep = lines.clone();
+            let joined = keep_tokens.join(" ");
+            keep[i] = &joined;
+            out.push(keep.join("\n"));
+        }
+    }
+    if text.len() <= 120 {
+        for i in 0..text.len() {
+            let mut s = text.as_bytes().to_vec();
+            s.remove(i);
+            if let Ok(s) = String::from_utf8(s) {
+                out.push(s);
+            }
+        }
+    }
+    out
+}
+
+/// One fuzz iteration: mutate, check, shrink the text on failure.
+pub(crate) fn run_one(rng: &mut FuzzRng, bias: u64) -> FamilyOutcome {
+    let text = generate(rng, bias);
+    let (disagreement, counters) = check(&text);
+    let failure = disagreement.map(|detail| {
+        let minimized = shrink::minimize(
+            text,
+            3000,
+            |t| shrink_candidates(t),
+            |t| check(t).0.is_some(),
+        );
+        crate::Failure { detail, minimized }
+    });
+    FamilyOutcome { counters, failure }
+}
+
+/// [`check`] boxed as an [`Evaluation`] (used by tests).
+pub fn evaluate(text: &str) -> Evaluation {
+    let (disagreement, counters) = check(text);
+    Evaluation {
+        disagreement,
+        counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_nasty_inputs_are_handled() {
+        for text in [
+            "",
+            "p",
+            "p cnf",
+            "p cnf 3",
+            "p cnf 3 3",
+            "p cnf 3 3\n1 2 0\np cnf 9 9\n9 0",
+            "p cnf 99999999999999999999 1\n1 0",
+            "p cnf 999999999999 1\n1 0",
+            "1 2 0",
+            "p cnf 2 1\n--1 0",
+            "p cnf 2 1\n1 -0",
+            "p cnf 2 1\n-9223372036854775808 0",
+            "c only comments\nc nothing else",
+        ] {
+            let (disagreement, _) = check(text);
+            assert_eq!(disagreement, None, "input {text:?}");
+        }
+    }
+
+    #[test]
+    fn mutated_corpus_never_panics() {
+        let mut rng = FuzzRng::new(99);
+        for bias in 0..60u64 {
+            let text = generate(&mut rng, bias);
+            let (disagreement, _) = check(&text);
+            assert_eq!(disagreement, None, "input {text:?}");
+        }
+    }
+}

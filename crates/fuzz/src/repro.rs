@@ -1,0 +1,87 @@
+//! Replayable reproducer IDs and the fuzzer's environment knobs.
+//!
+//! Every disagreement the fuzzer finds is reported as a single line
+//! `SYMBAD_FUZZ_REPRO=<seed:family:iter>`: the triple fully determines
+//! the generated case (the run is deterministic end to end, including
+//! coverage steering), so replaying it regenerates the same input, the
+//! same disagreement, and the same minimized case, bit for bit.
+
+use crate::Family;
+use std::fmt;
+
+/// Iteration budget override (one number, applied to every family).
+pub const ITERS_ENV: &str = "SYMBAD_FUZZ_ITERS";
+
+/// Single-case replay: `SYMBAD_FUZZ_REPRO=<seed:family:iter>`.
+pub const REPRO_ENV: &str = "SYMBAD_FUZZ_REPRO";
+
+/// The identity of one fuzz iteration: run seed, oracle family, and
+/// iteration ordinal within the run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ReproId {
+    /// The run's base seed.
+    pub seed: u64,
+    /// The oracle family the case was generated for.
+    pub family: Family,
+    /// Zero-based iteration ordinal within the run.
+    pub iter: u64,
+}
+
+impl fmt::Display for ReproId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.seed, self.family.as_str(), self.iter)
+    }
+}
+
+impl ReproId {
+    /// Parses a `seed:family:iter` triple (the [`fmt::Display`] format).
+    pub fn parse(text: &str) -> Option<ReproId> {
+        let mut parts = text.trim().split(':');
+        let seed = parts.next()?.parse().ok()?;
+        let family = Family::parse(parts.next()?)?;
+        let iter = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(ReproId { seed, family, iter })
+    }
+}
+
+/// The per-family iteration budget: `SYMBAD_FUZZ_ITERS` when set and
+/// parseable, otherwise `default`. Tier-1 tests pass small defaults so
+/// `cargo test` stays fast; CI smoke exports 1000.
+pub fn iters_from_env(default: u64) -> u64 {
+    std::env::var(ITERS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// The reproducer requested via `SYMBAD_FUZZ_REPRO`, if any.
+pub fn repro_from_env() -> Option<ReproId> {
+    ReproId::parse(&std::env::var(REPRO_ENV).ok()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repro_ids_round_trip_through_text() {
+        for family in Family::ALL {
+            let id = ReproId {
+                seed: 0xDEAD_BEEF,
+                family,
+                iter: 417,
+            };
+            assert_eq!(ReproId::parse(&id.to_string()), Some(id));
+        }
+    }
+
+    #[test]
+    fn malformed_ids_are_rejected() {
+        for bad in ["", "1:sat", "1:nope:2", "x:sat:2", "1:sat:y", "1:sat:2:3"] {
+            assert_eq!(ReproId::parse(bad), None, "{bad:?}");
+        }
+    }
+}

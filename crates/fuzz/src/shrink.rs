@@ -1,0 +1,84 @@
+//! Greedy delta-debugging.
+//!
+//! When an oracle finds a disagreement, the raw case is rarely readable
+//! (dozens of clauses, a netlist of random gates). The shrinker walks a
+//! family-supplied list of reduction candidates and greedily commits any
+//! candidate on which the disagreement persists, restarting until a
+//! fixpoint — the classic ddmin discipline, kept deterministic so the
+//! minimized case is itself part of the reproducer contract.
+
+/// Greedily minimizes `case`. `candidates` proposes strictly smaller
+/// variants of the current case (in a deterministic order);
+/// `still_fails` re-runs the oracle on a variant. The first failing
+/// variant is committed and the search restarts from it; the fixpoint —
+/// a case none of whose candidates still fails — is returned.
+///
+/// `budget` caps the number of `still_fails` evaluations so shrinking a
+/// pathological case cannot stall a CI run; the best case found so far
+/// is returned when the budget runs out.
+pub fn minimize<C: Clone>(
+    mut case: C,
+    mut budget: u64,
+    candidates: impl Fn(&C) -> Vec<C>,
+    mut still_fails: impl FnMut(&C) -> bool,
+) -> C {
+    loop {
+        let mut progressed = false;
+        for cand in candidates(&case) {
+            if budget == 0 {
+                return case;
+            }
+            budget -= 1;
+            if still_fails(&cand) {
+                case = cand;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return case;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Stand-in failure: a list fails while it still contains a 7.
+    fn fails(v: &[u32]) -> bool {
+        v.contains(&7)
+    }
+
+    fn drop_one(v: &[u32]) -> Vec<Vec<u32>> {
+        (0..v.len())
+            .map(|i| {
+                let mut c = v.to_vec();
+                c.remove(i);
+                c
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shrinks_to_the_minimal_failing_case() {
+        let case = vec![3, 1, 7, 9, 7, 2];
+        let min = minimize(case, 10_000, |c| drop_one(c), |c| fails(c));
+        assert_eq!(min, vec![7]);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let case = vec![5, 7, 7, 7, 1];
+        let a = minimize(case.clone(), 10_000, |c| drop_one(c), |c| fails(c));
+        let b = minimize(case, 10_000, |c| drop_one(c), |c| fails(c));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budget_zero_returns_the_case_unchanged() {
+        let case = vec![7, 7];
+        let min = minimize(case.clone(), 0, |c| drop_one(c), |c| fails(c));
+        assert_eq!(min, case);
+    }
+}

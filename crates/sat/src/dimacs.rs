@@ -18,17 +18,26 @@ pub struct Dimacs {
     pub clauses: Vec<Vec<i64>>,
 }
 
+/// Hard ceiling on the declared variable count. DIMACS headers are
+/// attacker-controlled input (files from disk, fuzzer mutations): without
+/// a cap, `p cnf 99999999999 0` parses "successfully" and the subsequent
+/// [`Dimacs::into_solver`] attempts a multi-gigabyte allocation. Real
+/// instances in this workspace are orders of magnitude smaller.
+pub const MAX_VARS: usize = 1_000_000;
+
 /// DIMACS parse errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseDimacsError {
     /// No `p cnf <vars> <clauses>` header found before the clauses.
     MissingHeader,
-    /// The header was malformed.
+    /// The header was malformed, duplicated, or not `p cnf <vars> <clauses>`.
     BadHeader(String),
     /// A token was not an integer.
     BadLiteral(String),
     /// A literal's magnitude exceeds the declared variable count.
     LiteralOutOfRange(i64),
+    /// The declared variable count exceeds [`MAX_VARS`].
+    TooManyVariables(usize),
 }
 
 impl std::fmt::Display for ParseDimacsError {
@@ -40,6 +49,9 @@ impl std::fmt::Display for ParseDimacsError {
             ParseDimacsError::LiteralOutOfRange(l) => {
                 write!(f, "literal {l} out of declared range")
             }
+            ParseDimacsError::TooManyVariables(n) => {
+                write!(f, "declared variable count {n} exceeds the cap {MAX_VARS}")
+            }
         }
     }
 }
@@ -48,6 +60,13 @@ impl std::error::Error for ParseDimacsError {}
 
 /// Parses DIMACS CNF text (comments and blank lines allowed; clauses are
 /// zero-terminated and may span lines).
+///
+/// Never panics: every malformed input — bad tokens, truncated or
+/// duplicated headers, out-of-range or absurdly large declarations —
+/// maps to a typed [`ParseDimacsError`]. The declared clause count is
+/// informational (real-world files routinely get it wrong) but must be
+/// present and numeric; the declared variable count is enforced both as
+/// a literal range and against [`MAX_VARS`].
 ///
 /// # Errors
 ///
@@ -62,15 +81,32 @@ pub fn parse(text: &str) -> Result<Dimacs, ParseDimacsError> {
             continue;
         }
         if line.starts_with('p') {
-            let mut parts = line.split_whitespace();
-            let _p = parts.next();
-            if parts.next() != Some("cnf") {
+            if num_vars.is_some() {
+                // A second problem line would silently redefine the
+                // variable range the clauses were checked against.
                 return Err(ParseDimacsError::BadHeader(line.to_owned()));
+            }
+            let bad = || ParseDimacsError::BadHeader(line.to_owned());
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("p") || parts.next() != Some("cnf") {
+                return Err(bad());
             }
             let nv = parts
                 .next()
                 .and_then(|t| t.parse::<usize>().ok())
-                .ok_or_else(|| ParseDimacsError::BadHeader(line.to_owned()))?;
+                .ok_or_else(bad)?;
+            // The clause count must be present and numeric, but its value
+            // is not trusted (clauses are counted as they are read).
+            parts
+                .next()
+                .and_then(|t| t.parse::<usize>().ok())
+                .ok_or_else(bad)?;
+            if parts.next().is_some() {
+                return Err(bad());
+            }
+            if nv > MAX_VARS {
+                return Err(ParseDimacsError::TooManyVariables(nv));
+            }
             num_vars = Some(nv);
             continue;
         }
@@ -187,5 +223,51 @@ mod tests {
             parse("p cnf 2 1\n3 0").unwrap_err(),
             ParseDimacsError::LiteralOutOfRange(3)
         );
+    }
+
+    #[test]
+    fn truncated_header_is_rejected() {
+        // Regression (found by fuzzing): a header with no clause count
+        // used to be silently accepted.
+        assert!(matches!(
+            parse("p cnf 3\n1 2 0").unwrap_err(),
+            ParseDimacsError::BadHeader(_)
+        ));
+        assert!(matches!(
+            parse("p cnf\n1 0").unwrap_err(),
+            ParseDimacsError::BadHeader(_)
+        ));
+        assert!(matches!(
+            parse("p").unwrap_err(),
+            ParseDimacsError::BadHeader(_)
+        ));
+        // Trailing junk on the header is rejected too.
+        assert!(matches!(
+            parse("p cnf 3 3 7\n1 0").unwrap_err(),
+            ParseDimacsError::BadHeader(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_header_is_rejected() {
+        // Regression (found by fuzzing): a second `p` line used to
+        // redefine the range the earlier clauses were validated against.
+        assert!(matches!(
+            parse("p cnf 3 1\n1 2 0\np cnf 9 1\n9 0").unwrap_err(),
+            ParseDimacsError::BadHeader(_)
+        ));
+    }
+
+    #[test]
+    fn absurd_variable_counts_are_rejected_before_allocation() {
+        // Regression (found by fuzzing): `into_solver` on a parsed header
+        // declaring billions of variables attempted the full allocation.
+        let text = format!("p cnf {} 0\n", MAX_VARS + 1);
+        assert_eq!(
+            parse(&text).unwrap_err(),
+            ParseDimacsError::TooManyVariables(MAX_VARS + 1)
+        );
+        // The cap itself is fine (no clauses, no allocation pressure here).
+        assert!(parse(&format!("p cnf {MAX_VARS} 0\n")).is_ok());
     }
 }

@@ -168,6 +168,11 @@ pub struct Solver {
     flushed: (u64, u64, u64),
     /// Solve calls flushed so far (the gauge axis for per-call series).
     flush_calls: u64,
+    /// Unit propagations seen by the test-only `mutant` feature, which
+    /// silently drops every third one to prove the fuzzer's differential
+    /// oracles catch an injected solver bug.
+    #[cfg(feature = "mutant")]
+    mutant_units: u64,
 }
 
 impl Default for Solver {
@@ -201,6 +206,8 @@ impl Default for Solver {
             instrument: None,
             flushed: (0, 0, 0),
             flush_calls: 0,
+            #[cfg(feature = "mutant")]
+            mutant_units: 0,
         }
     }
 }
@@ -439,6 +446,17 @@ impl Solver {
                     blocker: first,
                 };
                 keep += 1;
+                #[cfg(feature = "mutant")]
+                {
+                    // Injected bug: every third unit implication is
+                    // silently dropped, so "SAT" models can violate a
+                    // clause. The fuzz crate's model validation must
+                    // catch this (see `fuzz/tests/mutant_detection.rs`).
+                    self.mutant_units += 1;
+                    if self.mutant_units % 3 == 0 {
+                        continue;
+                    }
+                }
                 if !self.enqueue(first, Some(ci)) {
                     // Conflict: keep the remaining watches and bail out.
                     while wi < watch_list.len() {

@@ -1,0 +1,144 @@
+//! Differential fuzzing driver: runs every oracle family at its standard
+//! budget, prints a per-family summary, and writes a machine-readable
+//! report (plus one replayable reproducer file per disagreement) under
+//! `target/symbad-fuzz/`. Exits nonzero if any oracle disagreed, so CI
+//! can gate on it.
+//!
+//! ```text
+//! cargo run --release --example fuzz                  # all families
+//! SYMBAD_FUZZ_ITERS=1000 cargo run --release --example fuzz
+//! SYMBAD_FUZZ_REPRO=0:sat:17 cargo run --example fuzz # replay one case
+//! ```
+//!
+//! The run is deterministic end to end: the same seeds and budgets
+//! reproduce the same cases, the same coverage signatures, and (if the
+//! engines disagree) the same minimized counterexamples, bit for bit.
+
+use fuzz::{repro, run, run_repro, Family, FuzzConfig, FuzzOutcome};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn out_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("symbad-fuzz")
+}
+
+/// Replays one `seed:family:iter` reproducer and reports what it finds.
+fn replay(id: &fuzz::ReproId) -> ExitCode {
+    println!("replaying {} ({} iterations)", id, id.iter + 1);
+    match run_repro(id) {
+        Some(d) => {
+            println!("reproduced: {}", d.detail);
+            println!("minimized case:\n{}", d.minimized);
+            ExitCode::FAILURE
+        }
+        None => {
+            println!("iteration {} is clean — no disagreement", id.iter);
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn summary_json(outcomes: &[FuzzOutcome]) -> String {
+    let mut out = String::from("{\n  \"families\": [");
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{ \"family\": \"{}\", \"iters\": {}, \"disagreements\": {}, \
+             \"distinct_signatures\": {}, \"novel_iterations\": {}, \"repros\": [",
+            o.family.as_str(),
+            o.iters,
+            o.disagreements.len(),
+            o.distinct_signatures,
+            o.novel_iterations
+        );
+        for (j, d) in o.disagreements.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            json_string(&mut out, &d.repro.to_string());
+        }
+        out.push_str("] }");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    if let Some(id) = repro::repro_from_env() {
+        return replay(&id);
+    }
+
+    let dir = out_dir();
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create target/symbad-fuzz");
+
+    let mut outcomes = Vec::new();
+    let mut failed = false;
+    for family in Family::ALL {
+        let config = FuzzConfig::standard(family);
+        let outcome = run(family, &config);
+        println!(
+            "{:>6}: {} iterations, {} distinct signatures ({} novel), {} disagreement(s)",
+            family.as_str(),
+            outcome.iters,
+            outcome.distinct_signatures,
+            outcome.novel_iterations,
+            outcome.disagreements.len()
+        );
+        for d in &outcome.disagreements {
+            failed = true;
+            println!("  !! {}={}  {}", repro::REPRO_ENV, d.repro, d.detail);
+            // One file per disagreement: the replay line, what disagreed,
+            // and the delta-debugged minimal case — CI uploads these.
+            let name = format!("repro-{}.txt", d.repro.to_string().replace(':', "-"));
+            let body = format!(
+                "{}={}\n\n{}\n\nminimized case:\n{}\n",
+                repro::REPRO_ENV,
+                d.repro,
+                d.detail,
+                d.minimized
+            );
+            fs::write(dir.join(name), body).expect("write reproducer file");
+        }
+        outcomes.push(outcome);
+    }
+
+    fs::write(dir.join("fuzz_summary.json"), summary_json(&outcomes)).expect("write summary");
+    println!("summary: {}", dir.join("fuzz_summary.json").display());
+
+    if failed {
+        println!(
+            "oracles disagreed — replay with the printed {} lines",
+            repro::REPRO_ENV
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("all oracles agree");
+        ExitCode::SUCCESS
+    }
+}

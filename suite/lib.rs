@@ -3,6 +3,9 @@
 pub use atpg;
 pub use bdd;
 pub use behav;
+pub use cache;
+pub use exec;
+pub use fuzz;
 pub use hdl;
 pub use lp;
 pub use mc;
@@ -15,3 +18,5 @@ pub use symbad_core;
 pub use symbc;
 pub use telemetry;
 pub use tlm;
+
+pub mod testkit;

@@ -1,0 +1,136 @@
+//! Shared scaffolding for the top-level integration tests.
+//!
+//! The `tests/*.rs` integration binaries are separate crates, so helpers
+//! they all need — scratch directories, golden-file comparison, the
+//! brute-force SAT reference, CNF-to-engine builders — live here instead
+//! of being copy-pasted into each file. Everything is deterministic and
+//! filesystem-safe for parallel test threads (scratch directories are
+//! keyed by caller-chosen names).
+
+use std::fs;
+use std::path::PathBuf;
+
+/// A scratch directory under `target/test-scratch/` for persistence
+/// round-trips, wiped on entry and unique per `name` so parallel test
+/// threads never collide.
+pub fn scratch_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("test-scratch")
+        .join(name);
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The committed golden file for `name`, under `tests/golden/`.
+pub fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the committed golden file, or rewrites the
+/// golden when the `UPDATE_GOLDEN` environment variable is set.
+pub fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name}: {e}; run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        actual, expected,
+        "{name} diverged from its golden file; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1 cargo test"
+    );
+}
+
+/// Exhaustive satisfiability of a small CNF over `n` variables, each
+/// clause a list of `(variable index, polarity)` literals. The reference
+/// every engine-level SAT answer is checked against.
+pub fn brute_force_sat(n: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
+    assert!(n < 32, "brute force enumerates 2^n assignments");
+    (0..(1u32 << n)).any(|bits| {
+        clauses
+            .iter()
+            .all(|c| c.iter().any(|&(v, pos)| (bits >> v & 1 == 1) == pos))
+    })
+}
+
+/// Loads a `(variable index, polarity)` CNF into a fresh CDCL solver,
+/// returning the solver and the variable handles in index order.
+pub fn solver_from_clauses(
+    n: usize,
+    clauses: &[Vec<(usize, bool)>],
+) -> (sat::Solver, Vec<sat::Var>) {
+    let mut solver = sat::Solver::new();
+    let vars: Vec<sat::Var> = (0..n).map(|_| solver.new_var()).collect();
+    for c in clauses {
+        solver.add_clause(
+            c.iter()
+                .map(|&(v, pos)| sat::Lit::with_polarity(vars[v], pos)),
+        );
+    }
+    (solver, vars)
+}
+
+/// Builds the same CNF as a BDD (conjunction of clause disjunctions),
+/// returning the manager and the formula root.
+pub fn bdd_from_clauses(clauses: &[Vec<(usize, bool)>]) -> (bdd::Manager, bdd::Ref) {
+    let mut mgr = bdd::Manager::new();
+    let mut formula = mgr.constant(true);
+    for c in clauses {
+        let mut clause_bdd = mgr.constant(false);
+        for &(v, pos) in c {
+            let lit = if pos {
+                mgr.var(v as u32)
+            } else {
+                mgr.nvar(v as u32)
+            };
+            clause_bdd = mgr.or(clause_bdd, lit);
+        }
+        formula = mgr.and(formula, clause_bdd);
+    }
+    (mgr, formula)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brute_force_and_both_engines_agree_on_a_tiny_cnf() {
+        // (x0 ∨ x1) ∧ (¬x0) ∧ (¬x1) is UNSAT; drop the last clause → SAT.
+        let unsat = vec![
+            vec![(0, true), (1, true)],
+            vec![(0, false)],
+            vec![(1, false)],
+        ];
+        let sat_cnf = &unsat[..2];
+        assert!(!brute_force_sat(2, &unsat));
+        assert!(brute_force_sat(2, sat_cnf));
+        let (mut s, _) = solver_from_clauses(2, &unsat);
+        assert!(!s.solve().is_sat());
+        let (_, f) = bdd_from_clauses(&unsat);
+        assert_eq!(f, bdd::Ref::FALSE);
+        let (_, f) = bdd_from_clauses(sat_cnf);
+        assert_ne!(f, bdd::Ref::FALSE);
+    }
+
+    #[test]
+    fn scratch_dirs_are_isolated_by_name() {
+        let a = scratch_dir("testkit-a");
+        let b = scratch_dir("testkit-b");
+        assert_ne!(a, b);
+        fs::create_dir_all(&a).unwrap();
+        fs::write(a.join("probe"), "x").unwrap();
+        // Re-requesting the same name wipes it.
+        let a2 = scratch_dir("testkit-a");
+        assert_eq!(a, a2);
+        assert!(!a2.join("probe").exists());
+        let _ = fs::remove_dir_all(&a);
+        let _ = fs::remove_dir_all(&b);
+    }
+}

@@ -9,20 +9,9 @@
 //! so solver constructions stay strictly below SAT calls.
 
 use std::fs;
-use std::path::PathBuf;
 use symbad_core::flow::run_full_flow_cached;
 use symbad_core::workload::Workload;
-
-/// A scratch directory under `target/` for persistence round-trips,
-/// unique per test so parallel test threads never collide.
-fn scratch_dir(name: &str) -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("target")
-        .join("test-cache")
-        .join(name);
-    let _ = fs::remove_dir_all(&dir);
-    dir
-}
+use symbad_suite::testkit::scratch_dir;
 
 #[test]
 fn warm_rerun_hits_at_least_half_of_obligations() {
@@ -130,6 +119,108 @@ fn cache_persistence_round_trips_through_disk() {
     );
     assert!(stats.hits > 0);
     assert_eq!(warm.to_json(), cold.to_json());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Runs the flow once against a populated on-disk cache and returns the
+/// saved file's text plus the cold report JSON, for corruption tests.
+fn saved_cache_text(name: &str) -> (std::path::PathBuf, String, String) {
+    let dir = scratch_dir(name);
+    let obligations = cache::ObligationCache::new();
+    let cold = run_full_flow_cached(
+        &Workload::small(),
+        &telemetry::noop(),
+        exec::ExecMode::Sequential,
+        &obligations,
+    )
+    .expect("cold flow runs");
+    obligations.save(&dir).expect("cache saves");
+    assert!(!obligations.is_empty(), "the flow must populate the cache");
+    let text = fs::read_to_string(dir.join("obligations-v1.json")).expect("saved file reads");
+    (dir, text, cold.to_json())
+}
+
+#[test]
+fn truncated_and_torn_cache_files_load_empty() {
+    let (dir, text, _) = saved_cache_text("corrupt-truncated");
+    let file = dir.join("obligations-v1.json");
+    // A crash mid-write (no atomic rename) can leave any prefix of the
+    // file; every prefix that severs the JSON must load as a cold start,
+    // never a panic, never a partial resurrection. (The file ends in
+    // "]\n}\n", so cutting 3 bytes drops the closing brace; shorter cuts
+    // land mid-entry.)
+    for cut in [0, 1, text.len() / 4, text.len() / 2, text.len() - 3] {
+        fs::write(&file, &text[..cut]).unwrap();
+        let loaded = cache::ObligationCache::load_or_empty(&dir);
+        assert!(
+            loaded.is_empty(),
+            "truncation at byte {cut} must load empty, got {} entries",
+            loaded.len()
+        );
+    }
+    // A torn write — valid prefix, garbage tail — is equally cold.
+    let mut torn = text[..text.len() / 2].to_owned();
+    torn.push_str("\u{0}\u{1}<<<not json>>>");
+    fs::write(&file, torn).unwrap();
+    assert!(cache::ObligationCache::load_or_empty(&dir).is_empty());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_and_format_mismatches_load_empty() {
+    let (dir, text, _) = saved_cache_text("corrupt-version");
+    let file = dir.join("obligations-v1.json");
+    // Sanity: the unmodified file does load its entries back.
+    assert!(!cache::ObligationCache::load_or_empty(&dir).is_empty());
+    // A future format version must not resurrect under the old decoder.
+    fs::write(&file, text.replace("\"version\": 1", "\"version\": 999")).unwrap();
+    assert!(cache::ObligationCache::load_or_empty(&dir).is_empty());
+    // Same for a foreign format tag.
+    fs::write(
+        &file,
+        text.replace("symbad-obligation-cache", "someone-elses-cache"),
+    )
+    .unwrap();
+    assert!(cache::ObligationCache::load_or_empty(&dir).is_empty());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_entries_load_empty_and_garbage_payloads_stay_sound() {
+    let (dir, _, reference) = saved_cache_text("corrupt-payload");
+    let file = dir.join("obligations-v1.json");
+    // A well-formed header whose entries are junk (wrong types, invalid
+    // fingerprints, missing fields) contributes nothing.
+    fs::write(
+        &file,
+        "{\n  \"format\": \"symbad-obligation-cache\",\n  \"version\": 1,\n  \
+         \"entries\": [1, \"x\", { \"fp\": 3 }, { \"fp\": \"zz\", \"payload\": \"t\" },\n    \
+         { \"fp\": \"0123\", \"payload\": \"t\" }, { \"payload\": \"t\" }, null]\n}\n",
+    )
+    .unwrap();
+    assert!(cache::ObligationCache::load_or_empty(&dir).is_empty());
+
+    // Valid fingerprints with undecodable payloads are the nastier case:
+    // they *load*, but every lookup must behave as a miss — the flow
+    // re-runs the engine and the report stays bit-identical.
+    let (dir, _, _) = saved_cache_text("corrupt-payload");
+    let poisoned = cache::ObligationCache::new();
+    for (fp, _) in cache::ObligationCache::load_or_empty(&dir).entries_sorted() {
+        poisoned.insert(fp, "<<corrupted payload>>".to_owned());
+    }
+    assert!(!poisoned.is_empty());
+    let report = run_full_flow_cached(
+        &Workload::small(),
+        &telemetry::noop(),
+        exec::ExecMode::Sequential,
+        &poisoned,
+    )
+    .expect("flow survives a poisoned cache");
+    assert_eq!(
+        report.to_json(),
+        reference,
+        "undecodable payloads must act as misses, never corrupt results"
+    );
     let _ = fs::remove_dir_all(&dir);
 }
 

@@ -3,6 +3,7 @@
 //! agree" discipline the repo uses everywhere.
 
 use proptest::prelude::*;
+use symbad_suite::testkit::{bdd_from_clauses, brute_force_sat, solver_from_clauses};
 
 /// A small random CNF as (num_vars, clauses of literal codes).
 fn cnf_strategy() -> impl Strategy<Value = (usize, Vec<Vec<(usize, bool)>>)> {
@@ -13,24 +14,12 @@ fn cnf_strategy() -> impl Strategy<Value = (usize, Vec<Vec<(usize, bool)>>)> {
     })
 }
 
-fn brute_force_sat(n: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
-    (0..(1u32 << n)).any(|bits| {
-        clauses
-            .iter()
-            .all(|c| c.iter().any(|&(v, pos)| (bits >> v & 1 == 1) == pos))
-    })
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
     fn sat_solver_agrees_with_brute_force((n, clauses) in cnf_strategy()) {
-        let mut solver = sat::Solver::new();
-        let vars: Vec<sat::Var> = (0..n).map(|_| solver.new_var()).collect();
-        for c in &clauses {
-            solver.add_clause(c.iter().map(|&(v, pos)| sat::Lit::with_polarity(vars[v], pos)));
-        }
+        let (mut solver, vars) = solver_from_clauses(n, &clauses);
         let expected = brute_force_sat(n, &clauses);
         let got = solver.solve().is_sat();
         prop_assert_eq!(got, expected);
@@ -45,16 +34,7 @@ proptest! {
 
     #[test]
     fn bdd_agrees_with_brute_force((n, clauses) in cnf_strategy()) {
-        let mut mgr = bdd::Manager::new();
-        let mut formula = mgr.constant(true);
-        for c in &clauses {
-            let mut clause_bdd = mgr.constant(false);
-            for &(v, pos) in c {
-                let lit = if pos { mgr.var(v as u32) } else { mgr.nvar(v as u32) };
-                clause_bdd = mgr.or(clause_bdd, lit);
-            }
-            formula = mgr.and(formula, clause_bdd);
-        }
+        let (mgr, formula) = bdd_from_clauses(&clauses);
         let expected = brute_force_sat(n, &clauses);
         prop_assert_eq!(formula != bdd::Ref::FALSE, expected);
         // Model count cross-check against enumeration.
@@ -66,21 +46,8 @@ proptest! {
 
     #[test]
     fn sat_and_bdd_agree_with_each_other((n, clauses) in cnf_strategy()) {
-        let mut solver = sat::Solver::new();
-        let vars: Vec<sat::Var> = (0..n).map(|_| solver.new_var()).collect();
-        for c in &clauses {
-            solver.add_clause(c.iter().map(|&(v, pos)| sat::Lit::with_polarity(vars[v], pos)));
-        }
-        let mut mgr = bdd::Manager::new();
-        let mut formula = mgr.constant(true);
-        for c in &clauses {
-            let mut clause_bdd = mgr.constant(false);
-            for &(v, pos) in c {
-                let lit = if pos { mgr.var(v as u32) } else { mgr.nvar(v as u32) };
-                clause_bdd = mgr.or(clause_bdd, lit);
-            }
-            formula = mgr.and(formula, clause_bdd);
-        }
+        let (mut solver, _) = solver_from_clauses(n, &clauses);
+        let (_mgr, formula) = bdd_from_clauses(&clauses);
         prop_assert_eq!(solver.solve().is_sat(), formula != bdd::Ref::FALSE);
     }
 

@@ -13,36 +13,11 @@
 //! UPDATE_GOLDEN=1 cargo test --test telemetry_golden
 //! ```
 
-use std::fs;
-use std::path::PathBuf;
 use symbad_core::flow::run_full_flow_instrumented;
 use symbad_core::level3;
 use symbad_core::workload::Workload;
+use symbad_suite::testkit::assert_golden;
 use telemetry::{chrome_trace, Collector, SharedInstrument};
-
-fn golden_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/golden")
-        .join(name)
-}
-
-/// Compares `actual` against the committed golden file, or rewrites the
-/// golden when `UPDATE_GOLDEN` is set.
-fn assert_golden(name: &str, actual: &str) {
-    let path = golden_path(name);
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        fs::create_dir_all(path.parent().unwrap()).unwrap();
-        fs::write(&path, actual).unwrap();
-        return;
-    }
-    let expected = fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("missing golden {}: {e}; run with UPDATE_GOLDEN=1", name));
-    assert_eq!(
-        actual, expected,
-        "{name} diverged from its golden file; if the change is intentional, \
-         regenerate with UPDATE_GOLDEN=1 cargo test --test telemetry_golden"
-    );
-}
 
 #[test]
 fn level3_chrome_trace_is_byte_identical() {
