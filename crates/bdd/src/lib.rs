@@ -56,6 +56,9 @@ pub struct Manager {
     nodes: Vec<Node>,
     unique: HashMap<Node, Ref>,
     ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
+    /// Soft node-allocation ceiling (see [`Manager::set_node_budget`]).
+    /// `None` means unbounded — the default.
+    node_budget: Option<usize>,
 }
 
 impl Manager {
@@ -79,6 +82,24 @@ impl Manager {
     /// Number of allocated nodes (including the two terminals).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Installs a *soft* node-allocation ceiling: once [`Manager::node_count`]
+    /// reaches `budget`, [`Manager::node_budget_exhausted`] turns true.
+    /// Operations are never interrupted mid-way (a half-built BDD would be
+    /// unusable); instead, effort-bounded clients (the `mc::reach` engine)
+    /// poll the flag between operations and abandon the computation with a
+    /// deterministic `Unknown(BudgetExhausted)` verdict. The ceiling counts
+    /// allocated nodes — a machine-independent progress axis — so
+    /// exhaustion is bit-reproducible, unlike wall-clock limits.
+    pub fn set_node_budget(&mut self, budget: Option<usize>) {
+        self.node_budget = budget;
+    }
+
+    /// Whether the node budget (if any) has been reached.
+    pub fn node_budget_exhausted(&self) -> bool {
+        self.node_budget
+            .is_some_and(|budget| self.nodes.len() >= budget)
     }
 
     /// The BDD for the single variable `v`.
@@ -512,5 +533,22 @@ mod tests {
         let f = m.and(x, z);
         assert_eq!(m.support(f), vec![0, 5]);
         assert!(m.support(Ref::TRUE).is_empty());
+    }
+
+    #[test]
+    fn node_budget_is_a_soft_polled_ceiling() {
+        let mut m = Manager::new();
+        assert!(!m.node_budget_exhausted()); // unbounded by default
+        m.set_node_budget(Some(4));
+        assert!(!m.node_budget_exhausted()); // only the two terminals yet
+        let x = m.var(0);
+        let y = m.var(1);
+        assert!(m.node_count() >= 4);
+        assert!(m.node_budget_exhausted());
+        // Soft: operations past the ceiling still complete correctly.
+        let f = m.and(x, y);
+        assert_eq!(m.sat_count(f, 2), 1);
+        m.set_node_budget(None);
+        assert!(!m.node_budget_exhausted());
     }
 }

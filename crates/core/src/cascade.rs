@@ -182,6 +182,110 @@ pub fn run_cached(mode: exec::ExecMode, cache: &cache::ObligationCache) -> Casca
     CascadeReport { stages }
 }
 
+/// Stage metadata used to fabricate a degraded [`StageResult`] when a
+/// stage panics and never returns one: `(stage, level, seeded_error)` in
+/// flow order, mirroring the constructors below.
+const STAGE_META: [(&str, u8, &str); 5] = [
+    (
+        "ATPG (memory inspection)",
+        1,
+        "uninitialized LUT entries read by the kernel",
+    ),
+    (
+        "LPV (deadlock freeness)",
+        1,
+        "frame-credit loop dimensioned with zero credits",
+    ),
+    (
+        "LPV (deadline achievement)",
+        2,
+        "frame deadline set below the provable latency",
+    ),
+    (
+        "SymbC (reconfiguration consistency)",
+        3,
+        "missing reconfigure(config2) before the ROOT calls",
+    ),
+    (
+        "Model checking (BMC)",
+        4,
+        "DONE state latches instead of returning to IDLE",
+    ),
+];
+
+/// [`run_cached`] under a [`crate::supervise::SupervisionPolicy`]: each
+/// stage runs panic-isolated (caught, optionally retried once), the
+/// model-checking stage honours the policy's effort budget via
+/// [`bmc::check_budgeted`], and the report is accompanied by the
+/// per-stage [`crate::supervise::ObligationOutcome`] taxonomy. A
+/// panicked stage degrades to a fabricated `StageResult` (from the
+/// crate-private `STAGE_META` table) with `caught: false`,
+/// `clean_passes: false`, and the panic message as detail — the cascade
+/// always returns all five stages, bit-identically for any worker count.
+pub fn run_supervised(
+    mode: exec::ExecMode,
+    cache: &cache::ObligationCache,
+    policy: &crate::supervise::SupervisionPolicy,
+) -> (CascadeReport, Vec<crate::supervise::ObligationOutcome>) {
+    use crate::supervise::{ObligationOutcome, ObligationStatus};
+
+    let effort = policy.effort;
+    let retry = policy.retry_panicked;
+    let jobs: Vec<usize> = (0..STAGE_META.len()).collect();
+    let supervised = exec::map(mode, jobs, |_, i| {
+        crate::supervise::run_supervised_job(retry, || match i {
+            0 => (stage_atpg(), false),
+            1 => (stage_lpv_liveness(), false),
+            2 => (stage_lpv_deadline(), false),
+            3 => (stage_symbc(), false),
+            _ => stage_model_checking_budgeted(cache, &effort),
+        })
+    });
+
+    let mut stages = Vec::new();
+    let mut outcomes = Vec::new();
+    for (i, sup) in supervised.into_iter().enumerate() {
+        let (stage, status, detail) = match sup.value {
+            Some((stage, budget_exhausted)) => {
+                let status = if budget_exhausted {
+                    ObligationStatus::Unknown
+                } else if stage.caught && stage.clean_passes {
+                    ObligationStatus::Proved
+                } else {
+                    ObligationStatus::Refuted
+                };
+                let detail = stage.detail.clone();
+                (stage, status, detail)
+            }
+            None => {
+                let (name, level, seeded_error) = STAGE_META[i];
+                let msg = sup.panic.as_deref().unwrap_or("?");
+                let detail = format!("stage panicked: {msg}");
+                (
+                    StageResult {
+                        stage: name,
+                        level,
+                        seeded_error,
+                        caught: false,
+                        clean_passes: false,
+                        detail: detail.clone(),
+                    },
+                    ObligationStatus::Panicked,
+                    detail,
+                )
+            }
+        };
+        outcomes.push(ObligationOutcome {
+            name: format!("cascade:{}", stage.stage),
+            status,
+            detail,
+            retried: sup.retried,
+        });
+        stages.push(stage);
+    }
+    (CascadeReport { stages }, outcomes)
+}
+
 /// Stage 1: ATPG (Laerte++) at level 1.
 fn stage_atpg() -> StageResult {
     let buggy = buggy_lut_kernel(false);
@@ -313,6 +417,41 @@ fn stage_model_checking(cache: &cache::ObligationCache) -> StageResult {
     }
 }
 
+/// [`stage_model_checking`] under an effort budget: both BMC verdicts go
+/// through [`bmc::check_budgeted`], and the second element reports
+/// whether either query exhausted the budget (the stage then certifies
+/// nothing — an exhausted verdict is evidence of nothing).
+fn stage_model_checking_budgeted(
+    cache: &cache::ObligationCache,
+    effort: &exec::Effort,
+) -> (StageResult, bool) {
+    let buggy = wrapper(false);
+    let clean = wrapper(true);
+    let p = Property::response(
+        "done_returns_to_idle",
+        BoolExpr::eq("state", 3),
+        BoolExpr::eq("state", 0),
+        1,
+    );
+    let buggy_verdict = bmc::check_budgeted(&buggy, &p, 10, effort, &telemetry::noop(), cache);
+    let clean_verdict = bmc::check_budgeted(&clean, &p, 10, effort, &telemetry::noop(), cache);
+    let budget_exhausted =
+        buggy_verdict.is_budget_exhausted() || clean_verdict.is_budget_exhausted();
+    let stage = StageResult {
+        stage: "Model checking (BMC)",
+        level: 4,
+        seeded_error: "DONE state latches instead of returning to IDLE",
+        caught: buggy_verdict.is_violated(),
+        clean_passes: matches!(clean_verdict, Verdict::NoViolationUpTo(_)),
+        detail: if budget_exhausted {
+            format!("budget exhausted: buggy {buggy_verdict:?}, clean {clean_verdict:?}")
+        } else {
+            format!("buggy verdict: {buggy_verdict:?}")
+        },
+    };
+    (stage, budget_exhausted)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +494,64 @@ mod tests {
         let reference = run();
         for workers in [2, 8] {
             assert_eq!(run_mode(exec::ExecMode::Parallel { workers }), reference);
+        }
+    }
+
+    #[cfg(not(any(feature = "panic-mutant", feature = "diverge-mutant")))]
+    #[test]
+    fn supervised_cascade_idle_equals_legacy() {
+        use crate::supervise::{ObligationStatus, SupervisionPolicy};
+        let reference = run();
+        let policy = SupervisionPolicy::default();
+        let (report, outcomes) = run_supervised(exec::ExecMode::Sequential, cache::noop(), &policy);
+        assert_eq!(report, reference);
+        assert_eq!(outcomes.len(), 5);
+        for o in &outcomes {
+            assert_eq!(
+                o.status,
+                ObligationStatus::Proved,
+                "{}: {}",
+                o.name,
+                o.detail
+            );
+            assert!(!o.retried);
+        }
+    }
+
+    #[cfg(not(any(feature = "panic-mutant", feature = "diverge-mutant")))]
+    #[test]
+    fn starved_cascade_degrades_only_the_bmc_stage() {
+        use crate::supervise::{ObligationStatus, SupervisionPolicy};
+        let starve = exec::Effort {
+            sat_conflicts: None,
+            sat_decisions: Some(0),
+            bdd_nodes: None,
+        };
+        let policy = SupervisionPolicy::with_effort(starve);
+        let run_once = |mode| {
+            let cache = cache::ObligationCache::new();
+            run_supervised(mode, &cache, &policy)
+        };
+        let (report, outcomes) = run_once(exec::ExecMode::Sequential);
+        // The four engine-less stages are untouched by a SAT budget…
+        for o in &outcomes[..4] {
+            assert_eq!(
+                o.status,
+                ObligationStatus::Proved,
+                "{}: {}",
+                o.name,
+                o.detail
+            );
+        }
+        // …and the BMC stage degrades to Unknown instead of crashing.
+        assert_eq!(outcomes[4].status, ObligationStatus::Unknown);
+        assert!(!report.stages[4].caught);
+        assert!(report.stages[4].detail.contains("budget exhausted"));
+        // Bit-identical for any worker count.
+        for workers in [2, 8] {
+            let (r, o) = run_once(exec::ExecMode::Parallel { workers });
+            assert_eq!(r, report, "{workers} workers");
+            assert_eq!(o, outcomes, "{workers} workers");
         }
     }
 

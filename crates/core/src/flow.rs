@@ -9,6 +9,9 @@
 //! entry point.
 
 use crate::partition::ArchConfig;
+use crate::supervise::{
+    self, DegradationSummary, ObligationOutcome, ObligationStatus, SupervisionPolicy,
+};
 use crate::workload::Workload;
 use crate::{cascade, level1, level2, level3, level4};
 use lp::lpv::LivenessVerdict;
@@ -58,12 +61,30 @@ pub struct FlowReport {
     pub recognized: Vec<usize>,
     /// Quantitative summary across the levels.
     pub metrics: FlowMetrics,
+    /// Supervision outcome taxonomy — `Some` only on the supervised path
+    /// ([`run_full_flow_supervised`]); the legacy entry points leave it
+    /// `None` and render byte-identically to before supervision existed.
+    pub degradation: Option<DegradationSummary>,
 }
 
 impl FlowReport {
     /// Whether every phase passed.
     pub fn all_ok(&self) -> bool {
         self.phases.iter().all(|p| p.ok)
+    }
+
+    /// Whether every phase passed *and* every supervised obligation ended
+    /// conclusively (no budget-exhausted Unknowns, no panics). For the
+    /// legacy entry points this equals [`FlowReport::all_ok`]; for the
+    /// supervised flow it is the stronger claim — a degraded report can
+    /// have `all_ok() == false` with `conclusive() == false` telling you
+    /// whether the failures are verdicts or missing evidence.
+    pub fn conclusive(&self) -> bool {
+        self.all_ok()
+            && self
+                .degradation
+                .as_ref()
+                .is_none_or(DegradationSummary::is_clean)
     }
 
     /// Builds the structured report (phases, metrics, recognition).
@@ -87,10 +108,35 @@ impl FlowReport {
         let recognition = telemetry::Section::new("recognition")
             .entry("recognized", format!("{:?}", self.recognized))
             .entry("all_ok", self.all_ok());
-        telemetry::Report::new("Symbad full-flow report")
+        let mut report = telemetry::Report::new("Symbad full-flow report")
             .section(phases)
             .section(metrics)
-            .section(recognition)
+            .section(recognition);
+        // Only supervised runs carry the degradation section — legacy
+        // reports (and their goldens) stay byte-identical.
+        if let Some(d) = &self.degradation {
+            let mut degradation = telemetry::Section::new("degradation")
+                .entry("obligations", d.total as u64)
+                .entry("proved", d.proved as u64)
+                .entry("refuted", d.refuted as u64)
+                .entry("unknown", d.unknown as u64)
+                .entry("panicked", d.panicked as u64)
+                .entry("retries", d.retries as u64)
+                .entry("conclusive", self.conclusive());
+            for o in &d.degraded {
+                degradation.push(
+                    &o.name,
+                    format!(
+                        "[{}{}] {}",
+                        o.status.as_str().to_uppercase(),
+                        if o.retried { ", retried" } else { "" },
+                        o.detail
+                    ),
+                );
+            }
+            report = report.section(degradation);
+        }
+        report
     }
 
     /// Renders as aligned human-readable text.
@@ -348,6 +394,267 @@ pub fn run_full_flow_cached(
         phases,
         recognized: l1.recognized,
         metrics,
+        degradation: None,
+    })
+}
+
+/// [`run_full_flow_cached`] under a [`SupervisionPolicy`]: the
+/// verification obligations of the flow — LPV liveness, LPV FIFO
+/// dimensioning, SymbC, and every level-4 obligation — run panic-isolated
+/// and effort-budgeted, and the report carries the
+/// [`DegradationSummary`] taxonomy in `degradation` (rendered as a
+/// `degradation` section by [`FlowReport::to_report`]).
+///
+/// The levels 1–3 *simulations* are not supervised: they are the flow's
+/// subject, propagate their own typed [`SimError`]s, and a corrupted
+/// simulation invalidates everything downstream anyway.
+///
+/// Degradation is graceful and deterministic: a panicked obligation is
+/// retried once (when the policy says so) and then recorded as
+/// `Panicked` with its exact panic message; a budget-exhausted
+/// model-checking obligation is cross-checked by deterministic
+/// simulation and recorded as `Refuted` (witness found) or `Unknown`;
+/// phases over degraded obligations report `ok: false` with the
+/// degradation spelled out in their detail line. The partial report is
+/// bit-identical across worker counts.
+///
+/// # Errors
+///
+/// Propagates kernel errors from the simulations (supervision does not
+/// mask them).
+pub fn run_full_flow_supervised(
+    workload: &Workload,
+    instrument: &telemetry::SharedInstrument,
+    mode: exec::ExecMode,
+    cache: &cache::ObligationCache,
+    policy: &SupervisionPolicy,
+) -> Result<FlowReport, SimError> {
+    use ObligationStatus::{Panicked, Proved, Refuted};
+
+    let retry = policy.retry_panicked;
+    let enabled = instrument.enabled();
+    let mut phases: Vec<PhaseSummary> = Vec::new();
+    let mut outcomes: Vec<ObligationOutcome> = Vec::new();
+    let note_phase = |phases: &mut Vec<PhaseSummary>, summary: PhaseSummary| {
+        let idx = phases.len() as u64;
+        instrument.span("flow", summary.phase, idx, idx + 1);
+        instrument.gauge_set("flow.phase_ok", idx, i64::from(summary.ok));
+        phases.push(summary);
+    };
+    // The flow-level obligations run sequentially on this thread, so
+    // recording straight into the shared instrument keeps the stream
+    // deterministic.
+    let note_panics = |caught: u64| {
+        if enabled && caught > 0 {
+            instrument.counter_add("exec.panics_caught", caught);
+        }
+    };
+
+    // ── Level 1: functional model vs reference ────────────────────────
+    let l1 = level1::run_instrumented(workload, instrument)?;
+    note_phase(
+        &mut phases,
+        PhaseSummary {
+            phase: "level 1: functional model",
+            ok: l1.matches_reference && l1.outcome.is_quiescent(),
+            detail: format!(
+                "trace vs C reference: {}; clean completion: {}",
+                l1.matches_reference,
+                l1.outcome.is_quiescent()
+            ),
+        },
+    );
+
+    // ── Level 1 verification: LPV deadlock freeness (supervised) ──────
+    let sup = supervise::run_supervised_job(retry, || {
+        let net = cascade::fig2_petri_net(1);
+        lp::check_liveness(&net)
+    });
+    note_panics(sup.panics_caught());
+    let (ok, detail, status, odetail) = match &sup.value {
+        Some(liveness) => {
+            let detail = match liveness {
+                LivenessVerdict::Live { min_cycle_tokens } => {
+                    format!("live; min cycle tokens {min_cycle_tokens}")
+                }
+                other => format!("{other:?}"),
+            };
+            let ok = liveness.is_live();
+            let status = if ok { Proved } else { Refuted };
+            (ok, detail.clone(), status, detail)
+        }
+        None => {
+            let msg = sup.panic.as_deref().unwrap_or("?");
+            let detail = format!("panicked: {msg}");
+            (false, detail.clone(), Panicked, detail)
+        }
+    };
+    note_phase(
+        &mut phases,
+        PhaseSummary {
+            phase: "level 1: LPV deadlock freeness",
+            ok,
+            detail,
+        },
+    );
+    outcomes.push(ObligationOutcome {
+        name: "lpv:liveness".to_owned(),
+        status,
+        detail: odetail,
+        retried: sup.retried,
+    });
+
+    // ── Level 2: architecture mapping ──────────────────────────────────
+    let arch = ArchConfig::default();
+    let l2 = level2::run_instrumented(workload, instrument)?;
+    let l2_matches_l1 = l1.trace.matches_untimed(&l2.trace).is_ok();
+    note_phase(
+        &mut phases,
+        PhaseSummary {
+            phase: "level 2: timed TL mapping",
+            ok: l2.matches_reference && l2_matches_l1,
+            detail: format!(
+                "{:.0} ticks/frame; bus {:.1}%; trace ≡ level 1: {l2_matches_l1}",
+                l2.ticks_per_frame,
+                l2.bus.utilization * 100.0
+            ),
+        },
+    );
+
+    // ── Level 2 verification: deadline LP (supervised) ─────────────────
+    let sup = supervise::run_supervised_job(retry, || {
+        level2::dimension_channels_mode(workload, &crate::Partition::paper_level2(), &arch, mode)
+    });
+    note_panics(sup.panics_caught());
+    let (ok, detail, status, odetail) = match &sup.value {
+        Some(bounds) => {
+            let ok = bounds.iter().all(|(_, b)| b.capacity >= 1);
+            let detail = bounds
+                .iter()
+                .map(|(n, b)| format!("{n}: {} tokens", b.capacity))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let status = if ok { Proved } else { Refuted };
+            (ok, detail.clone(), status, detail)
+        }
+        None => {
+            let msg = sup.panic.as_deref().unwrap_or("?");
+            let detail = format!("panicked: {msg}");
+            (false, detail.clone(), Panicked, detail)
+        }
+    };
+    note_phase(
+        &mut phases,
+        PhaseSummary {
+            phase: "level 2: LPV FIFO dimensioning",
+            ok,
+            detail,
+        },
+    );
+    outcomes.push(ObligationOutcome {
+        name: "lpv:dimensioning".to_owned(),
+        status,
+        detail: odetail,
+        retried: sup.retried,
+    });
+
+    // ── Level 3: reconfigurable platform ───────────────────────────────
+    let l3 = level3::run_instrumented(workload, instrument)?;
+    let l3_matches_l2 = l2.trace.matches_untimed(&l3.trace).is_ok();
+    let fpga = l3.fpga.clone().expect("level 3 has an FPGA");
+    note_phase(
+        &mut phases,
+        PhaseSummary {
+            phase: "level 3: reconfigurable platform",
+            ok: l3.matches_reference && l3_matches_l2,
+            detail: format!(
+            "{:.0} ticks/frame; {} reconfigs, {} bitstream words; trace ≡ level 2: {l3_matches_l2}",
+            l3.ticks_per_frame, fpga.reconfigurations, fpga.download_words
+        ),
+        },
+    );
+
+    // ── Level 3 verification: SymbC (supervised) ───────────────────────
+    let sup = supervise::run_supervised_job(retry, || {
+        let (sw, map) = cascade::instrumented_sw(true);
+        symbc::check(&sw, &map)
+    });
+    note_panics(sup.panics_caught());
+    let (ok, detail, status, odetail) = match &sup.value {
+        Some(verdict) => {
+            let ok = verdict.is_consistent();
+            let detail = format!("{verdict:?}");
+            let status = if ok { Proved } else { Refuted };
+            (ok, detail.clone(), status, detail)
+        }
+        None => {
+            let msg = sup.panic.as_deref().unwrap_or("?");
+            let detail = format!("panicked: {msg}");
+            (false, detail.clone(), Panicked, detail)
+        }
+    };
+    note_phase(
+        &mut phases,
+        PhaseSummary {
+            phase: "level 3: SymbC consistency",
+            ok,
+            detail,
+        },
+    );
+    outcomes.push(ObligationOutcome {
+        name: "symbc:consistency".to_owned(),
+        status,
+        detail: odetail,
+        retried: sup.retried,
+    });
+
+    // ── Level 4: RTL + formal, fully supervised ────────────────────────
+    let (l4, l4_outcomes) = level4::run_supervised(mode, instrument, cache, policy);
+    outcomes.extend(l4_outcomes);
+    let kernels_ok = l4.kernels.iter().all(|(_, _, eq)| *eq);
+    let props_ok = l4.properties.iter().all(|(_, _, p)| *p);
+    note_phase(
+        &mut phases,
+        PhaseSummary {
+            phase: "level 4: RTL, model checking, PCC",
+            ok: kernels_ok && props_ok && l4.pcc_extended.pct() > l4.pcc_initial.pct(),
+            detail: format!(
+                "kernels equivalent: {kernels_ok}; {} properties proven; PCC {:.0}% → {:.0}%",
+                l4.properties.len(),
+                l4.pcc_initial.pct(),
+                l4.pcc_extended.pct()
+            ),
+        },
+    );
+
+    let degradation = DegradationSummary::from_outcomes(&outcomes);
+    if enabled {
+        if !degradation.degraded.is_empty() {
+            instrument.counter_add(
+                "flow.degraded_obligations",
+                degradation.degraded.len() as u64,
+            );
+        }
+        if degradation.retries > 0 {
+            instrument.counter_add("flow.retries", degradation.retries as u64);
+        }
+    }
+
+    let metrics = FlowMetrics {
+        frames: workload.probes.len() as u64,
+        l2_total_ticks: l2.total_ticks,
+        l2_ticks_per_frame: l2.ticks_per_frame,
+        l3_total_ticks: l3.total_ticks,
+        l3_ticks_per_frame: l3.ticks_per_frame,
+        l3_bus_utilization: l3.bus.utilization,
+        fpga_reconfigurations: fpga.reconfigurations,
+        fpga_download_words: fpga.download_words,
+    };
+    Ok(FlowReport {
+        phases,
+        recognized: l1.recognized,
+        metrics,
+        degradation: Some(degradation),
     })
 }
 

@@ -15,6 +15,7 @@
 //!    paper's refinement loop: the initial property set leaves faults
 //!    uncovered; the extended set closes the gap.
 
+use crate::supervise::{self, ObligationOutcome, ObligationStatus, SupervisionPolicy};
 use behav::unroll::unroll;
 use behav::Function;
 use hdl::fsm::bus_wrapper_fsm;
@@ -488,6 +489,285 @@ pub fn run_cached(
     }
 }
 
+/// [`prove_equivalence_cached`] under a deterministic effort budget: the
+/// miter query runs through [`sat::Solver::solve_budgeted`] on the single
+/// canonical solver — never the portfolio, whose winner is wall-clock
+/// dependent — so the exhaustion point is a pure function of the CNF and
+/// the budget, independent of worker count.
+///
+/// Returns `Some(equivalent)` on a verdict and `None` when the budget ran
+/// out first. Verdicts are cached under the standard miter fingerprint
+/// (shared with the unbudgeted entry points); exhaustion is never cached,
+/// because a larger budget may still decide the query.
+pub fn prove_equivalence_budgeted(
+    func: &Function,
+    rtl: &Rtl,
+    effort: &exec::Effort,
+    instrument: &telemetry::SharedInstrument,
+    cache: &cache::ObligationCache,
+) -> Option<bool> {
+    if !effort.bounds_sat() {
+        return Some(prove_equivalence_cached(func, rtl, instrument, cache));
+    }
+    let mut ctx = CnfBackend::new();
+    if instrument.enabled() {
+        ctx.builder_mut().set_instrument(instrument.clone());
+    }
+    let (input_bits, any) = build_miter(func, rtl, &mut ctx);
+    let fp = if cache.is_enabled() {
+        let fp = miter_fingerprint(&mut ctx, &input_bits, any);
+        if let Some(payload) = cache.lookup(fp) {
+            if let Some(equivalent) = cache::decode_bool(&payload) {
+                instrument.counter_add("cache.hits", 1);
+                return Some(equivalent);
+            }
+        }
+        instrument.counter_add("cache.misses", 1);
+        Some(fp)
+    } else {
+        None
+    };
+    let builder = ctx.builder_mut();
+    builder.assert_lit(any);
+    let equivalent = builder.solve_budgeted(&[], effort).decided()?.is_unsat();
+    if let Some(fp) = fp {
+        cache.insert(fp, cache::encode_bool(equivalent));
+    }
+    Some(equivalent)
+}
+
+/// [`run_cached`] under a [`SupervisionPolicy`]: every level-4 obligation
+/// — two kernel miters, five wrapper properties, two PCC coverage runs —
+/// is panic-isolated (caught, optionally retried once), effort-budgeted,
+/// and reported in the [`ObligationOutcome`] taxonomy alongside the
+/// (possibly partial) [`Level4Report`].
+///
+/// Degraded entries keep the report well-formed: an undecided or panicked
+/// miter/property is recorded as not-proven, and a failed PCC run falls
+/// back to an empty coverage report. Budget-exhausted model-checking
+/// obligations are routed to the deterministic simulation cross-check
+/// ([`mc::simcheck`]): a witnessed violation upgrades them to *Refuted*.
+///
+/// Determinism: miters use the canonical budgeted solver (no portfolio),
+/// obligations carry private telemetry collectors replayed in obligation
+/// order, and the PCC runs execute sequentially — a panic escaping a
+/// parallel inner PCC sweep would leave worker-count-dependent cache
+/// state behind, so supervised PCC trades parallelism for
+/// reproducibility. The outcome list (and the report) is bit-identical
+/// across worker counts, faults or no faults.
+///
+/// # Panics
+///
+/// Kernel synthesis panics propagate (programming errors, same as
+/// [`run`]); engine panics are supervised.
+pub fn run_supervised(
+    mode: exec::ExecMode,
+    instrument: &telemetry::SharedInstrument,
+    cache: &cache::ObligationCache,
+    policy: &SupervisionPolicy,
+) -> (Level4Report, Vec<ObligationOutcome>) {
+    use ObligationStatus::{Panicked, Proved, Refuted, Unknown};
+
+    let effort = policy.effort;
+    let retry = policy.retry_panicked;
+    let (sim_vectors, sim_cycles) = (policy.sim_vectors, policy.sim_cycles);
+    let enabled = instrument.enabled();
+    let mut outcomes: Vec<ObligationOutcome> = Vec::new();
+
+    // 1–2: synthesize deterministically (no SAT involved), then prove the
+    // miters as supervised obligations.
+    let dist = distance_step_function();
+    let dist_rtl = synthesize(&dist).expect("distance step synthesizes");
+    let root_unrolled = unroll(&root_function(), ROOT_ITERATIONS);
+    let root_rtl = synthesize(&root_unrolled).expect("unrolled root synthesizes");
+    let miters: [(&str, &Function, &Rtl); 2] = [
+        ("distance", &dist, &dist_rtl),
+        ("root", &root_unrolled, &root_rtl),
+    ];
+
+    let miter_jobs: Vec<usize> = (0..miters.len()).collect();
+    let miter_results = exec::map(mode, miter_jobs, |_, i| {
+        let (_, func, rtl) = miters[i];
+        supervise::supervised_obligation(enabled, retry, |instr| {
+            prove_equivalence_budgeted(func, rtl, &effort, instr, cache)
+        })
+    });
+    let mut kernels = Vec::new();
+    for (i, (sup, collector)) in miter_results.into_iter().enumerate() {
+        if let Some(collector) = collector {
+            collector.replay_into(instrument.as_ref());
+        }
+        let (name, _, rtl) = miters[i];
+        let (status, detail, equivalent) = match sup.value {
+            Some(Some(true)) => (Proved, "equivalent (miter UNSAT)".to_owned(), true),
+            Some(Some(false)) => (Refuted, "distinguishing input exists".to_owned(), false),
+            Some(None) => (
+                Unknown,
+                "SAT budget exhausted before a verdict".to_owned(),
+                false,
+            ),
+            None => (
+                Panicked,
+                format!("panicked: {}", sup.panic.as_deref().unwrap_or("?")),
+                false,
+            ),
+        };
+        kernels.push((name.to_owned(), rtl.num_nodes(), equivalent));
+        outcomes.push(ObligationOutcome {
+            name: format!("miter:{name}"),
+            status,
+            detail,
+            retried: sup.retried,
+        });
+    }
+
+    // 3–4: wrapper properties as supervised obligations, with the
+    // simulation cross-check behind budget exhaustion.
+    let wrapper = bus_wrapper_fsm("bus_wrapper");
+    let props: Vec<Property> = extended_properties()
+        .into_iter()
+        .filter(provable_on_open_model_ref)
+        .collect();
+    let prop_jobs: Vec<usize> = (0..props.len()).collect();
+    let prop_results = exec::map(mode, prop_jobs, |_, pi| {
+        let p = &props[pi];
+        supervise::supervised_obligation(enabled, retry, |instr| {
+            let (engine, verdict): (&'static str, Verdict) = match p {
+                Property::Invariant { .. } => (
+                    "bdd-reach",
+                    reach::check_budgeted(&wrapper, p, &effort, instr, cache),
+                ),
+                Property::Response { .. } => (
+                    "bmc",
+                    bmc::check_budgeted(&wrapper, p, 12, &effort, instr, cache),
+                ),
+            };
+            instr.counter_add("level4.properties_checked", 1);
+            let cross_check = verdict
+                .is_budget_exhausted()
+                .then(|| mc::simcheck::simulate_violates(&wrapper, p, sim_vectors, sim_cycles));
+            (engine, verdict, cross_check)
+        })
+    });
+    let mut properties = Vec::new();
+    for (pi, (sup, collector)) in prop_results.into_iter().enumerate() {
+        if let Some(collector) = collector {
+            collector.replay_into(instrument.as_ref());
+        }
+        let p = &props[pi];
+        let (engine, proven, status, detail): (&'static str, bool, _, String) = match sup.value {
+            Some((engine, verdict, cross_check)) => match verdict {
+                Verdict::Proven => (engine, true, Proved, "proven".to_owned()),
+                Verdict::NoViolationUpTo(k) => (
+                    engine,
+                    true,
+                    Proved,
+                    format!("no violation up to {k} cycles"),
+                ),
+                Verdict::Violated(_) => (engine, false, Refuted, "counterexample found".to_owned()),
+                Verdict::Unknown(mc::UnknownReason::BudgetExhausted) => match cross_check {
+                    Some(true) => (
+                        engine,
+                        false,
+                        Refuted,
+                        "budget exhausted; refuted by simulation cross-check".to_owned(),
+                    ),
+                    _ => (
+                        engine,
+                        false,
+                        Unknown,
+                        format!(
+                            "budget exhausted; simulation cross-check found no violation \
+                             in {sim_vectors} vectors"
+                        ),
+                    ),
+                },
+                Verdict::Unknown(mc::UnknownReason::NotInductive) => {
+                    (engine, false, Unknown, "engine could not decide".to_owned())
+                }
+            },
+            None => {
+                let engine: &'static str = match p {
+                    Property::Invariant { .. } => "bdd-reach",
+                    Property::Response { .. } => "bmc",
+                };
+                (
+                    engine,
+                    false,
+                    Panicked,
+                    format!("panicked: {}", sup.panic.as_deref().unwrap_or("?")),
+                )
+            }
+        };
+        properties.push((p.name().to_owned(), engine, proven));
+        outcomes.push(ObligationOutcome {
+            name: format!("property:{}", p.name()),
+            status,
+            detail,
+            retried: sup.retried,
+        });
+    }
+
+    // 5: the two PCC coverage runs, supervised sequentially (see the
+    // determinism note above). A panicked or failed run degrades to an
+    // empty report so the flow can still render coverage.
+    let cfg = PccConfig { bmc_bound: 10 };
+    let initial: Vec<Property> = initial_properties()
+        .into_iter()
+        .filter(provable_on_open_model_ref)
+        .collect();
+    let empty_report = || PccReport {
+        total: 0,
+        covered: 0,
+        uncovered: Vec::new(),
+        per_property: Vec::new(),
+    };
+    let mut pcc_reports: Vec<PccReport> = Vec::new();
+    for (label, set) in [("pcc:initial", &initial), ("pcc:extended", &props)] {
+        let sup = supervise::run_supervised_job(retry, || {
+            check_coverage_cached(&wrapper, set, &cfg, exec::ExecMode::Sequential, cache)
+        });
+        if enabled && sup.panics_caught() > 0 {
+            instrument.counter_add("exec.panics_caught", sup.panics_caught());
+        }
+        let (report, status, detail) = match sup.value {
+            Some(Ok(report)) => {
+                let detail = format!("coverage {:.1}%", report.pct());
+                (report, Proved, detail)
+            }
+            Some(Err(err)) => (
+                empty_report(),
+                Refuted,
+                format!("coverage not measurable: {err}"),
+            ),
+            None => (
+                empty_report(),
+                Panicked,
+                format!("panicked: {}", sup.panic.as_deref().unwrap_or("?")),
+            ),
+        };
+        outcomes.push(ObligationOutcome {
+            name: label.to_owned(),
+            status,
+            detail,
+            retried: sup.retried,
+        });
+        pcc_reports.push(report);
+    }
+    let pcc_initial = pcc_reports.remove(0);
+    let pcc_extended = pcc_reports.remove(0);
+
+    (
+        Level4Report {
+            kernels,
+            properties,
+            pcc_initial,
+            pcc_extended,
+        },
+        outcomes,
+    )
+}
+
 /// Emits the level-4 VHDL deliverables: both synthesized kernels and the
 /// bus wrapper, as `(entity name, vhdl source)` pairs — the "FPGA RTL
 /// VHDL" box of Figure 1.
@@ -554,6 +834,88 @@ mod tests {
             !report.pcc_initial.uncovered.is_empty(),
             "the initial set must leave uncovered behaviour — that's the E8 story"
         );
+    }
+
+    #[cfg(not(any(feature = "panic-mutant", feature = "diverge-mutant")))]
+    #[test]
+    fn supervised_level4_idle_matches_legacy() {
+        let reference = run();
+        let policy = SupervisionPolicy::default();
+        let (report, outcomes) = run_supervised(
+            exec::ExecMode::Sequential,
+            &telemetry::noop(),
+            cache::noop(),
+            &policy,
+        );
+        assert_eq!(report.kernels, reference.kernels);
+        assert_eq!(report.properties, reference.properties);
+        assert_eq!(report.pcc_initial, reference.pcc_initial);
+        assert_eq!(report.pcc_extended, reference.pcc_extended);
+        assert_eq!(outcomes.len(), 9);
+        for o in &outcomes {
+            assert_eq!(
+                o.status,
+                ObligationStatus::Proved,
+                "{}: {}",
+                o.name,
+                o.detail
+            );
+            assert!(!o.retried);
+        }
+    }
+
+    #[cfg(not(any(feature = "panic-mutant", feature = "diverge-mutant")))]
+    #[test]
+    fn starved_level4_degrades_deterministically() {
+        let starve = exec::Effort {
+            sat_conflicts: None,
+            sat_decisions: Some(0),
+            bdd_nodes: Some(1),
+        };
+        let policy = SupervisionPolicy::with_effort(starve);
+        let run_once = |mode| {
+            let cache = cache::ObligationCache::new();
+            run_supervised(mode, &telemetry::noop(), &cache, &policy)
+        };
+        let (report, outcomes) = run_once(exec::ExecMode::Sequential);
+        // The miters still prove: their UNSAT proofs are pure level-0
+        // propagation, and budgets cap *search* (conflicts, decisions) —
+        // a query decidable without search cannot be starved. Every
+        // wrapper property, by contrast, exhausts its budget; they are
+        // all true on the wrapper, so the simulation cross-check finds no
+        // violation and they degrade to Unknown rather than Refuted.
+        for o in &outcomes[..2] {
+            assert_eq!(
+                o.status,
+                ObligationStatus::Proved,
+                "{}: {}",
+                o.name,
+                o.detail
+            );
+        }
+        for o in &outcomes[2..7] {
+            assert_eq!(
+                o.status,
+                ObligationStatus::Unknown,
+                "{}: {}",
+                o.name,
+                o.detail
+            );
+        }
+        assert!(report.kernels.iter().all(|&(_, _, eq)| eq));
+        assert!(report.properties.iter().all(|&(_, _, p)| !p));
+        // PCC takes no SAT budget (it is panic-supervised only) and still
+        // measures coverage.
+        assert_eq!(outcomes[7].status, ObligationStatus::Proved);
+        assert_eq!(outcomes[8].status, ObligationStatus::Proved);
+        assert!(report.pcc_extended.total > 0);
+        // Bit-identical for any worker count (fresh cache each run).
+        for workers in [2, 8] {
+            let (r, o) = run_once(exec::ExecMode::Parallel { workers });
+            assert_eq!(r.kernels, report.kernels, "{workers} workers");
+            assert_eq!(r.properties, report.properties, "{workers} workers");
+            assert_eq!(o, outcomes, "{workers} workers");
+        }
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //! [`explore`] implements the architecture-exploration sweeps (partitioning
 //! and context-splitting ablations, experiments E9/E10); [`cascade`] runs
 //! the full verification cascade of Figure 1 end-to-end and attributes each
-//! seeded error class to the stage that catches it (experiment E12).
+//! seeded error class to the stage that catches it (experiment E12);
+//! [`supervise`] provides the supervised-execution vocabulary (panic
+//! isolation, deterministic effort budgets, degraded partial verdicts)
+//! used by the `*_supervised` entry points of [`flow`], [`level4`], and
+//! [`cascade`].
 //!
 //! # Quickstart
 //!
@@ -37,10 +41,12 @@ pub mod level3;
 pub mod level4;
 pub mod msg;
 pub mod partition;
+pub mod supervise;
 pub mod timed;
 pub mod workload;
 
 pub use msg::Msg;
 pub use partition::{Domain, Partition};
+pub use supervise::{DegradationSummary, ObligationOutcome, ObligationStatus, SupervisionPolicy};
 pub use timed::{FaultReport, PlatformFault, RecoveryPolicy, RunError};
 pub use workload::Workload;

@@ -1,0 +1,345 @@
+//! Supervised execution: panic isolation, deterministic effort budgets,
+//! and partial-verdict degradation for the verification flow.
+//!
+//! The ROADMAP's verification-as-a-service north star needs a flow that
+//! *survives* misbehaving obligations: a panicking engine, a diverging
+//! SAT search, or a corrupted cache entry must degrade one obligation,
+//! never the whole run. This module provides the shared vocabulary:
+//!
+//! * [`ObligationOutcome`] / [`ObligationStatus`] — the per-obligation
+//!   taxonomy (Proved / Refuted / Unknown / Panicked) collected by
+//!   [`crate::flow::run_full_flow_supervised`],
+//!   [`crate::level4::run_supervised`], and
+//!   [`crate::cascade::run_supervised`],
+//! * [`SupervisionPolicy`] — the effort budget ([`exec::Effort`]), the
+//!   retry-once policy for panicked obligations, and the simulation
+//!   cross-check fallback parameters for budget-exhausted model-checking
+//!   obligations (the semiformal routing of Grimm et al. / Kumar et al.,
+//!   PAPERS.md),
+//! * [`DegradationSummary`] — the counts + degraded-obligation list that
+//!   [`crate::flow::FlowReport`] renders in its `degradation` section.
+//!
+//! Everything here is deterministic by construction: budgets are
+//! effort-based (never wall-clock), panics are rendered to their exact
+//! payload text, retries re-run the same closure on the same inputs, and
+//! outcomes are collected in obligation order — so a degraded report is
+//! bit-identical across worker counts.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// How a supervised obligation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObligationStatus {
+    /// The engine reached the verdict the flow wanted (equivalence held,
+    /// property proven, stage caught-and-certified, coverage measured).
+    Proved,
+    /// The engine conclusively decided *against* the obligation — a real
+    /// counterexample or failed check, not an infrastructure problem.
+    Refuted,
+    /// The effort budget ran out before a verdict (and, for
+    /// model-checking obligations, the simulation cross-check found no
+    /// violation either).
+    Unknown,
+    /// The obligation panicked — on every attempt the policy allowed.
+    Panicked,
+}
+
+impl ObligationStatus {
+    /// Stable lower-case label used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ObligationStatus::Proved => "proved",
+            ObligationStatus::Refuted => "refuted",
+            ObligationStatus::Unknown => "unknown",
+            ObligationStatus::Panicked => "panicked",
+        }
+    }
+}
+
+/// One supervised obligation's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObligationOutcome {
+    /// Stable obligation name (`miter:distance`, `property:state_in_range`,
+    /// `pcc:initial`, `cascade:Model checking (BMC)`, …).
+    pub name: String,
+    /// How it ended.
+    pub status: ObligationStatus,
+    /// One line of evidence: verdict, panic message, or fallback route.
+    pub detail: String,
+    /// Whether a panicked first attempt was retried (the retry may have
+    /// succeeded — then `status` reflects the retry's verdict).
+    pub retried: bool,
+}
+
+impl ObligationOutcome {
+    /// Whether this outcome degrades the report (inconclusive or
+    /// panicked, as opposed to a definite verdict either way).
+    pub fn is_degraded(&self) -> bool {
+        matches!(
+            self.status,
+            ObligationStatus::Unknown | ObligationStatus::Panicked
+        )
+    }
+}
+
+/// How the supervised entry points isolate, bound, and degrade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisionPolicy {
+    /// Deterministic effort budget handed to every budgeted engine call.
+    /// [`exec::Effort::unbounded`] keeps supervision idle: every engine
+    /// behaves exactly like its unbudgeted entry point.
+    pub effort: exec::Effort,
+    /// Retry a panicked obligation once (same closure, same inputs). A
+    /// deterministic panic repeats; a corrupted-state panic may clear.
+    pub retry_panicked: bool,
+    /// Random input vectors for the simulation cross-check of
+    /// budget-exhausted model-checking obligations.
+    pub sim_vectors: u32,
+    /// Cycles per cross-check vector.
+    pub sim_cycles: u32,
+}
+
+impl Default for SupervisionPolicy {
+    fn default() -> Self {
+        SupervisionPolicy {
+            effort: exec::Effort::unbounded(),
+            retry_panicked: true,
+            sim_vectors: 32,
+            sim_cycles: 16,
+        }
+    }
+}
+
+impl SupervisionPolicy {
+    /// A policy with the given effort budget and the default fallbacks.
+    pub fn with_effort(effort: exec::Effort) -> Self {
+        SupervisionPolicy {
+            effort,
+            ..SupervisionPolicy::default()
+        }
+    }
+}
+
+/// The degradation section of a supervised report: taxonomy counts plus
+/// the degraded obligations themselves, in obligation order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationSummary {
+    /// Obligations supervised in total.
+    pub total: usize,
+    /// Count with [`ObligationStatus::Proved`].
+    pub proved: usize,
+    /// Count with [`ObligationStatus::Refuted`].
+    pub refuted: usize,
+    /// Count with [`ObligationStatus::Unknown`].
+    pub unknown: usize,
+    /// Count with [`ObligationStatus::Panicked`].
+    pub panicked: usize,
+    /// Panicked first attempts that were retried.
+    pub retries: usize,
+    /// The non-conclusive outcomes (Unknown/Panicked), in obligation
+    /// order — the work list a larger budget or a fix would clear.
+    pub degraded: Vec<ObligationOutcome>,
+}
+
+impl DegradationSummary {
+    /// Tallies outcomes (kept in obligation order).
+    pub fn from_outcomes(outcomes: &[ObligationOutcome]) -> Self {
+        let count = |s: ObligationStatus| outcomes.iter().filter(|o| o.status == s).count();
+        DegradationSummary {
+            total: outcomes.len(),
+            proved: count(ObligationStatus::Proved),
+            refuted: count(ObligationStatus::Refuted),
+            unknown: count(ObligationStatus::Unknown),
+            panicked: count(ObligationStatus::Panicked),
+            retries: outcomes.iter().filter(|o| o.retried).count(),
+            degraded: outcomes
+                .iter()
+                .filter(|o| o.is_degraded())
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Whether every obligation ended conclusively (no Unknown, no
+    /// Panicked — Refuted counts as conclusive).
+    pub fn is_clean(&self) -> bool {
+        self.unknown == 0 && self.panicked == 0
+    }
+}
+
+/// Result of running one obligation closure under supervision.
+#[derive(Debug)]
+pub(crate) struct Supervised<R> {
+    /// The closure's result, when some attempt completed.
+    pub value: Option<R>,
+    /// The first attempt's panic message, when it panicked.
+    pub panic: Option<String>,
+    /// Whether a retry was attempted.
+    pub retried: bool,
+}
+
+impl<R> Supervised<R> {
+    /// Panics caught across all attempts (0, 1, or 2).
+    pub fn panics_caught(&self) -> u64 {
+        match (&self.panic, &self.value, self.retried) {
+            (None, _, _) => 0,
+            (Some(_), None, true) => 2, // both attempts panicked
+            (Some(_), _, _) => 1,
+        }
+    }
+}
+
+/// Runs `f` under `catch_unwind`, retrying once on panic when `retry` is
+/// set. Deterministic: the panic message is the exact payload rendering
+/// of [`exec::panic_message`], and the retry re-runs the same closure on
+/// the same inputs — so for a deterministic fault the retry panics at the
+/// same point and the recorded outcome is schedule-independent.
+pub(crate) fn run_supervised_job<R>(retry: bool, f: impl Fn() -> R) -> Supervised<R> {
+    match catch_unwind(AssertUnwindSafe(&f)) {
+        Ok(value) => Supervised {
+            value: Some(value),
+            panic: None,
+            retried: false,
+        },
+        Err(payload) => {
+            let message = exec::panic_message(payload);
+            if !retry {
+                return Supervised {
+                    value: None,
+                    panic: Some(message),
+                    retried: false,
+                };
+            }
+            match catch_unwind(AssertUnwindSafe(&f)) {
+                Ok(value) => Supervised {
+                    value: Some(value),
+                    panic: Some(message),
+                    retried: true,
+                },
+                Err(_) => Supervised {
+                    value: None,
+                    panic: Some(message),
+                    retried: true,
+                },
+            }
+        }
+    }
+}
+
+/// Runs one obligation closure under supervision with a private telemetry
+/// collector (when `enabled`): the closure records into the collector,
+/// caught panics are tallied as `exec.panics_caught`, and the collector is
+/// returned for in-order replay into the run's shared instrument — the
+/// same merge discipline the parallel backbone uses, so supervised
+/// telemetry is worker-count independent.
+///
+/// When telemetry is disabled the closure gets the no-op instrument and no
+/// collector is allocated (the idle path stays byte-identical to the
+/// unsupervised entry points).
+pub(crate) fn supervised_obligation<R>(
+    enabled: bool,
+    retry: bool,
+    f: impl Fn(&telemetry::SharedInstrument) -> R,
+) -> (Supervised<R>, Option<telemetry::Collector>) {
+    if !enabled {
+        let noop = telemetry::noop();
+        return (run_supervised_job(retry, || f(&noop)), None);
+    }
+    let local = std::rc::Rc::new(telemetry::Collector::new());
+    let shared: telemetry::SharedInstrument = local.clone();
+    let sup = run_supervised_job(retry, || f(&shared));
+    let caught = sup.panics_caught();
+    if caught > 0 {
+        shared.counter_add("exec.panics_caught", caught);
+    }
+    drop(shared);
+    let collector =
+        std::rc::Rc::try_unwrap(local).expect("obligation dropped every instrument handle");
+    (sup, Some(collector))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn statuses_render_and_tally() {
+        let outcomes = vec![
+            ObligationOutcome {
+                name: "a".into(),
+                status: ObligationStatus::Proved,
+                detail: "ok".into(),
+                retried: false,
+            },
+            ObligationOutcome {
+                name: "b".into(),
+                status: ObligationStatus::Unknown,
+                detail: "budget".into(),
+                retried: false,
+            },
+            ObligationOutcome {
+                name: "c".into(),
+                status: ObligationStatus::Panicked,
+                detail: "boom".into(),
+                retried: true,
+            },
+        ];
+        let summary = DegradationSummary::from_outcomes(&outcomes);
+        assert_eq!(
+            (summary.total, summary.proved, summary.refuted), //
+            (3, 1, 0)
+        );
+        assert_eq!(
+            (summary.unknown, summary.panicked, summary.retries),
+            (1, 1, 1)
+        );
+        assert!(!summary.is_clean());
+        assert_eq!(
+            summary
+                .degraded
+                .iter()
+                .map(|o| o.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["b", "c"]
+        );
+        assert_eq!(ObligationStatus::Refuted.as_str(), "refuted");
+        assert!(DegradationSummary::from_outcomes(&[]).is_clean());
+    }
+
+    #[test]
+    fn retry_once_policy() {
+        exec::silence_injected_panics();
+        // Always panics: retried once, then reported.
+        let sup = run_supervised_job(true, || -> u32 { panic!("injected panic: always") });
+        assert_eq!(sup.value, None);
+        assert_eq!(sup.panic.as_deref(), Some("injected panic: always"));
+        assert!(sup.retried);
+        assert_eq!(sup.panics_caught(), 2);
+
+        // Panics once, then succeeds: the retry's value wins.
+        let attempts = Cell::new(0u32);
+        let sup = run_supervised_job(true, || {
+            attempts.set(attempts.get() + 1);
+            if attempts.get() == 1 {
+                panic!("injected panic: transient");
+            }
+            42u32
+        });
+        assert_eq!(sup.value, Some(42));
+        assert!(sup.retried);
+        assert_eq!(sup.panics_caught(), 1);
+
+        // No retry allowed: one attempt, no value.
+        let sup = run_supervised_job(false, || -> u32 { panic!("injected panic: once") });
+        assert_eq!(sup.value, None);
+        assert!(!sup.retried);
+        assert_eq!(sup.panics_caught(), 1);
+
+        // Healthy closures are untouched.
+        let sup = run_supervised_job(true, || 7u32);
+        assert_eq!(sup.value, Some(7));
+        assert_eq!(sup.panics_caught(), 0);
+        assert!(!sup.retried);
+    }
+}

@@ -17,8 +17,153 @@
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Mutex, MutexGuard};
+
+/// Locks a mutex, recovering from poisoning. The worker-pool queue and
+/// result slots hold plain data (no invariants can be half-updated by a
+/// panicking job, because jobs never mutate them mid-panic), so a
+/// poisoned lock only means "some thread panicked while holding it" —
+/// the data itself is still consistent and the pool must stay usable.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Renders a caught panic payload as a message. Panics raised by
+/// `panic!("…")` carry `String`/`&str` payloads and render exactly;
+/// anything else (`panic_any`) gets a fixed placeholder, so the rendering
+/// is deterministic regardless of the payload type.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Installs (once per process) a panic hook that suppresses the default
+/// "thread panicked at …" report for panics whose message contains the
+/// marker `injected panic`, delegating every other panic to the
+/// previously installed hook. The workspace's fault-injection fixtures
+/// (the `panic-mutant` solver feature, the `supervise` fuzz family, the
+/// supervision tests) all panic with that marker, and each intentional
+/// panic would otherwise spam the captured-output-free stderr of the
+/// worker threads that catch them. Real bugs panic without the marker
+/// and keep their full report.
+pub fn silence_injected_panics() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&'static str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if !msg.contains("injected panic") {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// How one job of a supervised [`map_supervised`] batch ended.
+///
+/// The supervised pool never aborts the batch: a panicking job is caught
+/// with `catch_unwind` and reported as [`JobOutcome::Panicked`] in its
+/// slot while every other job runs to completion. `Missing` is the typed
+/// replacement for the old `expect("worker delivered every slot")`
+/// double-panic: it marks a slot no worker delivered (unreachable under
+/// normal operation, but a report instead of an abort if it ever fires).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome<R> {
+    /// The job returned normally.
+    Ok(R),
+    /// The job panicked; `message` is the deterministic panic payload
+    /// rendering of [`panic_message`].
+    Panicked {
+        /// The rendered panic payload.
+        message: String,
+    },
+    /// No worker delivered a result for this slot.
+    Missing,
+}
+
+impl<R> JobOutcome<R> {
+    /// The result, when the job completed normally.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            JobOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether the job panicked.
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, JobOutcome::Panicked { .. })
+    }
+
+    /// The panic message, when the job panicked.
+    pub fn panic_message(&self) -> Option<&str> {
+        match self {
+            JobOutcome::Panicked { message } => Some(message),
+            _ => None,
+        }
+    }
+}
+
+/// Deterministic effort budget shared by the verification engines.
+///
+/// Budgets are *effort*-based — SAT conflicts/decisions, BDD nodes —
+/// never wall-clock: an engine that runs out returns a deterministic
+/// "budget exhausted" verdict that is bit-identical across machines,
+/// schedules, and worker counts. `None` in a field means that axis is
+/// unbounded. The caps apply **per engine call** (e.g. per BMC depth's
+/// SAT query), not across a whole obligation, so deepening an unrolling
+/// degrades at a deterministic depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Effort {
+    /// Cap on SAT conflicts per solve call.
+    pub sat_conflicts: Option<u64>,
+    /// Cap on SAT decisions per solve call.
+    pub sat_decisions: Option<u64>,
+    /// Cap on live BDD nodes per manager.
+    pub bdd_nodes: Option<u64>,
+}
+
+impl Effort {
+    /// No caps on any axis: supervision stays idle and every engine
+    /// behaves exactly as its unbudgeted entry point.
+    pub fn unbounded() -> Self {
+        Effort::default()
+    }
+
+    /// A proportional budget: `scale` conflicts, `16 × scale` decisions,
+    /// `256 × scale` BDD nodes.
+    pub fn bounded(scale: u64) -> Self {
+        Effort {
+            sat_conflicts: Some(scale),
+            sat_decisions: Some(scale.saturating_mul(16)),
+            bdd_nodes: Some(scale.saturating_mul(256)),
+        }
+    }
+
+    /// Whether every axis is uncapped.
+    pub fn is_unbounded(&self) -> bool {
+        *self == Effort::default()
+    }
+
+    /// Whether any SAT axis is capped.
+    pub fn bounds_sat(&self) -> bool {
+        self.sat_conflicts.is_some() || self.sat_decisions.is_some()
+    }
+}
 
 /// How a flow or engine schedules its independent obligations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -122,6 +267,8 @@ where
 {
     let workers = mode.workers().min(items.len().max(1));
     if workers <= 1 {
+        // Run on the calling thread with no catch_unwind wrapper, so a
+        // sequential panic propagates with its original payload.
         return items
             .into_iter()
             .enumerate()
@@ -129,20 +276,83 @@ where
             .collect();
     }
 
+    let outcomes = map_outcomes(workers, items, &f);
+    outcomes
+        .into_iter()
+        .map(|outcome| match outcome {
+            JobOutcome::Ok(r) => r,
+            // Re-panic with the message alone (no wrapper text), so the
+            // payload a caller's catch_unwind observes renders the same
+            // whether the job ran sequentially or on a worker. The first
+            // panicked slot in *item order* wins, matching the item the
+            // sequential schedule would have panicked on.
+            JobOutcome::Panicked { message } => panic!("{}", message),
+            JobOutcome::Missing => panic!("worker delivered no result for a map slot"),
+        })
+        .collect()
+}
+
+/// [`map`] with panic isolation: every job runs under `catch_unwind` and
+/// reports a typed [`JobOutcome`] in its slot. One panicking job cannot
+/// abort the batch, poison the shared queue, or take down the scope —
+/// the pool drains the remaining jobs and stays usable.
+///
+/// Outcomes — including panic messages — are bit-identical across worker
+/// counts as long as `f` itself is deterministic per item: each job's
+/// fate depends only on its `(index, item)` pair, never on the schedule.
+pub fn map_supervised<T, R, F>(mode: ExecMode, items: Vec<T>, f: F) -> Vec<JobOutcome<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let workers = mode.workers().min(items.len().max(1));
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| run_caught(&f, i, item))
+            .collect();
+    }
+    map_outcomes(workers, items, &f)
+}
+
+/// Runs one job under `catch_unwind`, converting a panic into its typed
+/// outcome.
+fn run_caught<T, R, F>(f: &F, idx: usize, item: T) -> JobOutcome<R>
+where
+    F: Fn(usize, T) -> R,
+{
+    match catch_unwind(AssertUnwindSafe(|| f(idx, item))) {
+        Ok(r) => JobOutcome::Ok(r),
+        Err(payload) => JobOutcome::Panicked {
+            message: panic_message(payload),
+        },
+    }
+}
+
+/// The shared worker-pool body: `workers >= 2` scoped threads pull
+/// `(index, item)` jobs from a poison-recovering queue, run each under
+/// `catch_unwind`, and slot outcomes back by index.
+fn map_outcomes<T, R, F>(workers: usize, items: Vec<T>, f: &F) -> Vec<JobOutcome<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
     let n = items.len();
     let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let (tx, rx) = mpsc::channel::<(usize, JobOutcome<R>)>();
+    let mut slots: Vec<JobOutcome<R>> = (0..n).map(|_| JobOutcome::Missing).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let queue = &queue;
-            let f = &f;
             scope.spawn(move || loop {
-                let job = queue.lock().unwrap().pop_front();
+                let job = lock_recover(queue).pop_front();
                 let Some((idx, item)) = job else { break };
-                let out = f(idx, item);
+                let out = run_caught(f, idx, item);
                 if tx.send((idx, out)).is_err() {
                     break;
                 }
@@ -150,14 +360,11 @@ where
         }
         drop(tx);
         for (idx, out) in rx {
-            slots[idx] = Some(out);
+            slots[idx] = out;
         }
     });
 
     slots
-        .into_iter()
-        .map(|s| s.expect("worker delivered every slot"))
-        .collect()
 }
 
 /// Runs the contestant closures until the first one produces a result;
@@ -172,6 +379,12 @@ where
 /// completion — this keeps the sequential schedule independent of the
 /// portfolio size. Returns `None` when `items` is empty or no contestant
 /// produced a result.
+///
+/// Panic isolation: every contestant runs under `catch_unwind`. A
+/// panicking contestant simply drops out of the race — it produces no
+/// result and does *not* cancel the others, so the remaining contestants
+/// still decide the obligation. Only when every contestant panics (or
+/// returns `None`) does the race return `None`.
 pub fn race<T, R, F>(mode: ExecMode, items: Vec<T>, f: F) -> Option<(usize, R)>
 where
     T: Send,
@@ -184,7 +397,9 @@ where
     let cancel = Cancel::new();
     if !mode.is_parallel() {
         let item = items.into_iter().next().unwrap();
-        return f(0, item, &cancel).map(|r| (0, r));
+        return catch_unwind(AssertUnwindSafe(|| f(0, item, &cancel)))
+            .unwrap_or(None)
+            .map(|r| (0, r));
     }
 
     let contestants = items.len().min(mode.workers());
@@ -196,12 +411,19 @@ where
             let cancel = &cancel;
             let f = &f;
             scope.spawn(move || {
-                if let Some(r) = f(idx, item, cancel) {
-                    // First sender wins; later sends land in a channel
-                    // nobody reads past the first message.
-                    let _ = tx.send((idx, r));
+                match catch_unwind(AssertUnwindSafe(|| f(idx, item, cancel))) {
+                    Ok(Some(r)) => {
+                        // First sender wins; later sends land in a channel
+                        // nobody reads past the first message.
+                        let _ = tx.send((idx, r));
+                        cancel.cancel();
+                    }
+                    // A finished contestant with no result concedes and
+                    // cancels (the pre-supervision behaviour); a panicked
+                    // one just drops out so the others keep searching.
+                    Ok(None) => cancel.cancel(),
+                    Err(_) => {}
                 }
-                cancel.cancel();
             });
         }
         drop(tx);
@@ -285,6 +507,120 @@ mod tests {
         );
         let (_, verdict) = won.expect("one contestant finishes");
         assert_eq!(verdict, "fast");
+    }
+
+    #[test]
+    fn effort_axes_and_constructors() {
+        assert!(Effort::unbounded().is_unbounded());
+        assert!(!Effort::unbounded().bounds_sat());
+        let e = Effort::bounded(10);
+        assert!(!e.is_unbounded());
+        assert!(e.bounds_sat());
+        assert_eq!(e.sat_conflicts, Some(10));
+        assert_eq!(e.sat_decisions, Some(160));
+        assert_eq!(e.bdd_nodes, Some(2560));
+        let sat_only = Effort {
+            sat_decisions: Some(1),
+            ..Effort::unbounded()
+        };
+        assert!(sat_only.bounds_sat() && !sat_only.is_unbounded());
+    }
+
+    #[test]
+    fn supervised_map_isolates_panics_and_keeps_the_pool_usable() {
+        silence_injected_panics();
+        let items: Vec<u64> = (0..40).collect();
+        let expect: Vec<JobOutcome<u64>> = items
+            .iter()
+            .map(|&x| {
+                if x % 13 == 5 {
+                    JobOutcome::Panicked {
+                        message: format!("injected panic on item {x}"),
+                    }
+                } else {
+                    JobOutcome::Ok(x * x)
+                }
+            })
+            .collect();
+        for workers in [1, 2, 3, 8] {
+            let got = map_supervised(ExecMode::from_workers(workers), items.clone(), |_, x| {
+                if x % 13 == 5 {
+                    panic!("injected panic on item {x}");
+                }
+                x * x
+            });
+            assert_eq!(got, expect, "workers={workers}");
+            // Regression: the panicking batch must leave the pool layer
+            // usable — a plain map right after it still completes.
+            let follow_up = map(ExecMode::from_workers(workers), items.clone(), |_, x| x + 1);
+            assert_eq!(follow_up, items.iter().map(|x| x + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn plain_map_repanics_with_the_original_message() {
+        silence_injected_panics();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            map(
+                ExecMode::Parallel { workers: 4 },
+                vec![0u32, 1, 2, 3],
+                |_, x| {
+                    if x >= 1 {
+                        panic!("injected panic on item {x}");
+                    }
+                    x
+                },
+            )
+        }));
+        let message = panic_message(caught.expect_err("map propagates the panic"));
+        // First panicked slot in item order, regardless of completion order.
+        assert_eq!(message, "injected panic on item 1");
+    }
+
+    #[test]
+    fn job_outcome_accessors() {
+        let ok: JobOutcome<u8> = JobOutcome::Ok(7);
+        assert_eq!(ok.clone().ok(), Some(7));
+        assert!(!ok.is_panicked());
+        let bad: JobOutcome<u8> = JobOutcome::Panicked {
+            message: "m".into(),
+        };
+        assert!(bad.is_panicked());
+        assert_eq!(bad.panic_message(), Some("m"));
+        assert_eq!(bad.ok(), None);
+        assert_eq!(JobOutcome::<u8>::Missing.ok(), None);
+    }
+
+    #[test]
+    fn race_survives_panicking_contestants() {
+        silence_injected_panics();
+        // Contestant 0 panics; contestant 1 wins anyway.
+        let won = race(
+            ExecMode::Parallel { workers: 4 },
+            vec![0u64, 1],
+            |_, item, _| {
+                if item == 0 {
+                    panic!("injected panic in contestant");
+                }
+                Some("survivor")
+            },
+        );
+        assert_eq!(won.map(|(_, r)| r), Some("survivor"));
+        // Every contestant panicking yields no winner — not an abort.
+        let none = race(
+            ExecMode::Parallel { workers: 2 },
+            vec![0u64, 1],
+            |_, _, _| -> Option<u32> { panic!("injected panic in contestant") },
+        );
+        assert!(none.is_none());
+        // Sequential mode runs only the canonical contestant; its panic
+        // means no result.
+        let seq = race(
+            ExecMode::Sequential,
+            vec![0u64, 1],
+            |_, _, _| -> Option<u32> { panic!("injected panic in contestant") },
+        );
+        assert!(seq.is_none());
     }
 
     #[test]

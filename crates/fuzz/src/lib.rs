@@ -38,6 +38,7 @@ pub mod rng;
 pub mod sat_fuzz;
 pub mod shrink;
 pub mod sim_fuzz;
+pub mod supervise_fuzz;
 
 pub use repro::{ReproId, ITERS_ENV, REPRO_ENV};
 
@@ -64,16 +65,21 @@ pub enum Family {
     /// Random datasets and probes through the face-recognition pipeline
     /// and its behavioural-IR kernels.
     Media,
+    /// Random panic and budget scripts against the supervised execution
+    /// layer: pool survival, deterministic budget exhaustion, race
+    /// survival.
+    Supervise,
 }
 
 impl Family {
     /// Every family, in canonical run order.
-    pub const ALL: [Family; 5] = [
+    pub const ALL: [Family; 6] = [
         Family::Sat,
         Family::Dimacs,
         Family::Mc,
         Family::Sim,
         Family::Media,
+        Family::Supervise,
     ];
 
     /// The short name used in reproducer IDs.
@@ -84,6 +90,7 @@ impl Family {
             Family::Mc => "mc",
             Family::Sim => "sim",
             Family::Media => "media",
+            Family::Supervise => "supervise",
         }
     }
 
@@ -102,6 +109,7 @@ impl Family {
             Family::Mc => 25,
             Family::Sim => 60,
             Family::Media => 4,
+            Family::Supervise => 50,
         }
     }
 }
@@ -192,6 +200,7 @@ fn dispatch(family: Family, rng: &mut FuzzRng, bias: u64) -> FamilyOutcome {
         Family::Mc => mc_fuzz::run_one(rng, bias),
         Family::Sim => sim_fuzz::run_one(rng, bias),
         Family::Media => media_fuzz::run_one(rng, bias),
+        Family::Supervise => supervise_fuzz::run_one(rng, bias),
     }
 }
 

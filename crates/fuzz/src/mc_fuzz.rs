@@ -446,7 +446,7 @@ pub fn evaluate(case: &McCase) -> Evaluation {
                 return fail(format!("induction {msg}"), counters);
             }
         }
-        Verdict::Unknown => {}
+        Verdict::Unknown(_) => {}
         other => return fail(format!("induction returned {other:?}"), counters),
     }
 

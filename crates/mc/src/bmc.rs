@@ -2,7 +2,7 @@
 
 use crate::prop::Property;
 use crate::unrolling::{InitMode, Unroller};
-use crate::Verdict;
+use crate::{UnknownReason, Verdict};
 use hdl::Rtl;
 
 /// Checks `property` on `rtl` for all execution prefixes of up to
@@ -30,6 +30,23 @@ pub fn check_instrumented(
     bound: u32,
     instrument: &telemetry::SharedInstrument,
 ) -> Verdict {
+    check_effort(rtl, property, bound, &exec::Effort::unbounded(), instrument)
+}
+
+/// The shared unrolling body, with every per-depth SAT query routed
+/// through [`sat::Solver::solve_budgeted`] under `effort`. Exhaustion at
+/// any depth short-circuits the obligation to
+/// [`Verdict::Unknown`]`(`[`UnknownReason::BudgetExhausted`]`)` — a
+/// partial sweep is not `NoViolationUpTo(bound)`. With an unbounded
+/// effort this is exactly the historical [`check_instrumented`]
+/// behaviour.
+fn check_effort(
+    rtl: &Rtl,
+    property: &Property,
+    bound: u32,
+    effort: &exec::Effort,
+    instrument: &telemetry::SharedInstrument,
+) -> Verdict {
     // One solver serves every depth: deepening from k to k+1 only adds
     // clauses for the new frame, and `solve_under_assumptions` keeps the
     // learnt clauses and activity from depth k's run. The counter makes
@@ -50,10 +67,19 @@ pub fn check_instrumented(
                 let phi = unroller.compile_expr(expr, k as usize);
                 instrument.gauge_set("bmc.depth", k as u64, k as i64);
                 instrument.counter_add("bmc.sat_calls", 1);
-                if unroller.ctx.builder_mut().solve_with(&[!phi]).is_sat() {
-                    instrument.counter_add("bmc.violations", 1);
-                    let trace = unroller.extract_trace(k as usize);
-                    return Verdict::Violated(trace);
+                match unroller
+                    .ctx
+                    .builder_mut()
+                    .solve_budgeted(&[!phi], effort)
+                    .decided()
+                {
+                    None => return Verdict::Unknown(UnknownReason::BudgetExhausted),
+                    Some(r) if r.is_sat() => {
+                        instrument.counter_add("bmc.violations", 1);
+                        let trace = unroller.extract_trace(k as usize);
+                        return Verdict::Violated(trace);
+                    }
+                    Some(_) => {}
                 }
             }
             Verdict::NoViolationUpTo(bound)
@@ -79,10 +105,19 @@ pub fn check_instrumented(
                 }
                 instrument.gauge_set("bmc.depth", i as u64, window_end as i64);
                 instrument.counter_add("bmc.sat_calls", 1);
-                if unroller.ctx.builder_mut().solve_with(&assumptions).is_sat() {
-                    instrument.counter_add("bmc.violations", 1);
-                    let trace = unroller.extract_trace(window_end);
-                    return Verdict::Violated(trace);
+                match unroller
+                    .ctx
+                    .builder_mut()
+                    .solve_budgeted(&assumptions, effort)
+                    .decided()
+                {
+                    None => return Verdict::Unknown(UnknownReason::BudgetExhausted),
+                    Some(r) if r.is_sat() => {
+                        instrument.counter_add("bmc.violations", 1);
+                        let trace = unroller.extract_trace(window_end);
+                        return Verdict::Violated(trace);
+                    }
+                    Some(_) => {}
                 }
             }
             Verdict::NoViolationUpTo(bound)
@@ -118,6 +153,41 @@ pub fn check_cached(
     instrument.counter_add("cache.misses", 1);
     let verdict = check_instrumented(rtl, property, bound, instrument);
     cache.insert(fp, crate::cachefmt::encode_verdict(&verdict));
+    verdict
+}
+
+/// [`check_cached`] under a deterministic SAT effort budget. The cache
+/// fingerprint is the *standard* one (engine `"bmc"`, parameter `bound` —
+/// no budget axis), so conclusive verdicts flow freely between budgeted
+/// and unbudgeted callers. Budget-exhausted verdicts are never inserted:
+/// they describe the budget, not the obligation, and a retry with more
+/// effort may decide them.
+pub fn check_budgeted(
+    rtl: &Rtl,
+    property: &Property,
+    bound: u32,
+    effort: &exec::Effort,
+    instrument: &telemetry::SharedInstrument,
+    cache: &cache::ObligationCache,
+) -> Verdict {
+    if !effort.bounds_sat() {
+        return check_cached(rtl, property, bound, instrument, cache);
+    }
+    if !cache.is_enabled() {
+        return check_effort(rtl, property, bound, effort, instrument);
+    }
+    let fp = crate::obligation::fingerprint("bmc", rtl, property, &[u64::from(bound)]);
+    if let Some(payload) = cache.lookup(fp) {
+        if let Some(verdict) = crate::cachefmt::decode_verdict(rtl, &payload) {
+            instrument.counter_add("cache.hits", 1);
+            return verdict;
+        }
+    }
+    instrument.counter_add("cache.misses", 1);
+    let verdict = check_effort(rtl, property, bound, effort, instrument);
+    if !verdict.is_budget_exhausted() {
+        cache.insert(fp, crate::cachefmt::encode_verdict(&verdict));
+    }
     verdict
 }
 
@@ -330,6 +400,36 @@ mod tests {
             1,
         );
         assert_eq!(check(&rtl, &p, 8), Verdict::NoViolationUpTo(8));
+    }
+
+    #[cfg(not(any(feature = "panic-mutant", feature = "diverge-mutant")))]
+    #[test]
+    fn budgeted_check_degrades_deterministically_and_skips_the_cache() {
+        let p = Property::invariant("never5", BoolExpr::ne("q", 5));
+        let cache = cache::ObligationCache::new();
+        let starve = exec::Effort {
+            sat_conflicts: None,
+            sat_decisions: Some(0),
+            bdd_nodes: None,
+        };
+        for _ in 0..2 {
+            // Deterministic on every run, and never cached.
+            assert_eq!(
+                check_budgeted(&counter(), &p, 10, &starve, &telemetry::noop(), &cache),
+                Verdict::Unknown(UnknownReason::BudgetExhausted)
+            );
+        }
+        assert_eq!(cache.stats().misses, 2);
+        // Conclusive budgeted verdicts land in the standard-fingerprint
+        // entry that unbudgeted callers share.
+        let generous = exec::Effort::bounded(10_000);
+        let budgeted = check_budgeted(&counter(), &p, 10, &generous, &telemetry::noop(), &cache);
+        assert!(budgeted.is_violated());
+        assert_eq!(
+            check_cached(&counter(), &p, 10, &telemetry::noop(), &cache),
+            budgeted
+        );
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]

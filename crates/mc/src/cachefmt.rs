@@ -8,16 +8,19 @@
 //! used to extract the trace). Any malformed payload decodes to `None`
 //! and the caller treats it as a cache miss.
 
-use crate::{CexFrame, CexTrace, Verdict};
+use crate::{CexFrame, CexTrace, UnknownReason, Verdict};
 use hdl::Rtl;
 
 /// Encodes a verdict:
-/// `P` (proven) · `U` (unknown) · `N:<bound>` (no violation up to) ·
+/// `P` (proven) · `U` (unknown, not inductive) · `UB` (unknown, budget
+/// exhausted — decodable for totality, but budget-dependent verdicts are
+/// never inserted into the cache) · `N:<bound>` (no violation up to) ·
 /// `V:<frame>;<frame>;…` with each frame `in1,in2|st1,st2|out1,out2`.
 pub fn encode_verdict(verdict: &Verdict) -> String {
     match verdict {
         Verdict::Proven => "P".to_owned(),
-        Verdict::Unknown => "U".to_owned(),
+        Verdict::Unknown(UnknownReason::NotInductive) => "U".to_owned(),
+        Verdict::Unknown(UnknownReason::BudgetExhausted) => "UB".to_owned(),
         Verdict::NoViolationUpTo(bound) => format!("N:{bound}"),
         Verdict::Violated(trace) => {
             let frames: Vec<String> = trace
@@ -43,7 +46,8 @@ pub fn encode_verdict(verdict: &Verdict) -> String {
 pub fn decode_verdict(rtl: &Rtl, payload: &str) -> Option<Verdict> {
     match payload {
         "P" => return Some(Verdict::Proven),
-        "U" => return Some(Verdict::Unknown),
+        "U" => return Some(Verdict::Unknown(UnknownReason::NotInductive)),
+        "UB" => return Some(Verdict::Unknown(UnknownReason::BudgetExhausted)),
         _ => {}
     }
     if let Some(bound) = payload.strip_prefix("N:") {
@@ -117,7 +121,8 @@ mod tests {
         let rtl = rtl_with_outputs();
         for v in [
             Verdict::Proven,
-            Verdict::Unknown,
+            Verdict::Unknown(UnknownReason::NotInductive),
+            Verdict::Unknown(UnknownReason::BudgetExhausted),
             Verdict::NoViolationUpTo(12),
             Verdict::Violated(CexTrace { frames: Vec::new() }),
         ] {

@@ -9,7 +9,7 @@
 
 use crate::prop::Property;
 use crate::unrolling::{InitMode, Unroller};
-use crate::Verdict;
+use crate::{UnknownReason, Verdict};
 use hdl::Rtl;
 
 /// Attempts to prove the invariant `property` by k-induction.
@@ -45,6 +45,22 @@ pub fn check_instrumented(
     k: u32,
     instrument: &telemetry::SharedInstrument,
 ) -> Verdict {
+    check_effort(rtl, property, k, &exec::Effort::unbounded(), instrument)
+}
+
+/// The shared base/step body, with every SAT query routed through
+/// [`sat::Solver::solve_budgeted`] under `effort`. An exhausted query
+/// short-circuits the whole obligation to
+/// [`Verdict::Unknown`]`(`[`UnknownReason::BudgetExhausted`]`)` — partial
+/// base-case progress is not a verdict. With an unbounded effort this is
+/// exactly the historical [`check_instrumented`] behaviour.
+fn check_effort(
+    rtl: &Rtl,
+    property: &Property,
+    k: u32,
+    effort: &exec::Effort,
+    instrument: &telemetry::SharedInstrument,
+) -> Verdict {
     let expr = match property {
         Property::Invariant { expr, .. } => expr,
         Property::Response { .. } => {
@@ -72,9 +88,18 @@ pub fn check_instrumented(
         let mut assumptions = reset.clone();
         assumptions.push(!phi);
         instrument.counter_add("induction.sat_calls", 1);
-        if unroller.ctx.builder_mut().solve_with(&assumptions).is_sat() {
-            let trace = unroller.extract_trace(d);
-            return Verdict::Violated(trace);
+        match unroller
+            .ctx
+            .builder_mut()
+            .solve_budgeted(&assumptions, effort)
+            .decided()
+        {
+            None => return Verdict::Unknown(UnknownReason::BudgetExhausted),
+            Some(r) if r.is_sat() => {
+                let trace = unroller.extract_trace(d);
+                return Verdict::Violated(trace);
+            }
+            Some(_) => {}
         }
     }
 
@@ -82,15 +107,15 @@ pub fn check_instrumented(
     let mut assumptions: Vec<sat::Lit> = phis[..k as usize].to_vec();
     assumptions.push(!phis[k as usize]);
     instrument.counter_add("induction.sat_calls", 1);
-    if unroller
+    match unroller
         .ctx
         .builder_mut()
-        .solve_with(&assumptions)
-        .is_unsat()
+        .solve_budgeted(&assumptions, effort)
+        .decided()
     {
-        Verdict::Proven
-    } else {
-        Verdict::Unknown
+        None => Verdict::Unknown(UnknownReason::BudgetExhausted),
+        Some(r) if r.is_unsat() => Verdict::Proven,
+        Some(_) => Verdict::Unknown(UnknownReason::NotInductive),
     }
 }
 
@@ -118,6 +143,41 @@ pub fn check_cached(
     instrument.counter_add("cache.misses", 1);
     let verdict = check_instrumented(rtl, property, k, instrument);
     cache.insert(fp, crate::cachefmt::encode_verdict(&verdict));
+    verdict
+}
+
+/// [`check_cached`] under a deterministic SAT effort budget. Cache
+/// fingerprints are the *standard* ones (engine `"induction"`, parameter
+/// `k` — no budget axis), so a conclusive verdict computed here is shared
+/// with unbudgeted callers and vice versa. Budget-exhausted verdicts are
+/// never inserted: they describe the budget, not the obligation, and a
+/// retry with more effort may decide them.
+pub fn check_budgeted(
+    rtl: &Rtl,
+    property: &Property,
+    k: u32,
+    effort: &exec::Effort,
+    instrument: &telemetry::SharedInstrument,
+    cache: &cache::ObligationCache,
+) -> Verdict {
+    if !effort.bounds_sat() {
+        return check_cached(rtl, property, k, instrument, cache);
+    }
+    if !cache.is_enabled() {
+        return check_effort(rtl, property, k, effort, instrument);
+    }
+    let fp = crate::obligation::fingerprint("induction", rtl, property, &[u64::from(k)]);
+    if let Some(payload) = cache.lookup(fp) {
+        if let Some(verdict) = crate::cachefmt::decode_verdict(rtl, &payload) {
+            instrument.counter_add("cache.hits", 1);
+            return verdict;
+        }
+    }
+    instrument.counter_add("cache.misses", 1);
+    let verdict = check_effort(rtl, property, k, effort, instrument);
+    if !verdict.is_budget_exhausted() {
+        cache.insert(fp, crate::cachefmt::encode_verdict(&verdict));
+    }
     verdict
 }
 
@@ -212,7 +272,10 @@ mod tests {
         // because q=5 itself has no predecessor.
         let rtl = mod_counter(3, 5);
         let p = Property::invariant("ne6", BoolExpr::ne("q", 6));
-        assert_eq!(check(&rtl, &p, 1), Verdict::Unknown);
+        assert_eq!(
+            check(&rtl, &p, 1),
+            Verdict::Unknown(UnknownReason::NotInductive)
+        );
         assert_eq!(check(&rtl, &p, 2), Verdict::Proven);
     }
 
@@ -232,7 +295,7 @@ mod tests {
         for k in 1..=4 {
             let v = check(&rtl, &p, k);
             assert!(
-                v == Verdict::Proven || v == Verdict::Unknown,
+                v == Verdict::Proven || v == Verdict::Unknown(UnknownReason::NotInductive),
                 "unsound verdict {v:?} at k={k}"
             );
         }
@@ -296,6 +359,36 @@ mod tests {
         // No solver was built for the warm pass.
         assert_eq!(collector.counter("induction.solver_constructions"), 0);
         assert_eq!(collector.counter("cache.hits"), 2);
+    }
+
+    #[cfg(not(any(feature = "panic-mutant", feature = "diverge-mutant")))]
+    #[test]
+    fn budgeted_check_degrades_and_never_caches_exhaustion() {
+        let rtl = mod_counter(3, 5);
+        let p = Property::invariant("ne6", BoolExpr::ne("q", 6));
+        let cache = cache::ObligationCache::new();
+        let starve = exec::Effort {
+            sat_conflicts: None,
+            sat_decisions: Some(0),
+            bdd_nodes: None,
+        };
+        assert_eq!(
+            check_budgeted(&rtl, &p, 2, &starve, &telemetry::noop(), &cache),
+            Verdict::Unknown(UnknownReason::BudgetExhausted)
+        );
+        // Exhaustion was not cached: the generous retry re-solves and
+        // reaches the real verdict, then shares it with unbudgeted calls.
+        let generous = exec::Effort::bounded(10_000);
+        assert_eq!(
+            check_budgeted(&rtl, &p, 2, &generous, &telemetry::noop(), &cache),
+            Verdict::Proven
+        );
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(
+            check_cached(&rtl, &p, 2, &telemetry::noop(), &cache),
+            Verdict::Proven
+        );
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!   cross-check of the SAT path,
 //! * [`monitor`] — compiles bounded-response properties into monitor
 //!   automata + invariants, so the exact engines can decide them too,
+//! * [`simcheck`] — deterministic random simulation, the cross-check the
+//!   supervision layer routes budget-exhausted obligations to,
 //! * [`prop`] — the property language: boolean formulas over named RTL
 //!   outputs, with invariant (`G φ`) and bounded-response
 //!   (`G (a → F≤k b)`) templates, plus concrete-trace evaluation reused by
@@ -52,6 +54,7 @@ pub mod monitor;
 pub mod obligation;
 pub mod prop;
 pub mod reach;
+pub mod simcheck;
 mod unrolling;
 
 pub use prop::{Atom, BoolExpr, Cmp, Property};
@@ -119,8 +122,24 @@ pub enum Verdict {
     /// A violation was found; the trace witnesses it (BDD reachability
     /// reports violations without a trace, using an empty frame list).
     Violated(CexTrace),
-    /// The engine could not decide (e.g. the invariant is not k-inductive).
-    Unknown,
+    /// The engine could not decide; the reason says why.
+    Unknown(UnknownReason),
+}
+
+/// Why an engine returned [`Verdict::Unknown`]. The distinction matters
+/// for routing: a not-inductive invariant wants a different engine (or a
+/// larger k), while an exhausted budget wants a retry with more effort or
+/// a simulation cross-check (the supervision layer's fallback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnknownReason {
+    /// The invariant is not k-inductive at the attempted depth — an
+    /// intrinsic property of the query, independent of effort spent.
+    NotInductive,
+    /// A deterministic effort budget ([`exec::Effort`]) ran out before a
+    /// verdict. Same query + same budget ⇒ same exhaustion point, so this
+    /// outcome is bit-reproducible and safe to report in degraded
+    /// `FlowReport`s. Never cached: a bigger budget may decide it.
+    BudgetExhausted,
 }
 
 impl Verdict {
@@ -132,5 +151,15 @@ impl Verdict {
     /// Whether a violation was found.
     pub fn is_violated(&self) -> bool {
         matches!(self, Verdict::Violated(_))
+    }
+
+    /// Whether the engine could not decide.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Verdict::Unknown(_))
+    }
+
+    /// Whether the engine gave up because an effort budget ran out.
+    pub fn is_budget_exhausted(&self) -> bool {
+        matches!(self, Verdict::Unknown(UnknownReason::BudgetExhausted))
     }
 }

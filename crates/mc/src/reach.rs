@@ -9,7 +9,7 @@
 //! a violation (without a trace; re-run BMC to extract one).
 
 use crate::prop::{BoolExpr, Cmp, Property};
-use crate::{CexTrace, Verdict};
+use crate::{CexTrace, UnknownReason, Verdict};
 use hdl::lower::{bv, lower, BddBackend, BitCtx};
 use hdl::Rtl;
 
@@ -21,6 +21,17 @@ use hdl::Rtl;
 /// FSMs first) or if the state space is too wide (> 28 state bits) to
 /// enumerate symbolically with the naive variable order used here.
 pub fn check(rtl: &Rtl, property: &Property) -> Verdict {
+    check_with_budget(rtl, property, None)
+}
+
+/// [`check`] under a soft BDD node budget. The manager's node ceiling
+/// ([`bdd::Manager::set_node_budget`]) is polled after each construction
+/// stage and at the top of every fixpoint iteration; once allocation
+/// crosses it the engine abandons the computation with
+/// [`Verdict::Unknown`]`(`[`UnknownReason::BudgetExhausted`]`)`. Node
+/// allocation is a deterministic progress axis, so exhaustion happens at
+/// the same iteration on every run. `None` is exactly [`check`].
+pub fn check_with_budget(rtl: &Rtl, property: &Property, node_budget: Option<usize>) -> Verdict {
     let expr = match property {
         Property::Invariant { expr, .. } => expr,
         Property::Response { .. } => panic!("reachability expects an invariant property"),
@@ -32,6 +43,7 @@ pub fn check(rtl: &Rtl, property: &Property) -> Verdict {
     );
 
     let mut mgr = bdd::Manager::new();
+    mgr.set_node_budget(node_budget);
     // Current-state bits per register.
     let mut reg_bits: Vec<Vec<bdd::Ref>> = Vec::new();
     let mut var = 0u32;
@@ -76,6 +88,13 @@ pub fn check(rtl: &Rtl, property: &Property) -> Verdict {
         }
     }
 
+    // The ceiling is polled between stages, never mid-operation — a
+    // half-built BDD is unusable, so each construction step runs to
+    // completion and exhaustion is detected at the next seam.
+    if mgr.node_budget_exhausted() {
+        return Verdict::Unknown(UnknownReason::BudgetExhausted);
+    }
+
     // Bad states: ∃ inputs. ¬φ(outputs(current, inputs)).
     let phi = compile_expr(&mut mgr, n, &outputs, expr);
     let not_phi = mgr.not(phi);
@@ -107,6 +126,9 @@ pub fn check(rtl: &Rtl, property: &Property) -> Verdict {
     let rename_map: Vec<(u32, u32)> = (0..n as u32).map(|i| (n as u32 + i, i)).collect();
     let mut reached = init;
     loop {
+        if mgr.node_budget_exhausted() {
+            return Verdict::Unknown(UnknownReason::BudgetExhausted);
+        }
         let overlap = mgr.and(reached, bad_states);
         if overlap != bdd::Ref::FALSE {
             return Verdict::Violated(CexTrace { frames: Vec::new() });
@@ -160,6 +182,53 @@ pub fn check_cached(
     instrument.counter_add("cache.misses", 1);
     let verdict = check(rtl, property);
     cache.insert(fp, crate::cachefmt::encode_verdict(&verdict));
+    verdict
+}
+
+/// [`check_cached`] under a BDD node budget taken from
+/// `effort.bdd_nodes`. The cache fingerprint is the *standard* one
+/// (engine `"reach"`, no parameters), so conclusive verdicts are shared
+/// with unbudgeted callers; budget-exhausted verdicts are never inserted.
+/// An effort with no `bdd_nodes` axis delegates to [`check_cached`].
+///
+/// # Panics
+///
+/// As [`check`].
+pub fn check_budgeted(
+    rtl: &Rtl,
+    property: &Property,
+    effort: &exec::Effort,
+    instrument: &telemetry::SharedInstrument,
+    cache: &cache::ObligationCache,
+) -> Verdict {
+    let Some(nodes) = effort.bdd_nodes else {
+        return check_cached(rtl, property, instrument, cache);
+    };
+    let budget = Some(usize::try_from(nodes).unwrap_or(usize::MAX));
+    assert!(
+        matches!(property, Property::Invariant { .. }),
+        "reachability expects an invariant property"
+    );
+    assert!(
+        rtl.state_bits() <= 28,
+        "state space too wide for the naive BDD order ({} bits)",
+        rtl.state_bits()
+    );
+    if !cache.is_enabled() {
+        return check_with_budget(rtl, property, budget);
+    }
+    let fp = crate::obligation::fingerprint("reach", rtl, property, &[]);
+    if let Some(payload) = cache.lookup(fp) {
+        if let Some(verdict) = crate::cachefmt::decode_verdict(rtl, &payload) {
+            instrument.counter_add("cache.hits", 1);
+            return verdict;
+        }
+    }
+    instrument.counter_add("cache.misses", 1);
+    let verdict = check_with_budget(rtl, property, budget);
+    if !verdict.is_budget_exhausted() {
+        cache.insert(fp, crate::cachefmt::encode_verdict(&verdict));
+    }
     verdict
 }
 
@@ -312,6 +381,41 @@ mod tests {
             Verdict::Proven
         );
         assert!(check(&rtl, &Property::invariant("zero", BoolExpr::eq("o", 0))).is_violated());
+    }
+
+    #[test]
+    fn node_budget_degrades_deterministically_and_skips_the_cache() {
+        let rtl = mod_counter(3, 5);
+        let p = Property::invariant("ne6", BoolExpr::ne("q", 6));
+        let starve = exec::Effort {
+            sat_conflicts: None,
+            sat_decisions: None,
+            bdd_nodes: Some(8),
+        };
+        let cache = cache::ObligationCache::new();
+        for _ in 0..2 {
+            assert_eq!(
+                check_budgeted(&rtl, &p, &starve, &telemetry::noop(), &cache),
+                Verdict::Unknown(UnknownReason::BudgetExhausted)
+            );
+        }
+        assert_eq!(cache.stats().misses, 2);
+        // A generous budget concludes and its verdict is shared with
+        // unbudgeted callers through the standard fingerprint.
+        let generous = exec::Effort {
+            sat_conflicts: None,
+            sat_decisions: None,
+            bdd_nodes: Some(1 << 20),
+        };
+        assert_eq!(
+            check_budgeted(&rtl, &p, &generous, &telemetry::noop(), &cache),
+            Verdict::Proven
+        );
+        assert_eq!(
+            check_cached(&rtl, &p, &telemetry::noop(), &cache),
+            Verdict::Proven
+        );
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]

@@ -236,6 +236,16 @@ impl CnfBuilder {
         self.solver.solve_with(assumptions)
     }
 
+    /// Solves under assumptions with a deterministic effort budget (see
+    /// [`Solver::solve_budgeted`]).
+    pub fn solve_budgeted(
+        &mut self,
+        assumptions: &[Lit],
+        effort: &exec::Effort,
+    ) -> crate::solver::BudgetedResult {
+        self.solver.solve_budgeted(assumptions, effort)
+    }
+
     /// Model value of a literal after a SAT answer.
     ///
     /// # Panics

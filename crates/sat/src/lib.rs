@@ -42,5 +42,5 @@ pub mod types;
 pub use cnf::CnfBuilder;
 pub use dimacs::Dimacs;
 pub use portfolio::{solve_portfolio, PortfolioConfig, PortfolioOutcome};
-pub use solver::{Cnf, SolveResult, Solver};
+pub use solver::{BudgetedResult, Cnf, SolveResult, Solver};
 pub use types::{Lit, Var};

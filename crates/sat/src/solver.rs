@@ -25,6 +25,43 @@ impl SolveResult {
     }
 }
 
+/// Outcome of a [`Solver::solve_budgeted`] call: either a definite
+/// verdict, or a deterministic report that the effort budget ran out
+/// before one was reached. Exhaustion is *not* a solver failure — the
+/// solver rests at decision level 0, keeps everything it learnt, and a
+/// later call (budgeted or not) picks up from there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetedResult {
+    /// The search concluded within budget.
+    Decided(SolveResult),
+    /// A conflict/decision cap was hit first. The caller maps this to an
+    /// `Unknown(BudgetExhausted)` verdict, never to Sat/Unsat.
+    Exhausted,
+}
+
+impl BudgetedResult {
+    /// Whether the budget ran out before a verdict.
+    pub fn is_exhausted(self) -> bool {
+        matches!(self, BudgetedResult::Exhausted)
+    }
+
+    /// The verdict, when one was reached.
+    pub fn decided(self) -> Option<SolveResult> {
+        match self {
+            BudgetedResult::Decided(r) => Some(r),
+            BudgetedResult::Exhausted => None,
+        }
+    }
+}
+
+/// Period of the test-only `panic-mutant` fault: the solver panics on
+/// every propagation whose ordinal is a multiple of this. Chosen so the
+/// flow's small obligations finish untouched while substantial ones trip
+/// it — giving the supervision tests both healthy and faulted outcomes
+/// in one run.
+#[cfg(feature = "panic-mutant")]
+const PANIC_MUTANT_PERIOD: u64 = 256;
+
 const UNASSIGNED: u8 = 2;
 
 #[derive(Debug)]
@@ -168,11 +205,22 @@ pub struct Solver {
     flushed: (u64, u64, u64),
     /// Solve calls flushed so far (the gauge axis for per-call series).
     flush_calls: u64,
+    /// Absolute counter ceilings for the budgeted call in flight
+    /// ([`Solver::solve_budgeted`]); `None` outside budgeted calls, so
+    /// the plain entry points pay one branch per search iteration and
+    /// behave exactly as before.
+    budget_conflicts: Option<u64>,
+    /// See [`Solver::budget_conflicts`](struct field above).
+    budget_decisions: Option<u64>,
     /// Unit propagations seen by the test-only `mutant` feature, which
     /// silently drops every third one to prove the fuzzer's differential
     /// oracles catch an injected solver bug.
     #[cfg(feature = "mutant")]
     mutant_units: u64,
+    /// Budgeted solve calls seen by the test-only `diverge-mutant`
+    /// feature, which makes every second one burn its whole budget.
+    #[cfg(feature = "diverge-mutant")]
+    diverge_calls: u64,
 }
 
 impl Default for Solver {
@@ -206,8 +254,12 @@ impl Default for Solver {
             instrument: None,
             flushed: (0, 0, 0),
             flush_calls: 0,
+            budget_conflicts: None,
+            budget_decisions: None,
             #[cfg(feature = "mutant")]
             mutant_units: 0,
+            #[cfg(feature = "diverge-mutant")]
+            diverge_calls: 0,
         }
     }
 }
@@ -392,6 +444,23 @@ impl Solver {
             let p = self.trail[self.queue_head];
             self.queue_head += 1;
             self.propagations += 1;
+            #[cfg(feature = "panic-mutant")]
+            {
+                // Injected fault: a deterministic panic every
+                // PANIC_MUTANT_PERIOD-th propagation of this solver
+                // instance. Small queries finish below the threshold;
+                // substantial obligations trip it, which is exactly the
+                // detection-power fixture the supervision layer's tests
+                // and the `supervision-smoke` CI job need. The message
+                // carries the "injected panic" marker recognised by
+                // `exec::silence_injected_panics`.
+                if self.propagations.is_multiple_of(PANIC_MUTANT_PERIOD) {
+                    panic!(
+                        "panic-mutant: injected panic at propagation {}",
+                        self.propagations
+                    );
+                }
+            }
             let mut watch_list = std::mem::take(&mut self.watches[p.code()]);
             let mut keep = 0;
             let mut conflict = None;
@@ -618,6 +687,63 @@ impl Solver {
         self.solve_inner(assumptions, Some(interrupt))
     }
 
+    /// Like [`Solver::solve_with`], but gives up deterministically once
+    /// the search has spent `effort`'s conflict or decision allowance
+    /// (measured from this call's starting counters, so budgets compose
+    /// across incremental calls). An unbounded `effort` is exactly
+    /// `solve_with`. Budgets are effort-based, never wall-clock: the same
+    /// query with the same budget exhausts at the same point on every
+    /// machine and worker count. On exhaustion the solver backtracks to
+    /// level 0 and keeps its learnt clauses, so retrying with a larger
+    /// budget resumes rather than restarts.
+    pub fn solve_budgeted(&mut self, assumptions: &[Lit], effort: &exec::Effort) -> BudgetedResult {
+        #[cfg(feature = "diverge-mutant")]
+        {
+            // Injected fault: every second *budgeted* call on a solver
+            // pretends the search diverged, burning the whole allowance
+            // without progress. Scoped to budgeted calls so the
+            // unsupervised paths (which would hang forever on a real
+            // divergence) stay usable for the control half of the tests.
+            self.diverge_calls += 1;
+            if self.diverge_calls.is_multiple_of(2) && effort.bounds_sat() {
+                if let Some(cap) = effort.sat_conflicts {
+                    self.conflicts = self.conflicts.saturating_add(cap);
+                }
+                if let Some(cap) = effort.sat_decisions {
+                    self.decisions = self.decisions.saturating_add(cap);
+                }
+                self.note_budget_exhausted();
+                return BudgetedResult::Exhausted;
+            }
+        }
+        self.budget_conflicts = effort
+            .sat_conflicts
+            .map(|cap| self.conflicts.saturating_add(cap));
+        self.budget_decisions = effort
+            .sat_decisions
+            .map(|cap| self.decisions.saturating_add(cap));
+        let result = self.solve_inner(assumptions, None);
+        self.budget_conflicts = None;
+        self.budget_decisions = None;
+        match result {
+            Some(r) => BudgetedResult::Decided(r),
+            None => {
+                self.note_budget_exhausted();
+                BudgetedResult::Exhausted
+            }
+        }
+    }
+
+    /// Records one budget exhaustion: bumps `sat.budget_exhausted` and
+    /// flushes the effort the abandoned call did spend (which
+    /// [`Solver::solve_inner`] skips for verdict-less returns).
+    fn note_budget_exhausted(&mut self) {
+        if let Some(i) = self.instrument.as_ref().filter(|i| i.enabled()) {
+            i.counter_add("sat.budget_exhausted", 1);
+        }
+        self.flush_telemetry();
+    }
+
     fn solve_inner(
         &mut self,
         assumptions: &[Lit],
@@ -733,6 +859,19 @@ impl Solver {
                 if flag.load(Ordering::Relaxed) {
                     return None;
                 }
+            }
+            // Deterministic effort budget ([`Solver::solve_budgeted`]):
+            // abandon the search once either lifetime counter reaches its
+            // absolute ceiling. Checked on the same progress axis on every
+            // run, so exhaustion is bit-reproducible — unlike wall-clock.
+            if self
+                .budget_conflicts
+                .is_some_and(|cap| self.conflicts >= cap)
+                || self
+                    .budget_decisions
+                    .is_some_and(|cap| self.decisions >= cap)
+            {
+                return None;
             }
             if let Some(conflict) = self.propagate() {
                 self.conflicts += 1;
@@ -978,6 +1117,104 @@ mod tests {
         }
         assert!(s.solve().is_unsat());
         assert!(s.conflicts() > 0);
+    }
+
+    /// Builds the (unsatisfiable) pigeonhole instance PHP(5, 4) — hard
+    /// enough that a one-conflict budget cannot finish it. Only used by
+    /// the budget tests, which are gated off under `panic-mutant`.
+    #[cfg(not(feature = "panic-mutant"))]
+    fn pigeonhole_solver() -> Solver {
+        let pigeons = 5;
+        let holes = 4;
+        let mut s = Solver::new();
+        let mut x = vec![vec![Var(0); holes]; pigeons];
+        for p in 0..pigeons {
+            for h in 0..holes {
+                x[p][h] = s.new_var();
+            }
+        }
+        for p in 0..pigeons {
+            s.add_clause((0..holes).map(|h| Lit::pos(x[p][h])));
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause([Lit::neg(x[p1][h]), Lit::neg(x[p2][h])]);
+                }
+            }
+        }
+        s
+    }
+
+    #[cfg(not(any(feature = "panic-mutant", feature = "diverge-mutant")))]
+    #[test]
+    fn unbounded_budget_matches_plain_solve() {
+        let mut budgeted = pigeonhole_solver();
+        let mut plain = pigeonhole_solver();
+        assert_eq!(
+            budgeted.solve_budgeted(&[], &exec::Effort::unbounded()),
+            BudgetedResult::Decided(plain.solve())
+        );
+        assert_eq!(budgeted.conflicts(), plain.conflicts());
+        assert_eq!(budgeted.decisions(), plain.decisions());
+    }
+
+    #[cfg(not(any(feature = "panic-mutant", feature = "diverge-mutant")))]
+    #[test]
+    fn tiny_budget_exhausts_deterministically_and_solver_stays_usable() {
+        let effort = exec::Effort {
+            sat_conflicts: Some(1),
+            sat_decisions: None,
+            bdd_nodes: None,
+        };
+        let mut a = pigeonhole_solver();
+        let mut b = pigeonhole_solver();
+        assert!(a.solve_budgeted(&[], &effort).is_exhausted());
+        assert!(b.solve_budgeted(&[], &effort).is_exhausted());
+        // Same effort, same query ⇒ exhaustion at the same point.
+        assert_eq!(a.conflicts(), b.conflicts());
+        assert_eq!(a.decisions(), b.decisions());
+        // The solver rests at level 0 and a later unbudgeted call
+        // resumes (learnt clauses intact) to the real verdict.
+        assert!(a.solve().is_unsat());
+    }
+
+    #[cfg(not(any(feature = "panic-mutant", feature = "diverge-mutant")))]
+    #[test]
+    fn budget_exhaustion_emits_telemetry_counter() {
+        let collector = telemetry::Collector::shared();
+        let mut s = pigeonhole_solver();
+        s.set_instrument(collector.clone());
+        let effort = exec::Effort {
+            sat_conflicts: Some(1),
+            sat_decisions: None,
+            bdd_nodes: None,
+        };
+        assert!(s.solve_budgeted(&[], &effort).is_exhausted());
+        assert_eq!(collector.counter("sat.budget_exhausted"), 1);
+        // The abandoned call's effort is still flushed as deltas.
+        assert_eq!(collector.counter("sat.solve_calls"), 1);
+        assert_eq!(collector.counter("sat.conflicts"), s.conflicts());
+    }
+
+    #[cfg(feature = "diverge-mutant")]
+    #[test]
+    fn diverge_mutant_burns_every_second_budgeted_call() {
+        let effort = exec::Effort {
+            sat_conflicts: Some(10_000),
+            sat_decisions: None,
+            bdd_nodes: None,
+        };
+        let mut s = pigeonhole_solver();
+        // Call 1 is honest; PHP(5,4) concludes well within 10k conflicts.
+        assert!(!s.solve_budgeted(&[], &effort).is_exhausted());
+        // Call 2 diverges and burns the allowance without progress.
+        assert!(s.solve_budgeted(&[], &effort).is_exhausted());
+        // Unbudgeted and unbounded-budget calls are untouched.
+        assert!(s.solve().is_unsat());
+        assert!(!s
+            .solve_budgeted(&[], &exec::Effort::unbounded())
+            .is_exhausted());
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! The supervised flow end to end:
+//! [`symbad_core::flow::run_full_flow_supervised`] executes the whole
+//! methodology under panic isolation and a deterministic effort budget,
+//! then proves the degradation contract by rerunning the flow with 1, 2,
+//! and 8 workers (fresh obligation cache each time) and asserting the
+//! reports — including the `degradation` section — are bit-identical.
+//!
+//! The same example serves three CI regimes:
+//!
+//! * default build: supervision is idle, the taxonomy is clean, and the
+//!   report is conclusive;
+//! * `--features panic-mutant`: the SAT solver panics every 256th
+//!   propagation — the flow still completes and the partial report counts
+//!   the panicked obligations and their retries;
+//! * `--features diverge-mutant`: every second budgeted solve burns its
+//!   whole budget — the example runs under a bounded effort so the
+//!   divergence surfaces as deterministic `unknown` obligations.
+//!
+//! Writes `target/report_supervised.json`.
+//!
+//! ```text
+//! cargo run --release --example supervised_flow
+//! ```
+
+use std::fs;
+use symbad_core::flow::{run_full_flow_supervised, FlowReport};
+use symbad_core::supervise::SupervisionPolicy;
+use symbad_core::workload::Workload;
+
+/// The per-regime policy: bounded under `diverge-mutant` (divergence only
+/// affects budgeted solves), unbounded otherwise.
+fn policy() -> SupervisionPolicy {
+    #[cfg(feature = "diverge-mutant")]
+    {
+        SupervisionPolicy::with_effort(exec::Effort::bounded(100_000))
+    }
+    #[cfg(not(feature = "diverge-mutant"))]
+    {
+        SupervisionPolicy::default()
+    }
+}
+
+fn run_with(workers: usize, policy: &SupervisionPolicy) -> Result<FlowReport, sim::SimError> {
+    // A fresh cache per run: the degradation pattern must come from the
+    // budget and the injected faults, never from previously cached
+    // verdicts.
+    let cache = cache::ObligationCache::new();
+    run_full_flow_supervised(
+        &Workload::small(),
+        &telemetry::noop(),
+        exec::ExecMode::from_workers(workers),
+        &cache,
+        policy,
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    exec::silence_injected_panics();
+    let policy = policy();
+
+    let reference = run_with(1, &policy)?;
+    let json = reference.to_json();
+    for workers in [2usize, 8] {
+        let report = run_with(workers, &policy)?;
+        assert_eq!(
+            report.to_json(),
+            json,
+            "supervised flow report diverged with {workers} workers"
+        );
+    }
+    println!("supervised flow report bit-identical for workers 1, 2, 8");
+
+    let d = reference
+        .degradation
+        .as_ref()
+        .expect("supervised runs always carry a degradation taxonomy");
+    println!(
+        "obligations: {} total — {} proved, {} refuted, {} unknown, \
+         {} panicked ({} retried)",
+        d.total, d.proved, d.refuted, d.unknown, d.panicked, d.retries
+    );
+    for outcome in &d.degraded {
+        println!(
+            "  degraded [{}{}] {}: {}",
+            outcome.status.as_str(),
+            if outcome.retried { ", retried" } else { "" },
+            outcome.name,
+            outcome.detail
+        );
+    }
+    println!(
+        "conclusive: {} (all phases ok: {})",
+        reference.conclusive(),
+        reference.all_ok()
+    );
+
+    // Under an injected fault the report must be partial, never absent;
+    // with honest engines and an unbounded budget it must be conclusive.
+    #[cfg(any(feature = "panic-mutant", feature = "diverge-mutant"))]
+    assert!(
+        !reference.conclusive() && d.total > 0,
+        "injected faults must surface as a partial verdict"
+    );
+    #[cfg(not(any(feature = "panic-mutant", feature = "diverge-mutant")))]
+    assert!(
+        reference.conclusive(),
+        "idle supervision must be conclusive"
+    );
+
+    fs::create_dir_all("target")?;
+    fs::write("target/report_supervised.json", &json)?;
+    println!("wrote target/report_supervised.json");
+    Ok(())
+}
