@@ -185,7 +185,7 @@ pub fn sat_branch_tpg_cached(
             .lits(&[probe_bit])
             .cnf(&cnf)
             .finish();
-        if let Some(payload) = cache.lookup(fp) {
+        if let Some(payload) = cache.lookup_tagged("atpg.branch", fp) {
             if let Some(model) = decode_model(&payload) {
                 return Ok(model);
             }
@@ -202,7 +202,7 @@ pub fn sat_branch_tpg_cached(
         Some(read_model(builder, &input_bits))
     };
     if let Some(fp) = fp {
-        cache.insert(fp, encode_model(result.as_deref()));
+        cache.insert_tagged("atpg.branch", fp, encode_model(result.as_deref()));
     }
     Ok(result)
 }
@@ -336,7 +336,7 @@ pub fn sat_fault_tpg_cached(
             .lits(&[any])
             .cnf(&cnf)
             .finish();
-        if let Some(payload) = cache.lookup(fp) {
+        if let Some(payload) = cache.lookup_tagged("atpg.fault", fp) {
             if let Some(model) = decode_model(&payload) {
                 return Ok(model);
             }
@@ -352,7 +352,7 @@ pub fn sat_fault_tpg_cached(
         Some(read_model(builder, &input_bits))
     };
     if let Some(fp) = fp {
-        cache.insert(fp, encode_model(result.as_deref()));
+        cache.insert_tagged("atpg.fault", fp, encode_model(result.as_deref()));
     }
     Ok(result)
 }

@@ -44,7 +44,7 @@ mod persist;
 mod store;
 
 pub use fingerprint::{Fingerprint, FingerprintBuilder};
-pub use store::{CacheStats, ObligationCache};
+pub use store::{CacheStats, ObligationCache, TagStats};
 
 use std::sync::OnceLock;
 

@@ -2,7 +2,7 @@
 //! threads, with hit/miss accounting.
 
 use crate::Fingerprint;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -37,6 +37,33 @@ impl CacheStats {
     }
 }
 
+/// Per-engine-tag traffic counters, snapshot by
+/// [`ObligationCache::stats_by_tag`]. The tag is the engine label a
+/// caller passes to [`ObligationCache::lookup_tagged`] — normally the
+/// same string the engine feeds to `FingerprintBuilder::new`, so the
+/// breakdown matches the fingerprint domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TagStats {
+    /// Lookups under this tag that found a payload.
+    pub hits: u64,
+    /// Lookups under this tag that found nothing.
+    pub misses: u64,
+    /// Payloads stored under this tag.
+    pub inserts: u64,
+}
+
+impl TagStats {
+    /// Fraction of this tag's lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// A concurrent map from obligation [`Fingerprint`]s to engine-encoded
 /// verdict payloads.
 ///
@@ -52,6 +79,10 @@ pub struct ObligationCache {
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
+    /// Per-tag traffic. One coarse lock: tagged traffic is a few dozen
+    /// probes per flow (the hot sharded path above is untouched), and the
+    /// `BTreeMap` keeps [`ObligationCache::stats_by_tag`] deterministic.
+    tags: Mutex<BTreeMap<String, TagStats>>,
 }
 
 impl Default for ObligationCache {
@@ -69,6 +100,7 @@ impl ObligationCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
+            tags: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -118,6 +150,42 @@ impl ObligationCache {
         }
         self.inserts.fetch_add(1, Ordering::Relaxed);
         self.shard(fp).lock().unwrap().insert(fp.0, payload);
+    }
+
+    /// [`ObligationCache::lookup`] that also attributes the probe to an
+    /// engine `tag` for the per-engine breakdown. Disabled caches return
+    /// `None` without counting, exactly like the untagged path.
+    pub fn lookup_tagged(&self, tag: &str, fp: Fingerprint) -> Option<String> {
+        if !self.enabled {
+            return None;
+        }
+        let found = self.lookup(fp);
+        let mut tags = self.tags.lock().unwrap_or_else(|p| p.into_inner());
+        let t = tags.entry(tag.to_owned()).or_default();
+        if found.is_some() {
+            t.hits += 1;
+        } else {
+            t.misses += 1;
+        }
+        found
+    }
+
+    /// [`ObligationCache::insert`] that also attributes the store to an
+    /// engine `tag`.
+    pub fn insert_tagged(&self, tag: &str, fp: Fingerprint, payload: String) {
+        if !self.enabled {
+            return;
+        }
+        self.insert(fp, payload);
+        let mut tags = self.tags.lock().unwrap_or_else(|p| p.into_inner());
+        tags.entry(tag.to_owned()).or_default().inserts += 1;
+    }
+
+    /// Per-tag traffic snapshot, sorted by tag name (deterministic).
+    /// Only traffic routed through the `_tagged` entry points appears.
+    pub fn stats_by_tag(&self) -> Vec<(String, TagStats)> {
+        let tags = self.tags.lock().unwrap_or_else(|p| p.into_inner());
+        tags.iter().map(|(k, v)| (k.clone(), *v)).collect()
     }
 
     /// Number of distinct entries stored.
@@ -184,6 +252,34 @@ mod tests {
         let e = c.entries_sorted();
         assert_eq!(e.len(), 50);
         assert!(e.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn tagged_traffic_splits_by_engine() {
+        let c = ObligationCache::new();
+        assert_eq!(c.lookup_tagged("bmc", fp(1)), None);
+        c.insert_tagged("bmc", fp(1), "V".into());
+        assert_eq!(c.lookup_tagged("bmc", fp(1)), Some("V".into()));
+        assert_eq!(c.lookup_tagged("reach", fp(2)), None);
+        let by_tag = c.stats_by_tag();
+        assert_eq!(by_tag.len(), 2);
+        assert_eq!(by_tag[0].0, "bmc");
+        assert_eq!(
+            (by_tag[0].1.hits, by_tag[0].1.misses, by_tag[0].1.inserts),
+            (1, 1, 1)
+        );
+        assert_eq!(by_tag[1].0, "reach");
+        assert_eq!((by_tag[1].1.hits, by_tag[1].1.misses), (0, 1));
+        assert_eq!(by_tag[0].1.hit_rate(), 0.5);
+        assert_eq!(TagStats::default().hit_rate(), 0.0);
+        // Tagged traffic still feeds the aggregate counters.
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 2, 1));
+        // Disabled caches ignore tagged traffic entirely.
+        let d = ObligationCache::disabled();
+        assert_eq!(d.lookup_tagged("bmc", fp(1)), None);
+        d.insert_tagged("bmc", fp(1), "V".into());
+        assert!(d.stats_by_tag().is_empty());
     }
 
     #[test]

@@ -261,11 +261,49 @@ pub fn run_full_flow_cached(
     mode: exec::ExecMode,
     cache: &cache::ObligationCache,
 ) -> Result<FlowReport, SimError> {
+    run_full_flow_cached_impl(workload, instrument, mode, cache, None)
+}
+
+/// [`run_full_flow_cached`] with a flight recorder: every phase
+/// transition lands on the journal's deterministic lane as a `phase`
+/// event, and the level-3 reconfiguration summary as an `fpga_reconfig`
+/// event. The journal never perturbs the flow — the [`FlowReport`]
+/// (including its JSON rendering) is byte-identical to
+/// [`run_full_flow_cached`], and the deterministic lane is bit-identical
+/// across worker counts.
+///
+/// # Errors
+///
+/// Propagates kernel errors from the simulations.
+pub fn run_full_flow_cached_journaled(
+    workload: &Workload,
+    instrument: &telemetry::SharedInstrument,
+    mode: exec::ExecMode,
+    cache: &cache::ObligationCache,
+    journal: &telemetry::Journal,
+) -> Result<FlowReport, SimError> {
+    run_full_flow_cached_impl(workload, instrument, mode, cache, Some(journal))
+}
+
+fn run_full_flow_cached_impl(
+    workload: &Workload,
+    instrument: &telemetry::SharedInstrument,
+    mode: exec::ExecMode,
+    cache: &cache::ObligationCache,
+    journal: Option<&telemetry::Journal>,
+) -> Result<FlowReport, SimError> {
     let mut phases: Vec<PhaseSummary> = Vec::new();
     let note_phase = |phases: &mut Vec<PhaseSummary>, summary: PhaseSummary| {
         let idx = phases.len() as u64;
         instrument.span("flow", summary.phase, idx, idx + 1);
         instrument.gauge_set("flow.phase_ok", idx, i64::from(summary.ok));
+        if let Some(j) = journal {
+            j.emit(telemetry::EventKind::Phase {
+                index: idx,
+                name: summary.phase.to_owned(),
+                ok: summary.ok,
+            });
+        }
         phases.push(summary);
     };
 
@@ -349,6 +387,12 @@ pub fn run_full_flow_cached(
         ),
         },
     );
+    if let Some(j) = journal {
+        j.emit(telemetry::EventKind::FpgaReconfig {
+            reconfigurations: fpga.reconfigurations,
+            download_words: fpga.download_words,
+        });
+    }
 
     // ── Level 3 verification: SymbC ────────────────────────────────────
     let (sw, map) = cascade::instrumented_sw(true);
@@ -429,6 +473,44 @@ pub fn run_full_flow_supervised(
     cache: &cache::ObligationCache,
     policy: &SupervisionPolicy,
 ) -> Result<FlowReport, SimError> {
+    run_full_flow_supervised_impl(workload, instrument, mode, cache, policy, None)
+}
+
+/// [`run_full_flow_supervised`] with a flight recorder: phases, the FPGA
+/// reconfiguration summary, and the complete lifecycle of every
+/// supervised obligation — start, cache probes, per-axis budget spend,
+/// panics/retries, provenance-carrying finishes with effort attribution,
+/// degradations — stream onto the journal's deterministic lane in
+/// obligation order; wall latencies and worker/queue attribution go to
+/// its timing lane.
+///
+/// Instrumentation never perturbs results: the report is bit-identical to
+/// [`run_full_flow_supervised`], and the deterministic lane is
+/// bit-identical across worker counts (the PR-2 invariant extended to the
+/// journal).
+///
+/// # Errors
+///
+/// Propagates kernel errors from the simulations.
+pub fn run_full_flow_supervised_journaled(
+    workload: &Workload,
+    instrument: &telemetry::SharedInstrument,
+    mode: exec::ExecMode,
+    cache: &cache::ObligationCache,
+    policy: &SupervisionPolicy,
+    journal: &telemetry::Journal,
+) -> Result<FlowReport, SimError> {
+    run_full_flow_supervised_impl(workload, instrument, mode, cache, policy, Some(journal))
+}
+
+fn run_full_flow_supervised_impl(
+    workload: &Workload,
+    instrument: &telemetry::SharedInstrument,
+    mode: exec::ExecMode,
+    cache: &cache::ObligationCache,
+    policy: &SupervisionPolicy,
+    journal: Option<&telemetry::Journal>,
+) -> Result<FlowReport, SimError> {
     use ObligationStatus::{Panicked, Proved, Refuted};
 
     let retry = policy.retry_panicked;
@@ -439,6 +521,13 @@ pub fn run_full_flow_supervised(
         let idx = phases.len() as u64;
         instrument.span("flow", summary.phase, idx, idx + 1);
         instrument.gauge_set("flow.phase_ok", idx, i64::from(summary.ok));
+        if let Some(j) = journal {
+            j.emit(telemetry::EventKind::Phase {
+                index: idx,
+                name: summary.phase.to_owned(),
+                ok: summary.ok,
+            });
+        }
         phases.push(summary);
     };
     // The flow-level obligations run sequentially on this thread, so
@@ -447,6 +536,39 @@ pub fn run_full_flow_supervised(
     let note_panics = |caught: u64| {
         if enabled && caught > 0 {
             instrument.counter_add("exec.panics_caught", caught);
+        }
+    };
+    // The three flow-level obligations (LPV liveness, LPV dimensioning,
+    // SymbC) are panic-supervised but not effort-budgeted and carry no
+    // private collector, so their journal records attribute zero effort.
+    let note_started = |name: &str, engine: &str| {
+        if let Some(j) = journal {
+            j.emit(telemetry::EventKind::ObligationStarted {
+                obligation: name.to_owned(),
+                engine: engine.to_owned(),
+            });
+        }
+    };
+    let note_obligation = |name: &str,
+                           engine: &str,
+                           sup_panic: Option<&str>,
+                           sup_retried: bool,
+                           sup_wall_us: u64,
+                           status: ObligationStatus,
+                           detail: &str| {
+        if let Some(j) = journal {
+            supervise::journal_obligation(
+                j,
+                name,
+                engine,
+                sup_panic,
+                sup_retried,
+                sup_wall_us,
+                &telemetry::EffortSpent::default(),
+                None,
+                status,
+                detail,
+            );
         }
     };
 
@@ -466,6 +588,7 @@ pub fn run_full_flow_supervised(
     );
 
     // ── Level 1 verification: LPV deadlock freeness (supervised) ──────
+    note_started("lpv:liveness", "lpv");
     let sup = supervise::run_supervised_job(retry, || {
         let net = cascade::fig2_petri_net(1);
         lp::check_liveness(&net)
@@ -489,6 +612,15 @@ pub fn run_full_flow_supervised(
             (false, detail.clone(), Panicked, detail)
         }
     };
+    note_obligation(
+        "lpv:liveness",
+        "lpv",
+        sup.panic.as_deref(),
+        sup.retried,
+        sup.wall_us,
+        status,
+        &odetail,
+    );
     note_phase(
         &mut phases,
         PhaseSummary {
@@ -522,6 +654,7 @@ pub fn run_full_flow_supervised(
     );
 
     // ── Level 2 verification: deadline LP (supervised) ─────────────────
+    note_started("lpv:dimensioning", "lpv");
     let sup = supervise::run_supervised_job(retry, || {
         level2::dimension_channels_mode(workload, &crate::Partition::paper_level2(), &arch, mode)
     });
@@ -543,6 +676,15 @@ pub fn run_full_flow_supervised(
             (false, detail.clone(), Panicked, detail)
         }
     };
+    note_obligation(
+        "lpv:dimensioning",
+        "lpv",
+        sup.panic.as_deref(),
+        sup.retried,
+        sup.wall_us,
+        status,
+        &odetail,
+    );
     note_phase(
         &mut phases,
         PhaseSummary {
@@ -573,8 +715,15 @@ pub fn run_full_flow_supervised(
         ),
         },
     );
+    if let Some(j) = journal {
+        j.emit(telemetry::EventKind::FpgaReconfig {
+            reconfigurations: fpga.reconfigurations,
+            download_words: fpga.download_words,
+        });
+    }
 
     // ── Level 3 verification: SymbC (supervised) ───────────────────────
+    note_started("symbc:consistency", "symbc");
     let sup = supervise::run_supervised_job(retry, || {
         let (sw, map) = cascade::instrumented_sw(true);
         symbc::check(&sw, &map)
@@ -593,6 +742,15 @@ pub fn run_full_flow_supervised(
             (false, detail.clone(), Panicked, detail)
         }
     };
+    note_obligation(
+        "symbc:consistency",
+        "symbc",
+        sup.panic.as_deref(),
+        sup.retried,
+        sup.wall_us,
+        status,
+        &odetail,
+    );
     note_phase(
         &mut phases,
         PhaseSummary {
@@ -609,7 +767,8 @@ pub fn run_full_flow_supervised(
     });
 
     // ── Level 4: RTL + formal, fully supervised ────────────────────────
-    let (l4, l4_outcomes) = level4::run_supervised(mode, instrument, cache, policy);
+    let (l4, l4_outcomes) =
+        level4::run_supervised_journaled(mode, instrument, cache, policy, journal);
     outcomes.extend(l4_outcomes);
     let kernels_ok = l4.kernels.iter().all(|(_, _, eq)| *eq);
     let props_ok = l4.properties.iter().all(|(_, _, p)| *p);

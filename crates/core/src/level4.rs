@@ -77,7 +77,7 @@ pub fn prove_equivalence_cached(
     let (input_bits, any) = build_miter(func, rtl, &mut ctx);
     let fp = if cache.is_enabled() {
         let fp = miter_fingerprint(&mut ctx, &input_bits, any);
-        if let Some(payload) = cache.lookup(fp) {
+        if let Some(payload) = cache.lookup_tagged("level4.miter", fp) {
             if let Some(equivalent) = cache::decode_bool(&payload) {
                 instrument.counter_add("cache.hits", 1);
                 return equivalent;
@@ -92,7 +92,7 @@ pub fn prove_equivalence_cached(
     builder.assert_lit(any);
     let equivalent = builder.solve().is_unsat();
     if let Some(fp) = fp {
-        cache.insert(fp, cache::encode_bool(equivalent));
+        cache.insert_tagged("level4.miter", fp, cache::encode_bool(equivalent));
     }
     equivalent
 }
@@ -123,7 +123,7 @@ pub fn prove_equivalence_portfolio_cached(
     let (input_bits, any) = build_miter(func, rtl, &mut ctx);
     let fp = if cache.is_enabled() {
         let fp = miter_fingerprint(&mut ctx, &input_bits, any);
-        if let Some(payload) = cache.lookup(fp) {
+        if let Some(payload) = cache.lookup_tagged("level4.miter", fp) {
             if let Some(equivalent) = cache::decode_bool(&payload) {
                 return equivalent;
             }
@@ -136,7 +136,7 @@ pub fn prove_equivalence_portfolio_cached(
     let cnf = ctx.builder_mut().solver().export_cnf();
     let equivalent = sat::solve_portfolio(&cnf, mode).result.is_unsat();
     if let Some(fp) = fp {
-        cache.insert(fp, cache::encode_bool(equivalent));
+        cache.insert_tagged("level4.miter", fp, cache::encode_bool(equivalent));
     }
     equivalent
 }
@@ -516,7 +516,7 @@ pub fn prove_equivalence_budgeted(
     let (input_bits, any) = build_miter(func, rtl, &mut ctx);
     let fp = if cache.is_enabled() {
         let fp = miter_fingerprint(&mut ctx, &input_bits, any);
-        if let Some(payload) = cache.lookup(fp) {
+        if let Some(payload) = cache.lookup_tagged("level4.miter", fp) {
             if let Some(equivalent) = cache::decode_bool(&payload) {
                 instrument.counter_add("cache.hits", 1);
                 return Some(equivalent);
@@ -531,7 +531,7 @@ pub fn prove_equivalence_budgeted(
     builder.assert_lit(any);
     let equivalent = builder.solve_budgeted(&[], effort).decided()?.is_unsat();
     if let Some(fp) = fp {
-        cache.insert(fp, cache::encode_bool(equivalent));
+        cache.insert_tagged("level4.miter", fp, cache::encode_bool(equivalent));
     }
     Some(equivalent)
 }
@@ -566,12 +566,99 @@ pub fn run_supervised(
     cache: &cache::ObligationCache,
     policy: &SupervisionPolicy,
 ) -> (Level4Report, Vec<ObligationOutcome>) {
+    run_supervised_journaled(mode, instrument, cache, policy, None)
+}
+
+/// Unwraps one supervised pool slot. The closures dispatched here catch
+/// their own panics ([`supervise::supervised_obligation`]), so the outer
+/// [`exec::JobOutcome`] is always `Ok` in practice; a `Panicked`/`Missing`
+/// slot (a pool fault, not an engine fault) degrades to a panicked
+/// obligation instead of aborting the level.
+fn unwrap_job<R>(
+    out: exec::JobOutcome<(supervise::Supervised<R>, Option<telemetry::Collector>)>,
+) -> (supervise::Supervised<R>, Option<telemetry::Collector>) {
+    match out {
+        exec::JobOutcome::Ok(v) => v,
+        exec::JobOutcome::Panicked { message } => (
+            supervise::Supervised {
+                value: None,
+                panic: Some(message),
+                retried: false,
+                wall_us: 0,
+            },
+            None,
+        ),
+        exec::JobOutcome::Missing => (
+            supervise::Supervised {
+                value: None,
+                panic: Some("missing worker result".to_owned()),
+                retried: false,
+                wall_us: 0,
+            },
+            None,
+        ),
+    }
+}
+
+/// Emits one drained batch's scheduling facts on the journal's timing
+/// lane: the queue shape and the per-job worker attribution. Timing-lane
+/// only — worker ids and queue depths are honest schedule data and differ
+/// run to run.
+fn journal_batch(
+    journal: Option<&telemetry::Journal>,
+    batch: &str,
+    names: &[String],
+    stats: &exec::PoolRunStats,
+) {
+    let Some(j) = journal else { return };
+    j.emit_timing(telemetry::TimingKind::QueueDepth {
+        batch: batch.to_owned(),
+        jobs: stats.jobs as u64,
+        workers: stats.workers as u64,
+        peak_depth: stats.peak_depth() as u64,
+    });
+    for (i, worker) in stats.worker_for_job.iter().enumerate() {
+        if let Some(worker) = worker {
+            j.emit_timing(telemetry::TimingKind::WorkerJob {
+                batch: batch.to_owned(),
+                job: names.get(i).cloned().unwrap_or_else(|| i.to_string()),
+                worker: *worker as u64,
+            });
+        }
+    }
+}
+
+/// [`run_supervised`] with a flight recorder: every obligation's
+/// lifecycle — start, cache probe, per-axis budget spend, panic/retry,
+/// provenance-carrying finish, degradation — is emitted on the journal's
+/// deterministic lane in obligation order, and the batch scheduling facts
+/// (queue depth, worker attribution, wall latency) on its timing lane.
+///
+/// The journal is coordinator-only (it is `!Sync`, so a worker closure
+/// cannot capture it) and instrumentation never perturbs results: the
+/// report and outcomes are bit-identical to [`run_supervised`] with or
+/// without a journal, and the deterministic lane is bit-identical across
+/// worker counts.
+///
+/// # Panics
+///
+/// Same as [`run_supervised`].
+pub fn run_supervised_journaled(
+    mode: exec::ExecMode,
+    instrument: &telemetry::SharedInstrument,
+    cache: &cache::ObligationCache,
+    policy: &SupervisionPolicy,
+    journal: Option<&telemetry::Journal>,
+) -> (Level4Report, Vec<ObligationOutcome>) {
     use ObligationStatus::{Panicked, Proved, Refuted, Unknown};
 
     let effort = policy.effort;
     let retry = policy.retry_panicked;
     let (sim_vectors, sim_cycles) = (policy.sim_vectors, policy.sim_cycles);
-    let enabled = instrument.enabled();
+    // Private per-obligation collectors power both the deterministic
+    // telemetry replay *and* the journal's effort attribution, so a
+    // journaled run keeps them even under a no-op instrument.
+    let enabled = instrument.enabled() || journal.is_some();
     let mut outcomes: Vec<ObligationOutcome> = Vec::new();
 
     // 1–2: synthesize deterministically (no SAT involved), then prove the
@@ -585,15 +672,34 @@ pub fn run_supervised(
         ("root", &root_unrolled, &root_rtl),
     ];
 
+    let miter_names: Vec<String> = miters
+        .iter()
+        .map(|(name, _, _)| format!("miter:{name}"))
+        .collect();
+    if let Some(j) = journal {
+        for name in &miter_names {
+            j.emit(telemetry::EventKind::ObligationStarted {
+                obligation: name.clone(),
+                engine: "level4.miter".to_owned(),
+            });
+        }
+    }
     let miter_jobs: Vec<usize> = (0..miters.len()).collect();
-    let miter_results = exec::map(mode, miter_jobs, |_, i| {
+    let (miter_results, miter_stats) = exec::map_supervised_stats(mode, miter_jobs, |_, i| {
         let (_, func, rtl) = miters[i];
         supervise::supervised_obligation(enabled, retry, |instr| {
             prove_equivalence_budgeted(func, rtl, &effort, instr, cache)
         })
     });
+    journal_batch(journal, "level4.miters", &miter_names, &miter_stats);
     let mut kernels = Vec::new();
-    for (i, (sup, collector)) in miter_results.into_iter().enumerate() {
+    for (i, out) in miter_results.into_iter().enumerate() {
+        let (sup, collector) = unwrap_job(out);
+        // Effort attribution reads the private collector *before* replay.
+        let spent = collector
+            .as_ref()
+            .map(telemetry::EffortSpent::from_collector)
+            .unwrap_or_default();
         if let Some(collector) = collector {
             collector.replay_into(instrument.as_ref());
         }
@@ -613,6 +719,20 @@ pub fn run_supervised(
             ),
         };
         kernels.push((name.to_owned(), rtl.num_nodes(), equivalent));
+        if let Some(j) = journal {
+            supervise::journal_obligation(
+                j,
+                &miter_names[i],
+                "level4.miter",
+                sup.panic.as_deref(),
+                sup.retried,
+                sup.wall_us,
+                &spent,
+                Some(&effort),
+                status,
+                &detail,
+            );
+        }
         outcomes.push(ObligationOutcome {
             name: format!("miter:{name}"),
             status,
@@ -628,8 +748,27 @@ pub fn run_supervised(
         .into_iter()
         .filter(provable_on_open_model_ref)
         .collect();
+    let prop_names: Vec<String> = props
+        .iter()
+        .map(|p| format!("property:{}", p.name()))
+        .collect();
+    let prop_engines: Vec<&'static str> = props
+        .iter()
+        .map(|p| match p {
+            Property::Invariant { .. } => "bdd-reach",
+            Property::Response { .. } => "bmc",
+        })
+        .collect();
+    if let Some(j) = journal {
+        for (name, engine) in prop_names.iter().zip(&prop_engines) {
+            j.emit(telemetry::EventKind::ObligationStarted {
+                obligation: name.clone(),
+                engine: (*engine).to_owned(),
+            });
+        }
+    }
     let prop_jobs: Vec<usize> = (0..props.len()).collect();
-    let prop_results = exec::map(mode, prop_jobs, |_, pi| {
+    let (prop_results, prop_stats) = exec::map_supervised_stats(mode, prop_jobs, |_, pi| {
         let p = &props[pi];
         supervise::supervised_obligation(enabled, retry, |instr| {
             let (engine, verdict): (&'static str, Verdict) = match p {
@@ -649,8 +788,14 @@ pub fn run_supervised(
             (engine, verdict, cross_check)
         })
     });
+    journal_batch(journal, "level4.properties", &prop_names, &prop_stats);
     let mut properties = Vec::new();
-    for (pi, (sup, collector)) in prop_results.into_iter().enumerate() {
+    for (pi, out) in prop_results.into_iter().enumerate() {
+        let (sup, collector) = unwrap_job(out);
+        let spent = collector
+            .as_ref()
+            .map(telemetry::EffortSpent::from_collector)
+            .unwrap_or_default();
         if let Some(collector) = collector {
             collector.replay_into(instrument.as_ref());
         }
@@ -700,6 +845,20 @@ pub fn run_supervised(
             }
         };
         properties.push((p.name().to_owned(), engine, proven));
+        if let Some(j) = journal {
+            supervise::journal_obligation(
+                j,
+                &prop_names[pi],
+                engine,
+                sup.panic.as_deref(),
+                sup.retried,
+                sup.wall_us,
+                &spent,
+                Some(&effort),
+                status,
+                &detail,
+            );
+        }
         outcomes.push(ObligationOutcome {
             name: format!("property:{}", p.name()),
             status,
@@ -724,10 +883,16 @@ pub fn run_supervised(
     };
     let mut pcc_reports: Vec<PccReport> = Vec::new();
     for (label, set) in [("pcc:initial", &initial), ("pcc:extended", &props)] {
+        if let Some(j) = journal {
+            j.emit(telemetry::EventKind::ObligationStarted {
+                obligation: label.to_owned(),
+                engine: "pcc".to_owned(),
+            });
+        }
         let sup = supervise::run_supervised_job(retry, || {
             check_coverage_cached(&wrapper, set, &cfg, exec::ExecMode::Sequential, cache)
         });
-        if enabled && sup.panics_caught() > 0 {
+        if instrument.enabled() && sup.panics_caught() > 0 {
             instrument.counter_add("exec.panics_caught", sup.panics_caught());
         }
         let (report, status, detail) = match sup.value {
@@ -746,6 +911,23 @@ pub fn run_supervised(
                 format!("panicked: {}", sup.panic.as_deref().unwrap_or("?")),
             ),
         };
+        if let Some(j) = journal {
+            // PCC runs are panic-supervised but not effort-budgeted, and
+            // their engines do not carry a per-obligation collector — the
+            // provenance records the outcome with zero attributed effort.
+            supervise::journal_obligation(
+                j,
+                label,
+                "pcc",
+                sup.panic.as_deref(),
+                sup.retried,
+                sup.wall_us,
+                &telemetry::EffortSpent::default(),
+                None,
+                status,
+                &detail,
+            );
+        }
         outcomes.push(ObligationOutcome {
             name: label.to_owned(),
             status,

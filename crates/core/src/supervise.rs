@@ -176,6 +176,10 @@ pub(crate) struct Supervised<R> {
     pub panic: Option<String>,
     /// Whether a retry was attempted.
     pub retried: bool,
+    /// Wall-clock microseconds across all attempts. Timing-lane material
+    /// only: it feeds the journal's `obligation_wall` events and must
+    /// never influence a verdict or the deterministic stream.
+    pub wall_us: u64,
 }
 
 impl<R> Supervised<R> {
@@ -195,35 +199,43 @@ impl<R> Supervised<R> {
 /// the same inputs — so for a deterministic fault the retry panics at the
 /// same point and the recorded outcome is schedule-independent.
 pub(crate) fn run_supervised_job<R>(retry: bool, f: impl Fn() -> R) -> Supervised<R> {
-    match catch_unwind(AssertUnwindSafe(&f)) {
+    let start = std::time::Instant::now();
+    let mut sup = match catch_unwind(AssertUnwindSafe(&f)) {
         Ok(value) => Supervised {
             value: Some(value),
             panic: None,
             retried: false,
+            wall_us: 0,
         },
         Err(payload) => {
             let message = exec::panic_message(payload);
             if !retry {
-                return Supervised {
+                Supervised {
                     value: None,
                     panic: Some(message),
                     retried: false,
-                };
-            }
-            match catch_unwind(AssertUnwindSafe(&f)) {
-                Ok(value) => Supervised {
-                    value: Some(value),
-                    panic: Some(message),
-                    retried: true,
-                },
-                Err(_) => Supervised {
-                    value: None,
-                    panic: Some(message),
-                    retried: true,
-                },
+                    wall_us: 0,
+                }
+            } else {
+                match catch_unwind(AssertUnwindSafe(&f)) {
+                    Ok(value) => Supervised {
+                        value: Some(value),
+                        panic: Some(message),
+                        retried: true,
+                        wall_us: 0,
+                    },
+                    Err(_) => Supervised {
+                        value: None,
+                        panic: Some(message),
+                        retried: true,
+                        wall_us: 0,
+                    },
+                }
             }
         }
-    }
+    };
+    sup.wall_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    sup
 }
 
 /// Runs one obligation closure under supervision with a private telemetry
@@ -256,6 +268,95 @@ pub(crate) fn supervised_obligation<R>(
     let collector =
         std::rc::Rc::try_unwrap(local).expect("obligation dropped every instrument handle");
     (sup, Some(collector))
+}
+
+/// Emits one finished obligation's full flight-recorder record: panic and
+/// retry events, the cache probe, per-axis budget spend, the
+/// [`telemetry::Provenance`] line, a degradation entry for inconclusive
+/// outcomes, and (when the journal captures wall clock) the timing-lane
+/// latency.
+///
+/// Called by the coordinator in obligation order, after the obligation's
+/// private collector has been read into `effort` and *before* the
+/// collector is replayed — so the deterministic lane is bit-identical
+/// across worker counts. `budget` is `Some` only for obligations that ran
+/// under the policy's effort budget (engine obligations); flow-level
+/// obligations pass `None` and emit no `budget_spend` lines.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn journal_obligation(
+    journal: &telemetry::Journal,
+    name: &str,
+    engine: &str,
+    panic: Option<&str>,
+    retried: bool,
+    wall_us: u64,
+    effort: &telemetry::EffortSpent,
+    budget: Option<&exec::Effort>,
+    status: ObligationStatus,
+    detail: &str,
+) {
+    if let Some(message) = panic {
+        journal.emit(telemetry::EventKind::Panic {
+            obligation: name.to_owned(),
+            message: message.to_owned(),
+        });
+    }
+    if retried {
+        journal.emit(telemetry::EventKind::Retry {
+            obligation: name.to_owned(),
+        });
+    }
+    if effort.cache_hits + effort.cache_misses > 0 {
+        journal.emit(telemetry::EventKind::CacheProbe {
+            obligation: name.to_owned(),
+            hits: effort.cache_hits,
+            misses: effort.cache_misses,
+        });
+    }
+    if let Some(b) = budget {
+        for (axis, spent, cap) in [
+            ("sat_conflicts", effort.sat_conflicts, b.sat_conflicts),
+            ("sat_decisions", effort.sat_decisions, b.sat_decisions),
+            ("bdd_nodes", effort.bdd_nodes, b.bdd_nodes),
+        ] {
+            if let Some(cap) = cap {
+                journal.emit(telemetry::EventKind::BudgetSpend {
+                    obligation: name.to_owned(),
+                    axis,
+                    spent,
+                    cap,
+                });
+            }
+        }
+    }
+    journal.emit(telemetry::EventKind::ObligationFinished(
+        telemetry::Provenance {
+            obligation: name.to_owned(),
+            engine: engine.to_owned(),
+            // Identity fingerprint: same dual-FNV lane construction the
+            // obligation cache uses, over the engine tag + stable name.
+            fingerprint: cache::FingerprintBuilder::new(engine).text(name).finish().0,
+            effort: *effort,
+            outcome: status.as_str().to_owned(),
+            retried,
+        },
+    ));
+    if matches!(
+        status,
+        ObligationStatus::Unknown | ObligationStatus::Panicked
+    ) {
+        journal.emit(telemetry::EventKind::Degradation {
+            obligation: name.to_owned(),
+            status: status.as_str().to_owned(),
+            detail: detail.to_owned(),
+        });
+    }
+    if journal.wall_enabled() {
+        journal.emit_timing(telemetry::TimingKind::ObligationWall {
+            obligation: name.to_owned(),
+            wall_us,
+        });
+    }
 }
 
 #[cfg(test)]

@@ -118,6 +118,50 @@ impl<R> JobOutcome<R> {
     }
 }
 
+/// Scheduling facts observed while one batch drained: which worker ran
+/// which job, and how deep the shared queue was at each dispatch.
+///
+/// This is *timing-lane* material for the observability journal — it is
+/// honest about the actual schedule and therefore differs run to run and
+/// across worker counts. Nothing here may feed back into verdicts or the
+/// deterministic telemetry stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolRunStats {
+    /// Worker threads serving the batch (1 for the sequential path).
+    pub workers: usize,
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Per job (item order): the worker index that executed it. `None`
+    /// only for slots no worker delivered.
+    pub worker_for_job: Vec<Option<usize>>,
+    /// Queue length observed right after each dispatch, in completion
+    /// order.
+    pub queue_depth_samples: Vec<usize>,
+}
+
+impl PoolRunStats {
+    /// Deepest backlog observed while draining (counting the job being
+    /// dispatched): the whole batch for a non-empty queue, 0 otherwise.
+    pub fn peak_depth(&self) -> usize {
+        self.queue_depth_samples
+            .iter()
+            .map(|d| d + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Jobs executed per worker index (occupancy).
+    pub fn jobs_per_worker(&self) -> Vec<usize> {
+        let mut per = vec![0usize; self.workers];
+        for w in self.worker_for_job.iter().flatten() {
+            if let Some(slot) = per.get_mut(*w) {
+                *slot += 1;
+            }
+        }
+        per
+    }
+}
+
 /// Deterministic effort budget shared by the verification engines.
 ///
 /// Budgets are *effort*-based — SAT conflicts/decisions, BDD nodes —
@@ -317,6 +361,44 @@ where
     map_outcomes(workers, items, &f)
 }
 
+/// [`map_supervised`] that also reports the batch's [`PoolRunStats`]
+/// (worker-per-job attribution and queue depths) for the observability
+/// journal's timing lane. The outcome vector is exactly what
+/// [`map_supervised`] would return — stats collection adds no
+/// synchronization beyond the channel sends the pool already performs.
+pub fn map_supervised_stats<T, R, F>(
+    mode: ExecMode,
+    items: Vec<T>,
+    f: F,
+) -> (Vec<JobOutcome<R>>, PoolRunStats)
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = mode.workers().min(n.max(1));
+    if workers <= 1 {
+        let outcomes: Vec<JobOutcome<R>> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| run_caught(&f, i, item))
+            .collect();
+        return (
+            outcomes,
+            PoolRunStats {
+                workers: 1,
+                jobs: n,
+                worker_for_job: vec![Some(0); n],
+                // The calling thread dispatches in item order: after the
+                // i-th dispatch, n-1-i jobs remain.
+                queue_depth_samples: (0..n).rev().collect(),
+            },
+        );
+    }
+    map_outcomes_stats(workers, items, &f)
+}
+
 /// Runs one job under `catch_unwind`, converting a panic into its typed
 /// outcome.
 fn run_caught<T, R, F>(f: &F, idx: usize, item: T) -> JobOutcome<R>
@@ -340,31 +422,59 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    map_outcomes_stats(workers, items, f).0
+}
+
+/// [`map_outcomes`] plus scheduling observation: each worker stamps its
+/// index and the post-dispatch queue depth onto the result message it was
+/// already sending, and the coordinator folds those into [`PoolRunStats`].
+fn map_outcomes_stats<T, R, F>(
+    workers: usize,
+    items: Vec<T>,
+    f: &F,
+) -> (Vec<JobOutcome<R>>, PoolRunStats)
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
     let n = items.len();
     let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
-    let (tx, rx) = mpsc::channel::<(usize, JobOutcome<R>)>();
+    let (tx, rx) = mpsc::channel::<(usize, usize, usize, JobOutcome<R>)>();
     let mut slots: Vec<JobOutcome<R>> = (0..n).map(|_| JobOutcome::Missing).collect();
+    let mut stats = PoolRunStats {
+        workers,
+        jobs: n,
+        worker_for_job: vec![None; n],
+        queue_depth_samples: Vec::with_capacity(n),
+    };
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for worker_id in 0..workers {
             let tx = tx.clone();
             let queue = &queue;
             scope.spawn(move || loop {
-                let job = lock_recover(queue).pop_front();
+                let (job, depth) = {
+                    let mut q = lock_recover(queue);
+                    let job = q.pop_front();
+                    (job, q.len())
+                };
                 let Some((idx, item)) = job else { break };
                 let out = run_caught(f, idx, item);
-                if tx.send((idx, out)).is_err() {
+                if tx.send((idx, worker_id, depth, out)).is_err() {
                     break;
                 }
             });
         }
         drop(tx);
-        for (idx, out) in rx {
+        for (idx, worker_id, depth, out) in rx {
             slots[idx] = out;
+            stats.worker_for_job[idx] = Some(worker_id);
+            stats.queue_depth_samples.push(depth);
         }
     });
 
-    slots
+    (slots, stats)
 }
 
 /// Runs the contestant closures until the first one produces a result;
@@ -621,6 +731,44 @@ mod tests {
             |_, _, _| -> Option<u32> { panic!("injected panic in contestant") },
         );
         assert!(seq.is_none());
+    }
+
+    #[test]
+    fn supervised_stats_attribute_every_job() {
+        let items: Vec<u64> = (0..20).collect();
+        // Sequential: everything runs on worker 0, queue drains in order.
+        let (outs, stats) = map_supervised_stats(ExecMode::Sequential, items.clone(), |_, x| x);
+        assert_eq!(outs.len(), 20);
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.jobs, 20);
+        assert!(stats.worker_for_job.iter().all(|w| *w == Some(0)));
+        assert_eq!(stats.queue_depth_samples.first(), Some(&19));
+        assert_eq!(stats.queue_depth_samples.last(), Some(&0));
+        assert_eq!(stats.peak_depth(), 20);
+        assert_eq!(stats.jobs_per_worker(), vec![20]);
+
+        // Parallel: outcomes match, every job is attributed to a real
+        // worker, and occupancy sums to the job count.
+        let (pouts, pstats) =
+            map_supervised_stats(ExecMode::Parallel { workers: 3 }, items, |_, x| x);
+        assert_eq!(pouts, outs);
+        assert_eq!(pstats.workers, 3);
+        assert!(pstats
+            .worker_for_job
+            .iter()
+            .all(|w| matches!(w, Some(id) if *id < 3)));
+        assert_eq!(pstats.queue_depth_samples.len(), 20);
+        assert_eq!(pstats.jobs_per_worker().iter().sum::<usize>(), 20);
+        assert_eq!(pstats.peak_depth(), 20);
+
+        // Empty batch: no samples, zero peak.
+        let (eouts, estats) = map_supervised_stats(
+            ExecMode::Parallel { workers: 2 },
+            Vec::<u64>::new(),
+            |_, x| x,
+        );
+        assert!(eouts.is_empty());
+        assert_eq!(estats.peak_depth(), 0);
     }
 
     #[test]

@@ -144,7 +144,7 @@ pub fn check_cached(
         return check_instrumented(rtl, property, bound, instrument);
     }
     let fp = crate::obligation::fingerprint("bmc", rtl, property, &[u64::from(bound)]);
-    if let Some(payload) = cache.lookup(fp) {
+    if let Some(payload) = cache.lookup_tagged("bmc", fp) {
         if let Some(verdict) = crate::cachefmt::decode_verdict(rtl, &payload) {
             instrument.counter_add("cache.hits", 1);
             return verdict;
@@ -152,7 +152,7 @@ pub fn check_cached(
     }
     instrument.counter_add("cache.misses", 1);
     let verdict = check_instrumented(rtl, property, bound, instrument);
-    cache.insert(fp, crate::cachefmt::encode_verdict(&verdict));
+    cache.insert_tagged("bmc", fp, crate::cachefmt::encode_verdict(&verdict));
     verdict
 }
 
@@ -177,7 +177,7 @@ pub fn check_budgeted(
         return check_effort(rtl, property, bound, effort, instrument);
     }
     let fp = crate::obligation::fingerprint("bmc", rtl, property, &[u64::from(bound)]);
-    if let Some(payload) = cache.lookup(fp) {
+    if let Some(payload) = cache.lookup_tagged("bmc", fp) {
         if let Some(verdict) = crate::cachefmt::decode_verdict(rtl, &payload) {
             instrument.counter_add("cache.hits", 1);
             return verdict;
@@ -186,7 +186,7 @@ pub fn check_budgeted(
     instrument.counter_add("cache.misses", 1);
     let verdict = check_effort(rtl, property, bound, effort, instrument);
     if !verdict.is_budget_exhausted() {
-        cache.insert(fp, crate::cachefmt::encode_verdict(&verdict));
+        cache.insert_tagged("bmc", fp, crate::cachefmt::encode_verdict(&verdict));
     }
     verdict
 }

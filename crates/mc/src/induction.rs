@@ -134,7 +134,7 @@ pub fn check_cached(
         return check_instrumented(rtl, property, k, instrument);
     }
     let fp = crate::obligation::fingerprint("induction", rtl, property, &[u64::from(k)]);
-    if let Some(payload) = cache.lookup(fp) {
+    if let Some(payload) = cache.lookup_tagged("induction", fp) {
         if let Some(verdict) = crate::cachefmt::decode_verdict(rtl, &payload) {
             instrument.counter_add("cache.hits", 1);
             return verdict;
@@ -142,7 +142,7 @@ pub fn check_cached(
     }
     instrument.counter_add("cache.misses", 1);
     let verdict = check_instrumented(rtl, property, k, instrument);
-    cache.insert(fp, crate::cachefmt::encode_verdict(&verdict));
+    cache.insert_tagged("induction", fp, crate::cachefmt::encode_verdict(&verdict));
     verdict
 }
 
@@ -167,7 +167,7 @@ pub fn check_budgeted(
         return check_effort(rtl, property, k, effort, instrument);
     }
     let fp = crate::obligation::fingerprint("induction", rtl, property, &[u64::from(k)]);
-    if let Some(payload) = cache.lookup(fp) {
+    if let Some(payload) = cache.lookup_tagged("induction", fp) {
         if let Some(verdict) = crate::cachefmt::decode_verdict(rtl, &payload) {
             instrument.counter_add("cache.hits", 1);
             return verdict;
@@ -176,7 +176,7 @@ pub fn check_budgeted(
     instrument.counter_add("cache.misses", 1);
     let verdict = check_effort(rtl, property, k, effort, instrument);
     if !verdict.is_budget_exhausted() {
-        cache.insert(fp, crate::cachefmt::encode_verdict(&verdict));
+        cache.insert_tagged("induction", fp, crate::cachefmt::encode_verdict(&verdict));
     }
     verdict
 }

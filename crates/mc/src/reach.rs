@@ -32,6 +32,13 @@ pub fn check(rtl: &Rtl, property: &Property) -> Verdict {
 /// allocation is a deterministic progress axis, so exhaustion happens at
 /// the same iteration on every run. `None` is exactly [`check`].
 pub fn check_with_budget(rtl: &Rtl, property: &Property, node_budget: Option<usize>) -> Verdict {
+    check_counting(rtl, property, node_budget).0
+}
+
+/// The engine body, also reporting how many BDD nodes the run allocated
+/// (the `bdd_nodes` effort axis — a deterministic progress measure the
+/// observability layer attributes per obligation).
+fn check_counting(rtl: &Rtl, property: &Property, node_budget: Option<usize>) -> (Verdict, u64) {
     let expr = match property {
         Property::Invariant { expr, .. } => expr,
         Property::Response { .. } => panic!("reachability expects an invariant property"),
@@ -92,7 +99,8 @@ pub fn check_with_budget(rtl: &Rtl, property: &Property, node_budget: Option<usi
     // half-built BDD is unusable, so each construction step runs to
     // completion and exhaustion is detected at the next seam.
     if mgr.node_budget_exhausted() {
-        return Verdict::Unknown(UnknownReason::BudgetExhausted);
+        let nodes = mgr.node_count() as u64;
+        return (Verdict::Unknown(UnknownReason::BudgetExhausted), nodes);
     }
 
     // Bad states: ∃ inputs. ¬φ(outputs(current, inputs)).
@@ -127,17 +135,20 @@ pub fn check_with_budget(rtl: &Rtl, property: &Property, node_budget: Option<usi
     let mut reached = init;
     loop {
         if mgr.node_budget_exhausted() {
-            return Verdict::Unknown(UnknownReason::BudgetExhausted);
+            let nodes = mgr.node_count() as u64;
+            return (Verdict::Unknown(UnknownReason::BudgetExhausted), nodes);
         }
         let overlap = mgr.and(reached, bad_states);
         if overlap != bdd::Ref::FALSE {
-            return Verdict::Violated(CexTrace { frames: Vec::new() });
+            let nodes = mgr.node_count() as u64;
+            return (Verdict::Violated(CexTrace { frames: Vec::new() }), nodes);
         }
         let img_next = mgr.and_exists(reached, trans, &quantify);
         let img = mgr.rename(img_next, &rename_map);
         let new_reached = mgr.or(reached, img);
         if new_reached == reached {
-            return Verdict::Proven;
+            let nodes = mgr.node_count() as u64;
+            return (Verdict::Proven, nodes);
         }
         reached = new_reached;
     }
@@ -147,7 +158,10 @@ pub fn check_with_budget(rtl: &Rtl, property: &Property, node_budget: Option<usi
 /// numeric parameters — the engine is exact). A hit replays the stored
 /// verdict without building a BDD manager; [`cache::noop()`]
 /// short-circuits to the uncached path. Hits and misses are surfaced as
-/// `cache.hits` / `cache.misses` counters on `instrument`.
+/// `cache.hits` / `cache.misses` counters on `instrument`; engine runs
+/// additionally report their BDD allocation as `bdd.nodes_allocated`
+/// (the effort axis the observability journal attributes per
+/// obligation).
 ///
 /// # Panics
 ///
@@ -170,18 +184,21 @@ pub fn check_cached(
         rtl.state_bits()
     );
     if !cache.is_enabled() {
-        return check(rtl, property);
+        let (verdict, nodes) = check_counting(rtl, property, None);
+        instrument.counter_add("bdd.nodes_allocated", nodes);
+        return verdict;
     }
     let fp = crate::obligation::fingerprint("reach", rtl, property, &[]);
-    if let Some(payload) = cache.lookup(fp) {
+    if let Some(payload) = cache.lookup_tagged("reach", fp) {
         if let Some(verdict) = crate::cachefmt::decode_verdict(rtl, &payload) {
             instrument.counter_add("cache.hits", 1);
             return verdict;
         }
     }
     instrument.counter_add("cache.misses", 1);
-    let verdict = check(rtl, property);
-    cache.insert(fp, crate::cachefmt::encode_verdict(&verdict));
+    let (verdict, nodes) = check_counting(rtl, property, None);
+    instrument.counter_add("bdd.nodes_allocated", nodes);
+    cache.insert_tagged("reach", fp, crate::cachefmt::encode_verdict(&verdict));
     verdict
 }
 
@@ -215,19 +232,22 @@ pub fn check_budgeted(
         rtl.state_bits()
     );
     if !cache.is_enabled() {
-        return check_with_budget(rtl, property, budget);
+        let (verdict, nodes) = check_counting(rtl, property, budget);
+        instrument.counter_add("bdd.nodes_allocated", nodes);
+        return verdict;
     }
     let fp = crate::obligation::fingerprint("reach", rtl, property, &[]);
-    if let Some(payload) = cache.lookup(fp) {
+    if let Some(payload) = cache.lookup_tagged("reach", fp) {
         if let Some(verdict) = crate::cachefmt::decode_verdict(rtl, &payload) {
             instrument.counter_add("cache.hits", 1);
             return verdict;
         }
     }
     instrument.counter_add("cache.misses", 1);
-    let verdict = check_with_budget(rtl, property, budget);
+    let (verdict, nodes) = check_counting(rtl, property, budget);
+    instrument.counter_add("bdd.nodes_allocated", nodes);
     if !verdict.is_budget_exhausted() {
-        cache.insert(fp, crate::cachefmt::encode_verdict(&verdict));
+        cache.insert_tagged("reach", fp, crate::cachefmt::encode_verdict(&verdict));
     }
     verdict
 }

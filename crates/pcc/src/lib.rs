@@ -196,13 +196,13 @@ fn fails_on_cached(
     }
     let fp =
         mc::obligation::fingerprint("pcc.fails_on", rtl, property, &[u64::from(cfg.bmc_bound)]);
-    if let Some(payload) = cache.lookup(fp) {
+    if let Some(payload) = cache.lookup_tagged("pcc.fails_on", fp) {
         if let Some(fails) = cache::decode_bool(&payload) {
             return fails;
         }
     }
     let fails = fails_on(rtl, property, cfg);
-    cache.insert(fp, cache::encode_bool(fails));
+    cache.insert_tagged("pcc.fails_on", fp, cache::encode_bool(fails));
     fails
 }
 

@@ -257,6 +257,10 @@ impl Instrument for Collector {
             .or_default()
             .record(value);
     }
+
+    fn counter_value(&self, name: &str) -> u64 {
+        self.counter(name)
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +275,9 @@ mod tests {
         c.counter_add("x", 3);
         assert_eq!(c.counter("x"), 5);
         assert_eq!(c.counter("missing"), 0);
+        // The dyn-visible accessor mirrors the counter map.
+        let as_dyn: &dyn Instrument = &c;
+        assert_eq!(as_dyn.counter_value("x"), 5);
         c.gauge_set("g", 10, -1);
         c.gauge_set("g", 20, 4);
         assert_eq!(c.gauge_series("g"), vec![(10, -1), (20, 4)]);

@@ -42,6 +42,14 @@ pub trait Instrument: fmt::Debug {
 
     /// Records one sample into the histogram `name`.
     fn record(&self, _name: &str, _value: u64) {}
+
+    /// Current value of the monotonic counter `name` (0 when the
+    /// implementation keeps no counters). Lets a coordinator compute
+    /// effort deltas around a phase through the `dyn` handle without
+    /// downcasting to a concrete [`crate::Collector`].
+    fn counter_value(&self, _name: &str) -> u64 {
+        0
+    }
 }
 
 /// The do-nothing instrument: the default everywhere.
@@ -75,5 +83,6 @@ mod tests {
         i.counter_add("c", 3);
         i.gauge_set("g", 0, -1);
         i.record("h", 42);
+        assert_eq!(i.counter_value("c"), 0);
     }
 }

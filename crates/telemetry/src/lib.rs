@@ -17,6 +17,13 @@
 //!   [ui.perfetto.dev](https://ui.perfetto.dev)), [`vcd::vcd_dump`]
 //!   (gauge series as a VCD waveform) and [`report::Report`] (structured
 //!   human text + JSON, hand-rolled — no serde, the build is offline).
+//! * The flight recorder — [`journal::Journal`], a bounded two-lane ring
+//!   of typed events with per-obligation cost provenance, streamed as
+//!   JSONL; [`profile::FlowProfile`], the "explain this run" aggregation
+//!   (top-K costliest obligations, per-engine cache ratios, budget
+//!   utilization, degradation timeline, latency percentiles); and
+//!   [`prom::prometheus_text`], a scrapeable Prometheus-style exposition
+//!   of the collector's keyed state.
 //!
 //! Everything is deterministic under a fixed seed: records are keyed by
 //! sim-time and a collector-local sequence number, exports sort by those
@@ -42,15 +49,21 @@
 pub mod chrome;
 pub mod collect;
 pub mod instrument;
+pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod profile;
+pub mod prom;
 pub mod report;
 pub mod vcd;
 
 pub use chrome::chrome_trace;
 pub use collect::{Collector, Span};
 pub use instrument::{noop, Instrument, Noop, SharedInstrument};
+pub use journal::{EffortSpent, Event, EventKind, Journal, Provenance, TimingEvent, TimingKind};
 pub use json::Json;
 pub use metrics::{Histogram, HistogramSummary};
+pub use profile::FlowProfile;
+pub use prom::{parse_exposition, prometheus_text};
 pub use report::{Report, Section, Value};
 pub use vcd::vcd_dump;

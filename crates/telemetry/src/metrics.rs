@@ -73,6 +73,14 @@ impl Histogram {
         &self.samples
     }
 
+    /// Merges another histogram's samples into this one, preserving both
+    /// record orders (self's samples first). Exact-sample representation
+    /// makes merge lossless: every statistic of the merge equals the
+    /// statistic of the concatenated sample set.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
     /// Deterministic summary snapshot. Sorts the samples once and derives
     /// every order statistic from the same sorted copy (the naive form
     /// re-sorted per percentile, three times per reported series).
@@ -91,6 +99,7 @@ impl Histogram {
             max: sorted[n as usize - 1],
             p50: rank(50),
             p95: rank(95),
+            p99: rank(99),
         }
     }
 }
@@ -110,6 +119,8 @@ pub struct HistogramSummary {
     pub p50: u64,
     /// 95th percentile (nearest rank).
     pub p95: u64,
+    /// 99th percentile (nearest rank).
+    pub p99: u64,
 }
 
 #[cfg(test)]
@@ -170,5 +181,83 @@ mod tests {
         assert_eq!(s.max, 3);
         assert_eq!(s.p50, 2);
         assert_eq!(s.p95, 3);
+        assert_eq!(s.p99, 3);
+    }
+
+    #[test]
+    fn empty_summary_is_total() {
+        // An exporter running at the end of an idle run must see a fully
+        // defined, all-zero summary — including the new p99 field.
+        let s = Histogram::new().summary();
+        assert_eq!(s, HistogramSummary::default());
+        assert_eq!(s.p99, 0);
+    }
+
+    #[test]
+    fn single_sample_summary_pins_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(41);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 41);
+        assert_eq!((s.min, s.max), (41, 41));
+        assert_eq!((s.p50, s.p95, s.p99), (41, 41, 41));
+    }
+
+    #[test]
+    fn merge_is_lossless_concatenation() {
+        let mut a = Histogram::new();
+        for v in [5u64, 1] {
+            a.record(v);
+        }
+        let mut b = Histogram::new();
+        for v in [9u64, 3, 7] {
+            b.record(v);
+        }
+        a.merge(&b);
+        // Record order preserved: self first, then other.
+        assert_eq!(a.samples(), &[5, 1, 9, 3, 7]);
+        let s = a.summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 25);
+        assert_eq!((s.min, s.max), (1, 9));
+        assert_eq!(s.p50, 5);
+        // Merging an empty histogram is a no-op.
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 5);
+        // Merging into an empty histogram copies the other side.
+        let mut empty = Histogram::new();
+        empty.merge(&b);
+        assert_eq!(empty.samples(), b.samples());
+    }
+
+    #[test]
+    fn p99_on_heavy_tailed_data_uses_nearest_rank() {
+        // 99 unit samples plus one huge outlier: nearest-rank p99 over
+        // n=100 lands on index (99*99+50)/100 = 98 — the last "normal"
+        // sample — while p100 must surface the outlier. This pins the
+        // round-half-up linear-rank rule (mirroring the PR-3
+        // `Series::percentile` fix) so a platform or refactor drift that
+        // switches to interpolation fails loudly.
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.percentile(99), 1);
+        assert_eq!(h.percentile(100), 1_000_000);
+        let s = h.summary();
+        assert_eq!(s.p99, 1);
+        assert_eq!(s.max, 1_000_000);
+        // With two outliers in the tail (n=100, ranks 98 and 99), p99
+        // picks the first of them: index 98.
+        let mut g = Histogram::new();
+        for _ in 0..98 {
+            g.record(2);
+        }
+        g.record(500);
+        g.record(1_000_000);
+        assert_eq!(g.percentile(99), 500);
+        assert_eq!(g.summary().p99, 500);
     }
 }

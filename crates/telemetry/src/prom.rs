@@ -1,0 +1,209 @@
+//! Prometheus-style text exposition of a [`Collector`].
+//!
+//! Renders every counter, gauge and histogram the collector holds in the
+//! Prometheus text format (version 0.0.4): counters as `counter` series,
+//! gauges as `gauge` series carrying their *latest* value, histograms as
+//! `summary` series with pinned `quantile` labels plus `_sum`/`_count`.
+//! Metric names are sanitized (`component.snake_case` → `symbad_component_
+//! snake_case`) so the future batch server can be scraped directly.
+//!
+//! The exposition is deterministic: series are emitted in `BTreeMap`
+//! name order and numbers use the workspace JSON float formatter, so
+//! the output of a deterministic collector is itself golden-testable.
+
+use crate::collect::Collector;
+use crate::json::fmt_f64;
+use std::fmt::Write as _;
+
+/// Prefix stamped onto every exported metric name.
+pub const NAMESPACE: &str = "symbad";
+
+/// Maps a workspace metric name (`bus.wait_ticks`) to a Prometheus
+/// metric name (`symbad_bus_wait_ticks`): dots become underscores, any
+/// other character outside `[a-zA-Z0-9_]` becomes `_`, and the
+/// `symbad_` namespace is prepended.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(NAMESPACE.len() + 1 + name.len());
+    out.push_str(NAMESPACE);
+    out.push('_');
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders the collector's full keyed state as Prometheus exposition
+/// text. Counters first, then gauges, then histogram summaries — each
+/// block preceded by its `# TYPE` header.
+pub fn prometheus_text(collector: &Collector) -> String {
+    let mut out = String::new();
+    for (name, value) in collector.counters() {
+        let metric = sanitize(&name);
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    for (name, series) in collector.gauges() {
+        let metric = sanitize(&name);
+        // A gauge exposes its most recent value; the full time-series
+        // lives in the VCD/trace exporters.
+        let Some((_, value)) = series.last() else {
+            continue;
+        };
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    for (name, histogram) in collector.histograms() {
+        let metric = sanitize(&name);
+        let s = histogram.summary();
+        let _ = writeln!(out, "# TYPE {metric} summary");
+        let _ = writeln!(out, "{metric}{{quantile=\"0.5\"}} {}", s.p50);
+        let _ = writeln!(out, "{metric}{{quantile=\"0.95\"}} {}", s.p95);
+        let _ = writeln!(out, "{metric}{{quantile=\"0.99\"}} {}", s.p99);
+        let _ = writeln!(out, "{metric}_sum {}", s.sum);
+        let _ = writeln!(out, "{metric}_count {}", s.count);
+    }
+    out
+}
+
+/// One parsed exposition sample: series name (including any label set,
+/// verbatim) and its value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name with labels, e.g. `symbad_bus_wait_ticks{quantile="0.5"}`.
+    pub series: String,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parses Prometheus exposition text back into samples, validating the
+/// format as it goes — this is the checker the `observability-smoke` CI
+/// job runs over the example's scrape output. Comment (`#`) and blank
+/// lines are skipped; every other line must be `name[{labels}] value`
+/// with a well-formed metric name and a finite value.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value_text) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value separator", lineno + 1))?;
+        let name_end = series.find('{').unwrap_or(series.len());
+        let (name, labels) = series.split_at(name_end);
+        if name.is_empty()
+            || name.starts_with(|c: char| c.is_ascii_digit())
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {}: bad metric name {name:?}", lineno + 1));
+        }
+        if !(labels.is_empty() || labels.starts_with('{') && labels.ends_with('}')) {
+            return Err(format!("line {}: bad label set {labels:?}", lineno + 1));
+        }
+        let value: f64 = value_text
+            .parse()
+            .map_err(|_| format!("line {}: bad value {value_text:?}", lineno + 1))?;
+        if !value.is_finite() {
+            return Err(format!("line {}: non-finite value", lineno + 1));
+        }
+        samples.push(Sample {
+            series: series.to_owned(),
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+/// Convenience used by smoke checks: the value of the first sample whose
+/// series name (ignoring labels) equals `metric`.
+pub fn sample_value(samples: &[Sample], metric: &str) -> Option<f64> {
+    samples.iter().find_map(|s| {
+        let name = s.series.split('{').next().unwrap_or("");
+        (name == metric).then_some(s.value)
+    })
+}
+
+/// Formats a float value the way the exposition does (shared helper so
+/// callers embedding floats stay consistent with the JSON writer).
+pub fn fmt_value(v: f64) -> String {
+    fmt_f64(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::Instrument;
+
+    #[test]
+    fn sanitize_prefixes_and_replaces() {
+        assert_eq!(sanitize("bus.wait_ticks"), "symbad_bus_wait_ticks");
+        assert_eq!(sanitize("atpg.ga.best"), "symbad_atpg_ga_best");
+        assert_eq!(sanitize("weird-name!"), "symbad_weird_name_");
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_parser() {
+        let c = Collector::new();
+        c.counter_add("bus.transactions", 42);
+        c.counter_add("sat.conflicts", 7);
+        c.gauge_set("fpga.context", 0, 1);
+        c.gauge_set("fpga.context", 9, 3);
+        for v in [1u64, 2, 3, 4, 100] {
+            c.record("bus.wait_ticks", v);
+        }
+        let text = prometheus_text(&c);
+        assert!(text.contains("# TYPE symbad_bus_transactions counter"));
+        assert!(text.contains("symbad_bus_transactions 42"));
+        // Gauges expose the latest value.
+        assert!(text.contains("# TYPE symbad_fpga_context gauge"));
+        assert!(text.contains("symbad_fpga_context 3"));
+        // Histogram summaries carry quantiles + sum + count.
+        assert!(text.contains("symbad_bus_wait_ticks{quantile=\"0.99\"} 100"));
+        assert!(text.contains("symbad_bus_wait_ticks_sum 110"));
+        assert!(text.contains("symbad_bus_wait_ticks_count 5"));
+
+        let samples = parse_exposition(&text).expect("exposition must parse");
+        assert_eq!(
+            sample_value(&samples, "symbad_bus_transactions"),
+            Some(42.0)
+        );
+        assert_eq!(sample_value(&samples, "symbad_fpga_context"), Some(3.0));
+        assert_eq!(
+            sample_value(&samples, "symbad_bus_wait_ticks_count"),
+            Some(5.0)
+        );
+        // Quantile samples are present (labelled series).
+        assert!(samples
+            .iter()
+            .any(|s| s.series == "symbad_bus_wait_ticks{quantile=\"0.5\"}"));
+    }
+
+    #[test]
+    fn empty_collector_exposes_nothing() {
+        let c = Collector::new();
+        assert_eq!(prometheus_text(&c), "");
+        assert_eq!(parse_exposition("").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_exposition("just_a_name").is_err());
+        assert!(parse_exposition("9bad_name 1").is_err());
+        assert!(parse_exposition("name nan").is_err());
+        assert!(parse_exposition("name{unclosed 1").is_err());
+        assert!(parse_exposition("ok_name 1.5\n# comment\n\n").is_ok());
+    }
+
+    #[test]
+    fn fmt_value_matches_json_writer() {
+        assert_eq!(fmt_value(0.5), "0.5");
+        assert_eq!(fmt_value(2.0), "2.0");
+    }
+}

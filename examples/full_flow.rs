@@ -1,15 +1,23 @@
 //! The whole methodology in one call: [`symbad_core::flow::run_full_flow`]
 //! executes levels 1–4 with every verification phase, prints the
-//! aggregated evidence, and exports the flow's telemetry:
+//! aggregated evidence, and exports the flow's telemetry. Every artifact
+//! lands under `target/flow/` (the repo root stays clean):
 //!
 //! * `report_output.txt` / `report_output.json` — the structured
 //!   [`symbad_core::flow::FlowReport`], as text and JSON,
 //! * `flow_trace.json` — Chrome-trace spans (open in `chrome://tracing`
 //!   or <https://ui.perfetto.dev>),
 //! * `flow_signals.vcd` — gauge time-series as a VCD waveform,
+//! * `journal.jsonl` — the flight-recorder event journal (deterministic
+//!   lane first, then the timing lane), one JSON object per line,
+//! * `profile.txt` / `profile.json` — the [`telemetry::FlowProfile`]
+//!   aggregation of the journal: costliest obligations, per-engine cache
+//!   hit ratios, budget utilisation, latency percentiles,
+//! * `prometheus.txt` — the collector counters/gauges/histograms in
+//!   Prometheus text exposition format 0.0.4,
 //! * `BENCH_flow.json` — the benchmark summary (kernel cycle counts, bus
-//!   utilisation, reconfiguration latency, obligation-cache hit rates)
-//!   consumed by CI.
+//!   utilisation, reconfiguration latency, obligation-cache hit rates,
+//!   obligations/sec and latency percentiles) consumed by CI.
 //!
 //! The example also exercises the obligation cache end to end: the
 //! instrumented primary run is cold (fresh cache, so the engine counters
@@ -25,9 +33,16 @@ use std::fs;
 use std::path::Path;
 use std::time::Instant;
 use symbad_core::cascade;
-use symbad_core::flow::{run_full_flow_cached, run_full_flow_mode, FlowReport};
+use symbad_core::flow::{
+    run_full_flow_cached_journaled, run_full_flow_mode, run_full_flow_supervised_journaled,
+    FlowReport,
+};
+use symbad_core::supervise::SupervisionPolicy;
 use symbad_core::workload::Workload;
-use telemetry::{chrome_trace, vcd_dump, Collector, Json, SharedInstrument};
+use telemetry::{
+    chrome_trace, journal, prom, vcd_dump, Collector, FlowProfile, Journal, Json, SharedInstrument,
+    TimingKind,
+};
 
 /// Sequential-vs-parallel wall times of the verification work. Wall time
 /// is host-dependent (CI machine, core count); the verdict bit-identity
@@ -55,9 +70,10 @@ struct CacheBench {
     warm_hit_rate: f64,
 }
 
-/// Builds the `BENCH_flow.json` payload. Everything except `host.wall_ms`
-/// and the `exec` wall times is deterministic (simulated cycles, counters,
-/// histogram summaries), so regressions in the deterministic sections are
+/// Builds the `BENCH_flow.json` payload. Everything except `host.wall_ms`,
+/// the `exec` wall times, and the `observability` throughput/latency
+/// figures is deterministic (simulated cycles, counters, histogram
+/// summaries), so regressions in the deterministic sections are
 /// attributable to model changes alone.
 fn bench_json(
     report: &FlowReport,
@@ -66,6 +82,7 @@ fn bench_json(
     workers: usize,
     compare: &Option<ExecCompare>,
     cache_bench: &CacheBench,
+    profile: &FlowProfile,
 ) -> String {
     let latency = collector.histogram("fpga.reconfig_latency").summary();
     let cache_section = Json::obj(vec![
@@ -125,6 +142,7 @@ fn bench_json(
         ));
     }
     exec_section.push(("cache", cache_section));
+    let lat = profile.latency_summary();
     Json::obj(vec![
         (
             "kernel",
@@ -197,6 +215,22 @@ fn bench_json(
                 ),
             ]),
         ),
+        (
+            "observability",
+            Json::obj(vec![
+                ("obligations", Json::UInt(profile.obligations.len() as u64)),
+                ("journal_events", Json::UInt(profile.events.0 as u64)),
+                ("journal_events_dropped", Json::UInt(profile.events.1)),
+                (
+                    "obligations_per_sec",
+                    Json::Num(profile.obligations_per_sec()),
+                ),
+                ("obligation_latency_p50_us", Json::UInt(lat.p50)),
+                ("obligation_latency_p95_us", Json::UInt(lat.p95)),
+                ("obligation_latency_p99_us", Json::UInt(lat.p99)),
+                ("obligation_latency_max_us", Json::UInt(lat.max)),
+            ]),
+        ),
         ("host", Json::obj(vec![("wall_ms", Json::Num(wall_ms))])),
         ("exec", Json::obj(exec_section)),
     ])
@@ -208,6 +242,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = Workload::small();
     let collector = Collector::shared();
     let instr: SharedInstrument = collector.clone();
+    let out_dir = Path::new("target/flow");
+    fs::create_dir_all(out_dir)?;
 
     // Obligation cache lifecycle. A previous invocation may have persisted
     // proved obligations under target/symbad-cache/ — report how many we
@@ -218,18 +254,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let entries_loaded = cache::ObligationCache::load_or_empty(cache_dir).len();
     let obligations = cache::ObligationCache::new();
 
-    let report = run_full_flow_cached(&workload, &instr, exec::ExecMode::Sequential, &obligations)?;
+    // The primary run doubles as the phase-level flight recording: every
+    // phase transition and the FPGA reconfiguration summary land on the
+    // journal's deterministic lane. Obligation-level attribution comes
+    // from the supervised run below.
+    let journal = Journal::with_wall_clock();
+    let report = run_full_flow_cached_journaled(
+        &workload,
+        &instr,
+        exec::ExecMode::Sequential,
+        &obligations,
+        &journal,
+    )?;
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let cold = obligations.stats();
 
     // Warm rerun on the now-populated cache: every verification obligation
     // is replayed from its cached verdict, and the report — verdicts,
     // counterexamples, coverage, JSON rendering — must be bit-identical.
-    let warm_report = run_full_flow_cached(
+    let warm_report = run_full_flow_cached_journaled(
         &workload,
         &telemetry::noop(),
         exec::ExecMode::Sequential,
         &obligations,
+        &journal,
     )?;
     assert_eq!(
         warm_report.to_json(),
@@ -265,6 +313,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cache_bench.warm_misses,
         cache_bench.warm_hit_rate * 100.0,
         cache_bench.entries_saved,
+    );
+
+    // Flight recorder proper: rerun the flow supervised and journaled (a
+    // fresh cache again, so every obligation does real engine work and the
+    // attributed effort is non-trivial). The journal records the full
+    // obligation lifecycle — started / cache probe / budget spend /
+    // finished with provenance — on the deterministic lane, and wall
+    // times, queue depths, and worker attribution on the timing lane.
+    let fr_start = Instant::now();
+    let fr_cache = cache::ObligationCache::new();
+    let supervised = run_full_flow_supervised_journaled(
+        &workload,
+        &instr,
+        exec::ExecMode::Sequential,
+        &fr_cache,
+        &SupervisionPolicy::default(),
+        &journal,
+    )?;
+    journal.emit_timing(TimingKind::RunWall {
+        label: "flow.supervised".to_owned(),
+        wall_us: u64::try_from(fr_start.elapsed().as_micros()).unwrap_or(u64::MAX),
+    });
+    assert!(supervised.all_ok(), "supervised flight-recorder run failed");
+
+    // Every journal line must satisfy the checked-in schema, and the
+    // Prometheus exposition must parse back with a non-trivial series set.
+    let jsonl = journal.to_jsonl();
+    for line in jsonl.lines() {
+        journal::validate_line(line)
+            .unwrap_or_else(|e| panic!("journal line failed schema validation: {e}\n  {line}"));
+    }
+    let (det_events, timing_events) = journal.len();
+    assert_eq!(journal.dropped(), (0, 0), "journal must not drop events");
+    let prom_text = prom::prometheus_text(&collector);
+    let samples = prom::parse_exposition(&prom_text)
+        .unwrap_or_else(|e| panic!("prometheus exposition failed to parse: {e}"));
+    assert!(
+        samples.len() > 16,
+        "prometheus exposition unexpectedly sparse: {} series",
+        samples.len()
+    );
+    for key in ["sat_solve_calls", "bmc_sat_calls", "bus_transactions"] {
+        let series = format!("symbad_{key}");
+        assert!(
+            prom::sample_value(&samples, &series).map(|v| v > 0.0) == Some(true),
+            "expected nonzero series {series} in the exposition"
+        );
+    }
+    let profile = FlowProfile::from_journal(&journal);
+    println!(
+        "journal: {det_events} deterministic + {timing_events} timing events; \
+         {} obligations profiled at {:.0} obligations/sec",
+        profile.obligations.len(),
+        profile.obligations_per_sec()
     );
 
     // Sequential-vs-parallel comparison of the verification work, on an
@@ -329,12 +431,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("flow healthy: {}", report.all_ok());
 
-    fs::write("report_output.txt", &text)?;
-    fs::write("report_output.json", report.to_json())?;
-    fs::write("flow_trace.json", chrome_trace(&collector))?;
-    fs::write("flow_signals.vcd", vcd_dump(&collector))?;
+    fs::write(out_dir.join("report_output.txt"), &text)?;
+    fs::write(out_dir.join("report_output.json"), report.to_json())?;
+    fs::write(out_dir.join("flow_trace.json"), chrome_trace(&collector))?;
+    fs::write(out_dir.join("flow_signals.vcd"), vcd_dump(&collector))?;
+    fs::write(out_dir.join("journal.jsonl"), &jsonl)?;
+    fs::write(out_dir.join("profile.txt"), profile.report().to_text())?;
+    fs::write(out_dir.join("profile.json"), profile.report().to_json())?;
+    fs::write(out_dir.join("prometheus.txt"), &prom_text)?;
     fs::write(
-        "BENCH_flow.json",
+        out_dir.join("BENCH_flow.json"),
         bench_json(
             &report,
             &collector,
@@ -342,11 +448,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             mode.workers(),
             &compare,
             &cache_bench,
+            &profile,
         ),
     )?;
     println!(
-        "wrote report_output.txt, report_output.json, flow_trace.json, \
-         flow_signals.vcd, BENCH_flow.json"
+        "wrote target/flow/{{report_output.txt,report_output.json,flow_trace.json,\
+         flow_signals.vcd,journal.jsonl,profile.txt,profile.json,prometheus.txt,\
+         BENCH_flow.json}}"
     );
 
     assert!(report.all_ok());

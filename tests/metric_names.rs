@@ -1,0 +1,185 @@
+//! Metric-name lint: every metric key emitted anywhere in the workspace
+//! follows the `component.snake_case` naming scheme, and the inventory
+//! in `docs/METRICS.md` is exactly the set of keys the code emits —
+//! no undocumented metrics, no stale documentation.
+//!
+//! The scan covers the non-test portion of every `crates/*/src/**/*.rs`
+//! file (test modules routinely record throwaway keys like `"h"`), and
+//! extracts the first string literal passed to `counter_add(`,
+//! `gauge_set(`, or `.record(` — including calls that rustfmt wrapped
+//! across lines. Calls whose key is a variable are ignored; every
+//! emission site in the workspace uses a literal key.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Collects `.rs` files under `dir`, recursively, in sorted order.
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let mut entries: Vec<_> = fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("read_dir {}: {e}", dir.display()))
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Strips `//` comments (tracking string state so a `//` inside a string
+/// literal survives) and truncates at the first test-module marker, so
+/// throwaway keys recorded by unit tests never reach the lint.
+fn strippable(source: &str) -> String {
+    let mut out = String::with_capacity(source.len());
+    for line in source.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("mod tests") {
+            break;
+        }
+        let mut in_string = false;
+        let mut prev = '\0';
+        let mut cut = line.len();
+        for (i, c) in line.char_indices() {
+            if c == '"' && prev != '\\' {
+                in_string = !in_string;
+            } else if !in_string && c == '/' && prev == '/' {
+                cut = i - 1;
+                break;
+            }
+            prev = c;
+        }
+        out.push_str(&line[..cut]);
+        out.push('\n');
+    }
+    out
+}
+
+/// Extracts the literal metric key following each emission call, if the
+/// first argument is a string literal (possibly after a line wrap).
+fn emitted_keys(source: &str) -> BTreeSet<String> {
+    let mut keys = BTreeSet::new();
+    let text = strippable(source);
+    for api in ["counter_add(", "gauge_set(", ".record("] {
+        let mut from = 0;
+        while let Some(at) = text[from..].find(api) {
+            let after = from + at + api.len();
+            from = after;
+            let rest = text[after..].trim_start();
+            let Some(lit) = rest.strip_prefix('"') else {
+                continue; // key is a variable, not a literal
+            };
+            let Some(end) = lit.find('"') else { continue };
+            keys.insert(lit[..end].to_owned());
+        }
+    }
+    keys
+}
+
+/// `component.snake_case`: at least two dot-separated segments, each of
+/// `[a-z][a-z0-9_]*`.
+fn well_formed(key: &str) -> bool {
+    let segments: Vec<&str> = key.split('.').collect();
+    segments.len() >= 2
+        && segments.iter().all(|s| {
+            !s.is_empty()
+                && s.starts_with(|c: char| c.is_ascii_lowercase())
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+/// Metric names listed in the `docs/METRICS.md` table (first backticked
+/// cell of each `|`-delimited row).
+fn documented_keys(markdown: &str) -> BTreeSet<String> {
+    let mut keys = BTreeSet::new();
+    for line in markdown.lines() {
+        let Some(rest) = line.trim().strip_prefix("| `") else {
+            continue;
+        };
+        if let Some(end) = rest.find('`') {
+            keys.insert(rest[..end].to_owned());
+        }
+    }
+    keys
+}
+
+#[test]
+fn metric_keys_are_well_formed_and_documented() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let crates = root.join("crates");
+    let mut sources = Vec::new();
+    let mut crate_dirs: Vec<_> = fs::read_dir(&crates)
+        .expect("crates/ exists")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            rust_sources(&src, &mut sources);
+        }
+    }
+    assert!(sources.len() > 20, "scan looks incomplete: {sources:?}");
+
+    let mut emitted = BTreeSet::new();
+    for path in &sources {
+        let source =
+            fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        for key in emitted_keys(&source) {
+            assert!(
+                well_formed(&key),
+                "metric key {key:?} in {} violates the component.snake_case \
+                 scheme (expected e.g. `bus.wait_ticks`)",
+                path.display()
+            );
+            emitted.insert(key);
+        }
+    }
+    assert!(
+        emitted.len() > 30,
+        "metric scan found only {} keys — extraction is broken: {emitted:?}",
+        emitted.len()
+    );
+
+    let docs_path = root.join("docs/METRICS.md");
+    let markdown = fs::read_to_string(&docs_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", docs_path.display()));
+    let documented = documented_keys(&markdown);
+
+    let undocumented: Vec<_> = emitted.difference(&documented).collect();
+    let stale: Vec<_> = documented.difference(&emitted).collect();
+    assert!(
+        undocumented.is_empty(),
+        "metrics emitted but missing from docs/METRICS.md: {undocumented:?}"
+    );
+    assert!(
+        stale.is_empty(),
+        "metrics documented in docs/METRICS.md but never emitted: {stale:?}"
+    );
+}
+
+#[test]
+fn naming_lint_rejects_malformed_keys() {
+    for bad in [
+        "Conflicts",
+        "sat",
+        "sat.",
+        ".conflicts",
+        "sat.Conflicts",
+        "sat conflicts",
+    ] {
+        assert!(!well_formed(bad), "{bad:?} should be rejected");
+    }
+    for good in [
+        "sat.conflicts",
+        "atpg.ga.evaluations",
+        "bus.wait_ticks",
+        "sim.polls",
+    ] {
+        assert!(well_formed(good), "{good:?} should be accepted");
+    }
+}
