@@ -1,19 +1,45 @@
 //! Testbench evaluation: coverage metrics and fault simulation.
+//!
+//! Every metric runs the design-under-verification many times — once per
+//! vector for coverage, once per *fault × vector* for bit coverage — so
+//! each entry point takes a [`BehavExec`] engine choice. The default is
+//! the bytecode VM (`compile` once, run the whole sweep on reusable
+//! state); the tree-walking interpreter remains available as the
+//! reference engine and is asserted equivalent in the tests below.
 
 use crate::Testbench;
-use behav::interp::{enumerate_bit_faults, BitFault, CallEvent, Interpreter};
+use behav::bytecode::{compile, BehavExec, Vm};
+use behav::interp::{enumerate_bit_faults, BitFault, CallEvent, Interpreter, OobAccess};
 use behav::{CoverageSet, Function, VarId};
+
+/// Merged coverage of a set of vectors over a function, under the default
+/// engine. See [`evaluate_with`].
+pub fn evaluate(func: &Function, vectors: &[Vec<u64>]) -> CoverageSet {
+    evaluate_with(func, vectors, BehavExec::default())
+}
 
 /// Merged coverage of a set of vectors over a function.
 ///
 /// Returns the merged [`CoverageSet`]; call `.report()` on it for
 /// percentages. Vectors that fail to execute (step-limit) are skipped — a
 /// testbench must not be credited for runs that never finished.
-pub fn evaluate(func: &Function, vectors: &[Vec<u64>]) -> CoverageSet {
+pub fn evaluate_with(func: &Function, vectors: &[Vec<u64>], exec: BehavExec) -> CoverageSet {
     let mut merged = CoverageSet::new(func);
-    for v in vectors {
-        if let Ok(out) = Interpreter::new(func).run(v) {
-            merged.merge(&out.coverage);
+    match exec {
+        BehavExec::Interp => {
+            for v in vectors {
+                if let Ok(out) = Interpreter::new(func).run(v) {
+                    merged.merge(&out.coverage);
+                }
+            }
+        }
+        BehavExec::Vm => {
+            let mut vm = Vm::new(compile(func));
+            for v in vectors {
+                if let Ok(out) = vm.run(v) {
+                    merged.merge(&out.coverage);
+                }
+            }
         }
     }
     merged
@@ -27,7 +53,7 @@ struct Signature {
     calls: Vec<CallEvent>,
 }
 
-fn signature(func: &Function, vector: &[u64], fault: Option<BitFault>) -> Option<Signature> {
+fn interp_signature(func: &Function, vector: &[u64], fault: Option<BitFault>) -> Option<Signature> {
     let mut interp = Interpreter::new(func);
     if let Some(f) = fault {
         interp = interp.with_fault(f);
@@ -36,6 +62,12 @@ fn signature(func: &Function, vector: &[u64], fault: Option<BitFault>) -> Option
         ret: o.return_value,
         calls: o.call_trace,
     })
+}
+
+fn vm_signature(vm: &mut Vm, vector: &[u64]) -> Option<Signature> {
+    vm.run_signature(vector)
+        .ok()
+        .map(|(ret, calls)| Signature { ret, calls })
 }
 
 /// Result of the bit-coverage fault simulation.
@@ -60,28 +92,64 @@ impl BitCoverage {
     }
 }
 
+/// Fault-simulates the whole bit-fault list under the default engine. See
+/// [`bit_coverage_with`].
+pub fn bit_coverage(func: &Function, tb: &Testbench) -> BitCoverage {
+    bit_coverage_with(func, tb, BehavExec::default())
+}
+
 /// Fault-simulates the whole bit-fault list of `func` against a testbench.
 ///
 /// A fault is *detected* when some vector produces a different output
-/// signature (return value or resource-call trace) than the fault-free run.
-pub fn bit_coverage(func: &Function, tb: &Testbench) -> BitCoverage {
+/// signature (return value or resource-call trace) than the fault-free
+/// run. This is the hot sweep — `faults × vectors` runs — and the reason
+/// the VM engine exists: the program is compiled once and only the
+/// injected fault changes between runs.
+pub fn bit_coverage_with(func: &Function, tb: &Testbench, exec: BehavExec) -> BitCoverage {
     let faults = enumerate_bit_faults(func);
-    let golden: Vec<Option<Signature>> = tb
-        .vectors
-        .iter()
-        .map(|v| signature(func, v, None))
-        .collect();
     let mut undetected = Vec::new();
     let mut detected = 0usize;
-    for &fault in &faults {
-        let caught = tb.vectors.iter().zip(&golden).any(|(v, g)| {
-            let faulty = signature(func, v, Some(fault));
-            faulty != *g
-        });
-        if caught {
-            detected += 1;
-        } else {
-            undetected.push(fault);
+    match exec {
+        BehavExec::Interp => {
+            let golden: Vec<Option<Signature>> = tb
+                .vectors
+                .iter()
+                .map(|v| interp_signature(func, v, None))
+                .collect();
+            for &fault in &faults {
+                let caught = tb
+                    .vectors
+                    .iter()
+                    .zip(&golden)
+                    .any(|(v, g)| interp_signature(func, v, Some(fault)) != *g);
+                if caught {
+                    detected += 1;
+                } else {
+                    undetected.push(fault);
+                }
+            }
+        }
+        BehavExec::Vm => {
+            let mut vm = Vm::new(compile(func));
+            vm.set_fault(None);
+            let golden: Vec<Option<Signature>> = tb
+                .vectors
+                .iter()
+                .map(|v| vm_signature(&mut vm, v))
+                .collect();
+            for &fault in &faults {
+                vm.set_fault(Some(fault));
+                let caught = tb
+                    .vectors
+                    .iter()
+                    .zip(&golden)
+                    .any(|(v, g)| vm_signature(&mut vm, v) != *g);
+                if caught {
+                    detected += 1;
+                } else {
+                    undetected.push(fault);
+                }
+            }
         }
     }
     BitCoverage {
@@ -91,14 +159,59 @@ pub fn bit_coverage(func: &Function, tb: &Testbench) -> BitCoverage {
     }
 }
 
+/// Memory-inspection report under the default engine. See
+/// [`memory_inspection_with`].
+pub fn memory_inspection(func: &Function, tb: &Testbench) -> Vec<(Vec<u64>, VarId, u64)> {
+    memory_inspection_with(func, tb, BehavExec::default())
+}
+
 /// Memory-inspection report over a testbench: every `(array, index)` read
 /// before initialization, with the vector that triggered it.
-pub fn memory_inspection(func: &Function, tb: &Testbench) -> Vec<(Vec<u64>, VarId, u64)> {
+pub fn memory_inspection_with(
+    func: &Function,
+    tb: &Testbench,
+    exec: BehavExec,
+) -> Vec<(Vec<u64>, VarId, u64)> {
     let mut findings = Vec::new();
+    let mut vm = match exec {
+        BehavExec::Vm => Some(Vm::new(compile(func))),
+        BehavExec::Interp => None,
+    };
     for v in &tb.vectors {
-        if let Ok(out) = Interpreter::new(func).run(v) {
+        let out = match vm.as_mut() {
+            Some(vm) => vm.run(v),
+            None => Interpreter::new(func).run(v),
+        };
+        if let Ok(out) = out {
             for (array, idx) in out.uninitialized_reads {
                 findings.push((v.clone(), array, idx));
+            }
+        }
+    }
+    findings
+}
+
+/// Out-of-bounds report over a testbench: every access past an array's end
+/// (the write dropped, the read returning garbage), with the vector that
+/// triggered it — the other half of the memory-inspection report.
+pub fn oob_inspection(
+    func: &Function,
+    tb: &Testbench,
+    exec: BehavExec,
+) -> Vec<(Vec<u64>, OobAccess)> {
+    let mut findings = Vec::new();
+    let mut vm = match exec {
+        BehavExec::Vm => Some(Vm::new(compile(func))),
+        BehavExec::Interp => None,
+    };
+    for v in &tb.vectors {
+        let out = match vm.as_mut() {
+            Some(vm) => vm.run(v),
+            None => Interpreter::new(func).run(v),
+        };
+        if let Ok(out) = out {
+            for access in out.out_of_bounds {
+                findings.push((v.clone(), access));
             }
         }
     }
@@ -218,5 +331,86 @@ mod tests {
         assert_eq!(dirty.len(), 2); // indices 4 and 5
         assert_eq!(dirty[0].2, 4);
         assert_eq!(dirty[1].2, 5);
+    }
+
+    #[test]
+    fn oob_inspection_reports_the_vector_and_access() {
+        use behav::interp::OobKind;
+        let mut fb = FunctionBuilder::new("walk", 16);
+        let n = fb.param("n", 8);
+        let buf = fb.array("buf", 16, 4);
+        let i = fb.local("i", 8);
+        fb.while_(Expr::lt(Expr::var(i), Expr::var(n)), |b| {
+            b.store(buf, Expr::var(i), Expr::var(i));
+            b.assign(i, Expr::add(Expr::var(i), Expr::constant(1, 8)));
+        });
+        fb.ret(Expr::var(i));
+        let f = fb.build();
+        for exec in [BehavExec::Interp, BehavExec::Vm] {
+            let clean = oob_inspection(
+                &f,
+                &Testbench {
+                    vectors: vec![vec![4]],
+                },
+                exec,
+            );
+            assert!(clean.is_empty());
+            let dirty = oob_inspection(
+                &f,
+                &Testbench {
+                    vectors: vec![vec![6]],
+                },
+                exec,
+            );
+            assert_eq!(dirty.len(), 2); // stores at 4 and 5
+            assert_eq!(dirty[0].1.kind, OobKind::Store);
+            assert_eq!(dirty[0].1.index, 4);
+            assert_eq!(dirty[1].1.index, 5);
+        }
+    }
+
+    /// Every metric must be engine-independent: interpreter and VM results
+    /// are equal, not just close.
+    #[test]
+    fn engines_agree_on_every_metric() {
+        let funcs = [max_func(), {
+            let mut fb = FunctionBuilder::new("traced", 8);
+            let a = fb.param("a", 8);
+            let x = fb.local("x", 8);
+            fb.reconfigure(behav::ConfigId(2));
+            fb.if_(Expr::gt(Expr::var(a), Expr::constant(4, 8)), |t| {
+                t.resource_call("acc", vec![Expr::var(a)], Some(x));
+            });
+            fb.ret(Expr::var(x));
+            fb.build()
+        }];
+        let tb = Testbench {
+            vectors: vec![vec![0, 0], vec![9, 3], vec![3, 9], vec![255, 255]],
+        };
+        for f in &funcs {
+            let tb = Testbench {
+                vectors: tb
+                    .vectors
+                    .iter()
+                    .map(|v| v[..f.num_params()].to_vec())
+                    .collect(),
+            };
+            assert_eq!(
+                evaluate_with(f, &tb.vectors, BehavExec::Interp),
+                evaluate_with(f, &tb.vectors, BehavExec::Vm),
+            );
+            assert_eq!(
+                bit_coverage_with(f, &tb, BehavExec::Interp),
+                bit_coverage_with(f, &tb, BehavExec::Vm),
+            );
+            assert_eq!(
+                memory_inspection_with(f, &tb, BehavExec::Interp),
+                memory_inspection_with(f, &tb, BehavExec::Vm),
+            );
+            assert_eq!(
+                oob_inspection(f, &tb, BehavExec::Interp),
+                oob_inspection(f, &tb, BehavExec::Vm),
+            );
+        }
     }
 }

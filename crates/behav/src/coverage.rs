@@ -10,7 +10,10 @@ use crate::func::Function;
 use crate::stmt::{CondId, Stmt, StmtId};
 
 /// Mutable coverage state accumulated across interpreter runs.
-#[derive(Debug, Clone)]
+///
+/// Equality is bit-for-bit over every recorded outcome — the
+/// interpreter-vs-VM differential oracle relies on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoverageSet {
     statements: Vec<bool>,
     branch_true: Vec<bool>,

@@ -71,8 +71,9 @@ pub enum Expr {
     },
     /// A scalar variable read.
     Var(VarId),
-    /// An array element read: `array[index]` (out-of-range reads yield 0,
-    /// a common hardware-memory convention).
+    /// An array element read: `array[index]`. Out-of-range reads yield the
+    /// interpreter's garbage pattern and are recorded in the run's
+    /// memory-inspection report.
     Index {
         /// The array variable.
         array: VarId,

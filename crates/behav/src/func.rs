@@ -77,14 +77,23 @@ impl Function {
         &self.vars[v.index()]
     }
 
-    /// Number of parameters (the first `num_params` variables).
+    /// Number of parameters. [`FunctionBuilder`] places them in the leading
+    /// variable slots, but a [`Function::rebuild`] may declare them
+    /// anywhere.
     pub fn num_params(&self) -> usize {
         self.num_params
     }
 
-    /// Parameter ids in order.
+    /// Parameter ids in declaration (= binding) order. Scans by
+    /// [`VarKind::Param`] rather than assuming params occupy the leading
+    /// slots, so rebuilt functions with late param declarations work.
     pub fn params(&self) -> Vec<VarId> {
-        (0..self.num_params).map(VarId::from_index).collect()
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.kind == VarKind::Param)
+            .map(|(i, _)| VarId::from_index(i))
+            .collect()
     }
 
     /// Bit width of the return value.

@@ -74,8 +74,32 @@ pub enum CallEvent {
     },
 }
 
+/// Which way an out-of-bounds array access went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OobKind {
+    /// A read past the end of the array.
+    Load,
+    /// A write past the end of the array (the value is dropped).
+    Store,
+}
+
+/// One out-of-bounds array access — the second half of the memory
+/// inspection report, alongside uninitialized reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OobAccess {
+    /// The array that was accessed.
+    pub var: VarId,
+    /// The (out-of-range) element index.
+    pub index: u64,
+    /// Load or store.
+    pub kind: OobKind,
+}
+
 /// Everything observed during one run.
-#[derive(Debug, Clone)]
+///
+/// Equality is bit-for-bit over every field; the VM in
+/// [`crate::bytecode`] must produce outputs equal to the interpreter's.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunOutput {
     /// Value of the executed `return`, or `None` if the body fell through.
     pub return_value: Option<u64>,
@@ -88,6 +112,9 @@ pub struct RunOutput {
     /// Array reads that happened before any write to that element:
     /// `(array, element index)` — the memory-inspection report.
     pub uninitialized_reads: Vec<(VarId, u64)>,
+    /// Out-of-bounds array accesses in execution order. Loads return the
+    /// garbage pattern (so the bug propagates); stores are dropped.
+    pub out_of_bounds: Vec<OobAccess>,
     /// Reconfiguration / resource-call trace in execution order.
     pub call_trace: Vec<CallEvent>,
 }
@@ -204,6 +231,7 @@ impl<'f, 'h> Interpreter<'f, 'h> {
             ops: OpCounts::default(),
             steps: 0,
             uninitialized_reads: Vec::new(),
+            out_of_bounds: Vec::new(),
             call_trace: Vec::new(),
         };
         let flow = self.exec_block(self.func.body(), &mut state, &mut out)?;
@@ -211,6 +239,7 @@ impl<'f, 'h> Interpreter<'f, 'h> {
             out.return_value = v;
         }
         out.uninitialized_reads = state.uninit_reads;
+        out.out_of_bounds = state.oob;
         Ok(out)
     }
 
@@ -351,6 +380,11 @@ impl<'f, 'h> Interpreter<'f, 'h> {
         }
     }
 
+    /// Evaluates a branch condition exactly once, recording the value of
+    /// each atomic comparison for condition coverage *during* that single
+    /// evaluation. Atom indices follow the same pre-order numbering as
+    /// [`Expr::atomic_conditions`]; atoms inside the untaken arm of a mux
+    /// are skipped (never executed, so never recorded).
     fn eval_condition(
         &mut self,
         cond_id: crate::stmt::CondId,
@@ -358,29 +392,38 @@ impl<'f, 'h> Interpreter<'f, 'h> {
         state: &mut State,
         out: &mut RunOutput,
     ) -> bool {
-        // Record each atomic condition's value (condition coverage).
-        let atoms: Vec<Expr> = cond.atomic_conditions().into_iter().cloned().collect();
-        for (i, atom) in atoms.iter().enumerate() {
-            let v = self.eval(atom, state, out) != 0;
-            out.coverage.hit_atom(cond_id, i, v);
-        }
-        let taken = self.eval(cond, state, out) != 0;
+        let mut next_atom = 0usize;
+        let taken = self.eval_in(cond, Some(cond_id), &mut next_atom, state, out) != 0;
         out.ops.branch += 1;
         out.coverage.hit_branch(cond_id, taken);
         taken
     }
 
     fn eval(&mut self, e: &Expr, state: &mut State, out: &mut RunOutput) -> u64 {
+        self.eval_in(e, None, &mut 0, state, out)
+    }
+
+    /// Expression evaluation, optionally inside a branch condition
+    /// (`cond_ctx`), in which case comparison nodes claim atom indices in
+    /// pre-order and record their outcome as they produce it.
+    fn eval_in(
+        &mut self,
+        e: &Expr,
+        cond_ctx: Option<crate::stmt::CondId>,
+        next_atom: &mut usize,
+        state: &mut State,
+        out: &mut RunOutput,
+    ) -> u64 {
         match e {
             Expr::Const { value, .. } => *value,
             Expr::Var(v) => state.read_scalar(*v),
             Expr::Index { array, index } => {
-                let idx = self.eval(index, state, out);
+                let idx = self.eval_in(index, cond_ctx, next_atom, state, out);
                 out.ops.mem += 1;
                 state.load(*array, idx)
             }
             Expr::Unary { op, arg } => {
-                let a = self.eval(arg, state, out);
+                let a = self.eval_in(arg, cond_ctx, next_atom, state, out);
                 let w = self.expr_width(arg, state);
                 out.ops.alu += 1;
                 match op {
@@ -389,23 +432,44 @@ impl<'f, 'h> Interpreter<'f, 'h> {
                 }
             }
             Expr::Binary { op, lhs, rhs } => {
-                let a = self.eval(lhs, state, out);
-                let b = self.eval(rhs, state, out);
+                // Claim the atom slot before descending: atomic_conditions()
+                // pushes a comparison node before visiting its operands.
+                let my_atom = match cond_ctx {
+                    Some(_) if op.is_comparison() => {
+                        let i = *next_atom;
+                        *next_atom += 1;
+                        Some(i)
+                    }
+                    _ => None,
+                };
+                let a = self.eval_in(lhs, cond_ctx, next_atom, state, out);
+                let b = self.eval_in(rhs, cond_ctx, next_atom, state, out);
                 let w = self.expr_width(lhs, state).max(self.expr_width(rhs, state));
                 match op {
                     BinOp::Mul => out.ops.mul += 1,
                     BinOp::Div | BinOp::Rem => out.ops.div += 1,
                     _ => out.ops.alu += 1,
                 }
-                apply_binop(*op, a, b, w)
+                let v = apply_binop(*op, a, b, w);
+                if let (Some(id), Some(atom)) = (cond_ctx, my_atom) {
+                    out.coverage.hit_atom(id, atom, v != 0);
+                }
+                v
             }
             Expr::Mux { cond, then_, else_ } => {
-                let c = self.eval(cond, state, out);
+                let c = self.eval_in(cond, cond_ctx, next_atom, state, out);
                 out.ops.alu += 1;
                 if c != 0 {
-                    self.eval(then_, state, out)
+                    let v = self.eval_in(then_, cond_ctx, next_atom, state, out);
+                    if cond_ctx.is_some() {
+                        *next_atom += count_atoms(else_);
+                    }
+                    v
                 } else {
-                    self.eval(else_, state, out)
+                    if cond_ctx.is_some() {
+                        *next_atom += count_atoms(then_);
+                    }
+                    self.eval_in(else_, cond_ctx, next_atom, state, out)
                 }
             }
         }
@@ -471,6 +535,22 @@ pub fn apply_binop(op: BinOp, a: u64, b: u64, width: u32) -> u64 {
     }
 }
 
+/// Number of atomic conditions (comparison nodes) in an expression —
+/// used to skip the atom slots of an unexecuted mux arm.
+fn count_atoms(e: &Expr) -> usize {
+    match e {
+        Expr::Const { .. } | Expr::Var(_) => 0,
+        Expr::Index { index, .. } => count_atoms(index),
+        Expr::Unary { arg, .. } => count_atoms(arg),
+        Expr::Binary { op, lhs, rhs } => {
+            usize::from(op.is_comparison()) + count_atoms(lhs) + count_atoms(rhs)
+        }
+        Expr::Mux { cond, then_, else_ } => {
+            count_atoms(cond) + count_atoms(then_) + count_atoms(else_)
+        }
+    }
+}
+
 /// Bit mask for a width.
 pub fn mask(width: u32) -> u64 {
     if width >= 64 {
@@ -491,6 +571,7 @@ struct State {
     arrays: Vec<Option<ArrayState>>,
     garbage: u64,
     uninit_reads: Vec<(VarId, u64)>,
+    oob: Vec<OobAccess>,
 }
 
 struct ArrayState {
@@ -503,11 +584,16 @@ impl State {
         let mut scalars = vec![0u64; func.vars().len()];
         let mut widths = vec![0u32; func.vars().len()];
         let mut arrays: Vec<Option<ArrayState>> = Vec::with_capacity(func.vars().len());
+        // Params bind by *ordinal* (the i-th Param declaration gets
+        // inputs[i]), not by variable index: a rebuilt function may declare
+        // a parameter after a local.
+        let mut ordinal = 0usize;
         for (i, decl) in func.vars().iter().enumerate() {
             widths[i] = decl.width;
             match decl.kind {
                 VarKind::Param => {
-                    scalars[i] = inputs[i] & mask(decl.width);
+                    scalars[i] = inputs[ordinal] & mask(decl.width);
+                    ordinal += 1;
                     arrays.push(None);
                 }
                 VarKind::Local => arrays.push(None),
@@ -523,6 +609,7 @@ impl State {
             arrays,
             garbage,
             uninit_reads: Vec::new(),
+            oob: Vec::new(),
         }
     }
 
@@ -552,7 +639,15 @@ impl State {
                     }
                     a.data[i]
                 } else {
-                    0
+                    // Out of bounds: record it and return the garbage
+                    // pattern so the bug propagates instead of reading as a
+                    // quiet zero.
+                    self.oob.push(OobAccess {
+                        var: array,
+                        index,
+                        kind: OobKind::Load,
+                    });
+                    garbage & mask(w)
                 }
             }
             None => 0,
@@ -566,6 +661,13 @@ impl State {
             if i < a.data.len() {
                 a.data[i] = value & mask(w);
                 a.written[i] = true;
+            } else {
+                // The write is dropped, but the access is reported.
+                self.oob.push(OobAccess {
+                    var: array,
+                    index,
+                    kind: OobKind::Store,
+                });
             }
         }
     }
@@ -814,6 +916,142 @@ mod tests {
             Interpreter::new(&f).run(&[5]).unwrap().return_value,
             Some(0)
         );
+    }
+
+    /// Regression for the condition double-evaluation bug: atoms used to be
+    /// evaluated once for coverage and then the whole condition was
+    /// evaluated again, double-counting every op in the condition and
+    /// reporting an uninitialized read inside it twice.
+    #[test]
+    fn condition_atoms_are_evaluated_exactly_once() {
+        let mut fb = FunctionBuilder::new("cond", 8);
+        let arr = fb.array("buf", 8, 4);
+        let x = fb.local("x", 8);
+        // `if buf[2] < 5` over a never-written element: exactly one load,
+        // one comparison, one branch — and one uninit-read report.
+        fb.if_else(
+            Expr::lt(Expr::index(arr, Expr::constant(2, 8)), Expr::constant(5, 8)),
+            |t| t.assign(x, Expr::constant(1, 8)),
+            |e| e.assign(x, Expr::constant(2, 8)),
+        );
+        fb.ret(Expr::var(x));
+        let f = fb.build();
+        let out = Interpreter::new(&f).run(&[]).unwrap();
+        assert_eq!(
+            out.ops,
+            OpCounts {
+                alu: 2, // the comparison + the taken arm's assignment
+                mul: 0,
+                div: 0,
+                mem: 1, // exactly one array load
+                branch: 1,
+                call: 0,
+            }
+        );
+        assert_eq!(out.uninitialized_reads, vec![(arr, 2)]);
+        // Condition coverage is still recorded from the single evaluation.
+        let r = out.coverage.report();
+        assert_eq!(r.conditions_total, 2);
+        assert_eq!(r.conditions_hit, 1);
+    }
+
+    /// Atoms in the untaken arm of a mux inside a condition keep their
+    /// pre-order slots but are not recorded (they never execute).
+    #[test]
+    fn mux_arm_atoms_keep_their_slots() {
+        let mut fb = FunctionBuilder::new("muxcond", 8);
+        let a = fb.param("a", 8);
+        let x = fb.local("x", 8);
+        // if (a < 3 ? (a == 0) : (a > 7)) { ... }: atoms in pre-order are
+        // [a<3, a==0, a>7]. With a = 9 only `a<3` and `a>7` execute.
+        fb.if_(
+            Expr::mux(
+                Expr::lt(Expr::var(a), Expr::constant(3, 8)),
+                Expr::eq(Expr::var(a), Expr::constant(0, 8)),
+                Expr::gt(Expr::var(a), Expr::constant(7, 8)),
+            ),
+            |t| t.assign(x, Expr::constant(1, 8)),
+        );
+        fb.ret(Expr::var(x));
+        let f = fb.build();
+        let out = Interpreter::new(&f).run(&[9]).unwrap();
+        let r = out.coverage.report();
+        assert_eq!(r.conditions_total, 6); // 3 atoms × 2 outcomes
+        assert_eq!(r.conditions_hit, 2); // (a<3)=false, (a>7)=true
+                                         // mux-cond comparison + mux select + taken-arm comparison, and the
+                                         // branch is taken so its assignment adds one more.
+        assert_eq!(out.ops.alu, 4);
+        assert_eq!(out.ops.branch, 1);
+    }
+
+    /// Regression for silent out-of-bounds accesses: loads past the end now
+    /// return the garbage pattern and both loads and stores are reported.
+    #[test]
+    fn out_of_bounds_accesses_are_reported() {
+        let mut fb = FunctionBuilder::new("oob", 16);
+        let arr = fb.array("buf", 16, 4);
+        let x = fb.local("x", 16);
+        fb.store(arr, Expr::constant(9, 8), Expr::constant(1, 16)); // dropped
+        fb.assign(x, Expr::index(arr, Expr::constant(7, 8))); // garbage
+        fb.ret(Expr::var(x));
+        let f = fb.build();
+        let out = Interpreter::new(&f).run(&[]).unwrap();
+        assert_eq!(
+            out.out_of_bounds,
+            vec![
+                OobAccess {
+                    var: arr,
+                    index: 9,
+                    kind: OobKind::Store,
+                },
+                OobAccess {
+                    var: arr,
+                    index: 7,
+                    kind: OobKind::Load,
+                },
+            ]
+        );
+        // The OOB load propagates garbage, not zero.
+        assert_eq!(out.return_value, Some(0xDEAD_BEEF_CAFE_F00D & 0xFFFF));
+        assert!(out.uninitialized_reads.is_empty());
+    }
+
+    /// Regression for positional param binding: a rebuilt function that
+    /// declares a parameter *after* a local must still bind inputs by
+    /// parameter ordinal.
+    #[test]
+    fn rebuilt_function_binds_params_by_ordinal() {
+        use crate::func::{VarDecl, VarKind};
+        // var 0 is a local, var 1 is the (only) parameter.
+        let vars = vec![
+            VarDecl {
+                name: "tmp".into(),
+                width: 8,
+                kind: VarKind::Local,
+            },
+            VarDecl {
+                name: "a".into(),
+                width: 8,
+                kind: VarKind::Param,
+            },
+        ];
+        let tmp = VarId::from_index(0);
+        let a = VarId::from_index(1);
+        let body = vec![
+            Stmt::Assign {
+                id: crate::stmt::StmtId::placeholder(),
+                target: tmp,
+                value: Expr::add(Expr::var(a), Expr::constant(1, 8)),
+            },
+            Stmt::Return {
+                id: crate::stmt::StmtId::placeholder(),
+                value: Some(Expr::var(tmp)),
+            },
+        ];
+        let f = Function::rebuild("rebuilt".to_owned(), vars, 1, 8, body);
+        assert_eq!(f.params(), vec![a]);
+        let out = Interpreter::new(&f).run(&[41]).unwrap();
+        assert_eq!(out.return_value, Some(42));
     }
 
     #[test]

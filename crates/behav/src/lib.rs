@@ -15,7 +15,10 @@
 //! * coverage bookkeeping ([`coverage`]) for the statement / branch /
 //!   condition / bit metrics of Laerte++,
 //! * a bounded [`unroll`] transform producing the loop-free form consumed
-//!   by the `hdl` crate's behavioural synthesis.
+//!   by the `hdl` crate's behavioural synthesis,
+//! * a [`bytecode`] compiler and register VM — the decode-once
+//!   execute-many fast path for hot callers (ATPG fault sweeps, per-frame
+//!   kernel execution), differentially validated against the interpreter.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@
 //! assert_eq!(out.return_value, Some(7));
 //! ```
 
+pub mod bytecode;
 pub mod coverage;
 pub mod expr;
 pub mod func;
@@ -45,6 +49,7 @@ pub mod pretty;
 pub mod stmt;
 pub mod unroll;
 
+pub use bytecode::{BehavExec, Program, Runner, Vm};
 pub use coverage::{CoverageReport, CoverageSet};
 pub use expr::{BinOp, Expr, UnaryOp};
 pub use func::{BlockBuilder, Function, FunctionBuilder, VarDecl, VarId, VarKind};

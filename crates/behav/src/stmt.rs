@@ -61,7 +61,8 @@ pub enum Stmt {
         value: Expr,
     },
     /// Array element store `array[index] = value`. Out-of-range stores are
-    /// ignored (hardware-memory convention, keeps the semantics total).
+    /// dropped (keeping the semantics total) but recorded in the run's
+    /// memory-inspection report.
     Store {
         /// Statement id (coverage point).
         id: StmtId,

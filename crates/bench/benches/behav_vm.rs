@@ -1,0 +1,52 @@
+//! Interpreter-vs-bytecode-VM throughput on the media kernels — the win
+//! the ATPG fault sweeps and the level-2 frame loop collect when they run
+//! on the VM.
+
+use behav::bytecode::{compile, Vm};
+use behav::interp::Interpreter;
+use criterion::{criterion_group, criterion_main, Criterion};
+use media::kernels::{distance_step_function, root_function};
+use std::hint::black_box;
+
+fn behav_vm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("behav_vm");
+    group.sample_size(20);
+
+    let root = root_function();
+    group.bench_function("root_interp", |b| {
+        b.iter(|| {
+            Interpreter::new(&root)
+                .run(black_box(&[123_456_789]))
+                .unwrap()
+        })
+    });
+    let mut root_vm = Vm::new(compile(&root));
+    group.bench_function("root_vm_full", |b| {
+        b.iter(|| root_vm.run(black_box(&[123_456_789])).unwrap())
+    });
+    group.bench_function("root_vm_signature", |b| {
+        b.iter(|| root_vm.run_signature(black_box(&[123_456_789])).unwrap())
+    });
+
+    let dist = distance_step_function();
+    group.bench_function("distance_interp", |b| {
+        b.iter(|| {
+            Interpreter::new(&dist)
+                .run(black_box(&[40_000, 39_999, 7]))
+                .unwrap()
+        })
+    });
+    let mut dist_vm = Vm::new(compile(&dist));
+    group.bench_function("distance_vm_signature", |b| {
+        b.iter(|| {
+            dist_vm
+                .run_signature(black_box(&[40_000, 39_999, 7]))
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, behav_vm);
+criterion_main!(benches);

@@ -9,8 +9,10 @@
 
 use crate::msg::Msg;
 use crate::workload::Workload;
+use behav::bytecode::BehavExec;
+use media::kernels::CompiledKernel;
 use media::pipeline::{
-    bay, calcdist, calcline, crtbord, crtline, distance, edge, ellipse, erosion, root, winner,
+    bay, calcdist, calcline, crtbord, crtline, edge, ellipse, erosion, root, winner,
 };
 use media::reference::RecognitionResult;
 use sim::{Activation, FifoId, Outcome, Process, ProcessCtx, SimError, SimTime, Simulator, Trace};
@@ -106,6 +108,10 @@ struct DistanceProc {
     current: Option<Vec<u16>>,
     seen: usize,
     pending: VecDeque<Msg>,
+    /// The DISTANCE step kernel compiled once for the whole run (the
+    /// bytecode-VM fast path); per-element squares are exact for u16
+    /// features, so traces stay bit-identical to `pipeline::distance`.
+    kernel: CompiledKernel,
 }
 
 impl Process<Msg> for DistanceProc {
@@ -133,7 +139,11 @@ impl Process<Msg> for DistanceProc {
             None => Activation::WaitFifoReadable(self.gallery_in),
             Some(Msg::GalleryEntry(idx, g)) => {
                 let f = self.current.as_ref().expect("features present");
-                let sq = distance(f, &g);
+                let sq: Vec<u64> = f
+                    .iter()
+                    .zip(&g)
+                    .map(|(&x, &y)| self.kernel.run(&[x as u64, y as u64, 0]))
+                    .collect();
                 self.pending.push_back(Msg::SquaredDiffs(idx, sq));
                 self.seen += 1;
                 if self.seen == self.gallery_len {
@@ -372,6 +382,7 @@ pub fn run_instrumented(
         current: None,
         seen: 0,
         pending: VecDeque::new(),
+        kernel: CompiledKernel::distance_step(BehavExec::default()),
     });
     sim.add_process(Stage {
         name: "calcdist",
@@ -390,10 +401,23 @@ pub fn run_instrumented(
         out: Some(ch_root),
         expected: workload.probes.len() as u64 * workload.gallery_len() as u64,
         pending: VecDeque::new(),
-        func: Box::new(|tok| match tok {
-            Msg::SumSq(i, s) => (vec![], vec![Msg::Dist(i, root(s))]),
-            other => panic!("root expected sum, got {other:?}"),
-        }),
+        func: {
+            // ROOT through the compiled 32-bit kernel. Feature sums always
+            // fit (128 × 255² ≪ 2³²); the guard keeps the function total
+            // for arbitrary inputs without changing any real trace.
+            let mut kernel = CompiledKernel::root(BehavExec::default());
+            Box::new(move |tok| match tok {
+                Msg::SumSq(i, s) => {
+                    let r = if s < (1u64 << 32) {
+                        kernel.run(&[s]) as u32
+                    } else {
+                        root(s)
+                    };
+                    (vec![], vec![Msg::Dist(i, r)])
+                }
+                other => panic!("root expected sum, got {other:?}"),
+            })
+        },
     });
     let winner_pid = sim.add_process(WinnerProc {
         inp: ch_root,

@@ -21,9 +21,10 @@
 use crate::msg::Msg;
 use crate::partition::{ArchConfig, Domain, Partition};
 use crate::workload::Workload;
+use behav::bytecode::BehavExec;
+use media::kernels::CompiledKernel;
 use media::pipeline::{
-    bay, calcdist, calcline, crtbord, crtline, distance, edge, ellipse, erosion, root, winner,
-    FeatureVector,
+    bay, calcdist, calcline, crtbord, crtline, edge, ellipse, erosion, root, winner, FeatureVector,
 };
 use media::profile::module_mix;
 use platform::{Context, ContextId, Fpga, FpgaError, FpgaReport, SharedFpga};
@@ -341,6 +342,10 @@ struct Matcher {
     recovery: SharedRecovery,
     /// RTL netlist co-simulated for ROOT calls (level 3 co-simulation).
     root_rtl: Option<hdl::Rtl>,
+    /// DISTANCE step kernel compiled once per run (bytecode-VM fast path).
+    distance_kernel: CompiledKernel,
+    /// ROOT kernel compiled once per run, used when no RTL is co-simulated.
+    root_kernel: CompiledKernel,
     /// In-flight work: the remaining per-entry distance jobs.
     current: Option<(FeatureVector, usize)>,
     pending: VecDeque<Msg>,
@@ -395,7 +400,13 @@ impl Process<Msg> for Matcher {
                 Ok(r) => r,
                 Err(f) => return fail(&self.recovery, f),
             };
-            let sq = distance(&features, g);
+            // Per-element squares through the compiled kernel — exact for
+            // u16 features (|x − y|² < 2³²), so sums match `distance`.
+            let sq: Vec<u64> = features
+                .iter()
+                .zip(g)
+                .map(|(&x, &y)| self.distance_kernel.run(&[x as u64, y as u64, 0]))
+                .collect();
             let sum = calcdist(&sq);
             // Residency check + cycles (FPGA, SW fallback, or hardwired).
             let compute = match self.compute_cycles("distance") {
@@ -436,7 +447,13 @@ impl Process<Msg> for Matcher {
                         debug_assert!(s < (1u64 << 32), "sum exceeds kernel width");
                         rtl.eval_combinational(&[s])[0] as u32
                     }
-                    None => root(s),
+                    None => {
+                        if s < (1u64 << 32) {
+                            self.root_kernel.run(&[s]) as u32
+                        } else {
+                            root(s)
+                        }
+                    }
                 };
                 let resp = match self.transfer(
                     ctx.now().saturating_add_ticks(compute),
@@ -1099,6 +1116,8 @@ pub fn run_faulted_instrumented(
         policy: recovery,
         recovery: recovery_state.clone(),
         root_rtl,
+        distance_kernel: CompiledKernel::distance_step(BehavExec::default()),
+        root_kernel: CompiledKernel::root(BehavExec::default()),
         current: None,
         pending: VecDeque::new(),
     });

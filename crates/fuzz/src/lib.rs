@@ -39,6 +39,7 @@ pub mod sat_fuzz;
 pub mod shrink;
 pub mod sim_fuzz;
 pub mod supervise_fuzz;
+pub mod vm_fuzz;
 
 pub use repro::{ReproId, ITERS_ENV, REPRO_ENV};
 
@@ -69,17 +70,22 @@ pub enum Family {
     /// layer: pool survival, deterministic budget exhaustion, race
     /// survival.
     Supervise,
+    /// Random behavioural-IR functions through the tree-walking
+    /// interpreter and the register bytecode VM, whole instrumented
+    /// outputs compared bit for bit.
+    Vm,
 }
 
 impl Family {
     /// Every family, in canonical run order.
-    pub const ALL: [Family; 6] = [
+    pub const ALL: [Family; 7] = [
         Family::Sat,
         Family::Dimacs,
         Family::Mc,
         Family::Sim,
         Family::Media,
         Family::Supervise,
+        Family::Vm,
     ];
 
     /// The short name used in reproducer IDs.
@@ -91,6 +97,7 @@ impl Family {
             Family::Sim => "sim",
             Family::Media => "media",
             Family::Supervise => "supervise",
+            Family::Vm => "vm",
         }
     }
 
@@ -110,6 +117,7 @@ impl Family {
             Family::Sim => 60,
             Family::Media => 4,
             Family::Supervise => 50,
+            Family::Vm => 80,
         }
     }
 }
@@ -201,6 +209,7 @@ fn dispatch(family: Family, rng: &mut FuzzRng, bias: u64) -> FamilyOutcome {
         Family::Sim => sim_fuzz::run_one(rng, bias),
         Family::Media => media_fuzz::run_one(rng, bias),
         Family::Supervise => supervise_fuzz::run_one(rng, bias),
+        Family::Vm => vm_fuzz::run_one(rng, bias),
     }
 }
 

@@ -1,0 +1,48 @@
+//! Mutant sanity check: with the `vm-mutant` feature the bytecode VM
+//! silently skips the width mask on every third scalar assignment. The
+//! interpreter-vs-VM differential oracle must catch the injected
+//! miscompile within the CI smoke budget, and the reported reproducer
+//! must replay to the identical disagreement.
+//!
+//! Run with `cargo test -p fuzz --features vm-mutant`. The test is a
+//! no-op without the feature so plain `cargo test` stays green.
+
+#![cfg(feature = "vm-mutant")]
+
+use fuzz::{run, run_repro, Family, FuzzConfig};
+
+#[test]
+fn the_miscompiled_vm_is_caught_and_its_reproducer_replays() {
+    let config = FuzzConfig {
+        seed: 0,
+        iters: 80,
+        steering: true,
+    };
+    let outcome = run(Family::Vm, &config);
+    assert!(
+        !outcome.disagreements.is_empty(),
+        "the mutant VM survived {} iterations of the differential oracle",
+        config.iters
+    );
+
+    // The first disagreement's seed:family:iter ID must regenerate the
+    // same case, the same detail, and the same minimized witness.
+    let first = &outcome.disagreements[0];
+    let replayed = run_repro(&first.repro)
+        .unwrap_or_else(|| panic!("replaying {} found nothing", first.repro));
+    assert_eq!(
+        &replayed, first,
+        "replay of {} is not bit-identical",
+        first.repro
+    );
+
+    // The minimized witness must still carry the failing function so a
+    // bug report is actionable without re-running the fuzzer.
+    assert!(
+        outcome
+            .disagreements
+            .iter()
+            .all(|d| !d.detail.is_empty() && d.minimized.contains("fuzzed")),
+        "disagreements must carry a detail and the minimized function"
+    );
+}

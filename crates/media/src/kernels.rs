@@ -9,6 +9,7 @@
 //! level 4, and the equivalence tests pin all three versions (pure Rust,
 //! interpreter, netlist) to each other.
 
+use behav::bytecode::{BehavExec, Runner};
 use behav::{Expr, Function, FunctionBuilder};
 
 /// Width of feature elements processed by the DISTANCE kernel.
@@ -100,11 +101,54 @@ pub fn root_function() -> Function {
     fb.build()
 }
 
+/// A media kernel compiled once and executed many times — the per-frame
+/// fast path. The engine is a construction-time choice ([`BehavExec`]
+/// defaults to the bytecode VM; the interpreter remains available as the
+/// reference).
+#[derive(Debug)]
+pub struct CompiledKernel {
+    runner: Runner,
+}
+
+impl CompiledKernel {
+    /// Compiles an arbitrary kernel function under the chosen engine.
+    pub fn new(func: &Function, exec: BehavExec) -> CompiledKernel {
+        CompiledKernel {
+            runner: Runner::new(func, exec),
+        }
+    }
+
+    /// The DISTANCE step kernel, ready to run per feature element.
+    pub fn distance_step(exec: BehavExec) -> CompiledKernel {
+        CompiledKernel::new(&distance_step_function(), exec)
+    }
+
+    /// The ROOT kernel, ready to run per frame.
+    pub fn root(exec: BehavExec) -> CompiledKernel {
+        CompiledKernel::new(&root_function(), exec)
+    }
+
+    /// Executes the kernel on `inputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or if the kernel fails to return a value
+    /// within the default step limit — impossible for the bounded-loop
+    /// media kernels.
+    pub fn run(&mut self, inputs: &[u64]) -> u64 {
+        self.runner
+            .run_value(inputs)
+            .expect("kernel exceeds step limit")
+            .expect("kernel returns a value")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::pipeline::root as rust_root;
-    use behav::interp::Interpreter;
+    use behav::bytecode::{compile, Vm};
+    use behav::interp::{enumerate_bit_faults, Interpreter};
     use behav::unroll::unroll;
 
     #[test]
@@ -184,5 +228,78 @@ mod tests {
         // experiment degenerates.
         assert!(distance_step_function().num_conditions() >= 1);
         assert!(root_function().num_conditions() >= 2);
+    }
+
+    /// Every kernel, through interpreter AND VM, bit-for-bit — including
+    /// the unrolled variants the synthesis path consumes.
+    #[test]
+    fn kernels_agree_across_engines() {
+        let distance = distance_step_function();
+        let root = root_function();
+        let cases: [(&Function, Vec<Vec<u64>>); 4] = [
+            (
+                &distance,
+                vec![
+                    vec![0, 0, 0],
+                    vec![10, 3, 100],
+                    vec![3, 10, 100],
+                    vec![65535, 0, 0],
+                    vec![1000, 2000, 123_456],
+                ],
+            ),
+            (
+                &root,
+                vec![
+                    vec![0],
+                    vec![49],
+                    vec![1023],
+                    vec![65535],
+                    vec![4_000_000_000],
+                ],
+            ),
+            (&unroll(&distance, 1), vec![vec![9, 4, 7]]),
+            (
+                &unroll(&root, ROOT_ITERATIONS),
+                vec![vec![0], vec![49], vec![999_999]],
+            ),
+        ];
+        for (f, vectors) in &cases {
+            let mut vm = Vm::new(compile(f));
+            for v in vectors {
+                let interp = Interpreter::new(f).run(v);
+                assert_eq!(interp, vm.run(v), "{} diverged on {v:?}", f.name());
+            }
+        }
+    }
+
+    /// Faulted kernel runs must also agree — the ATPG sweep depends on it.
+    #[test]
+    fn faulted_kernels_agree_across_engines() {
+        for f in [distance_step_function(), root_function()] {
+            let mut vm = Vm::new(compile(&f));
+            let vector: Vec<u64> = (0..f.num_params() as u64).map(|i| 100 + i * 37).collect();
+            // Sampled faults keep the debug-build runtime reasonable.
+            for fault in enumerate_bit_faults(&f).into_iter().step_by(5) {
+                vm.set_fault(Some(fault));
+                let interp = Interpreter::new(&f).with_fault(fault).run(&vector);
+                assert_eq!(interp, vm.run(&vector), "{} fault {fault:?}", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_kernels_match_reference_functions() {
+        let mut droot = CompiledKernel::root(BehavExec::default());
+        for x in [0u64, 1, 50, 65_535, 1_000_000] {
+            assert_eq!(droot.run(&[x]), rust_root(x) as u64 & 0xFFFF);
+        }
+        let mut dist = CompiledKernel::distance_step(BehavExec::default());
+        let mut dist_interp = CompiledKernel::distance_step(BehavExec::Interp);
+        for (a, b, acc) in [(0u64, 0u64, 0u64), (9, 4, 11), (4, 9, 11), (65535, 0, 7)] {
+            let got = dist.run(&[a, b, acc]);
+            assert_eq!(got, dist_interp.run(&[a, b, acc]));
+            let d = (a as i64 - b as i64).unsigned_abs();
+            assert_eq!(got, (acc + d * d) & 0xFFFF_FFFF);
+        }
     }
 }

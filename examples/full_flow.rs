@@ -29,6 +29,11 @@
 //! cargo run --release --example full_flow
 //! ```
 
+use atpg::metrics::bit_coverage_with;
+use atpg::Testbench;
+use behav::bytecode::{compile, BehavExec, Vm};
+use behav::interp::{enumerate_bit_faults, Interpreter};
+use media::kernels::root_function;
 use std::fs;
 use std::path::Path;
 use std::time::Instant;
@@ -70,11 +75,99 @@ struct CacheBench {
     warm_hit_rate: f64,
 }
 
+/// Interpreter-vs-VM throughput on the ATPG bit-fault sweep of the ROOT
+/// kernel (the hottest behavioural workload in the flow), plus the wall
+/// time of the level-2 frame loop that now runs its kernels on the VM.
+struct BehavBench {
+    faults: usize,
+    vectors: usize,
+    interp_runs_per_sec: f64,
+    vm_runs_per_sec: f64,
+    speedup: f64,
+    l2_wall_ms: f64,
+}
+
+/// Measures [`BehavBench`]. Correctness first (both engines must produce
+/// the identical coverage verdict and identical per-run signatures), then
+/// the full `faults × vectors` sweep without early exit so both engines do
+/// exactly the same number of runs — mirroring the code paths
+/// [`bit_coverage_with`] actually takes per engine.
+fn bench_behav(workload: &Workload) -> Result<BehavBench, Box<dyn std::error::Error>> {
+    let func = root_function();
+    let tb = Testbench {
+        vectors: (0..48u64)
+            .map(|i| vec![i.wrapping_mul(2_654_435_761) & 0xFFFF_FFFF])
+            .collect(),
+    };
+    let interp_cov = bit_coverage_with(&func, &tb, BehavExec::Interp);
+    let vm_cov = bit_coverage_with(&func, &tb, BehavExec::Vm);
+    assert_eq!(
+        interp_cov, vm_cov,
+        "engines disagree on the bit-coverage sweep"
+    );
+
+    let faults = enumerate_bit_faults(&func);
+    let runs = (faults.len() + 1) * tb.len();
+    let sweep = std::iter::once(None).chain(faults.iter().copied().map(Some));
+
+    // A fault stuck on the loop condition can make the kernel diverge, so
+    // both engines run under the same tight step budget and fold a runaway
+    // into the sink rather than panicking. A healthy root run takes ~109
+    // steps, so the cap never fires on one.
+    const STEP_LIMIT: u64 = 1_000;
+
+    let t = Instant::now();
+    let mut interp_sink = 0u64;
+    for fault in sweep.clone() {
+        for v in &tb.vectors {
+            let mut interp = Interpreter::new(&func).with_step_limit(STEP_LIMIT);
+            if let Some(f) = fault {
+                interp = interp.with_fault(f);
+            }
+            interp_sink ^= match interp.run(v) {
+                Ok(out) => out.return_value.unwrap_or(0),
+                Err(_) => u64::MAX,
+            };
+        }
+    }
+    let interp_s = t.elapsed().as_secs_f64().max(1e-9);
+
+    let mut vm = Vm::new(compile(&func)).with_step_limit(STEP_LIMIT);
+    let t = Instant::now();
+    let mut vm_sink = 0u64;
+    for fault in sweep {
+        vm.set_fault(fault);
+        for v in &tb.vectors {
+            vm_sink ^= match vm.run_signature(v) {
+                Ok((ret, _)) => ret.unwrap_or(0),
+                Err(_) => u64::MAX,
+            };
+        }
+    }
+    let vm_s = t.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(interp_sink, vm_sink, "engines disagree on sweep outputs");
+
+    let t = Instant::now();
+    let l2 = symbad_core::level2::run(workload)?;
+    let l2_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    drop(l2);
+
+    Ok(BehavBench {
+        faults: faults.len(),
+        vectors: tb.len(),
+        interp_runs_per_sec: runs as f64 / interp_s,
+        vm_runs_per_sec: runs as f64 / vm_s,
+        speedup: interp_s / vm_s,
+        l2_wall_ms,
+    })
+}
+
 /// Builds the `BENCH_flow.json` payload. Everything except `host.wall_ms`,
 /// the `exec` wall times, and the `observability` throughput/latency
 /// figures is deterministic (simulated cycles, counters, histogram
 /// summaries), so regressions in the deterministic sections are
 /// attributable to model changes alone.
+#[allow(clippy::too_many_arguments)] // one section struct per argument
 fn bench_json(
     report: &FlowReport,
     collector: &Collector,
@@ -83,6 +176,7 @@ fn bench_json(
     compare: &Option<ExecCompare>,
     cache_bench: &CacheBench,
     profile: &FlowProfile,
+    behav_bench: &BehavBench,
 ) -> String {
     let latency = collector.histogram("fpga.reconfig_latency").summary();
     let cache_section = Json::obj(vec![
@@ -229,6 +323,23 @@ fn bench_json(
                 ("obligation_latency_p95_us", Json::UInt(lat.p95)),
                 ("obligation_latency_p99_us", Json::UInt(lat.p99)),
                 ("obligation_latency_max_us", Json::UInt(lat.max)),
+            ]),
+        ),
+        (
+            "behav",
+            Json::obj(vec![
+                ("fault_sweep_faults", Json::UInt(behav_bench.faults as u64)),
+                (
+                    "fault_sweep_vectors",
+                    Json::UInt(behav_bench.vectors as u64),
+                ),
+                (
+                    "interp_runs_per_sec",
+                    Json::Num(behav_bench.interp_runs_per_sec),
+                ),
+                ("vm_runs_per_sec", Json::Num(behav_bench.vm_runs_per_sec)),
+                ("vm_speedup", Json::Num(behav_bench.speedup)),
+                ("l2_wall_ms", Json::Num(behav_bench.l2_wall_ms)),
             ]),
         ),
         ("host", Json::obj(vec![("wall_ms", Json::Num(wall_ms))])),
@@ -418,6 +529,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None
     };
 
+    // Interpreter-vs-VM throughput on the ATPG fault sweep (the win the
+    // bytecode engine exists for), pinned into the bench for CI.
+    let behav_bench = bench_behav(&workload)?;
+    println!(
+        "behav: {} faults × {} vectors; interp {:.0} runs/s, vm {:.0} runs/s \
+         ({:.1}x); level 2 in {:.0} ms",
+        behav_bench.faults,
+        behav_bench.vectors,
+        behav_bench.interp_runs_per_sec,
+        behav_bench.vm_runs_per_sec,
+        behav_bench.speedup,
+        behav_bench.l2_wall_ms,
+    );
+
     let text = report.to_text();
     print!("{text}");
     println!(
@@ -449,6 +574,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &compare,
             &cache_bench,
             &profile,
+            &behav_bench,
         ),
     )?;
     println!(

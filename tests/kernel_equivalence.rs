@@ -1,7 +1,11 @@
-//! Three-way equivalence of the FPGA kernels: pure Rust (`media::pipeline`)
-//! ≡ behavioural IR (`behav` interpreter) ≡ synthesized RTL (`hdl`),
-//! checked by simulation sampling, property-based testing and SAT.
+//! Four-way equivalence of the FPGA kernels: pure Rust (`media::pipeline`)
+//! ≡ behavioural IR (`behav` interpreter) ≡ bytecode VM (`behav::bytecode`)
+//! ≡ synthesized RTL (`hdl`), checked by simulation sampling,
+//! property-based testing and SAT. The interpreter and VM legs compare the
+//! *whole* instrumented output (coverage, op counts, memory inspection),
+//! not just the return value.
 
+use behav::bytecode::{compile, Vm};
 use behav::interp::Interpreter;
 use behav::unroll::unroll;
 use hdl::synth::synthesize;
@@ -10,9 +14,10 @@ use media::pipeline::root as rust_root;
 use proptest::prelude::*;
 
 #[test]
-fn distance_three_way_equivalence_sampled() {
+fn distance_four_way_equivalence_sampled() {
     let func = distance_step_function();
     let rtl = synthesize(&func).expect("synthesizable");
+    let mut vm = Vm::new(compile(&func));
     for (a, b, acc) in [
         (0u64, 0u64, 0u64),
         (65535, 0, 0),
@@ -24,22 +29,25 @@ fn distance_three_way_equivalence_sampled() {
             let d = (a as i64 - b as i64).unsigned_abs();
             (acc + d * d) & 0xFFFF_FFFF
         };
-        let interp = Interpreter::new(&func)
-            .run(&[a, b, acc])
-            .expect("runs")
-            .return_value
-            .expect("returns");
+        let interp = Interpreter::new(&func).run(&[a, b, acc]).expect("runs");
         let hw = rtl.eval_combinational(&[a, b, acc])[0];
-        assert_eq!(rust, interp, "interp a={a} b={b} acc={acc}");
+        assert_eq!(
+            Some(rust),
+            interp.return_value,
+            "interp a={a} b={b} acc={acc}"
+        );
+        assert_eq!(Ok(interp), vm.run(&[a, b, acc]), "vm a={a} b={b} acc={acc}");
         assert_eq!(rust, hw, "rtl a={a} b={b} acc={acc}");
     }
 }
 
 #[test]
-fn root_three_way_equivalence_sampled() {
+fn root_four_way_equivalence_sampled() {
     let func = root_function();
     let unrolled = unroll(&func, ROOT_ITERATIONS);
     let rtl = synthesize(&unrolled).expect("synthesizable");
+    let mut vm = Vm::new(compile(&func));
+    let mut unrolled_vm = Vm::new(compile(&unrolled));
     for x in [
         0u64,
         1,
@@ -53,13 +61,15 @@ fn root_three_way_equivalence_sampled() {
         u32::MAX as u64,
     ] {
         let rust = rust_root(x) as u64 & 0xFFFF;
-        let interp = Interpreter::new(&func)
-            .run(&[x])
-            .expect("runs")
-            .return_value
-            .expect("returns");
+        let interp = Interpreter::new(&func).run(&[x]).expect("runs");
         let hw = rtl.eval_combinational(&[x])[0];
-        assert_eq!(rust, interp, "interp x={x}");
+        assert_eq!(Some(rust), interp.return_value, "interp x={x}");
+        assert_eq!(Ok(interp), vm.run(&[x]), "vm x={x}");
+        assert_eq!(
+            Interpreter::new(&unrolled).run(&[x]),
+            unrolled_vm.run(&[x]),
+            "unrolled vm x={x}"
+        );
         assert_eq!(rust, hw, "rtl x={x}");
     }
 }
@@ -81,9 +91,11 @@ proptest! {
         let rtl = synthesize(&func).expect("synthesizable");
         let d = (a as i64 - b as i64).unsigned_abs();
         let rust = (acc + d * d) & 0xFFFF_FFFF;
-        let interp = Interpreter::new(&func).run(&[a, b, acc]).unwrap().return_value.unwrap();
+        let interp = Interpreter::new(&func).run(&[a, b, acc]).unwrap();
+        let vm = Vm::new(compile(&func)).run(&[a, b, acc]).unwrap();
         let hw = rtl.eval_combinational(&[a, b, acc])[0];
-        prop_assert_eq!(rust, interp);
+        prop_assert_eq!(Some(rust), interp.return_value);
+        prop_assert_eq!(interp, vm);
         prop_assert_eq!(rust, hw);
     }
 
@@ -91,8 +103,10 @@ proptest! {
     fn root_equivalence_random(x in 0u64..=u32::MAX as u64) {
         let func = root_function();
         let rust = rust_root(x) as u64 & 0xFFFF;
-        let interp = Interpreter::new(&func).run(&[x]).unwrap().return_value.unwrap();
-        prop_assert_eq!(rust, interp);
+        let interp = Interpreter::new(&func).run(&[x]).unwrap();
+        let vm = Vm::new(compile(&func)).run(&[x]).unwrap();
+        prop_assert_eq!(Some(rust), interp.return_value);
+        prop_assert_eq!(interp, vm);
     }
 
     #[test]
