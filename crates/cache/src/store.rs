@@ -3,7 +3,7 @@
 
 use crate::Fingerprint;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Number of independently locked shards. Obligations hash uniformly
@@ -83,6 +83,30 @@ pub struct ObligationCache {
     /// probes per flow (the hot sharded path above is untouched), and the
     /// `BTreeMap` keeps [`ObligationCache::stats_by_tag`] deterministic.
     tags: Mutex<BTreeMap<String, TagStats>>,
+    /// Fast gate for tenant attribution: `false` (the default) keeps
+    /// every legacy code path at one relaxed atomic load of overhead.
+    tenancy_on: AtomicBool,
+    /// Tenant attribution state (service mode); see
+    /// [`ObligationCache::set_tenant`].
+    tenancy: Mutex<Tenancy>,
+}
+
+/// Per-tenant attribution state, active only while a batch service has
+/// declared a current tenant via [`ObligationCache::set_tenant`].
+#[derive(Debug, Default)]
+struct Tenancy {
+    /// Tenant charged for current traffic (`None` = unattributed).
+    current: Option<String>,
+    /// Per-tenant traffic, keyed by tenant label.
+    traffic: BTreeMap<String, TagStats>,
+    /// Hits on entries first inserted by a *different* tenant — the
+    /// cross-tenant sharing the content-addressed fingerprints make
+    /// sound, counted per benefiting tenant.
+    cross_hits: BTreeMap<String, u64>,
+    /// First inserting tenant per fingerprint (first writer wins;
+    /// concurrent writers within one job share one tenant, and equal
+    /// fingerprints carry equal payloads anyway).
+    owners: HashMap<u128, String>,
 }
 
 impl Default for ObligationCache {
@@ -101,6 +125,8 @@ impl ObligationCache {
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             tags: Mutex::new(BTreeMap::new()),
+            tenancy_on: AtomicBool::new(false),
+            tenancy: Mutex::new(Tenancy::default()),
         }
     }
 
@@ -129,6 +155,9 @@ impl ObligationCache {
             return None;
         }
         let found = self.shard(fp).lock().unwrap().get(&fp.0).cloned();
+        if self.tenancy_on.load(Ordering::Relaxed) {
+            self.attribute_lookup(fp, found.is_some());
+        }
         match found {
             Some(p) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -150,6 +179,9 @@ impl ObligationCache {
         }
         self.inserts.fetch_add(1, Ordering::Relaxed);
         self.shard(fp).lock().unwrap().insert(fp.0, payload);
+        if self.tenancy_on.load(Ordering::Relaxed) {
+            self.attribute_insert(fp);
+        }
     }
 
     /// [`ObligationCache::lookup`] that also attributes the probe to an
@@ -186,6 +218,66 @@ impl ObligationCache {
     pub fn stats_by_tag(&self) -> Vec<(String, TagStats)> {
         let tags = self.tags.lock().unwrap_or_else(|p| p.into_inner());
         tags.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Declares the tenant to charge for subsequent traffic (`None`
+    /// stops attribution). A batch service brackets each job with
+    /// `set_tenant(Some(label))` / `set_tenant(None)` from its
+    /// coordinator thread; the job's worker threads then share the label
+    /// because they all run inside the bracket. With no tenant declared
+    /// (the default), every legacy path pays one relaxed atomic load and
+    /// nothing else — the accumulated per-tenant breakdown is untouched.
+    /// No-op on disabled caches, which stay observationally inert.
+    pub fn set_tenant(&self, tenant: Option<&str>) {
+        if !self.enabled {
+            return;
+        }
+        let mut t = self.tenancy.lock().unwrap_or_else(|p| p.into_inner());
+        t.current = tenant.map(str::to_owned);
+        self.tenancy_on
+            .store(t.current.is_some(), Ordering::Relaxed);
+    }
+
+    /// Per-tenant traffic snapshot, sorted by tenant label
+    /// (deterministic). Only traffic that ran inside a
+    /// [`ObligationCache::set_tenant`] bracket appears.
+    pub fn stats_by_tenant(&self) -> Vec<(String, TagStats)> {
+        let t = self.tenancy.lock().unwrap_or_else(|p| p.into_inner());
+        t.traffic.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Cross-tenant sharing snapshot, sorted by tenant label: for each
+    /// tenant, how many of its hits were served by entries another
+    /// tenant inserted first. Tenants whose hits were all self-inserted
+    /// do not appear.
+    pub fn cross_tenant_hits(&self) -> Vec<(String, u64)> {
+        let t = self.tenancy.lock().unwrap_or_else(|p| p.into_inner());
+        t.cross_hits.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Charges one lookup to the current tenant (and, on a hit against
+    /// another tenant's entry, counts the cross-tenant share).
+    fn attribute_lookup(&self, fp: Fingerprint, hit: bool) {
+        let mut t = self.tenancy.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(cur) = t.current.clone() else { return };
+        let stats = t.traffic.entry(cur.clone()).or_default();
+        if hit {
+            stats.hits += 1;
+            if t.owners.get(&fp.0).is_some_and(|owner| *owner != cur) {
+                *t.cross_hits.entry(cur).or_insert(0) += 1;
+            }
+        } else {
+            stats.misses += 1;
+        }
+    }
+
+    /// Charges one insert to the current tenant and records it as the
+    /// entry's owner if the fingerprint is new.
+    fn attribute_insert(&self, fp: Fingerprint) {
+        let mut t = self.tenancy.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(cur) = t.current.clone() else { return };
+        t.traffic.entry(cur.clone()).or_default().inserts += 1;
+        t.owners.entry(fp.0).or_insert(cur);
     }
 
     /// Number of distinct entries stored.
@@ -280,6 +372,62 @@ mod tests {
         assert_eq!(d.lookup_tagged("bmc", fp(1)), None);
         d.insert_tagged("bmc", fp(1), "V".into());
         assert!(d.stats_by_tag().is_empty());
+    }
+
+    #[test]
+    fn tenant_attribution_counts_cross_tenant_hits() {
+        let c = ObligationCache::new();
+        // Unattributed traffic never appears in the tenant breakdown.
+        c.insert(fp(0), "warm".into());
+        assert_eq!(c.lookup(fp(0)), Some("warm".into()));
+        assert!(c.stats_by_tenant().is_empty());
+
+        c.set_tenant(Some("alpha"));
+        assert_eq!(c.lookup(fp(1)), None);
+        c.insert(fp(1), "V".into());
+        assert_eq!(c.lookup(fp(1)), Some("V".into()));
+
+        c.set_tenant(Some("beta"));
+        // beta hits alpha's entry: a cross-tenant hit.
+        assert_eq!(c.lookup(fp(1)), Some("V".into()));
+        // beta hits its own entry: not cross-tenant.
+        c.insert(fp(2), "W".into());
+        assert_eq!(c.lookup(fp(2)), Some("W".into()));
+        // beta hits the pre-tenancy entry: unowned, not cross-tenant.
+        assert_eq!(c.lookup(fp(0)), Some("warm".into()));
+        c.set_tenant(None);
+        // Attribution off again: traffic no longer charged.
+        assert_eq!(c.lookup(fp(1)), Some("V".into()));
+
+        let by_tenant = c.stats_by_tenant();
+        assert_eq!(by_tenant.len(), 2);
+        assert_eq!(by_tenant[0].0, "alpha");
+        assert_eq!(
+            (
+                by_tenant[0].1.hits,
+                by_tenant[0].1.misses,
+                by_tenant[0].1.inserts
+            ),
+            (1, 1, 1)
+        );
+        assert_eq!(by_tenant[1].0, "beta");
+        assert_eq!(
+            (
+                by_tenant[1].1.hits,
+                by_tenant[1].1.misses,
+                by_tenant[1].1.inserts
+            ),
+            (3, 0, 1)
+        );
+        assert_eq!(c.cross_tenant_hits(), vec![("beta".to_owned(), 1)]);
+
+        // Disabled caches ignore tenancy entirely.
+        let d = ObligationCache::disabled();
+        d.set_tenant(Some("alpha"));
+        d.insert(fp(1), "V".into());
+        assert_eq!(d.lookup(fp(1)), None);
+        assert!(d.stats_by_tenant().is_empty());
+        assert!(d.cross_tenant_hits().is_empty());
     }
 
     #[test]

@@ -8,14 +8,16 @@
 //! level design platform" deliverable the abstract promises, as a library
 //! entry point.
 
+use crate::job::JobSpec;
 use crate::partition::ArchConfig;
 use crate::supervise::{
     self, DegradationSummary, ObligationOutcome, ObligationStatus, SupervisionPolicy,
 };
+use crate::timed::{self, MatcherKind, ReconfigStrategy, RecoveryPolicy, RunError};
 use crate::workload::Workload;
 use crate::{cascade, level1, level2, level3, level4};
 use lp::lpv::LivenessVerdict;
-use sim::SimError;
+use sim::{FaultPlan, SimError};
 
 /// One phase's summary line.
 #[derive(Debug, Clone, PartialEq)]
@@ -473,7 +475,16 @@ pub fn run_full_flow_supervised(
     cache: &cache::ObligationCache,
     policy: &SupervisionPolicy,
 ) -> Result<FlowReport, SimError> {
-    run_full_flow_supervised_impl(workload, instrument, mode, cache, policy, None)
+    run_full_flow_supervised_impl(
+        workload,
+        instrument,
+        mode,
+        cache,
+        policy,
+        None,
+        &ArchConfig::default(),
+        None,
+    )
 }
 
 /// [`run_full_flow_supervised`] with a flight recorder: phases, the FPGA
@@ -500,9 +511,78 @@ pub fn run_full_flow_supervised_journaled(
     policy: &SupervisionPolicy,
     journal: &telemetry::Journal,
 ) -> Result<FlowReport, SimError> {
-    run_full_flow_supervised_impl(workload, instrument, mode, cache, policy, Some(journal))
+    run_full_flow_supervised_impl(
+        workload,
+        instrument,
+        mode,
+        cache,
+        policy,
+        Some(journal),
+        &ArchConfig::default(),
+        None,
+    )
 }
 
+/// Runs the complete supervised flow a [`JobSpec`] describes: the spec's
+/// design becomes the workload, its platform variant drives the level-3
+/// architecture and the level-2 FIFO dimensioning, its fault campaign
+/// (if any) is injected into the level-3 simulation under the default
+/// [`RecoveryPolicy`], and its supervision policy budgets the
+/// verification obligations. With `JobSpec::default()` this is exactly
+/// [`run_full_flow_supervised`] on [`Workload::small`] — same phases,
+/// same verdicts, bit-identical JSON (pinned by
+/// `tests/service_equivalence.rs`).
+///
+/// This is the batch service's per-job entry point, but it is an
+/// ordinary library call: no queue, no tenancy, usable directly.
+///
+/// # Errors
+///
+/// Propagates kernel errors from the simulations.
+pub fn run_full_flow_job(
+    spec: &JobSpec,
+    instrument: &telemetry::SharedInstrument,
+    mode: exec::ExecMode,
+    cache: &cache::ObligationCache,
+) -> Result<FlowReport, SimError> {
+    run_full_flow_supervised_impl(
+        &spec.design.workload(),
+        instrument,
+        mode,
+        cache,
+        &spec.policy,
+        None,
+        &spec.platform.arch(),
+        spec.faults.map(|f| f.plan()),
+    )
+}
+
+/// [`run_full_flow_job`] with a flight recorder — the journal contract of
+/// [`run_full_flow_supervised_journaled`], driven by a [`JobSpec`].
+///
+/// # Errors
+///
+/// Propagates kernel errors from the simulations.
+pub fn run_full_flow_job_journaled(
+    spec: &JobSpec,
+    instrument: &telemetry::SharedInstrument,
+    mode: exec::ExecMode,
+    cache: &cache::ObligationCache,
+    journal: &telemetry::Journal,
+) -> Result<FlowReport, SimError> {
+    run_full_flow_supervised_impl(
+        &spec.design.workload(),
+        instrument,
+        mode,
+        cache,
+        &spec.policy,
+        Some(journal),
+        &spec.platform.arch(),
+        spec.faults.map(|f| f.plan()),
+    )
+}
+
+#[allow(clippy::too_many_arguments)] // private plumbing behind 4 focused entry points
 fn run_full_flow_supervised_impl(
     workload: &Workload,
     instrument: &telemetry::SharedInstrument,
@@ -510,6 +590,8 @@ fn run_full_flow_supervised_impl(
     cache: &cache::ObligationCache,
     policy: &SupervisionPolicy,
     journal: Option<&telemetry::Journal>,
+    arch: &ArchConfig,
+    faults: Option<FaultPlan>,
 ) -> Result<FlowReport, SimError> {
     use ObligationStatus::{Panicked, Proved, Refuted};
 
@@ -637,7 +719,6 @@ fn run_full_flow_supervised_impl(
     });
 
     // ── Level 2: architecture mapping ──────────────────────────────────
-    let arch = ArchConfig::default();
     let l2 = level2::run_instrumented(workload, instrument)?;
     let l2_matches_l1 = l1.trace.matches_untimed(&l2.trace).is_ok();
     note_phase(
@@ -656,7 +737,7 @@ fn run_full_flow_supervised_impl(
     // ── Level 2 verification: deadline LP (supervised) ─────────────────
     note_started("lpv:dimensioning", "lpv");
     let sup = supervise::run_supervised_job(retry, || {
-        level2::dimension_channels_mode(workload, &crate::Partition::paper_level2(), &arch, mode)
+        level2::dimension_channels_mode(workload, &crate::Partition::paper_level2(), arch, mode)
     });
     note_panics(sup.panics_caught());
     let (ok, detail, status, odetail) = match &sup.value {
@@ -701,7 +782,27 @@ fn run_full_flow_supervised_impl(
     });
 
     // ── Level 3: reconfigurable platform ───────────────────────────────
-    let l3 = level3::run_instrumented(workload, instrument)?;
+    // Unlike the unsupervised flow this honors the caller's platform
+    // variant and fault campaign. The job surface only exposes fault
+    // kinds the default recovery policy always absorbs (retry or
+    // degrade-to-software), so a platform error here is a contract
+    // violation, not a reachable outcome.
+    let l3 = timed::run_faulted_instrumented(
+        workload,
+        &crate::Partition::paper_level3(),
+        arch,
+        MatcherKind::Fpga {
+            strategy: ReconfigStrategy::Hoisted,
+            rtl_cosim: false,
+        },
+        faults,
+        RecoveryPolicy::default(),
+        instrument,
+    )
+    .map_err(|e| match e {
+        RunError::Sim(e) => e,
+        RunError::Platform(f) => unreachable!("default recovery absorbs platform faults: {f}"),
+    })?;
     let l3_matches_l2 = l2.trace.matches_untimed(&l3.trace).is_ok();
     let fpga = l3.fpga.clone().expect("level 3 has an FPGA");
     note_phase(

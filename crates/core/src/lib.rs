@@ -35,6 +35,7 @@
 pub mod cascade;
 pub mod explore;
 pub mod flow;
+pub mod job;
 pub mod level1;
 pub mod level2;
 pub mod level3;

@@ -16,6 +16,10 @@
 
 #![warn(missing_docs)]
 
+pub mod fair;
+
+pub use fair::DrrScheduler;
+
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};

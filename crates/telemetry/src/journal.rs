@@ -224,6 +224,53 @@ pub enum EventKind {
         /// Whether the phase's checks passed.
         ok: bool,
     },
+    /// A batch-service job passed admission control and joined its
+    /// tenant's queue (the `serve` crate's lifecycle lane).
+    JobAdmitted {
+        /// Stable job label (`job-0001`, …).
+        job: String,
+        /// Tenant that submitted the job.
+        tenant: String,
+        /// Scheduling cost charged against the tenant's deficit.
+        cost: u64,
+    },
+    /// A batch-service job left its queue and started running.
+    JobStarted {
+        /// Stable job label.
+        job: String,
+        /// Tenant that submitted the job.
+        tenant: String,
+    },
+    /// One verification obligation of a running batch-service job
+    /// finished (mirrored from the job's private journal, in obligation
+    /// order).
+    JobObligationDone {
+        /// Stable job label.
+        job: String,
+        /// Obligation name.
+        obligation: String,
+        /// Outcome label (`proved`, `refuted`, `unknown`, `panicked`).
+        outcome: String,
+    },
+    /// A batch-service job finished (successfully or not).
+    JobFinished {
+        /// Stable job label.
+        job: String,
+        /// Tenant that submitted the job.
+        tenant: String,
+        /// Whether every flow phase passed.
+        ok: bool,
+        /// Whether every supervised obligation ended conclusively.
+        conclusive: bool,
+    },
+    /// A submission was rejected by admission control (the job never
+    /// got an id — the rejection is the whole record).
+    JobRejected {
+        /// Tenant that attempted the submission.
+        tenant: String,
+        /// Deterministic one-line rejection reason.
+        reason: String,
+    },
 }
 
 impl EventKind {
@@ -239,6 +286,11 @@ impl EventKind {
             EventKind::Degradation { .. } => "degradation",
             EventKind::FpgaReconfig { .. } => "fpga_reconfig",
             EventKind::Phase { .. } => "phase",
+            EventKind::JobAdmitted { .. } => "job_admitted",
+            EventKind::JobStarted { .. } => "job_started",
+            EventKind::JobObligationDone { .. } => "job_obligation_done",
+            EventKind::JobFinished { .. } => "job_finished",
+            EventKind::JobRejected { .. } => "job_rejected",
         }
     }
 }
@@ -281,6 +333,14 @@ pub enum TimingKind {
         /// Microseconds of wall time.
         wall_us: u64,
     },
+    /// End-to-end wall-clock latency of one batch-service job
+    /// (queue-exit to finish; the `serve` crate's latency lane).
+    JobWall {
+        /// Stable job label.
+        job: String,
+        /// Microseconds of wall time.
+        wall_us: u64,
+    },
 }
 
 impl TimingKind {
@@ -291,6 +351,7 @@ impl TimingKind {
             TimingKind::QueueDepth { .. } => "queue_depth",
             TimingKind::WorkerJob { .. } => "worker_job",
             TimingKind::RunWall { .. } => "run_wall",
+            TimingKind::JobWall { .. } => "job_wall",
         }
     }
 }
@@ -390,6 +451,39 @@ impl Event {
                 members.push(("name", Json::Str(name.clone())));
                 members.push(("ok", Json::Bool(*ok)));
             }
+            EventKind::JobAdmitted { job, tenant, cost } => {
+                members.push(("job", Json::Str(job.clone())));
+                members.push(("tenant", Json::Str(tenant.clone())));
+                members.push(("cost", Json::UInt(*cost)));
+            }
+            EventKind::JobStarted { job, tenant } => {
+                members.push(("job", Json::Str(job.clone())));
+                members.push(("tenant", Json::Str(tenant.clone())));
+            }
+            EventKind::JobObligationDone {
+                job,
+                obligation,
+                outcome,
+            } => {
+                members.push(("job", Json::Str(job.clone())));
+                members.push(("obligation", Json::Str(obligation.clone())));
+                members.push(("outcome", Json::Str(outcome.clone())));
+            }
+            EventKind::JobFinished {
+                job,
+                tenant,
+                ok,
+                conclusive,
+            } => {
+                members.push(("job", Json::Str(job.clone())));
+                members.push(("tenant", Json::Str(tenant.clone())));
+                members.push(("ok", Json::Bool(*ok)));
+                members.push(("conclusive", Json::Bool(*conclusive)));
+            }
+            EventKind::JobRejected { tenant, reason } => {
+                members.push(("tenant", Json::Str(tenant.clone())));
+                members.push(("reason", Json::Str(reason.clone())));
+            }
         }
         Json::obj(members).render()
     }
@@ -428,6 +522,10 @@ impl TimingEvent {
             }
             TimingKind::RunWall { label, wall_us } => {
                 members.push(("label", Json::Str(label.clone())));
+                members.push(("wall_us", Json::UInt(*wall_us)));
+            }
+            TimingKind::JobWall { job, wall_us } => {
+                members.push(("job", Json::Str(job.clone())));
                 members.push(("wall_us", Json::UInt(*wall_us)));
             }
         }
@@ -730,10 +828,16 @@ pub fn validate_line(line: &str) -> Result<(), String> {
         (true, "degradation") => &["obligation", "status", "detail"],
         (true, "fpga_reconfig") => &["reconfigurations", "download_words"],
         (true, "phase") => &["index", "name", "ok"],
+        (true, "job_admitted") => &["job", "tenant", "cost"],
+        (true, "job_started") => &["job", "tenant"],
+        (true, "job_obligation_done") => &["job", "obligation", "outcome"],
+        (true, "job_finished") => &["job", "tenant", "ok", "conclusive"],
+        (true, "job_rejected") => &["tenant", "reason"],
         (false, "obligation_wall") => &["obligation", "wall_us"],
         (false, "queue_depth") => &["batch", "jobs", "workers", "peak_depth"],
         (false, "worker_job") => &["batch", "job", "worker"],
         (false, "run_wall") => &["label", "wall_us"],
+        (false, "job_wall") => &["job", "wall_us"],
         (lane, kind) => {
             return Err(format!(
                 "unknown kind {kind:?} on the {} lane",
@@ -920,6 +1024,34 @@ mod tests {
             index: 0,
             name: "level 1".into(),
             ok: true,
+        });
+        j.emit(EventKind::JobAdmitted {
+            job: "job-0001".into(),
+            tenant: "acme".into(),
+            cost: 2,
+        });
+        j.emit(EventKind::JobStarted {
+            job: "job-0001".into(),
+            tenant: "acme".into(),
+        });
+        j.emit(EventKind::JobObligationDone {
+            job: "job-0001".into(),
+            obligation: "miter:distance".into(),
+            outcome: "proved".into(),
+        });
+        j.emit(EventKind::JobFinished {
+            job: "job-0001".into(),
+            tenant: "acme".into(),
+            ok: true,
+            conclusive: true,
+        });
+        j.emit(EventKind::JobRejected {
+            tenant: "acme".into(),
+            reason: "queue full: 64 of 64 jobs queued".into(),
+        });
+        j.emit_timing(TimingKind::JobWall {
+            job: "job-0001".into(),
+            wall_us: 1234,
         });
         j.emit_timing(TimingKind::ObligationWall {
             obligation: "o".into(),

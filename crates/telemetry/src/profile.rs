@@ -161,6 +161,9 @@ impl FlowProfile {
                 TimingKind::WorkerJob { batch, worker, .. } => {
                     *p.worker_jobs.entry((batch, worker)).or_insert(0) += 1;
                 }
+                // Service-lane job latency is aggregated by the `serve`
+                // crate's batch statistics, not the per-flow profile.
+                TimingKind::JobWall { .. } => {}
             }
         }
         p
