@@ -41,9 +41,11 @@
 
 mod fingerprint;
 mod persist;
+pub mod pool;
 mod store;
 
 pub use fingerprint::{Fingerprint, FingerprintBuilder};
+pub use pool::{LemmaPool, PoolStats};
 pub use store::{CacheStats, ObligationCache, TagStats};
 
 use std::sync::OnceLock;

@@ -90,11 +90,55 @@ pub fn prove_equivalence_cached(
     };
     let builder = ctx.builder_mut();
     builder.assert_lit(any);
+    // Lemma-pool warm start: seed clauses learnt by an earlier solve of a
+    // fingerprint-identical miter (same canonical CNF, same asserted
+    // root), then collect this solve's own short learnts back into the
+    // pool. Seeds are entailed by the exporter's CNF — byte-identical to
+    // ours — so they can shrink the search, never flip the verdict.
+    if let Some(fp) = fp {
+        seed_from_pool(builder.solver_mut(), cache.lemmas(), fp, instrument);
+        builder.solver_mut().set_share(sat::SolverShare::collector(
+            sat::ShareFilter::default(),
+            cache::pool::MAX_CLAUSES_PER_ENTRY,
+        ));
+    }
     let equivalent = builder.solve().is_unsat();
     if let Some(fp) = fp {
+        if let Some(share) = builder.solver_mut().take_share() {
+            cache.lemmas().insert(fp, &share.into_pool_exports());
+        }
         cache.insert_tagged("level4.miter", fp, cache::encode_bool(equivalent));
     }
     equivalent
+}
+
+/// Imports the lemma-pool entry for `fp` (if any) into `solver` at
+/// decision level 0, reporting pool telemetry. Returns early on a
+/// conflicting import — the solver is then already UNSAT and the caller's
+/// solve call reports it.
+fn seed_from_pool(
+    solver: &mut sat::Solver,
+    pool: &cache::LemmaPool,
+    fp: cache::Fingerprint,
+    instrument: &telemetry::SharedInstrument,
+) {
+    let seeds = pool.lookup(fp);
+    if seeds.is_empty() {
+        return;
+    }
+    instrument.counter_add("sat.pool_hits", 1);
+    let (mut imported, mut rejected) = (0u64, 0u64);
+    for clause in &seeds {
+        match solver.import_clause(clause) {
+            sat::ImportResult::Added => imported += 1,
+            sat::ImportResult::Redundant => rejected += 1,
+            // The seeds alone are UNSAT under the level-0 trail; further
+            // imports cannot change that verdict.
+            sat::ImportResult::Conflict => break,
+        }
+    }
+    instrument.counter_add("sat.pool_imports", imported);
+    instrument.counter_add("sat.pool_rejects", rejected);
 }
 
 /// [`prove_equivalence`] with the miter solved by a SAT portfolio: the
@@ -134,10 +178,24 @@ pub fn prove_equivalence_portfolio_cached(
     };
     ctx.builder_mut().assert_lit(any);
     let cnf = ctx.builder_mut().solver().export_cnf();
-    let equivalent = sat::solve_portfolio(&cnf, mode).result.is_unsat();
-    if let Some(fp) = fp {
-        cache.insert_tagged("level4.miter", fp, cache::encode_bool(equivalent));
-    }
+    let equivalent = match fp {
+        // Cached path: cooperative portfolio — contestants exchange
+        // learnt clauses in flight and are seeded from (then feed) the
+        // cross-obligation lemma pool. The verdict is objective, so
+        // sharing changes effort only; the uncached path below keeps the
+        // plain racing portfolio byte-identical to the pre-pool code.
+        Some(fp) => {
+            let pool = cache.lemmas();
+            let seeds = pool.lookup(fp);
+            let coop =
+                sat::solve_portfolio_cooperative(&cnf, mode, &sat::ShareConfig::default(), &seeds);
+            pool.insert(fp, &coop.pool_exports);
+            let equivalent = coop.outcome.result.is_unsat();
+            cache.insert_tagged("level4.miter", fp, cache::encode_bool(equivalent));
+            equivalent
+        }
+        None => sat::solve_portfolio(&cnf, mode).result.is_unsat(),
+    };
     equivalent
 }
 
@@ -529,12 +587,32 @@ pub fn prove_equivalence_budgeted(
     };
     let builder = ctx.builder_mut();
     builder.assert_lit(any);
-    let equivalent = builder.solve_budgeted(&[], effort).decided()?.is_unsat();
+    let equivalent = match builder.solve_budgeted(&[], effort).decided() {
+        Some(result) => result.is_unsat(),
+        // Budget exhausted: cube-and-conquer fallback. Split on the
+        // probe solver's top-activity variables and re-solve each cube
+        // under the same per-cube budget; cubes run sequentially so the
+        // exhaustion point stays a pure function of CNF and budget. No
+        // lemma-pool seeding here — a warm pool could move the
+        // exhaustion point and flip Exhausted <-> Decided across runs.
+        None => {
+            instrument.counter_add("sat.cube_splits", 1);
+            let split = builder.solver().top_activity_vars(CUBE_SPLIT_VARS);
+            let cnf = builder.solver().export_cnf();
+            let report = sat::cube::conquer(&cnf, &split, effort, exec::ExecMode::Sequential);
+            report.verdict?.is_unsat()
+        }
+    };
     if let Some(fp) = fp {
         cache.insert_tagged("level4.miter", fp, cache::encode_bool(equivalent));
     }
     Some(equivalent)
 }
+
+/// Number of top-activity variables the budgeted miter splits on when
+/// its direct solve exhausts (2^k cubes; 3 → 8 cubes, enough to break
+/// symmetric hard instances without exploding the sequential sweep).
+const CUBE_SPLIT_VARS: usize = 3;
 
 /// [`run_cached`] under a [`SupervisionPolicy`]: every level-4 obligation
 /// — two kernel miters, five wrapper properties, two PCC coverage runs —

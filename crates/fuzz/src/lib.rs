@@ -36,6 +36,7 @@ pub mod media_fuzz;
 pub mod repro;
 pub mod rng;
 pub mod sat_fuzz;
+pub mod share_fuzz;
 pub mod shrink;
 pub mod sim_fuzz;
 pub mod supervise_fuzz;
@@ -74,11 +75,15 @@ pub enum Family {
     /// interpreter and the register bytecode VM, whole instrumented
     /// outputs compared bit for bit.
     Vm,
+    /// Learnt-clause sharing: exported clauses brute-force checked for
+    /// entailment, mailbox/import/cooperative-portfolio seeding checked
+    /// to never change a verdict or invalidate a model.
+    Share,
 }
 
 impl Family {
     /// Every family, in canonical run order.
-    pub const ALL: [Family; 7] = [
+    pub const ALL: [Family; 8] = [
         Family::Sat,
         Family::Dimacs,
         Family::Mc,
@@ -86,6 +91,7 @@ impl Family {
         Family::Media,
         Family::Supervise,
         Family::Vm,
+        Family::Share,
     ];
 
     /// The short name used in reproducer IDs.
@@ -98,6 +104,7 @@ impl Family {
             Family::Media => "media",
             Family::Supervise => "supervise",
             Family::Vm => "vm",
+            Family::Share => "share",
         }
     }
 
@@ -118,6 +125,7 @@ impl Family {
             Family::Media => 4,
             Family::Supervise => 50,
             Family::Vm => 80,
+            Family::Share => 40,
         }
     }
 }
@@ -210,6 +218,7 @@ fn dispatch(family: Family, rng: &mut FuzzRng, bias: u64) -> FamilyOutcome {
         Family::Media => media_fuzz::run_one(rng, bias),
         Family::Supervise => supervise_fuzz::run_one(rng, bias),
         Family::Vm => vm_fuzz::run_one(rng, bias),
+        Family::Share => share_fuzz::run_one(rng, bias),
     }
 }
 

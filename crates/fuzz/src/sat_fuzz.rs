@@ -438,7 +438,7 @@ fn with_ground_truth(mut case: CnfCase) -> CnfCase {
     case
 }
 
-fn shrink_candidates(case: &CnfCase) -> Vec<CnfCase> {
+pub(crate) fn shrink_candidates(case: &CnfCase) -> Vec<CnfCase> {
     let mut out = Vec::new();
     for i in 0..case.clauses.len() {
         let mut c = case.clone();

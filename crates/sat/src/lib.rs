@@ -34,13 +34,20 @@
 #![warn(missing_docs)]
 
 pub mod cnf;
+pub mod cube;
 pub mod dimacs;
 pub mod portfolio;
+pub mod share;
 pub mod solver;
 pub mod types;
 
 pub use cnf::CnfBuilder;
+pub use cube::CubeReport;
 pub use dimacs::Dimacs;
-pub use portfolio::{solve_portfolio, PortfolioConfig, PortfolioOutcome};
+pub use portfolio::{
+    solve_portfolio, solve_portfolio_cooperative, CooperativeOutcome, PortfolioConfig,
+    PortfolioOutcome,
+};
+pub use share::{ImportResult, ShareConfig, ShareFilter, ShareStats, SolverShare};
 pub use solver::{BudgetedResult, Cnf, SolveResult, Solver};
 pub use types::{Lit, Var};

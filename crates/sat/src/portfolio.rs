@@ -18,7 +18,9 @@
 //!   contestants emit nothing; callers record deterministic facts only
 //!   (how many races ran, their verdicts).
 
+use crate::share::{self, ShareConfig, ShareStats};
 use crate::solver::{Cnf, SolveResult, Solver};
+use crate::types::Lit;
 use exec::ExecMode;
 
 /// One diversified solver configuration.
@@ -124,6 +126,89 @@ pub fn solve_portfolio(cnf: &Cnf, mode: ExecMode) -> PortfolioOutcome {
     }
 }
 
+/// Outcome of a cooperative portfolio run (see
+/// [`solve_portfolio_cooperative`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CooperativeOutcome {
+    /// The race outcome; the verdict is identical across modes and
+    /// worker counts, exactly as for [`solve_portfolio`].
+    pub outcome: PortfolioOutcome,
+    /// The winner's exported clauses (sorted-literal canonical form),
+    /// destined for the cross-obligation lemma pool. In sequential mode
+    /// this is the canonical solver's deterministic export set; in
+    /// parallel mode it depends on which contestant won — the pool is
+    /// effort-advisory, so that is acceptable.
+    pub pool_exports: Vec<Vec<Lit>>,
+    /// The winner's sharing traffic counters.
+    pub stats: ShareStats,
+    /// How many seed clauses the winner integrated before searching.
+    pub seeds_imported: u64,
+}
+
+/// Like [`solve_portfolio`], but the contestants *cooperate*: each
+/// solver exports its short/low-glue learnt clauses through bounded
+/// lock-free mailboxes to every peer and imports the peers' exports at
+/// decision level 0 (solve entry and restarts). `seeds` — typically
+/// lemma-pool entries keyed by this CNF's fingerprint — are imported
+/// into every contestant before its search starts.
+///
+/// Sharing changes *effort*, never *answers*: every import is entailed
+/// by `cnf` (peer learnt clauses are resolvents of it; seeds are keyed
+/// by its canonical fingerprint), so the verdict stays identical to the
+/// racing portfolio's. Sequential mode runs only the canonical
+/// contestant, whose inboxes stay empty — a sequential cooperative call
+/// is exactly one plain solver run plus the seed imports.
+pub fn solve_portfolio_cooperative(
+    cnf: &Cnf,
+    mode: ExecMode,
+    config: &ShareConfig,
+    seeds: &[Vec<Lit>],
+) -> CooperativeOutcome {
+    let configs = default_configs(mode.workers().min(4));
+    let handles = share::build_group(configs.len(), config);
+    let contestants: Vec<(PortfolioConfig, share::SolverShare)> =
+        configs.into_iter().zip(handles).collect();
+    let (winner, (result, model, pool_exports, stats, seeds_imported)) =
+        exec::race(mode, contestants, |_, (config, handle), cancel| {
+            let mut solver = Solver::new();
+            config.apply(&mut solver);
+            cnf.load_into(&mut solver);
+            solver.set_share(handle);
+            let mut seeds_imported = 0u64;
+            for seed in seeds {
+                if solver.import_clause(seed) != crate::share::ImportResult::Redundant {
+                    seeds_imported += 1;
+                }
+            }
+            let verdict = solver.solve_cancellable(&[], cancel.flag())?;
+            let model = verdict.is_sat().then(|| {
+                (0..cnf.num_vars)
+                    .map(|i| solver.value(crate::Var(i as u32)) == Some(true))
+                    .collect::<Vec<bool>>()
+            });
+            let share = solver.take_share().expect("share endpoint attached above");
+            let stats = share.stats();
+            Some((
+                verdict,
+                model,
+                share.into_pool_exports(),
+                stats,
+                seeds_imported,
+            ))
+        })
+        .expect("at least the canonical contestant finishes");
+    CooperativeOutcome {
+        outcome: PortfolioOutcome {
+            result,
+            winner,
+            model,
+        },
+        pool_exports,
+        stats,
+        seeds_imported,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,5 +264,66 @@ mod tests {
                     .any(|l| model[l.var().index()] == l.is_positive()));
             }
         }
+    }
+
+    #[cfg(not(feature = "share-mutant"))]
+    #[test]
+    fn cooperative_verdict_matches_racing_portfolio() {
+        let unsat = php_cnf(5, 4);
+        let sat = php_cnf(4, 4);
+        let share_config = ShareConfig::default();
+        for mode in [
+            ExecMode::Sequential,
+            ExecMode::Parallel { workers: 2 },
+            ExecMode::Parallel { workers: 8 },
+        ] {
+            let coop = solve_portfolio_cooperative(&unsat, mode, &share_config, &[]);
+            assert_eq!(coop.outcome.result, solve_portfolio(&unsat, mode).result);
+            let coop = solve_portfolio_cooperative(&sat, mode, &share_config, &[]);
+            assert!(coop.outcome.result.is_sat());
+            let model = coop.outcome.model.expect("sat outcome carries a model");
+            for clause in &sat.clauses {
+                assert!(clause
+                    .iter()
+                    .any(|l| model[l.var().index()] == l.is_positive()));
+            }
+        }
+    }
+
+    #[cfg(not(feature = "share-mutant"))]
+    #[test]
+    fn cooperative_seeds_do_not_change_the_verdict() {
+        // Seed the second run with the first run's exports — the
+        // lemma-pool pattern — and check the verdict is unchanged.
+        let cnf = php_cnf(5, 4);
+        let share_config = ShareConfig {
+            filter: share::ShareFilter::permissive(16),
+            ..ShareConfig::default()
+        };
+        let cold = solve_portfolio_cooperative(&cnf, ExecMode::Sequential, &share_config, &[]);
+        assert!(cold.outcome.result.is_unsat());
+        assert!(
+            !cold.pool_exports.is_empty(),
+            "PHP(5,4) must learn exportable clauses"
+        );
+        let warm = solve_portfolio_cooperative(
+            &cnf,
+            ExecMode::Sequential,
+            &share_config,
+            &cold.pool_exports,
+        );
+        assert!(warm.outcome.result.is_unsat());
+        assert!(warm.seeds_imported > 0);
+    }
+
+    #[test]
+    fn sequential_cooperative_run_is_deterministic() {
+        let cnf = php_cnf(5, 4);
+        let share_config = ShareConfig::default();
+        let a = solve_portfolio_cooperative(&cnf, ExecMode::Sequential, &share_config, &[]);
+        let b = solve_portfolio_cooperative(&cnf, ExecMode::Sequential, &share_config, &[]);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.pool_exports, b.pool_exports);
+        assert_eq!(a.stats, b.stats);
     }
 }

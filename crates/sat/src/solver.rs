@@ -1,6 +1,7 @@
 //! The CDCL solver core.
 #![allow(clippy::needless_range_loop)]
 
+use crate::share::{ImportResult, SolverShare};
 use crate::types::{Lit, Var};
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -212,6 +213,11 @@ pub struct Solver {
     budget_conflicts: Option<u64>,
     /// See [`Solver::budget_conflicts`](struct field above).
     budget_decisions: Option<u64>,
+    /// Optional clause-sharing endpoint (portfolio cooperation and/or
+    /// lemma-pool collection). `None` — the default — keeps every
+    /// non-sharing path behaviourally identical to the pre-sharing
+    /// solver: no glue computation, no clause clones, no import drains.
+    share: Option<SolverShare>,
     /// Unit propagations seen by the test-only `mutant` feature, which
     /// silently drops every third one to prove the fuzzer's differential
     /// oracles catch an injected solver bug.
@@ -256,6 +262,7 @@ impl Default for Solver {
             flush_calls: 0,
             budget_conflicts: None,
             budget_decisions: None,
+            share: None,
             #[cfg(feature = "mutant")]
             mutant_units: 0,
             #[cfg(feature = "diverge-mutant")]
@@ -404,6 +411,134 @@ impl Solver {
                 true
             }
         }
+    }
+
+    /// Attaches a clause-sharing endpoint (see [`crate::share`]). The
+    /// solver then exports learnt clauses that pass the endpoint's
+    /// length/glue filter and drains the endpoint's inboxes at solve
+    /// entry and on every restart — always at decision level 0, so CDCL
+    /// invariants hold.
+    pub fn set_share(&mut self, share: SolverShare) {
+        self.share = Some(share);
+    }
+
+    /// Detaches and returns the sharing endpoint (with its pool-bound
+    /// exports and traffic stats), if one was attached.
+    pub fn take_share(&mut self) -> Option<SolverShare> {
+        self.share.take()
+    }
+
+    /// Integrates one *entailed* foreign clause — a peer's learnt clause
+    /// over the same CNF, or a lemma-pool entry keyed by this CNF's
+    /// canonical fingerprint — at decision level 0. The clause attaches
+    /// as a learnt clause, so [`Solver::export_cnf`] keeps reporting the
+    /// original problem. Clauses referencing unallocated variables are
+    /// rejected as [`ImportResult::Redundant`] (the defensive stance for
+    /// pool entries read back from disk). An imported *unit* lands on
+    /// the level-0 trail and therefore shows up in later `export_cnf`
+    /// snapshots; the snapshot stays equisatisfiable because imports are
+    /// entailed.
+    ///
+    /// Returning [`ImportResult::Conflict`] means the formula is now
+    /// unsatisfiable at level 0 — a real verdict, not a failure, again
+    /// because imports are entailed.
+    pub fn import_clause(&mut self, lits: &[Lit]) -> ImportResult {
+        debug_assert!(self.trail_lim.is_empty());
+        if self.unsat {
+            return ImportResult::Conflict;
+        }
+        if lits.iter().any(|l| l.var().index() >= self.num_vars()) {
+            return ImportResult::Redundant;
+        }
+        let mut lits: Vec<Lit> = lits.to_vec();
+        lits.sort_unstable();
+        lits.dedup();
+        let mut simplified = Vec::with_capacity(lits.len());
+        let mut i = 0;
+        while i < lits.len() {
+            let l = lits[i];
+            if i + 1 < lits.len() && lits[i + 1] == !l {
+                return ImportResult::Redundant; // tautology
+            }
+            match self.lit_value(l) {
+                1 => return ImportResult::Redundant, // satisfied at level 0
+                0 => {}                              // falsified at level 0: drop
+                _ => simplified.push(l),
+            }
+            i += 1;
+        }
+        match simplified.len() {
+            0 => {
+                self.unsat = true;
+                ImportResult::Conflict
+            }
+            1 => {
+                if !self.enqueue(simplified[0], None) || self.propagate().is_some() {
+                    self.unsat = true;
+                    ImportResult::Conflict
+                } else {
+                    ImportResult::Added
+                }
+            }
+            _ => {
+                self.attach_clause(simplified, true);
+                ImportResult::Added
+            }
+        }
+    }
+
+    /// Drains the share endpoint's inboxes (bounded by its import
+    /// budget) and integrates each clause. Returns `false` when an
+    /// import closed the formula — a sound Unsat verdict. Must be called
+    /// at decision level 0.
+    fn drain_shared_imports(&mut self) -> bool {
+        if self.share.is_none() {
+            return true;
+        }
+        let imports = self
+            .share
+            .as_mut()
+            .map(|s| s.take_imports())
+            .unwrap_or_default();
+        for clause in imports {
+            let result = self.import_clause(&clause);
+            if let Some(share) = self.share.as_mut() {
+                share.note_import(result);
+            }
+            if result == ImportResult::Conflict {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Glue (LBD) of a just-learnt clause: the number of distinct
+    /// decision levels among its literals. Only meaningful between
+    /// [`Solver::analyze`] and the subsequent backjump, while the learnt
+    /// literals still hold their conflict-time levels.
+    fn clause_glue(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    /// The `k` unassigned variables with the highest VSIDS activity
+    /// (ties broken by variable index) — the deterministic split set for
+    /// cube-and-conquer after a budgeted solve exhausted. Call at
+    /// decision level 0.
+    pub fn top_activity_vars(&self, k: usize) -> Vec<Var> {
+        let mut vars: Vec<usize> = (0..self.num_vars())
+            .filter(|&i| self.assign[i] == UNASSIGNED)
+            .collect();
+        vars.sort_by(|&a, &b| {
+            self.activity[b]
+                .partial_cmp(&self.activity[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        vars.truncate(k);
+        vars.into_iter().map(|i| Var(i as u32)).collect()
     }
 
     fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> usize {
@@ -758,6 +893,11 @@ impl Solver {
             self.flush_telemetry();
             return Some(SolveResult::Unsat);
         }
+        if !self.drain_shared_imports() {
+            self.unsat = true;
+            self.flush_telemetry();
+            return Some(SolveResult::Unsat);
+        }
         let result = self.search(assumptions, interrupt);
         if let Some(r) = result {
             if r.is_sat() {
@@ -895,6 +1035,14 @@ impl Solver {
                     self.backtrack_to(conflict_level);
                 }
                 let (learnt, bt) = self.analyze(conflict);
+                // Glue (LBD — distinct decision levels among the learnt
+                // literals) must be read *before* backtracking wipes the
+                // per-variable levels; the length pre-check keeps the
+                // no-sharing path free of the scan.
+                let export_glue = match &self.share {
+                    Some(share) if share.wants_len(learnt.len()) => Some(self.clause_glue(&learnt)),
+                    _ => None,
+                };
                 self.backtrack_to(bt);
                 if learnt.len() == 1 {
                     if !self.enqueue(learnt[0], None) {
@@ -908,6 +1056,11 @@ impl Solver {
                         return Some(SolveResult::Unsat);
                     }
                 }
+                if let Some(glue) = export_glue {
+                    if let Some(share) = self.share.as_mut() {
+                        share.offer(&learnt, glue);
+                    }
+                }
                 self.decay_activities();
                 if conflicts_here >= conflict_budget {
                     // Restart.
@@ -915,6 +1068,14 @@ impl Solver {
                     restart_count += 1;
                     conflict_budget = self.restart_scale * Self::luby(restart_count);
                     self.backtrack_to(0);
+                    // Integrate peer clauses while at decision level 0 —
+                    // the only point mid-search where add-clause
+                    // invariants hold. A conflicting import is a sound
+                    // Unsat verdict (imports are entailed).
+                    if !self.drain_shared_imports() {
+                        self.unsat = true;
+                        return Some(SolveResult::Unsat);
+                    }
                 }
             } else {
                 // Re-apply assumptions that got undone (e.g. by restarts).

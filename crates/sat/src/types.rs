@@ -72,6 +72,14 @@ impl Lit {
     pub fn code(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuilds a literal from its packed [`Lit::code`] — the inverse
+    /// used when clauses round-trip through persistence as unsigned
+    /// codes (the lemma-pool disk format).
+    #[inline]
+    pub fn from_code(code: usize) -> Self {
+        Lit(code as u32)
+    }
 }
 
 impl Not for Lit {
@@ -109,6 +117,8 @@ mod tests {
         assert_eq!(!n, p);
         assert_eq!(p.code(), 10);
         assert_eq!(n.code(), 11);
+        assert_eq!(Lit::from_code(10), p);
+        assert_eq!(Lit::from_code(11), n);
     }
 
     #[test]

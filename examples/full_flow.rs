@@ -39,8 +39,8 @@ use std::path::Path;
 use std::time::Instant;
 use symbad_core::cascade;
 use symbad_core::flow::{
-    run_full_flow_cached_journaled, run_full_flow_mode, run_full_flow_supervised_journaled,
-    FlowReport,
+    run_full_flow_cached, run_full_flow_cached_journaled, run_full_flow_mode,
+    run_full_flow_supervised_journaled, FlowReport,
 };
 use symbad_core::supervise::SupervisionPolicy;
 use symbad_core::workload::Workload;
@@ -73,6 +73,111 @@ struct CacheBench {
     warm_hits: u64,
     warm_misses: u64,
     warm_hit_rate: f64,
+}
+
+/// Cooperative-SAT behaviour (DESIGN.md §16): lemma-pool contents after
+/// the cold flow, pool traffic on a warm-pool rerun (cold verdicts, warm
+/// lemmas, via `retain_lemmas`), and a deterministic conflict-rich
+/// microbench — a planted 3-XOR chain, solved cold with a collector
+/// share and again seeded from the pool — pinning the conflict
+/// reduction the pool buys. The flow's own miters discharge in
+/// near-zero conflicts, so the microbench is where the reduction is
+/// measurable.
+struct SatBench {
+    pool_entries: u64,
+    pool_clauses: u64,
+    flow_pool_hits: u64,
+    flow_pool_imports: u64,
+    flow_pool_rejects: u64,
+    cube_splits: u64,
+    micro_cold_conflicts: u64,
+    micro_seeded_conflicts: u64,
+    micro_pool_hits: u64,
+    micro_imports: u64,
+    micro_conflict_reduction: f64,
+}
+
+/// Deterministic planted 3-XOR chain over `n` variables: each equation
+/// `a ^ b ^ c = 1` rules out its four even-parity assignments, giving a
+/// satisfiable instance the CDCL loop still has to fight for.
+fn xor_chain_cnf(n: usize) -> sat::Cnf {
+    let lit = |v: usize, pos: bool| sat::Lit::with_polarity(sat::Var::from_index(v), pos);
+    let mut clauses = Vec::new();
+    for i in 0..n {
+        let (a, b, c) = (i, (i * 7 + 3) % n, (i * 13 + 5) % n);
+        if a == b || b == c || a == c {
+            continue;
+        }
+        for mask in 0..8u32 {
+            if (mask.count_ones() % 2) == 1 {
+                continue;
+            }
+            clauses.push(vec![
+                lit(a, mask & 1 == 0),
+                lit(b, mask & 2 == 0),
+                lit(c, mask & 4 == 0),
+            ]);
+        }
+    }
+    sat::Cnf {
+        num_vars: n,
+        clauses,
+    }
+}
+
+/// Measures the [`SatBench`] microbench half: cold solve exporting into
+/// a fresh lemma pool, then a pool-seeded re-solve of the byte-identical
+/// CNF. Verdicts must match (sharing changes effort, never answers) and
+/// the seeded solve must fight fewer conflicts.
+fn bench_sat_pool() -> (u64, u64, u64, u64, f64) {
+    let cnf = xor_chain_cnf(48);
+    let mut cold = sat::Solver::new();
+    cnf.load_into(&mut cold);
+    cold.set_share(sat::SolverShare::collector(
+        sat::ShareFilter::permissive(16),
+        cache::pool::MAX_CLAUSES_PER_ENTRY,
+    ));
+    let cold_verdict = cold.solve();
+    let exports = cold
+        .take_share()
+        .expect("collector share is attached")
+        .into_pool_exports();
+    assert!(
+        !exports.is_empty(),
+        "the microbench CNF must produce learnt-clause exports"
+    );
+
+    let pool = cache::LemmaPool::new();
+    let fp = cache::Fingerprint(0x5a7b_ad00_1337_c0de_5a7b_ad00_1337_c0de);
+    pool.insert(fp, &exports);
+
+    let mut seeded = sat::Solver::new();
+    cnf.load_into(&mut seeded);
+    let mut imports = 0u64;
+    for clause in pool.lookup(fp) {
+        if seeded.import_clause(&clause) == sat::ImportResult::Added {
+            imports += 1;
+        }
+    }
+    let seeded_verdict = seeded.solve();
+    assert_eq!(
+        seeded_verdict, cold_verdict,
+        "a pool-seeded solve must reach the cold verdict"
+    );
+    assert!(
+        seeded.conflicts() < cold.conflicts(),
+        "the warm pool must reduce conflicts ({} cold vs {} seeded)",
+        cold.conflicts(),
+        seeded.conflicts()
+    );
+    let reduction = 1.0 - seeded.conflicts() as f64 / cold.conflicts().max(1) as f64;
+    (
+        cold.conflicts(),
+        seeded.conflicts(),
+        pool.stats().hits,
+        imports,
+        reduction,
+    )
 }
 
 /// Interpreter-vs-VM throughput on the ATPG bit-fault sweep of the ROOT
@@ -177,6 +282,7 @@ fn bench_json(
     cache_bench: &CacheBench,
     profile: &FlowProfile,
     behav_bench: &BehavBench,
+    sat_bench: &SatBench,
 ) -> String {
     let latency = collector.histogram("fpga.reconfig_latency").summary();
     let cache_section = Json::obj(vec![
@@ -342,6 +448,31 @@ fn bench_json(
                 ("l2_wall_ms", Json::Num(behav_bench.l2_wall_ms)),
             ]),
         ),
+        (
+            "sat",
+            Json::obj(vec![
+                ("pool_entries", Json::UInt(sat_bench.pool_entries)),
+                ("pool_clauses", Json::UInt(sat_bench.pool_clauses)),
+                ("flow_pool_hits", Json::UInt(sat_bench.flow_pool_hits)),
+                ("flow_pool_imports", Json::UInt(sat_bench.flow_pool_imports)),
+                ("flow_pool_rejects", Json::UInt(sat_bench.flow_pool_rejects)),
+                ("cube_splits", Json::UInt(sat_bench.cube_splits)),
+                (
+                    "micro_cold_conflicts",
+                    Json::UInt(sat_bench.micro_cold_conflicts),
+                ),
+                (
+                    "micro_seeded_conflicts",
+                    Json::UInt(sat_bench.micro_seeded_conflicts),
+                ),
+                ("micro_pool_hits", Json::UInt(sat_bench.micro_pool_hits)),
+                ("micro_pool_imports", Json::UInt(sat_bench.micro_imports)),
+                (
+                    "micro_conflict_reduction",
+                    Json::Num(sat_bench.micro_conflict_reduction),
+                ),
+            ]),
+        ),
         ("host", Json::obj(vec![("wall_ms", Json::Num(wall_ms))])),
         ("exec", Json::obj(exec_section)),
     ])
@@ -424,6 +555,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cache_bench.warm_misses,
         cache_bench.warm_hit_rate * 100.0,
         cache_bench.entries_saved,
+    );
+
+    // Cooperative-SAT pool behaviour. The cold run above populated the
+    // cache's lemma pool alongside its verdicts; rerun the flow with
+    // warm lemmas but COLD verdicts (`retain_lemmas`), so every miter
+    // re-solves seeded from the pool — the report must not move by a
+    // bit, and the pool counters land in the bench. The microbench half
+    // pins a measurable conflict reduction on a CNF hard enough to need
+    // one (the flow's miters are near-trivial for the solver).
+    let pool_stats = obligations.lemmas().stats();
+    let pool_only = obligations.retain_lemmas();
+    let sat_collector = Collector::shared();
+    let sat_instr: SharedInstrument = sat_collector.clone();
+    let warm_pool_report = run_full_flow_cached(
+        &workload,
+        &sat_instr,
+        exec::ExecMode::Sequential,
+        &pool_only,
+    )?;
+    assert_eq!(
+        warm_pool_report.to_json(),
+        report.to_json(),
+        "warm-lemma-pool flow report must be bit-identical to the cold one"
+    );
+    let (micro_cold, micro_seeded, micro_hits, micro_imports, micro_reduction) = bench_sat_pool();
+    let sat_bench = SatBench {
+        pool_entries: pool_stats.entries,
+        pool_clauses: pool_stats.clauses,
+        flow_pool_hits: sat_collector.counter("sat.pool_hits"),
+        flow_pool_imports: sat_collector.counter("sat.pool_imports"),
+        flow_pool_rejects: sat_collector.counter("sat.pool_rejects"),
+        cube_splits: collector.counter("sat.cube_splits"),
+        micro_cold_conflicts: micro_cold,
+        micro_seeded_conflicts: micro_seeded,
+        micro_pool_hits: micro_hits,
+        micro_imports,
+        micro_conflict_reduction: micro_reduction,
+    };
+    println!(
+        "sat: lemma pool {} entries / {} clauses; warm-pool flow {} hits, \
+         {} imports, {} rejects; microbench {} → {} conflicts seeded \
+         ({:.0}% fewer)",
+        sat_bench.pool_entries,
+        sat_bench.pool_clauses,
+        sat_bench.flow_pool_hits,
+        sat_bench.flow_pool_imports,
+        sat_bench.flow_pool_rejects,
+        sat_bench.micro_cold_conflicts,
+        sat_bench.micro_seeded_conflicts,
+        sat_bench.micro_conflict_reduction * 100.0,
     );
 
     // Flight recorder proper: rerun the flow supervised and journaled (a
@@ -575,6 +756,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &cache_bench,
             &profile,
             &behav_bench,
+            &sat_bench,
         ),
     )?;
     println!(

@@ -35,6 +35,40 @@ fn flow_report_json_is_bit_identical_across_worker_counts() {
 }
 
 #[test]
+fn clause_sharing_and_lemma_pools_never_move_the_flow_report() {
+    // The cooperative-SAT contract (DESIGN.md §16): learnt-clause
+    // sharing and lemma-pool warm starts change *effort*, never
+    // *answers*. The rendered report must be bit-identical whether
+    // sharing is off (uncached flow), on with a cold pool, or on with a
+    // pool warmed by a previous run — at every worker count.
+    let w = Workload::small();
+    let reference = run_full_flow_mode(&w, exec::ExecMode::Sequential)
+        .expect("sequential flow runs")
+        .to_json();
+    for mode in [exec::ExecMode::Sequential].into_iter().chain(MODES) {
+        let obligations = cache::ObligationCache::new();
+        let cold =
+            symbad_core::flow::run_full_flow_cached(&w, &telemetry::noop(), mode, &obligations)
+                .expect("cold cached flow runs");
+        assert_eq!(
+            cold.to_json(),
+            reference,
+            "sharing-on cold-pool report diverged at {mode:?}"
+        );
+        // Warm pool, cold verdicts: every miter re-solves, now seeded
+        // from the pool the cold run populated.
+        let warmed = obligations.retain_lemmas();
+        let warm = symbad_core::flow::run_full_flow_cached(&w, &telemetry::noop(), mode, &warmed)
+            .expect("warm-pool flow runs");
+        assert_eq!(
+            warm.to_json(),
+            reference,
+            "warm-pool report diverged at {mode:?}"
+        );
+    }
+}
+
+#[test]
 fn bmc_counterexamples_are_bit_identical_across_worker_counts() {
     // The buggy wrapper refutes `done_returns_to_idle`; the refutation
     // trace (not just the verdict) must be the same from every worker.
